@@ -1,0 +1,76 @@
+// Command kompbench regenerates the paper's tables and figures (Figure 6
+// through Figure 15) on the simulated PHI and 8XEON machines.
+//
+// Usage:
+//
+//	kompbench                 # regenerate everything
+//	kompbench -figure fig9    # one figure
+//	kompbench -quick          # reduced scales/reps for a fast look
+//	kompbench -bench BT,EP    # restrict the NAS set
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/interweaving/komp/internal/bench"
+)
+
+func main() {
+	figure := flag.String("figure", "", "figure id (fig6..fig15); empty = all")
+	ablation := flag.String("ablation", "", "ablation id (ab-firsttouch, ab-pthread, ab-chunk, ab-privatization); 'all' runs every ablation")
+	quick := flag.Bool("quick", false, "reduced scales and repetitions")
+	seed := flag.Int64("seed", 42, "simulator seed")
+	benches := flag.String("bench", "", "comma-separated NAS subset (e.g. BT,EP)")
+	flag.Parse()
+
+	opt := bench.Options{Quick: *quick, Seed: *seed}
+	if *benches != "" {
+		opt.Benchmarks = strings.Split(*benches, ",")
+	}
+
+	var figs []bench.Figure
+	switch {
+	case *ablation == "all":
+		figs = bench.Ablations()
+	case *ablation != "":
+		f, ok := bench.AblationByID(*ablation)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "kompbench: unknown ablation %q; available:\n", *ablation)
+			for _, f := range bench.Ablations() {
+				fmt.Fprintf(os.Stderr, "  %-18s %s\n", f.ID, f.Title)
+			}
+			os.Exit(2)
+		}
+		figs = []bench.Figure{f}
+	case *figure == "":
+		figs = bench.Figures()
+	default:
+		f, ok := bench.ByID(*figure)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "kompbench: unknown figure %q; available:\n", *figure)
+			for _, f := range bench.Figures() {
+				fmt.Fprintf(os.Stderr, "  %-6s %s\n", f.ID, f.Title)
+			}
+			os.Exit(2)
+		}
+		figs = []bench.Figure{f}
+	}
+
+	for i, f := range figs {
+		if i > 0 {
+			fmt.Println()
+			fmt.Println(strings.Repeat("=", 78))
+			fmt.Println()
+		}
+		start := time.Now()
+		if err := f.Run(os.Stdout, opt); err != nil {
+			fmt.Fprintf(os.Stderr, "kompbench: %s: %v\n", f.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s regenerated in %.1fs]\n", f.ID, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,67 @@
+package komp_test
+
+import (
+	"fmt"
+
+	"github.com/interweaving/komp"
+)
+
+// The library in one screen: a parallel sum with a worksharing loop and
+// a reduction, on real goroutines.
+func Example() {
+	o := komp.New(4)
+	defer o.Close()
+
+	const n = 100000
+	var total float64
+	o.Parallel(0, func(w *komp.Worker) {
+		local := 0.0
+		w.For(1, n+1, komp.ForOpt{Sched: komp.Static}, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				local += float64(i)
+			}
+		})
+		sum := w.Reduce(komp.ReduceSum, local)
+		w.Master(func() { total = sum })
+	})
+	fmt.Println(total == n*(n+1)/2)
+	// Output: true
+}
+
+// The systems laboratory: run a NAS benchmark model under the Linux
+// baseline and under RTK (runtime-in-kernel) on the simulated Xeon Phi,
+// and observe the paper's speedup. Deterministic: same seed, same
+// numbers, on any host.
+func Example_environments() {
+	m, _ := komp.NewMachine(komp.MachinePHI)
+
+	linux := komp.NewEnvironment(komp.EnvConfig{
+		Machine: m, Kind: komp.EnvLinux, Seed: 42, Threads: 8})
+	rtk := komp.NewEnvironment(komp.EnvConfig{
+		Machine: m, Kind: komp.EnvRTK, Seed: 42, Threads: 8})
+
+	tLinux, _ := komp.RunNAS(linux, "SP", 8)
+	tRTK, _ := komp.RunNAS(rtk, "SP", 8)
+	fmt.Printf("SP-C on 8 CPUs: RTK is %.1fx faster than Linux\n", tLinux/tRTK)
+	// Output: SP-C on 8 CPUs: RTK is 1.6x faster than Linux
+}
+
+// Tasks with work stealing: one thread produces, the team consumes, the
+// barrier guarantees completion.
+func Example_tasks() {
+	o := komp.New(4)
+	defer o.Close()
+
+	results := make([]int, 16)
+	o.Parallel(0, func(w *komp.Worker) {
+		w.Master(func() {
+			for i := range results {
+				i := i
+				w.Task(func(*komp.Worker) { results[i] = i * i })
+			}
+		})
+		w.Barrier() // task-aware: all 16 tasks are done here
+	})
+	fmt.Println(results[3], results[15])
+	// Output: 9 225
+}

@@ -1,0 +1,120 @@
+// automp demonstrates the CCK compiler (§5): a small OpenMP-annotated
+// program is expressed in the IR, AutoMP analyzes and task-parallelizes
+// it, and the compiled result runs on the user-level VIRGIL runtime with
+// real semantics — then the same program runs through the conventional
+// OpenMP pipeline for comparison, showing the latency-aware chunking
+// advantage on a skewed loop and the privatization limitation.
+//
+//	go run ./examples/automp
+package main
+
+import (
+	"fmt"
+
+	"github.com/interweaving/komp/internal/cck"
+	"github.com/interweaving/komp/internal/exec"
+	"github.com/interweaving/komp/internal/omp"
+	"github.com/interweaving/komp/internal/sim"
+	"github.com/interweaving/komp/internal/virgil"
+)
+
+const n = 4096
+
+func program(out []float64) *cck.Program {
+	return &cck.Program{
+		Name: "demo",
+		Funcs: []*cck.Function{{
+			Name: "main",
+			Body: []cck.Node{
+				&cck.Seq{Name: "init", CostNS: 10_000},
+				// A skewed DOALL loop: iteration i costs up to 9x more
+				// than iteration 0 (think triangular stencils). OpenMP's
+				// blind static partition imbalances it; AutoMP's
+				// equal-cost chunks do not.
+				&cck.Loop{
+					Name: "triangular", N: n, CostNS: 3000, Skew: 0.8,
+					Effects: []cck.Effect{{Obj: "out", Mode: cck.Write, Pattern: cck.Disjoint}},
+					Pragma:  &cck.Pragma{Kind: cck.PragmaParallelFor, Independent: true},
+					Body:    func(i int) { out[i] = float64(i) * 2 },
+				},
+				// An elementwise consumer: fusable with nothing here (it
+				// reads "out" globally for a prefix-max — carried dep).
+				&cck.Loop{
+					Name: "scan", N: n, CostNS: 200,
+					Effects: []cck.Effect{{Obj: "acc", Mode: cck.ReadWrite, Pattern: cck.SharedRW}},
+				},
+				// A carried-dependence loop with declared stages: AutoMP
+				// falls back to HELIX/DSWP instead of serializing.
+				&cck.Loop{
+					Name: "recurrence", N: n, CostNS: 2200,
+					Effects: []cck.Effect{{Obj: "hist", Mode: cck.ReadWrite, Pattern: cck.SharedRW}},
+					Stages: []cck.StageSpec{
+						{Name: "commit", CostNS: 200, Carried: true},
+						{Name: "compute", CostNS: 2000, Carried: false},
+					},
+				},
+				// A loop needing a private scratch array: parallel under
+				// OpenMP (private clause), sequential under AutoMP — the
+				// paper's documented limitation.
+				&cck.Loop{
+					Name: "solve", N: n, CostNS: 3000,
+					Effects: []cck.Effect{
+						{Obj: "out", Mode: cck.ReadWrite, Pattern: cck.Disjoint},
+						{Obj: "lhs", Mode: cck.ReadWrite, Pattern: cck.PrivateScratch},
+					},
+					Pragma: &cck.Pragma{Kind: cck.PragmaParallelFor, Independent: true,
+						Private: []string{"lhs"}},
+				},
+			},
+		}},
+	}
+}
+
+func main() {
+	const workers = 8
+	costs := exec.Costs{MallocNS: 80, AtomicRMWNS: 20, CacheLineXferNS: 45,
+		FutexWaitEntryNS: 100, FutexWakeEntryNS: 100, FutexWakeLatencyNS: 500,
+		FutexWakeStaggerNS: 40, ThreadSpawnNS: 3000}
+
+	out := make([]float64, n)
+	prog := program(out)
+
+	compiled, err := cck.Compile(prog, cck.Options{Workers: workers, Fuse: true})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(compiled.Report())
+	fmt.Printf("parallel coverage: %.0f%%\n\n", compiled.ParallelCoverage()*100)
+
+	// Run the compiled program on user-level VIRGIL (virtual time).
+	layer := exec.NewSimLayer(sim.New(workers, 1), costs)
+	u := virgil.NewUser(workers)
+	autoNS, err := layer.Run(func(tc exec.TC) {
+		u.Start(tc)
+		compiled.RunVirgil(tc, u, nil)
+		u.Stop(tc)
+	})
+	if err != nil {
+		panic(err)
+	}
+	for i := range out {
+		if out[i] != float64(i)*2 {
+			panic("AutoMP execution produced wrong values")
+		}
+	}
+	fmt.Printf("AutoMP on VIRGIL:      %8.2f ms virtual (results verified)\n", float64(autoNS)/1e6)
+
+	// The same program through the conventional OpenMP pipeline.
+	layer2 := exec.NewSimLayer(sim.New(workers, 1), costs)
+	rt := omp.New(layer2, omp.Options{MaxThreads: workers, Bind: true})
+	ompNS, err := layer2.Run(func(tc exec.TC) {
+		cck.RunOpenMP(tc, prog, rt, workers, nil)
+		rt.Close(tc)
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("conventional OpenMP:   %8.2f ms virtual\n", float64(ompNS)/1e6)
+	fmt.Println("\n(the skewed loop favors AutoMP's equal-cost chunks; the private-")
+	fmt.Println(" scratch loop favors OpenMP, which honors the private clause)")
+}

@@ -1,0 +1,49 @@
+// nas-ep runs the real NAS EP (embarrassingly parallel) kernel on real
+// goroutines at several thread counts and prints the speedup curve plus
+// the verification counts — a miniature of the paper's scaling studies,
+// on your own machine.
+//
+//	go run ./examples/nas-ep
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"github.com/interweaving/komp/internal/exec"
+	"github.com/interweaving/komp/internal/nas"
+	"github.com/interweaving/komp/internal/omp"
+)
+
+func main() {
+	const m = 22 // 2^22 pairs
+	maxThreads := runtime.GOMAXPROCS(0)
+	fmt.Printf("NAS EP, 2^%d Gaussian pairs, scaling to %d threads\n\n", m, maxThreads)
+
+	ref := nas.EPSequential(m)
+	fmt.Printf("sequential reference: sx=%.6f sy=%.6f\n\n", ref.Sx, ref.Sy)
+	fmt.Printf("%8s %10s %9s %8s\n", "threads", "time", "speedup", "verified")
+
+	var t1 float64
+	for threads := 1; threads <= maxThreads; threads *= 2 {
+		layer := exec.NewRealLayer(threads)
+		rt := omp.New(layer, omp.Options{MaxThreads: threads, Bind: true})
+		var res nas.EPResult
+		start := time.Now()
+		layer.Run(func(tc exec.TC) {
+			res = nas.EP(tc, rt, m, threads)
+			rt.Close(tc)
+		})
+		secs := time.Since(start).Seconds()
+		if threads == 1 {
+			t1 = secs
+		}
+		verified := res.Counts == ref.Counts
+		fmt.Printf("%8d %9.3fs %8.2fx %8v\n", threads, secs, t1/secs, verified)
+		if !verified {
+			fmt.Println("verification FAILED")
+			return
+		}
+	}
+}

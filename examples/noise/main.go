@@ -1,0 +1,56 @@
+// noise demonstrates the environment mechanics behind the paper's NAS
+// results: the same 50 ms parallel compute phase runs under the Linux
+// noise model and under Nautilus's steered-interrupt model, showing the
+// per-CPU time stolen by housekeeping and the jitter across barriers —
+// "lower jitter is one benefit of bringing code into the kernel" (§6.1).
+//
+//	go run ./examples/noise
+package main
+
+import (
+	"fmt"
+
+	"github.com/interweaving/komp/internal/core"
+	"github.com/interweaving/komp/internal/exec"
+	"github.com/interweaving/komp/internal/machine"
+	"github.com/interweaving/komp/internal/omp"
+	"github.com/interweaving/komp/internal/stats"
+)
+
+func main() {
+	const threads = 16
+	const rounds = 40
+	const workNS = 2_000_000 // 2 ms of compute per thread per round
+
+	fmt.Printf("%d threads x %d barrier rounds of %.1f ms compute each\n\n",
+		threads, rounds, float64(workNS)/1e6)
+	fmt.Printf("%-12s %12s %14s %14s\n", "environment", "total(ms)", "mean round(us)", "jitter sd(us)")
+
+	for _, kind := range []core.Kind{core.Linux, core.PIK, core.RTK} {
+		env := core.New(core.Config{Machine: machine.PHI(), Kind: kind, Seed: 123, Threads: threads})
+		rt := env.OMPRuntime()
+		var roundUS []float64
+		elapsed, err := env.Layer.Run(func(tc exec.TC) {
+			rt.Parallel(tc, threads, func(w *omp.Worker) {
+				for r := 0; r < rounds; r++ {
+					t0 := w.TC().Now()
+					w.TC().Charge(workNS)
+					w.Barrier()
+					if w.ThreadNum() == 0 {
+						roundUS = append(roundUS, float64(w.TC().Now()-t0)/1000)
+					}
+				}
+			})
+			rt.Close(tc)
+		})
+		if err != nil {
+			panic(err)
+		}
+		s := stats.Summarize(roundUS)
+		fmt.Printf("%-12s %12.2f %14.1f %14.2f\n",
+			kind, float64(elapsed)/1e6, s.Mean, s.StdDev)
+	}
+	fmt.Println("\nLinux rounds stretch and jitter from housekeeping preemptions;")
+	fmt.Println("the in-kernel environments run with steered interrupts and no")
+	fmt.Println("competing threads, so rounds are tight and repeatable.")
+}

@@ -1,0 +1,101 @@
+// Quickstart: komp as an OpenMP-style parallelism library for Go.
+//
+// It computes a dot product three ways — parallel-for with a reduction,
+// dynamic scheduling with a critical section, and explicit tasks — and
+// verifies them against the sequential answer.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"sync/atomic"
+
+	"github.com/interweaving/komp"
+)
+
+func main() {
+	const n = 1 << 20
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = float64(i%100) / 100
+		b[i] = float64(i%7) + 1
+	}
+	var want float64
+	for i := range a {
+		want += a[i] * b[i]
+	}
+
+	o := komp.New(0) // one worker per core
+	defer o.Close()
+	fmt.Printf("komp quickstart: dot product of %d elements on %d threads\n", n, o.Threads())
+
+	// 1. The canonical pattern: worksharing loop + reduction.
+	var viaReduce float64
+	o.Parallel(0, func(w *komp.Worker) {
+		local := 0.0
+		w.For(0, n, komp.ForOpt{Sched: komp.Static}, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				local += a[i] * b[i]
+			}
+		})
+		total := w.Reduce(komp.ReduceSum, local)
+		w.Master(func() { viaReduce = total })
+	})
+	check("parallel-for + reduce", viaReduce, want)
+
+	// 2. Dynamic schedule with a critical section.
+	var viaCritical float64
+	o.Parallel(0, func(w *komp.Worker) {
+		local := 0.0
+		w.For(0, n, komp.ForOpt{Sched: komp.Dynamic, Chunk: 4096, NoWait: true}, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				local += a[i] * b[i]
+			}
+		})
+		w.Critical("dot", func() { viaCritical += local })
+		w.Barrier()
+	})
+	check("dynamic + critical", viaCritical, want)
+
+	// 3. Explicit tasks with work stealing.
+	var bits atomic.Uint64
+	addFloat := func(v float64) {
+		for {
+			old := bits.Load()
+			next := math.Float64bits(math.Float64frombits(old) + v)
+			if bits.CompareAndSwap(old, next) {
+				return
+			}
+		}
+	}
+	o.Parallel(0, func(w *komp.Worker) {
+		w.Master(func() {
+			const block = 1 << 15
+			for lo := 0; lo < n; lo += block {
+				lo := lo
+				w.Task(func(*komp.Worker) {
+					local := 0.0
+					hi := lo + block
+					for i := lo; i < hi; i++ {
+						local += a[i] * b[i]
+					}
+					addFloat(local)
+				})
+			}
+		})
+		w.Barrier() // task-aware: all tasks complete here
+	})
+	check("tasks", math.Float64frombits(bits.Load()), want)
+}
+
+func check(how string, got, want float64) {
+	if math.Abs(got-want) > 1e-6*math.Abs(want) {
+		fmt.Printf("%-24s FAILED: %v != %v\n", how, got, want)
+		os.Exit(1)
+	}
+	fmt.Printf("%-24s ok (%.4f)\n", how, got)
+}

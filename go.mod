@@ -1,0 +1,3 @@
+module github.com/interweaving/komp
+
+go 1.22

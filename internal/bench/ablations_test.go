@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationRegistry(t *testing.T) {
+	abs := Ablations()
+	if len(abs) != 5 {
+		t.Fatalf("ablations = %d", len(abs))
+	}
+	for _, id := range []string{"ab-firsttouch", "ab-pthread", "ab-chunk", "ab-privatization"} {
+		if _, ok := AblationByID(id); !ok {
+			t.Fatalf("missing %s", id)
+		}
+	}
+	if _, ok := AblationByID("ab-nope"); ok {
+		t.Fatal("bogus ablation resolved")
+	}
+}
+
+func TestAblationFirstTouchShowsGap(t *testing.T) {
+	var b strings.Builder
+	if err := AblationFirstTouch(&b, Options{Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "first-touch") || !strings.Contains(out, "immediate") {
+		t.Fatalf("ablation output malformed:\n%s", out)
+	}
+}
+
+func TestAblationPthreadCustomWins(t *testing.T) {
+	var b strings.Builder
+	if err := AblationPthread(&b, Options{Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "barrier round") {
+		t.Fatalf("malformed:\n%s", out)
+	}
+}
+
+func TestAblationChunkRuns(t *testing.T) {
+	var b strings.Builder
+	if err := AblationChunk(&b, Options{Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "single task") {
+		t.Fatalf("malformed:\n%s", b.String())
+	}
+}
+
+func TestAblationPrivatizationRecovers(t *testing.T) {
+	var b strings.Builder
+	if err := AblationPrivatization(&b, Options{Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "with privatization") {
+		t.Fatalf("malformed:\n%s", out)
+	}
+}

@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	figs := Figures()
+	if len(figs) != 10 {
+		t.Fatalf("figures = %d, want 10 (fig6..fig15)", len(figs))
+	}
+	for _, id := range []string{"fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15"} {
+		if _, ok := ByID(id); !ok {
+			t.Fatalf("missing %s", id)
+		}
+	}
+	if _, ok := ByID("fig99"); ok {
+		t.Fatal("bogus id resolved")
+	}
+}
+
+func TestFig6Table(t *testing.T) {
+	var b strings.Builder
+	if err := Fig6(&b, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"RTK", "PIK", "CCK", "13,250", "6,550", "Automatic parallelization"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig6 missing %q", want)
+		}
+	}
+}
+
+func TestFig9Quick(t *testing.T) {
+	var b strings.Builder
+	err := Fig9(&b, Options{Quick: true, Benchmarks: []string{"BT", "EP"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "BT-B") || !strings.Contains(out, "geomean") {
+		t.Fatalf("fig9 output malformed:\n%s", out)
+	}
+}
+
+func TestFig11QuickElidesIS(t *testing.T) {
+	var b strings.Builder
+	err := Fig11(&b, Options{Quick: true, Benchmarks: []string{"MG", "IS"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Contains(out, "IS-C") {
+		t.Fatal("fig11 must elide IS")
+	}
+	if !strings.Contains(out, "MG-C") || !strings.Contains(out, "nk-automp") {
+		t.Fatalf("fig11 malformed:\n%s", out)
+	}
+}
+
+func TestFig14Quick(t *testing.T) {
+	var b strings.Builder
+	err := Fig14(&b, Options{Quick: true, Scales: []int{1, 48}, Benchmarks: []string{"CG"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "rtk") || !strings.Contains(out, "pik") {
+		t.Fatalf("fig14 must show both kernel paths:\n%s", out)
+	}
+}
+
+func TestFig7QuickRuns(t *testing.T) {
+	var b strings.Builder
+	if err := Fig7(&b, Options{Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"ARRAY", "SCHEDULE", "SYNCH", "TASK", "BARRIER", "DYNAMIC_1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig7 missing %q", want)
+		}
+	}
+}
+
+func TestDeterministicFigure(t *testing.T) {
+	render := func() string {
+		var b strings.Builder
+		if err := Fig10(&b, Options{Quick: true, Benchmarks: []string{"FT"}}); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	if render() != render() {
+		t.Fatal("figure output must be deterministic")
+	}
+}
+
+// Headline regression guards: the paper's geomean claims must keep
+// holding after any retuning. Full-fidelity NAS sweeps (a few seconds).
+func TestHeadlineGeomeans(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep")
+	}
+	check := func(id string, want map[string][2]float64) {
+		var b strings.Builder
+		f, _ := ByID(id)
+		if err := f.Run(&b, Options{Seed: 42}); err != nil {
+			t.Fatal(err)
+		}
+		for env, bounds := range want {
+			needle := "geomean(" + env + ") across benchmarks and scales: "
+			out := b.String()
+			i := strings.Index(out, needle)
+			if i < 0 {
+				t.Fatalf("%s: missing %q", id, needle)
+			}
+			var v float64
+			if _, err := fmt.Sscanf(out[i+len(needle):], "%f", &v); err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if v < bounds[0] || v > bounds[1] {
+				t.Errorf("%s %s geomean = %.2f, want [%.2f, %.2f] (paper shape)",
+					id, env, v, bounds[0], bounds[1])
+			}
+		}
+	}
+	// Paper: RTK ~22% on PHI, PIK ~10%; both ~20% on 8XEON.
+	check("fig9", map[string][2]float64{"rtk": {1.15, 1.32}})
+	check("fig10", map[string][2]float64{"pik": {1.05, 1.22}})
+	check("fig14", map[string][2]float64{"rtk": {1.12, 1.32}, "pik": {1.10, 1.30}})
+}

@@ -1,0 +1,229 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/interweaving/komp/internal/core"
+	"github.com/interweaving/komp/internal/epcc"
+	"github.com/interweaving/komp/internal/machine"
+	"github.com/interweaving/komp/internal/nas"
+)
+
+// epccFigure renders one EPCC comparison figure.
+func epccFigure(w io.Writer, title string, m *machine.Machine, kinds []core.Kind, threads int, opt Options) error {
+	fmt.Fprintln(w, title)
+	data := map[string]map[string]map[string]epcc.Result{} // kind -> suite -> name
+	var order map[string][]string
+	var cols []string
+	for _, kind := range kinds {
+		bySuite, ord, err := runEPCC(m, kind, threads, opt.seed(), opt.Quick)
+		if err != nil {
+			return err
+		}
+		data[kind.String()] = bySuite
+		if order == nil {
+			order = ord
+		}
+		cols = append(cols, kind.String())
+	}
+	for _, suite := range epcc.Suites() {
+		perKind := map[string]map[string]epcc.Result{}
+		for _, c := range cols {
+			perKind[c] = data[c][suite]
+		}
+		epccTable(w, suite, order[suite], cols, perKind)
+	}
+	return nil
+}
+
+// Fig7 regenerates Figure 7: EPCC, RTK vs Linux, 64 cores of PHI.
+func Fig7(w io.Writer, opt Options) error {
+	threads := 64
+	if opt.Quick {
+		threads = 8
+	}
+	return epccFigure(w,
+		fmt.Sprintf("Figure 7: RTK vs Linux, EPCC microbenchmarks, %d cores of PHI (overhead us; lower is better)", threads),
+		machine.PHI(), []core.Kind{core.Linux, core.RTK}, threads, opt)
+}
+
+// Fig8 regenerates Figure 8: EPCC, PIK vs Linux, 64 cores of PHI.
+func Fig8(w io.Writer, opt Options) error {
+	threads := 64
+	if opt.Quick {
+		threads = 8
+	}
+	return epccFigure(w,
+		fmt.Sprintf("Figure 8: PIK vs Linux, EPCC microbenchmarks, %d cores of PHI (overhead us; lower is better)", threads),
+		machine.PHI(), []core.Kind{core.Linux, core.PIK}, threads, opt)
+}
+
+// Fig13 regenerates Figure 13: EPCC, RTK and PIK vs Linux, 192 cores of
+// 8XEON.
+func Fig13(w io.Writer, opt Options) error {
+	threads := 192
+	if opt.Quick {
+		threads = 24
+	}
+	return epccFigure(w,
+		fmt.Sprintf("Figure 13: RTK and PIK vs Linux, EPCC microbenchmarks, %d cores of 8XEON (overhead us; lower is better)", threads),
+		machine.XEON8(), []core.Kind{core.Linux, core.RTK, core.PIK}, threads, opt)
+}
+
+// nasRelFigure renders a normalized-performance NAS figure for one or
+// more environments against the Linux baseline.
+func nasRelFigure(w io.Writer, title string, m *machine.Machine, kinds []core.Kind, opt Options) error {
+	scales := nasScales(m, opt)
+	specs := nasSpecs(opt)
+	linux := map[string]map[int]float64{}
+	envs := map[string]map[string]map[int]float64{}
+	var envOrder []string
+	for _, kind := range kinds {
+		envs[kind.String()] = map[string]map[int]float64{}
+		envOrder = append(envOrder, kind.String())
+	}
+	for _, s := range specs {
+		ls, err := sweep(m, core.Linux, s, scales, opt.seed())
+		if err != nil {
+			return err
+		}
+		// Record the paper-calibrated single-thread time for the caption
+		// even when 1 is not in the sweep.
+		if _, ok := ls[1]; !ok {
+			ls[1] = s.Profiles[m.Name].TimeSec
+		}
+		linux[s.Name] = ls
+		for _, kind := range kinds {
+			es, err := sweep(m, kind, s, scales, opt.seed())
+			if err != nil {
+				return err
+			}
+			envs[kind.String()][s.Name] = es
+		}
+	}
+	relTable(w, title, scales, specs, linux, envs, envOrder)
+	return nil
+}
+
+// Fig9 regenerates Figure 9: NAS, RTK relative to Linux on PHI.
+func Fig9(w io.Writer, opt Options) error {
+	return nasRelFigure(w,
+		"Figure 9: RTK performance relative to Linux (NAS on PHI; higher is better; baseline 1.0)",
+		machine.PHI(), []core.Kind{core.RTK}, opt)
+}
+
+// Fig10 regenerates Figure 10: NAS, PIK relative to Linux on PHI.
+func Fig10(w io.Writer, opt Options) error {
+	return nasRelFigure(w,
+		"Figure 10: PIK performance relative to Linux (NAS on PHI; higher is better; baseline 1.0)",
+		machine.PHI(), []core.Kind{core.PIK}, opt)
+}
+
+// Fig14 regenerates Figure 14: NAS, RTK and PIK relative to Linux on
+// 8XEON.
+func Fig14(w io.Writer, opt Options) error {
+	return nasRelFigure(w,
+		"Figure 14: RTK and PIK performance relative to Linux (NAS on 8XEON; higher is better; baseline 1.0)",
+		machine.XEON8(), []core.Kind{core.RTK, core.PIK}, opt)
+}
+
+// cckSpecs drops IS from the AutoMP comparisons: AutoMP extracts no
+// parallelism from it (§6.2: "IS, which we elide entirely, is an extreme
+// case").
+func cckSpecs(opt Options) []*nas.Spec {
+	var out []*nas.Spec
+	for _, s := range nasSpecs(opt) {
+		if s.Name == "IS" {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// cckData runs the three CCK-figure configurations.
+func cckData(m *machine.Machine, opt Options) (scales []int, specs []*nas.Spec,
+	data map[string]map[string]map[int]float64, err error) {
+	scales = nasScales(m, opt)
+	specs = cckSpecs(opt)
+	data = map[string]map[string]map[int]float64{}
+	for _, kind := range []core.Kind{core.Linux, core.LinuxAutoMP, core.CCK} {
+		data[kind.String()] = map[string]map[int]float64{}
+		for _, s := range specs {
+			es, err2 := sweep(m, kind, s, scales, opt.seed())
+			if err2 != nil {
+				return nil, nil, nil, err2
+			}
+			data[kind.String()][s.Name] = es
+		}
+	}
+	return scales, specs, data, nil
+}
+
+// Fig11 regenerates Figure 11: CCK absolute times on PHI (Linux OMP,
+// Linux AutoMP, NK AutoMP).
+func Fig11(w io.Writer, opt Options) error {
+	m := machine.PHI()
+	scales, specs, data, err := cckData(m, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Figure 11: CCK absolute performance on PHI (seconds; lower is better)")
+	fmt.Fprintln(w, "note: IS elided — AutoMP extracts no parallelism from it (§6.2)")
+	cols := []string{core.Linux.String(), core.LinuxAutoMP.String(), core.CCK.String()}
+	for _, s := range specs {
+		fmt.Fprintf(w, "\n%s-%s\n", s.Name, s.Class)
+		fmt.Fprintf(w, "%-14s", "config")
+		for _, n := range scales {
+			fmt.Fprintf(w, " %10d", n)
+		}
+		fmt.Fprintln(w)
+		for _, c := range cols {
+			fmt.Fprintf(w, "%-14s", c)
+			for _, n := range scales {
+				fmt.Fprintf(w, " %10.2f", data[c][s.Name][n])
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	return nil
+}
+
+// cckRelFigure renders Fig. 12/15: both AutoMP variants normalized to
+// Linux OpenMP.
+func cckRelFigure(w io.Writer, title string, m *machine.Machine, opt Options) error {
+	scales, specs, data, err := cckData(m, opt)
+	if err != nil {
+		return err
+	}
+	linux := map[string]map[int]float64{}
+	for _, s := range specs {
+		linux[s.Name] = data[core.Linux.String()][s.Name]
+		if _, ok := linux[s.Name][1]; !ok {
+			linux[s.Name][1] = s.Profiles[m.Name].TimeSec
+		}
+	}
+	envs := map[string]map[string]map[int]float64{
+		core.LinuxAutoMP.String(): data[core.LinuxAutoMP.String()],
+		core.CCK.String():         data[core.CCK.String()],
+	}
+	relTable(w, title, scales, specs, linux, envs,
+		[]string{core.LinuxAutoMP.String(), core.CCK.String()})
+	fmt.Fprintln(w, "note: IS elided — AutoMP extracts no parallelism from it (§6.2)")
+	return nil
+}
+
+// Fig12 regenerates Figure 12: CCK relative to Linux OpenMP on PHI.
+func Fig12(w io.Writer, opt Options) error {
+	return cckRelFigure(w,
+		"Figure 12: CCK performance relative to Linux OpenMP (NAS on PHI; higher is better; baseline 1.0)",
+		machine.PHI(), opt)
+}
+
+// Fig15 regenerates Figure 15: CCK relative to Linux OpenMP on 8XEON.
+func Fig15(w io.Writer, opt Options) error {
+	return cckRelFigure(w,
+		"Figure 15: CCK performance relative to Linux OpenMP (NAS on 8XEON; higher is better; baseline 1.0)",
+		machine.XEON8(), opt)
+}

@@ -1,0 +1,342 @@
+package cck
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Strategy is how a region executes after AutoMP.
+type Strategy int
+
+// Strategies.
+const (
+	StratSequential Strategy = iota
+	StratTasks
+	StratTasksReduction
+	StratPipeline
+	StratHELIX
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case StratTasks:
+		return "tasks"
+	case StratTasksReduction:
+		return "tasks+reduction"
+	case StratPipeline:
+		return "dswp-pipeline"
+	case StratHELIX:
+		return "helix"
+	default:
+		return "sequential"
+	}
+}
+
+// Chunk is a compiler-generated task covering iterations [Lo, Hi) with an
+// estimated cost.
+type Chunk struct {
+	Lo, Hi int
+	CostNS int64
+}
+
+// Options configures the AutoMP transformation.
+type Options struct {
+	// Workers is the task-runtime worker count the chunker targets.
+	Workers int
+	// TargetChunkNS is the latency budget per generated task: the
+	// "estimated latency of an iteration" heuristic of §6.2 aims for
+	// tasks near this size. Zero selects the default.
+	TargetChunkNS int64
+	// MinChunksPerWorker lower-bounds the chunk count for balance.
+	MinChunksPerWorker int
+	// ExploitPrivatization enables exploiting OpenMP privatization
+	// directives (off in the paper's AutoMP; an extension knob here).
+	ExploitPrivatization bool
+	// Fuse enables the loop-fusion optimization pass (§5.3 lists loop
+	// fusion among the task-enabling transformations).
+	Fuse bool
+}
+
+// DefaultTargetChunkNS is the default per-task latency budget.
+const DefaultTargetChunkNS = 50_000
+
+// Region is one compiled region.
+type Region struct {
+	Node     Node
+	Analysis LoopAnalysis // meaningful for loops
+	Strategy Strategy
+	Chunks   []Chunk
+	// FusedWith names loops fused into this region.
+	FusedWith []string
+	// fusedLoops holds the loop group (first entry is Node itself).
+	fusedLoops []*Loop
+}
+
+// CompiledFn is a compiled function.
+type CompiledFn struct {
+	Fn      *Function
+	PDG     *PDG
+	Regions []Region
+}
+
+// Compiled is the output of the AutoMP pipeline.
+type Compiled struct {
+	Prog *Program
+	Opt  Options
+	Fns  []*CompiledFn
+}
+
+// Compile runs the full middle-end: validation, PDG construction, loop
+// analysis, fusion, strategy selection, and latency-aware chunking.
+func Compile(p *Program, opt Options) (*Compiled, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Workers <= 0 {
+		opt.Workers = 1
+	}
+	if opt.TargetChunkNS <= 0 {
+		opt.TargetChunkNS = DefaultTargetChunkNS
+	}
+	if opt.MinChunksPerWorker <= 0 {
+		opt.MinChunksPerWorker = 4
+	}
+	c := &Compiled{Prog: p, Opt: opt}
+	for _, fn := range p.Funcs {
+		cf := &CompiledFn{Fn: fn, PDG: BuildPDG(fn)}
+		for _, n := range fn.Body {
+			r := Region{Node: n}
+			if l, ok := n.(*Loop); ok {
+				r.Analysis = AnalyzeLoop(l, opt.ExploitPrivatization)
+				switch r.Analysis.Verdict {
+				case DOALL:
+					r.Strategy = StratTasks
+				case DOALLReduction:
+					r.Strategy = StratTasksReduction
+				case Pipeline:
+					// Pick between the two carried-dependence techniques:
+					// HELIX when the sequential segments are the minority,
+					// DSWP otherwise (§5.3 lists both).
+					if helixApplicable(l) {
+						r.Strategy = StratHELIX
+					} else {
+						r.Strategy = StratPipeline
+					}
+				default:
+					r.Strategy = StratSequential
+				}
+				r.fusedLoops = []*Loop{l}
+			}
+			cf.Regions = append(cf.Regions, r)
+		}
+		if opt.Fuse {
+			cf.Regions = fusePass(cf)
+		}
+		for i := range cf.Regions {
+			r := &cf.Regions[i]
+			if r.Strategy == StratTasks || r.Strategy == StratTasksReduction {
+				r.Chunks = chunkLoops(r.fusedLoops, opt)
+				if len(r.Chunks) <= 1 {
+					// Not worth a task round-trip.
+					r.Strategy = StratSequential
+					if r.Analysis.Reason == "" {
+						r.Analysis.Reason = "trip count too small for task overheads"
+					}
+				}
+			}
+		}
+		c.Fns = append(c.Fns, cf)
+	}
+	return c, nil
+}
+
+// fusePass merges adjacent DOALL loops with identical trip counts whose
+// shared objects are all accessed disjointly per-iteration (elementwise
+// producer/consumer), eliminating one task-creation/join round per fused
+// loop.
+func fusePass(cf *CompiledFn) []Region {
+	var out []Region
+	for _, r := range cf.Regions {
+		if len(out) > 0 && fusable(&out[len(out)-1], &r) {
+			prev := &out[len(out)-1]
+			l := r.Node.(*Loop)
+			prev.fusedLoops = append(prev.fusedLoops, l)
+			prev.FusedWith = append(prev.FusedWith, l.Name)
+			if r.Strategy == StratTasksReduction {
+				prev.Strategy = StratTasksReduction
+				prev.Analysis.Reductions = append(prev.Analysis.Reductions, r.Analysis.Reductions...)
+			}
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+func fusable(a, b *Region) bool {
+	// Only plain task regions fuse: pipeline/HELIX regions carry
+	// cross-iteration ordering that a merged DOALL body would erase.
+	okStrat := func(s Strategy) bool { return s == StratTasks || s == StratTasksReduction }
+	if !okStrat(a.Strategy) || !okStrat(b.Strategy) {
+		return false
+	}
+	la, ok1 := a.Node.(*Loop)
+	lb, ok2 := b.Node.(*Loop)
+	if !ok1 || !ok2 || la.N != lb.N {
+		return false
+	}
+	// Every object both touch must be accessed Disjoint in both; any
+	// other overlap would reorder cross-iteration communication.
+	for _, ea := range allEffects(a) {
+		for _, eb := range lb.Effects {
+			if ea.Obj != eb.Obj {
+				continue
+			}
+			if !(writes(ea.Mode) || writes(eb.Mode)) {
+				continue
+			}
+			if ea.Pattern != Disjoint || eb.Pattern != Disjoint {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func allEffects(r *Region) []Effect {
+	var out []Effect
+	for _, l := range r.fusedLoops {
+		out = append(out, l.Effects...)
+	}
+	return out
+}
+
+// chunkLoops builds equal-cost chunks for a (possibly fused) loop group:
+// the latency-aware chunking that lets AutoMP beat OpenMP's blind
+// count-based static partition on skewed loops (§6.2).
+func chunkLoops(loops []*Loop, opt Options) []Chunk {
+	n := loops[0].N
+	if n == 0 {
+		return nil
+	}
+	iterCost := func(i int) int64 {
+		var t int64
+		for _, l := range loops {
+			t += l.IterCost(i)
+		}
+		return t
+	}
+	var total int64
+	for i := 0; i < n; i++ {
+		total += iterCost(i)
+	}
+	// Desired chunk count: near the latency budget, at least
+	// MinChunksPerWorker per worker for balance, at most one per
+	// iteration — unless the whole loop is too small to split at all.
+	want := int(total / opt.TargetChunkNS)
+	if minChunks := opt.Workers * opt.MinChunksPerWorker; want > 0 && want < minChunks {
+		want = minChunks
+	}
+	if want <= 1 {
+		if total < 2*opt.TargetChunkNS {
+			return []Chunk{{Lo: 0, Hi: n, CostNS: total}}
+		}
+		want = 2
+	}
+	if want > n {
+		want = n
+	}
+	budget := total / int64(want)
+	if budget < 1 {
+		budget = 1
+	}
+	var chunks []Chunk
+	lo := 0
+	var acc int64
+	for i := 0; i < n; i++ {
+		acc += iterCost(i)
+		if acc >= budget || i == n-1 {
+			chunks = append(chunks, Chunk{Lo: lo, Hi: i + 1, CostNS: acc})
+			lo = i + 1
+			acc = 0
+		}
+	}
+	return chunks
+}
+
+// Report renders a human-readable compiler report (the cckc driver output).
+func (c *Compiled) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "AutoMP report for %s (workers=%d, target=%dns, fuse=%v)\n",
+		c.Prog.Name, c.Opt.Workers, c.Opt.TargetChunkNS, c.Opt.Fuse)
+	for _, cf := range c.Fns {
+		fmt.Fprintf(&b, "function %s: %d region(s), %d dependence edge(s)\n",
+			cf.Fn.Name, len(cf.Regions), len(cf.PDG.Deps))
+		for _, r := range cf.Regions {
+			switch n := r.Node.(type) {
+			case *Seq:
+				fmt.Fprintf(&b, "  seq  %-22s cost=%dns\n", n.Name, n.CostNS)
+			case *Loop:
+				fmt.Fprintf(&b, "  loop %-22s N=%-8d %-16s -> %s",
+					n.Name, n.N, r.Analysis.Verdict, r.Strategy)
+				if len(r.Chunks) > 0 {
+					fmt.Fprintf(&b, " (%d tasks)", len(r.Chunks))
+				}
+				if len(r.FusedWith) > 0 {
+					fmt.Fprintf(&b, " fused{%s}", strings.Join(r.FusedWith, ","))
+				}
+				if r.Analysis.Reason != "" {
+					fmt.Fprintf(&b, " [%s]", r.Analysis.Reason)
+				}
+				if r.Analysis.UsedPragma {
+					fmt.Fprintf(&b, " [via OpenMP metadata]")
+				}
+				b.WriteString("\n")
+			}
+		}
+	}
+	return b.String()
+}
+
+// ParallelCoverage returns the fraction of the program's total estimated
+// cost that AutoMP parallelized — the quantity that collapses for IS.
+func (c *Compiled) ParallelCoverage() float64 {
+	var par, total int64
+	for _, cf := range c.Fns {
+		for _, r := range cf.Regions {
+			switch n := r.Node.(type) {
+			case *Seq:
+				total += n.CostNS
+			case *Loop:
+				cost := int64(0)
+				for _, l := range r.fusedLoops {
+					cost += l.TotalCost()
+				}
+				total += cost
+				if r.Strategy != StratSequential {
+					par += cost
+				}
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(par) / float64(total)
+}
+
+// SequentialLoops lists the loops AutoMP left sequential, with reasons,
+// sorted by name.
+func (c *Compiled) SequentialLoops() []string {
+	var out []string
+	for _, cf := range c.Fns {
+		for _, r := range cf.Regions {
+			if l, ok := r.Node.(*Loop); ok && r.Strategy == StratSequential {
+				out = append(out, fmt.Sprintf("%s: %s", l.Name, r.Analysis.Reason))
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}

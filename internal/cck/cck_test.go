@@ -1,0 +1,463 @@
+package cck
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"github.com/interweaving/komp/internal/exec"
+	"github.com/interweaving/komp/internal/omp"
+	"github.com/interweaving/komp/internal/sim"
+	"github.com/interweaving/komp/internal/virgil"
+)
+
+func TestAnalyzeLoopVerdicts(t *testing.T) {
+	cases := []struct {
+		name    string
+		loop    Loop
+		exploit bool
+		want    LoopVerdict
+	}{
+		{"disjoint", Loop{Effects: []Effect{{Obj: "a", Mode: Write, Pattern: Disjoint}}}, false, DOALL},
+		{"shared-read", Loop{Effects: []Effect{{Obj: "a", Mode: Read, Pattern: SharedRO}}}, false, DOALL},
+		{"carried-dep", Loop{Effects: []Effect{{Obj: "a", Mode: ReadWrite, Pattern: SharedRW}}}, false, Sequential},
+		{"carried-dep-pragma", Loop{
+			Effects: []Effect{{Obj: "a", Mode: ReadWrite, Pattern: SharedRW}},
+			Pragma:  &Pragma{Kind: PragmaParallelFor, Independent: true},
+		}, false, DOALL},
+		{"reduction", Loop{Effects: []Effect{{Obj: "s", Mode: ReadWrite, Pattern: ReductionAcc}}}, false, DOALLReduction},
+		{"reduction-pragma", Loop{
+			Effects: []Effect{{Obj: "s", Mode: ReadWrite, Pattern: SharedRW}},
+			Pragma:  &Pragma{Kind: PragmaParallelFor, Reductions: map[string]string{"s": "+"}},
+		}, false, DOALLReduction},
+		{"private-scratch", Loop{
+			Effects: []Effect{{Obj: "tmp", Mode: ReadWrite, Pattern: PrivateScratch}},
+			Pragma:  &Pragma{Kind: PragmaParallelFor, Independent: true, Private: []string{"tmp"}},
+		}, false, Sequential}, // the documented AutoMP limitation (§6.2)
+		{"private-scratch-exploited", Loop{
+			Effects: []Effect{{Obj: "tmp", Mode: ReadWrite, Pattern: PrivateScratch}},
+			Pragma:  &Pragma{Kind: PragmaParallelFor, Independent: true, Private: []string{"tmp"}},
+		}, true, DOALL},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			a := AnalyzeLoop(&tt.loop, tt.exploit)
+			if a.Verdict != tt.want {
+				t.Fatalf("verdict = %v (%s), want %v", a.Verdict, a.Reason, tt.want)
+			}
+		})
+	}
+}
+
+func TestPragmaBeatsPureAnalysis(t *testing.T) {
+	l := &Loop{
+		Effects: []Effect{{Obj: "a", Mode: ReadWrite, Pattern: SharedRW}},
+		Pragma:  &Pragma{Kind: PragmaParallelFor, Independent: true},
+	}
+	a := AnalyzeLoop(l, false)
+	if !a.UsedPragma {
+		t.Fatal("analysis must record that the OpenMP metadata supplied independence")
+	}
+}
+
+func TestPDGEdges(t *testing.T) {
+	fn := &Function{Name: "f", Body: []Node{
+		&Loop{Name: "produce", N: 10, Effects: []Effect{{Obj: "a", Mode: Write, Pattern: Disjoint}}},
+		&Loop{Name: "unrelated", N: 10, Effects: []Effect{{Obj: "b", Mode: Write, Pattern: Disjoint}}},
+		&Loop{Name: "consume", N: 10, Effects: []Effect{{Obj: "a", Mode: Read, Pattern: Disjoint}}},
+	}}
+	g := BuildPDG(fn)
+	if len(g.Deps) != 1 || g.Deps[0].From != 0 || g.Deps[0].To != 2 || g.Deps[0].Obj != "a" {
+		t.Fatalf("deps = %+v", g.Deps)
+	}
+	if !g.Independent(0, 1) {
+		t.Fatal("produce and unrelated must be independent")
+	}
+	if g.Independent(0, 2) {
+		t.Fatal("produce and consume must be dependent")
+	}
+}
+
+func TestPDGTransitiveDependence(t *testing.T) {
+	fn := &Function{Name: "f", Body: []Node{
+		&Loop{Name: "a", N: 1, Effects: []Effect{{Obj: "x", Mode: Write, Pattern: Disjoint}}},
+		&Loop{Name: "b", N: 1, Effects: []Effect{
+			{Obj: "x", Mode: Read, Pattern: Disjoint},
+			{Obj: "y", Mode: Write, Pattern: Disjoint}}},
+		&Loop{Name: "c", N: 1, Effects: []Effect{{Obj: "y", Mode: Read, Pattern: Disjoint}}},
+	}}
+	g := BuildPDG(fn)
+	if g.Independent(0, 2) {
+		t.Fatal("a->b->c transitive dependence missed")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := &Program{Name: "p", Funcs: []*Function{{Name: "f", Body: []Node{
+		&Loop{Name: "l", N: -1},
+	}}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative trip count must fail validation")
+	}
+	dup := &Program{Name: "p", Funcs: []*Function{{Name: "f", Body: []Node{
+		&Loop{Name: "l", N: 1}, &Loop{Name: "l", N: 1},
+	}}}}
+	if err := dup.Validate(); err == nil {
+		t.Fatal("duplicate region names must fail validation")
+	}
+}
+
+func mkDOALL(name string, n int, cost int64, obj string) *Loop {
+	return &Loop{
+		Name: name, N: n, CostNS: cost,
+		Effects: []Effect{{Obj: obj, Mode: Write, Pattern: Disjoint}},
+		Pragma:  &Pragma{Kind: PragmaParallelFor, Independent: true},
+	}
+}
+
+func TestChunkingCoversAllIterations(t *testing.T) {
+	l := mkDOALL("l", 1000, 1000, "a")
+	chunks := chunkLoops([]*Loop{l}, Options{Workers: 8, TargetChunkNS: 50_000, MinChunksPerWorker: 4})
+	next := 0
+	var total int64
+	for _, ch := range chunks {
+		if ch.Lo != next {
+			t.Fatalf("gap: chunk starts at %d, want %d", ch.Lo, next)
+		}
+		if ch.Hi <= ch.Lo {
+			t.Fatalf("empty chunk %+v", ch)
+		}
+		next = ch.Hi
+		total += ch.CostNS
+	}
+	if next != 1000 {
+		t.Fatalf("chunks end at %d, want 1000", next)
+	}
+	if total != l.TotalCost() {
+		t.Fatalf("chunk cost sum %d != total %d", total, l.TotalCost())
+	}
+	// 1000 iters x 1us = 1ms / 50us target = 20, raised to 8*4=32 chunks.
+	if len(chunks) != 32 {
+		t.Fatalf("chunks = %d, want 32", len(chunks))
+	}
+}
+
+func TestChunkingBalancesSkewedCosts(t *testing.T) {
+	l := mkDOALL("skewed", 1024, 1000, "a")
+	l.Skew = 0.9
+	chunks := chunkLoops([]*Loop{l}, Options{Workers: 4, TargetChunkNS: 50_000, MinChunksPerWorker: 4})
+	var maxC, minC int64 = 0, 1 << 62
+	for _, ch := range chunks {
+		if ch.CostNS > maxC {
+			maxC = ch.CostNS
+		}
+		if ch.CostNS < minC {
+			minC = ch.CostNS
+		}
+	}
+	// Equal-cost chunking: spread must be far tighter than the 19x
+	// iteration cost spread.
+	if float64(maxC) > 2.5*float64(minC) {
+		t.Fatalf("cost-based chunks unbalanced: min=%d max=%d", minC, maxC)
+	}
+	// Early (cheap) chunks must hold more iterations than late ones.
+	if first, last := chunks[0], chunks[len(chunks)-1]; first.Hi-first.Lo <= last.Hi-last.Lo {
+		t.Fatalf("skew-aware chunking expected: first=%d iters, last=%d iters",
+			first.Hi-first.Lo, last.Hi-last.Lo)
+	}
+}
+
+func TestTinyLoopStaysSequential(t *testing.T) {
+	p := &Program{Name: "p", Funcs: []*Function{{Name: "f", Body: []Node{
+		mkDOALL("tiny", 4, 100, "a"), // 400ns total: below task overheads
+	}}}}
+	c, err := Compile(p, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Fns[0].Regions[0].Strategy != StratSequential {
+		t.Fatalf("tiny loop strategy = %v, want sequential", c.Fns[0].Regions[0].Strategy)
+	}
+}
+
+func TestFusionMergesElementwiseLoops(t *testing.T) {
+	p := &Program{Name: "p", Funcs: []*Function{{Name: "f", Body: []Node{
+		mkDOALL("scale", 4096, 500, "a"),
+		&Loop{Name: "offset", N: 4096, CostNS: 500,
+			Effects: []Effect{
+				{Obj: "a", Mode: Read, Pattern: Disjoint},
+				{Obj: "b", Mode: Write, Pattern: Disjoint}},
+			Pragma: &Pragma{Kind: PragmaParallelFor, Independent: true}},
+	}}}}
+	c, err := Compile(p, Options{Workers: 4, Fuse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Fns[0].Regions) != 1 {
+		t.Fatalf("regions = %d, want 1 (fused)", len(c.Fns[0].Regions))
+	}
+	if got := c.Fns[0].Regions[0].FusedWith; len(got) != 1 || got[0] != "offset" {
+		t.Fatalf("FusedWith = %v", got)
+	}
+}
+
+func TestFusionRefusesNonElementwise(t *testing.T) {
+	// Second loop reads a shared-RW view of "a" (e.g. a stencil over the
+	// whole array): fusing would break cross-iteration visibility.
+	p := &Program{Name: "p", Funcs: []*Function{{Name: "f", Body: []Node{
+		mkDOALL("produce", 4096, 500, "a"),
+		&Loop{Name: "stencil", N: 4096, CostNS: 500,
+			Effects: []Effect{
+				{Obj: "a", Mode: Read, Pattern: SharedRW},
+				{Obj: "b", Mode: Write, Pattern: Disjoint}},
+			Pragma: &Pragma{Kind: PragmaParallelFor, Independent: true}},
+	}}}}
+	c, err := Compile(p, Options{Workers: 4, Fuse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Fns[0].Regions) != 2 {
+		t.Fatalf("regions = %d, want 2 (fusion must refuse)", len(c.Fns[0].Regions))
+	}
+	// Different trip counts must also refuse.
+	p2 := &Program{Name: "p2", Funcs: []*Function{{Name: "f", Body: []Node{
+		mkDOALL("x", 100, 50_000, "a"), mkDOALL("y", 200, 50_000, "b"),
+	}}}}
+	c2, err := Compile(p2, Options{Workers: 4, Fuse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c2.Fns[0].Regions) != 2 {
+		t.Fatal("different trip counts must not fuse")
+	}
+}
+
+func TestParallelCoverage(t *testing.T) {
+	p := &Program{Name: "p", Funcs: []*Function{{Name: "f", Body: []Node{
+		mkDOALL("par", 1000, 1000, "a"), // 1ms parallel
+		&Loop{Name: "seq", N: 1000, CostNS: 1000,
+			Effects: []Effect{{Obj: "tmp", Mode: ReadWrite, Pattern: PrivateScratch}},
+			Pragma:  &Pragma{Kind: PragmaParallelFor, Independent: true, Private: []string{"tmp"}}},
+	}}}}
+	c, err := Compile(p, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov := c.ParallelCoverage(); cov < 0.49 || cov > 0.51 {
+		t.Fatalf("coverage = %v, want ~0.5", cov)
+	}
+	if seqs := c.SequentialLoops(); len(seqs) != 1 || !strings.Contains(seqs[0], "privatization") {
+		t.Fatalf("sequential loops = %v", seqs)
+	}
+}
+
+func TestCompiledExecutionCorrectness(t *testing.T) {
+	// Real bodies: out[i] = in[i]*2 via AutoMP on VIRGIL must equal the
+	// sequential result.
+	const n = 5000
+	in := make([]int64, n)
+	out := make([]int64, n)
+	for i := range in {
+		in[i] = int64(i)
+	}
+	l := mkDOALL("double", n, 800, "out")
+	l.Effects = append(l.Effects, Effect{Obj: "in", Mode: Read, Pattern: SharedRO})
+	l.Body = func(i int) { atomic.StoreInt64(&out[i], in[i]*2) }
+	p := &Program{Name: "p", Funcs: []*Function{{Name: "f", Body: []Node{l}}}}
+	c, err := Compile(p, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	layer := exec.NewSimLayer(sim.New(8, 1), exec.Costs{MallocNS: 50, AtomicRMWNS: 20,
+		FutexWaitEntryNS: 80, FutexWakeEntryNS: 80, FutexWakeLatencyNS: 200})
+	u := virgil.NewUser(8)
+	_, err = layer.Run(func(tc exec.TC) {
+		u.Start(tc)
+		c.RunVirgil(tc, u, nil)
+		u.Stop(tc)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if out[i] != int64(i)*2 {
+			t.Fatalf("out[%d] = %d", i, out[i])
+		}
+	}
+}
+
+func TestSequentialVerdictExecutesInline(t *testing.T) {
+	const n = 100
+	sum := int64(0)
+	l := &Loop{Name: "seqdep", N: n, CostNS: 100,
+		Effects: []Effect{{Obj: "s", Mode: ReadWrite, Pattern: SharedRW}},
+		Body:    func(i int) { sum += int64(i) }} // genuine carried dep
+	p := &Program{Name: "p", Funcs: []*Function{{Name: "f", Body: []Node{l}}}}
+	c, err := Compile(p, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	layer := exec.NewSimLayer(sim.New(4, 1), exec.Costs{})
+	u := virgil.NewUser(4)
+	_, err = layer.Run(func(tc exec.TC) {
+		u.Start(tc)
+		c.RunVirgil(tc, u, nil)
+		u.Stop(tc)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != n*(n-1)/2 {
+		t.Fatalf("sum = %d", sum)
+	}
+}
+
+// The headline CCK mechanism: on a skewed loop, AutoMP's latency-aware
+// chunking beats OpenMP's blind static partition (the MG/CG gains of
+// Fig. 11/12).
+func TestAutoMPBeatsStaticOpenMPOnSkewedLoop(t *testing.T) {
+	mkLoop := func() *Loop {
+		l := mkDOALL("skewed", 4096, 2000, "a")
+		l.Skew = 0.85
+		return l
+	}
+	costs := exec.Costs{MallocNS: 60, AtomicRMWNS: 20, CacheLineXferNS: 40,
+		FutexWaitEntryNS: 80, FutexWakeEntryNS: 80, FutexWakeLatencyNS: 300,
+		ThreadSpawnNS: 2000}
+
+	// OpenMP static (pragma default).
+	layer1 := exec.NewSimLayer(sim.New(8, 1), costs)
+	rt := omp.New(layer1, omp.Options{MaxThreads: 8, Bind: true})
+	p := &Program{Name: "p", Funcs: []*Function{{Name: "f", Body: []Node{mkLoop()}}}}
+	ompTime, err := layer1.Run(func(tc exec.TC) {
+		RunOpenMP(tc, p, rt, 8, nil)
+		rt.Close(tc)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// AutoMP on user VIRGIL.
+	c, err := Compile(p, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	layer2 := exec.NewSimLayer(sim.New(8, 1), costs)
+	u := virgil.NewUser(8)
+	autoTime, err := layer2.Run(func(tc exec.TC) {
+		u.Start(tc)
+		c.RunVirgil(tc, u, nil)
+		u.Stop(tc)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if autoTime >= ompTime {
+		t.Fatalf("AutoMP (%d) must beat static OpenMP (%d) on skewed loop", autoTime, ompTime)
+	}
+}
+
+// And the converse: when privatization is required, AutoMP loses badly to
+// OpenMP, which supports private objects (the LU/BT/SP losses).
+func TestAutoMPLosesOnPrivatizationLoop(t *testing.T) {
+	mkLoop := func() *Loop {
+		return &Loop{Name: "priv", N: 4096, CostNS: 2000,
+			Effects: []Effect{
+				{Obj: "out", Mode: Write, Pattern: Disjoint},
+				{Obj: "tmp", Mode: ReadWrite, Pattern: PrivateScratch}},
+			Pragma: &Pragma{Kind: PragmaParallelFor, Independent: true, Private: []string{"tmp"}}}
+	}
+	costs := exec.Costs{MallocNS: 60, AtomicRMWNS: 20, CacheLineXferNS: 40,
+		FutexWaitEntryNS: 80, FutexWakeEntryNS: 80, FutexWakeLatencyNS: 300,
+		ThreadSpawnNS: 2000}
+	p := &Program{Name: "p", Funcs: []*Function{{Name: "f", Body: []Node{mkLoop()}}}}
+
+	layer1 := exec.NewSimLayer(sim.New(8, 1), costs)
+	rt := omp.New(layer1, omp.Options{MaxThreads: 8, Bind: true})
+	ompTime, err := layer1.Run(func(tc exec.TC) {
+		RunOpenMP(tc, p, rt, 8, nil)
+		rt.Close(tc)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(p, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	layer2 := exec.NewSimLayer(sim.New(8, 1), costs)
+	u := virgil.NewUser(8)
+	autoTime, err := layer2.Run(func(tc exec.TC) {
+		u.Start(tc)
+		c.RunVirgil(tc, u, nil)
+		u.Stop(tc)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if autoTime <= ompTime {
+		t.Fatalf("AutoMP (%d) must lose to OpenMP (%d) when privatization is unexploited", autoTime, ompTime)
+	}
+	// With the extension knob the gap must close.
+	c2, err := Compile(p, Options{Workers: 8, ExploitPrivatization: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	layer3 := exec.NewSimLayer(sim.New(8, 1), costs)
+	u2 := virgil.NewUser(8)
+	fixedTime, err := layer3.Run(func(tc exec.TC) {
+		u2.Start(tc)
+		c2.RunVirgil(tc, u2, nil)
+		u2.Stop(tc)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixedTime >= autoTime {
+		t.Fatalf("privatization support (%d) must beat the limited compiler (%d)", fixedTime, autoTime)
+	}
+}
+
+func TestReport(t *testing.T) {
+	p := &Program{Name: "demo", Funcs: []*Function{{Name: "main", Body: []Node{
+		&Seq{Name: "init", CostNS: 100},
+		mkDOALL("work", 10000, 1000, "a"),
+	}}}}
+	c, err := Compile(p, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := c.Report()
+	for _, want := range []string{"demo", "work", "DOALL", "tasks", "init"} {
+		if !strings.Contains(r, want) {
+			t.Fatalf("report missing %q:\n%s", want, r)
+		}
+	}
+}
+
+func TestCostScaleApplied(t *testing.T) {
+	l := mkDOALL("l", 100, 1000, "a")
+	p := &Program{Name: "p", Funcs: []*Function{{Name: "f", Body: []Node{l}}}}
+	c, err := Compile(p, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(scale CostScale) int64 {
+		layer := exec.NewSimLayer(sim.New(2, 1), exec.Costs{})
+		u := virgil.NewUser(2)
+		e, err := layer.Run(func(tc exec.TC) {
+			u.Start(tc)
+			c.RunVirgil(tc, u, scale)
+			u.Stop(tc)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	plain := run(nil)
+	doubled := run(func(_ MemProfile, cost int64) int64 { return 2 * cost })
+	if doubled < plain*3/2 {
+		t.Fatalf("cost scale not applied: plain=%d doubled=%d", plain, doubled)
+	}
+}

@@ -1,0 +1,86 @@
+package cck
+
+import (
+	"github.com/interweaving/komp/internal/exec"
+	"github.com/interweaving/komp/internal/virgil"
+)
+
+// DSWP: decoupled software pipelining, one of the parallelization
+// techniques §5.3 lists AutoMP drawing from NOELLE ("HELIX..., DSWP, and
+// DOALL"). A loop whose iterations carry a dependence can still be
+// parallelized if its body splits into stages whose cross-iteration
+// dependences are acyclic: stage s of iteration i needs (s, i-1) and
+// (s-1, i), so the stages run on different workers as a pipeline.
+
+// StageSpec describes one pipeline stage of a loop body.
+type StageSpec struct {
+	Name string
+	// CostNS is the stage's share of the iteration cost.
+	CostNS int64
+	// Carried marks a stage with a cross-iteration self-dependence
+	// (it must run its iterations in order — true for most stages; a
+	// non-carried stage could be replicated, which this implementation
+	// does not do).
+	Carried bool
+}
+
+// analyzeDSWP decides whether a sequential-verdict loop is pipelinable:
+// it needs declared stages, and the stage graph (a chain by
+// construction) is acyclic. It returns the verdict upgrade.
+func analyzeDSWP(l *Loop) bool {
+	return len(l.Stages) >= 2 && l.N >= 2
+}
+
+// runDSWP executes a pipelined loop on the task runtime: one long-lived
+// task per stage, with single-slot handoff queues between neighbors.
+// Stage tasks are "immediately ready" as VIRGIL requires; the inter-stage
+// waits ride on the compiler-emitted counters, not the runtime.
+func runDSWP(tc exec.TC, rt virgil.Runtime, l *Loop, scale CostScale) {
+	stages := l.Stages
+	ns := len(stages)
+	// ready[s] counts iterations stage s may start (filled by stage s-1);
+	// stage 0 is always ready.
+	type slot struct {
+		word exec.Word
+	}
+	ready := make([]*slot, ns)
+	for s := range ready {
+		ready[s] = &slot{}
+	}
+	g := virgil.NewGroup(ns)
+	fns := make([]func(exec.TC), ns)
+	for s := 0; s < ns; s++ {
+		s := s
+		st := stages[s]
+		fns[s] = func(wtc exec.TC) {
+			perIter := scale(l.Mem, st.CostNS)
+			for i := 0; i < l.N; i++ {
+				if s > 0 {
+					// Wait until the upstream stage has produced iteration i.
+					for {
+						v := ready[s].word.Load()
+						if int(v) > i {
+							break
+						}
+						wtc.FutexWait(&ready[s].word, v)
+					}
+				}
+				if perIter > 0 {
+					wtc.Charge(perIter)
+				}
+				if l.Body != nil && s == ns-1 {
+					// Real semantics run once per iteration, at the last
+					// stage (the paper's landing of live-outs).
+					l.Body(i)
+				}
+				if s < ns-1 {
+					ready[s+1].word.Add(1)
+					wtc.FutexWake(&ready[s+1].word, 1)
+				}
+			}
+			g.Done(wtc)
+		}
+	}
+	rt.SubmitBatch(tc, fns)
+	g.Wait(tc)
+}

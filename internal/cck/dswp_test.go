@@ -1,0 +1,228 @@
+package cck
+
+import (
+	"testing"
+
+	"github.com/interweaving/komp/internal/exec"
+	"github.com/interweaving/komp/internal/sim"
+	"github.com/interweaving/komp/internal/virgil"
+)
+
+func stagedLoop(n int, stageNS ...int64) *Loop {
+	l := &Loop{
+		Name: "staged", N: n,
+		Effects: []Effect{{Obj: "state", Mode: ReadWrite, Pattern: SharedRW}},
+	}
+	for i, c := range stageNS {
+		l.Stages = append(l.Stages, StageSpec{
+			Name: string(rune('A' + i)), CostNS: c, Carried: true,
+		})
+		l.CostNS += c
+	}
+	return l
+}
+
+func TestDSWPVerdict(t *testing.T) {
+	l := stagedLoop(100, 500, 500, 500)
+	a := AnalyzeLoop(l, false)
+	if a.Verdict != Pipeline {
+		t.Fatalf("staged carried loop verdict = %v (%s), want pipeline", a.Verdict, a.Reason)
+	}
+	// Without stages the same loop is sequential.
+	plain := &Loop{Name: "plain", N: 100, CostNS: 1500,
+		Effects: []Effect{{Obj: "state", Mode: ReadWrite, Pattern: SharedRW}}}
+	if got := AnalyzeLoop(plain, false).Verdict; got != Sequential {
+		t.Fatalf("plain carried loop verdict = %v", got)
+	}
+	// A single stage is not a pipeline.
+	one := stagedLoop(100, 1500)
+	if got := AnalyzeLoop(one, false).Verdict; got != Sequential {
+		t.Fatalf("1-stage loop verdict = %v", got)
+	}
+}
+
+func runPipelined(t *testing.T, l *Loop, workers int) int64 {
+	t.Helper()
+	p := &Program{Name: "p", Funcs: []*Function{{Name: "f", Body: []Node{l}}}}
+	c, err := Compile(p, Options{Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Fns[0].Regions[0].Strategy != StratPipeline {
+		t.Fatalf("strategy = %v", c.Fns[0].Regions[0].Strategy)
+	}
+	layer := exec.NewSimLayer(sim.New(workers+1, 1), exec.Costs{
+		MallocNS: 50, AtomicRMWNS: 15, FutexWaitEntryNS: 60,
+		FutexWakeEntryNS: 60, FutexWakeLatencyNS: 150})
+	u := virgil.NewUser(workers)
+	elapsed, err := layer.Run(func(tc exec.TC) {
+		if ph, ok := tc.(exec.ProcHolder); ok {
+			ph.Proc().SetCPU(-1)
+		}
+		u.Start(tc)
+		c.RunVirgil(tc, u, nil)
+		u.Stop(tc)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return elapsed
+}
+
+func TestDSWPPipelineSpeedsUpCarriedLoop(t *testing.T) {
+	const n = 400
+	l := stagedLoop(n, 2000, 2000, 2000, 2000)
+	elapsed := runPipelined(t, l, 4)
+	serial := l.TotalCost() // 400 x 8us = 3.2ms
+	// A 4-stage pipeline approaches 4x; demand at least 2.5x after
+	// synchronization overheads.
+	if float64(elapsed) > float64(serial)/2.5 {
+		t.Fatalf("pipeline elapsed %d vs serial %d: speedup %.2f too low",
+			elapsed, serial, float64(serial)/float64(elapsed))
+	}
+}
+
+func TestDSWPExecutesBodyInOrder(t *testing.T) {
+	const n = 150
+	l := stagedLoop(n, 300, 300)
+	var order []int
+	l.Body = func(i int) { order = append(order, i) }
+	runPipelined(t, l, 2)
+	if len(order) != n {
+		t.Fatalf("body ran %d times", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("iteration order broken at %d: %v", i, order[:i+1])
+		}
+	}
+}
+
+func TestDSWPInReport(t *testing.T) {
+	l := stagedLoop(100, 500, 500)
+	p := &Program{Name: "p", Funcs: []*Function{{Name: "f", Body: []Node{l}}}}
+	c, err := Compile(p, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov := c.ParallelCoverage(); cov != 1.0 {
+		t.Fatalf("pipeline coverage = %v", cov)
+	}
+}
+
+func helixLoop(n int, seqNS, parNS int64) *Loop {
+	return &Loop{
+		Name: "helixy", N: n,
+		CostNS:  seqNS + parNS,
+		Effects: []Effect{{Obj: "chain", Mode: ReadWrite, Pattern: SharedRW}},
+		Stages: []StageSpec{
+			{Name: "commit", CostNS: seqNS, Carried: true},
+			{Name: "compute", CostNS: parNS, Carried: false},
+		},
+	}
+}
+
+func TestHELIXSelectedWhenSequentialMinority(t *testing.T) {
+	l := helixLoop(200, 500, 4000) // 11% sequential
+	p := &Program{Name: "p", Funcs: []*Function{{Name: "f", Body: []Node{l}}}}
+	c, err := Compile(p, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Fns[0].Regions[0].Strategy; got != StratHELIX {
+		t.Fatalf("strategy = %v, want helix", got)
+	}
+	// Majority-sequential stays DSWP.
+	l2 := stagedLoop(200, 2000, 2000)
+	p2 := &Program{Name: "p2", Funcs: []*Function{{Name: "f", Body: []Node{l2}}}}
+	c2, err := Compile(p2, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c2.Fns[0].Regions[0].Strategy; got != StratPipeline {
+		t.Fatalf("strategy = %v, want dswp", got)
+	}
+}
+
+func TestHELIXSpeedsUpMostlyParallelCarriedLoop(t *testing.T) {
+	const n = 256
+	l := helixLoop(n, 300, 5000)
+	p := &Program{Name: "p", Funcs: []*Function{{Name: "f", Body: []Node{l}}}}
+	c, err := Compile(p, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	layer := exec.NewSimLayer(sim.New(9, 1), exec.Costs{
+		MallocNS: 50, AtomicRMWNS: 15, FutexWaitEntryNS: 60,
+		FutexWakeEntryNS: 60, FutexWakeLatencyNS: 150})
+	u := virgil.NewUser(8)
+	elapsed, err := layer.Run(func(tc exec.TC) {
+		if ph, ok := tc.(exec.ProcHolder); ok {
+			ph.Proc().SetCPU(-1)
+		}
+		u.Start(tc)
+		c.RunVirgil(tc, u, nil)
+		u.Stop(tc)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := l.TotalCost() // 256 x 5.3us = 1.36ms
+	if float64(elapsed) > float64(serial)/3 {
+		t.Fatalf("HELIX elapsed %d vs serial %d: speedup %.2f too low",
+			elapsed, serial, float64(serial)/float64(elapsed))
+	}
+}
+
+func TestHELIXOrderedCommits(t *testing.T) {
+	const n = 120
+	l := helixLoop(n, 400, 1200)
+	// Put the body on the carried stage by making it last.
+	l.Stages = []StageSpec{
+		{Name: "compute", CostNS: 1200, Carried: false},
+		{Name: "commit", CostNS: 400, Carried: true},
+	}
+	var order []int
+	l.Body = func(i int) { order = append(order, i) }
+	p := &Program{Name: "p", Funcs: []*Function{{Name: "f", Body: []Node{l}}}}
+	c, err := Compile(p, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	layer := exec.NewSimLayer(sim.New(5, 1), exec.Costs{FutexWaitEntryNS: 50, FutexWakeEntryNS: 50, FutexWakeLatencyNS: 100})
+	u := virgil.NewUser(4)
+	if _, err := layer.Run(func(tc exec.TC) {
+		if ph, ok := tc.(exec.ProcHolder); ok {
+			ph.Proc().SetCPU(-1)
+		}
+		u.Start(tc)
+		c.RunVirgil(tc, u, nil)
+		u.Stop(tc)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != n {
+		t.Fatalf("committed %d iterations", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("commit order broken at %d: %v", i, order[:i+1])
+		}
+	}
+}
+
+func TestPipelineLoopsDoNotFuse(t *testing.T) {
+	doall := mkDOALL("vec", 200, 50_000, "a")
+	staged := helixLoop(200, 400, 4000) // helix-strategy, disjoint objects
+	p := &Program{Name: "p", Funcs: []*Function{{Name: "f", Body: []Node{doall, staged}}}}
+	c, err := Compile(p, Options{Workers: 4, Fuse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Fns[0].Regions) != 2 {
+		t.Fatalf("regions = %d: fusing a carried-dependence pipeline into a DOALL region erases its ordering", len(c.Fns[0].Regions))
+	}
+	if got := c.Fns[0].Regions[1].Strategy; got != StratHELIX {
+		t.Fatalf("staged loop strategy = %v", got)
+	}
+}

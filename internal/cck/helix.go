@@ -1,0 +1,91 @@
+package cck
+
+import (
+	"github.com/interweaving/komp/internal/exec"
+	"github.com/interweaving/komp/internal/virgil"
+)
+
+// HELIX: the other carried-dependence technique §5.3 lists ("HELIX...
+// without the OS support and without thread speculation"). Where DSWP
+// assigns *stages* to workers, HELIX assigns *iterations* to workers
+// round-robin and runs the iteration's parallel segments concurrently,
+// serializing only the sequential segments (the carried stages) in
+// iteration order.
+//
+// AutoMP picks HELIX over DSWP when most of the iteration cost sits in
+// non-carried stages: then the sequential segments form a short critical
+// chain and the parallel work overlaps across iterations.
+
+// helixApplicable reports whether the staged loop is better served by
+// HELIX: declared stages with a minority of the cost carried.
+func helixApplicable(l *Loop) bool {
+	if len(l.Stages) < 2 || l.N < 2 {
+		return false
+	}
+	var carried, total int64
+	for _, st := range l.Stages {
+		total += st.CostNS
+		if st.Carried {
+			carried += st.CostNS
+		}
+	}
+	return total > 0 && carried*2 < total // sequential segments are the minority
+}
+
+// runHELIX executes the loop with W workers: worker w runs iterations
+// w, w+W, w+2W, ...; each carried stage acquires its iteration-order
+// token before executing (the signal/wait pairs HELIX compiles in).
+func runHELIX(tc exec.TC, rt virgil.Runtime, l *Loop, workers int, scale CostScale) {
+	if workers > l.N {
+		workers = l.N
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	// One completion token stream per carried stage: tokens[s] counts
+	// iterations whose stage s has committed.
+	var tokens []*exec.Word
+	for range l.Stages {
+		tokens = append(tokens, &exec.Word{})
+	}
+	g := virgil.NewGroup(workers)
+	fns := make([]func(exec.TC), workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		fns[w] = func(wtc exec.TC) {
+			for i := w; i < l.N; i += workers {
+				for s, st := range l.Stages {
+					cost := scale(l.Mem, st.CostNS)
+					if st.Carried {
+						// Sequential segment: wait for iteration order.
+						for {
+							v := tokens[s].Load()
+							if int(v) == i {
+								break
+							}
+							wtc.FutexWait(tokens[s], v)
+						}
+						if cost > 0 {
+							wtc.Charge(cost)
+						}
+						if l.Body != nil && s == len(l.Stages)-1 {
+							l.Body(i)
+						}
+						tokens[s].Add(1)
+						wtc.FutexWake(tokens[s], -1)
+					} else {
+						if cost > 0 {
+							wtc.Charge(cost)
+						}
+						if l.Body != nil && s == len(l.Stages)-1 {
+							l.Body(i)
+						}
+					}
+				}
+			}
+			g.Done(wtc)
+		}
+	}
+	rt.SubmitBatch(tc, fns)
+	g.Wait(tc)
+}

@@ -1,0 +1,157 @@
+package cck
+
+import (
+	"github.com/interweaving/komp/internal/exec"
+	"github.com/interweaving/komp/internal/omp"
+	"github.com/interweaving/komp/internal/virgil"
+)
+
+// CostScale lets an environment transform a region's estimated compute
+// cost into effective virtual time (adding TLB, paging and NUMA factors).
+// The identity scale returns cost unchanged.
+type CostScale func(mem MemProfile, costNS int64) int64
+
+// IdentityScale returns costs unchanged.
+func IdentityScale(_ MemProfile, costNS int64) int64 { return costNS }
+
+// landingCombineNS is the landing task's per-chunk combine cost for
+// reduction groups.
+const landingCombineNS = 12
+
+// RunVirgil executes the compiled program on a VIRGIL runtime: the CCK
+// back-end's output (§5.4). Each parallel region submits its chunks as
+// immediately-ready tasks and waits on a compiler-generated landing
+// group; sequential regions run inline on the calling thread.
+func (c *Compiled) RunVirgil(tc exec.TC, rt virgil.Runtime, scale CostScale) {
+	if scale == nil {
+		scale = IdentityScale
+	}
+	for _, cf := range c.Fns {
+		for i := range cf.Regions {
+			r := &cf.Regions[i]
+			switch n := r.Node.(type) {
+			case *Seq:
+				if cost := scale(n.Mem, n.CostNS); cost > 0 {
+					tc.Charge(cost)
+				}
+				if n.Run != nil {
+					n.Run()
+				}
+			case *Loop:
+				c.runLoopRegion(tc, rt, r, n, scale)
+			}
+		}
+	}
+}
+
+func (c *Compiled) runLoopRegion(tc exec.TC, rt virgil.Runtime, r *Region, head *Loop, scale CostScale) {
+	loops := r.fusedLoops
+	if r.Strategy == StratPipeline {
+		runDSWP(tc, rt, head, scale)
+		return
+	}
+	if r.Strategy == StratHELIX {
+		runHELIX(tc, rt, head, c.Opt.Workers, scale)
+		return
+	}
+	if r.Strategy == StratSequential {
+		for _, l := range loops {
+			if cost := scale(l.Mem, l.TotalCost()); cost > 0 {
+				tc.Charge(cost)
+			}
+			if l.Body != nil {
+				for i := 0; i < l.N; i++ {
+					l.Body(i)
+				}
+			}
+		}
+		return
+	}
+	g := virgil.NewGroup(len(r.Chunks))
+	fns := make([]func(exec.TC), len(r.Chunks))
+	for ci, ch := range r.Chunks {
+		ch := ch
+		fns[ci] = func(wtc exec.TC) {
+			for _, l := range loops {
+				if cost := scale(l.Mem, l.RangeCost(ch.Lo, ch.Hi)); cost > 0 {
+					wtc.Charge(cost)
+				}
+				if l.Body != nil {
+					for i := ch.Lo; i < ch.Hi; i++ {
+						l.Body(i)
+					}
+				}
+			}
+			g.Done(wtc)
+		}
+	}
+	rt.SubmitBatch(tc, fns)
+	g.Wait(tc)
+	if r.Strategy == StratTasksReduction {
+		// Landing task combines the per-chunk partials.
+		tc.Charge(int64(len(r.Chunks)) * landingCombineNS)
+	}
+}
+
+// RunOpenMP executes the *source* program through the conventional
+// OpenMP pipeline — the baseline CCK is compared against. Pragmas are
+// followed blindly: parallel-for loops run under the runtime with the
+// pragma's schedule (libomp's default coarse static partition when
+// unspecified), everything else stays sequential.
+func RunOpenMP(tc exec.TC, p *Program, rt *omp.Runtime, threads int, scale CostScale) {
+	if scale == nil {
+		scale = IdentityScale
+	}
+	for _, fn := range p.Funcs {
+		for _, n := range fn.Body {
+			switch n := n.(type) {
+			case *Seq:
+				if cost := scale(n.Mem, n.CostNS); cost > 0 {
+					tc.Charge(cost)
+				}
+				if n.Run != nil {
+					n.Run()
+				}
+			case *Loop:
+				runOpenMPLoop(tc, n, rt, threads, scale)
+			}
+		}
+	}
+}
+
+func runOpenMPLoop(tc exec.TC, l *Loop, rt *omp.Runtime, threads int, scale CostScale) {
+	if l.Pragma == nil || l.Pragma.Kind != PragmaParallelFor {
+		// No directive: the conventional pipeline has no automatic
+		// parallelization; the loop stays sequential.
+		if cost := scale(l.Mem, l.TotalCost()); cost > 0 {
+			tc.Charge(cost)
+		}
+		if l.Body != nil {
+			for i := 0; i < l.N; i++ {
+				l.Body(i)
+			}
+		}
+		return
+	}
+	opt := omp.ForOpt{Sched: omp.Static}
+	switch l.Pragma.Schedule {
+	case "dynamic":
+		opt = omp.ForOpt{Sched: omp.Dynamic, Chunk: l.Pragma.Chunk}
+	case "guided":
+		opt = omp.ForOpt{Sched: omp.Guided, Chunk: l.Pragma.Chunk}
+	case "static":
+		opt.Chunk = l.Pragma.Chunk
+	}
+	rt.Parallel(tc, threads, func(w *omp.Worker) {
+		w.For(0, l.N, opt, func(lo, hi int) {
+			if cost := scale(l.Mem, l.RangeCost(lo, hi)); cost > 0 {
+				w.TC().Charge(cost)
+			}
+			if l.Body != nil {
+				for i := lo; i < hi; i++ {
+					l.Body(i)
+				}
+			}
+		})
+	})
+}

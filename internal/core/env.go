@@ -1,0 +1,247 @@
+// Package core assembles the paper's four execution environments — Linux
+// user-level (the baseline), RTK, PIK, and the CCK kernel target — from
+// the substrate packages: a machine model, a simulator with the
+// environment's noise model, an execution layer with the environment's
+// primitive cost table, an address space with the environment's paging
+// and placement policies, and the memory-overhead model that converts a
+// region's memory profile into effective compute cost.
+//
+// This package is the home of the paper's primary contribution in this
+// reproduction: the three paths to OpenMP in the kernel, expressed as
+// differences in what lies beneath an unchanged runtime (RTK, PIK) or an
+// alternative compilation pipeline (CCK).
+package core
+
+import (
+	"fmt"
+
+	"github.com/interweaving/komp/internal/cck"
+	"github.com/interweaving/komp/internal/exec"
+	"github.com/interweaving/komp/internal/linuxsim"
+	"github.com/interweaving/komp/internal/machine"
+	"github.com/interweaving/komp/internal/memsim"
+	"github.com/interweaving/komp/internal/nautilus"
+	"github.com/interweaving/komp/internal/omp"
+	"github.com/interweaving/komp/internal/pthread"
+	"github.com/interweaving/komp/internal/virgil"
+)
+
+// Kind identifies an execution environment.
+type Kind int
+
+// Environment kinds.
+const (
+	// Linux is the user-level baseline: stock OpenMP on the Linux-
+	// analogue (demand paging, futex syscalls, OS noise).
+	Linux Kind = iota
+	// RTK is runtime-in-kernel: the OpenMP runtime over the Nautilus
+	// pthread compatibility layer, statics in the boot image.
+	RTK
+	// PIK is process-in-kernel: the unmodified user-level stack behind
+	// the emulated Linux syscall ABI, inside the kernel.
+	PIK
+	// CCK is custom-compilation-for-kernel: AutoMP-compiled tasks on
+	// kernel-level VIRGIL.
+	CCK
+	// LinuxAutoMP is the AutoMP pipeline targeting user-level Linux
+	// (user-level VIRGIL) — the middle column of Fig. 11.
+	LinuxAutoMP
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Linux:
+		return "linux-omp"
+	case RTK:
+		return "rtk"
+	case PIK:
+		return "pik"
+	case CCK:
+		return "nk-automp"
+	case LinuxAutoMP:
+		return "linux-automp"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// InKernel reports whether the environment executes in kernel mode.
+func (k Kind) InKernel() bool { return k == RTK || k == PIK || k == CCK }
+
+// Config tunes environment construction.
+type Config struct {
+	Machine *machine.Machine
+	Kind    Kind
+	Seed    int64
+	// Threads is the worker count experiments will use (drives the
+	// first-touch decision on 8XEON, §6.3: 24+ cores).
+	Threads int
+	// BootImageBytes models statics linked into the kernel image
+	// (RTK/CCK only).
+	BootImageBytes int64
+	// PthreadImpl overrides the pthread layer (RTK defaults to Custom).
+	PthreadImpl pthread.Impl
+	// ForceImmediate forces the kernel environments onto immediate
+	// (allocation-time local) placement regardless of thread count —
+	// the baseline of the §6.3 first-touch ablation.
+	ForceImmediate bool
+}
+
+// Env is a constructed execution environment.
+type Env struct {
+	Kind    Kind
+	Machine *machine.Machine
+	Layer   *exec.SimLayer
+	// Kernel is non-nil for in-kernel environments.
+	Kernel *nautilus.Kernel
+	// AS is the environment's application address space.
+	AS *memsim.AddressSpace
+	// PageSize is the effective application page size.
+	PageSize int64
+	// BootImageStatics: large static arrays live in the (pre-placed,
+	// identity-mapped) kernel boot image.
+	BootImageStatics bool
+	// FirstTouch reports the active NUMA placement policy.
+	FirstTouch bool
+
+	tlb         memsim.TLBModel
+	pthreadImpl pthread.Impl
+	threads     int
+}
+
+// New constructs an environment.
+func New(cfg Config) *Env {
+	m := cfg.Machine
+	if m == nil {
+		panic("core: environment without machine")
+	}
+	threads := cfg.Threads
+	if threads <= 0 {
+		threads = m.NumCPUs()
+	}
+	e := &Env{Kind: cfg.Kind, Machine: m, tlb: memsim.TLBModel{Machine: m}, threads: threads}
+
+	switch cfg.Kind {
+	case Linux, LinuxAutoMP:
+		e.Layer = exec.NewSimLayer(linuxsim.NewSim(m, cfg.Seed), linuxsim.Costs(m))
+		e.AS = linuxsim.NewAddressSpace(m)
+		e.PageSize = 4 << 10
+		e.FirstTouch = true
+		e.pthreadImpl = pthread.NPTL
+
+	case RTK, PIK, CCK:
+		// The paper's 8XEON extension: first-touch at 2 MiB for 24+
+		// cores; immediate (local) allocation otherwise (§6.3).
+		firstTouch := m.Sockets > 1 && threads >= 24 && !cfg.ForceImmediate
+		boot := cfg.BootImageBytes
+		if cfg.Kind == PIK {
+			boot = 0 // PIK does not link statics into the kernel image
+		}
+		k := nautilus.Boot(nautilus.Config{
+			Machine:        m,
+			Seed:           cfg.Seed,
+			Costs:          kernelCosts(cfg.Kind, m),
+			FirstTouch:     firstTouch,
+			BootImageBytes: boot,
+		})
+		e.Kernel = k
+		e.Layer = k.Layer
+		e.AS = k.AS
+		e.PageSize = k.AS.PageSize
+		e.FirstTouch = firstTouch
+		e.BootImageStatics = cfg.Kind == RTK || cfg.Kind == CCK
+		switch cfg.Kind {
+		case RTK:
+			e.pthreadImpl = cfg.PthreadImpl
+			if e.pthreadImpl == pthread.NPTL {
+				e.pthreadImpl = pthread.Custom
+			}
+			k.LazyFPU = true
+		case PIK:
+			e.pthreadImpl = pthread.NPTL
+			k.LazyFPU = true
+			k.ISTTrampoline = true
+			// PIK binaries see a slightly coarser effective page size
+			// than the 1 GiB identity map: the emulated mmap hands out
+			// buddy blocks, so translations behave like 2 MiB pages.
+			if !firstTouch {
+				e.PageSize = 2 << 20
+			}
+		case CCK:
+			e.pthreadImpl = pthread.Custom
+		}
+	default:
+		panic(fmt.Sprintf("core: unknown environment kind %d", cfg.Kind))
+	}
+	return e
+}
+
+// OMPRuntime builds the environment's OpenMP runtime (not meaningful for
+// CCK, which has no OpenMP runtime — §6.1's "no microbenchmark numbers
+// for CCK").
+func (e *Env) OMPRuntime() *omp.Runtime {
+	if e.Kind == CCK {
+		panic("core: CCK has no OpenMP runtime to instantiate")
+	}
+	opts := omp.Options{
+		MaxThreads:  e.threads,
+		Bind:        true,
+		PthreadImpl: e.pthreadImpl,
+	}
+	return omp.New(e.Layer, opts)
+}
+
+// Virgil builds the environment's VIRGIL runtime (the AutoMP target):
+// kernel-level on CCK, user-level otherwise.
+func (e *Env) Virgil() virgil.Runtime {
+	if e.Kind == CCK {
+		cpus := make([]int, e.threads)
+		for i := range cpus {
+			cpus[i] = i
+		}
+		return virgil.NewKernel(e.Kernel, cpus)
+	}
+	return virgil.NewUser(e.threads)
+}
+
+// Threads returns the environment's configured worker count.
+func (e *Env) Threads() int { return e.threads }
+
+// Multiplier converts a region's memory profile into the environment's
+// effective-cost multiplier: translation overhead at the environment's
+// page size, the static-layout overhead boot-image placement removes,
+// the user-level environment overhead every kernel path removes, and the
+// NUMA penalty for the given remote-access fraction. Per-environment
+// overheads are damped as the memory system saturates (beyond
+// mem.SatThreads, every environment increasingly waits on the same DRAM,
+// compressing the ratios — the high-core-count behaviour of Fig. 9).
+func (e *Env) Multiplier(mem cck.MemProfile, remoteFrac float64) float64 {
+	over := e.tlb.OverheadFraction(mem.WorkingSetBytes, mem.TLBPressure, e.PageSize)
+	if !e.BootImageStatics {
+		over += mem.StaticLayoutFrac
+	}
+	if !e.Kind.InKernel() {
+		over += mem.KernelFrac
+	}
+	if mem.SatThreads > 0 {
+		over /= 1 + float64(e.threads)/mem.SatThreads
+	}
+	if remoteFrac > 0 && mem.MemBoundFrac > 0 {
+		ratio := e.Machine.RemoteLatencyNS/e.Machine.LocalLatencyNS - 1
+		over += mem.MemBoundFrac * remoteFrac * ratio
+	}
+	return 1 + over
+}
+
+// Scale returns a cck.CostScale closure with a fixed remote fraction.
+func (e *Env) Scale(remoteFrac float64) cck.CostScale {
+	return func(mem cck.MemProfile, cost int64) int64 {
+		return int64(float64(cost) * e.Multiplier(mem, remoteFrac))
+	}
+}
+
+// TouchCost charges first-touch behaviour for a freshly allocated region:
+// under demand paging this is where the Linux fault volume lands.
+func (e *Env) TouchCost(r *memsim.Region, cpu int) float64 {
+	return e.AS.TouchAll(r, cpu)
+}

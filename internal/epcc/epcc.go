@@ -1,0 +1,128 @@
+// Package epcc reimplements the Edinburgh OpenMP Microbenchmark Suite
+// (Bull et al.) against this repository's OpenMP runtime: the ARRAY,
+// SCHEDULE, SYNCH and TASK suites the paper uses in §6.1 and Figures 7,
+// 8 and 13. Each benchmark measures the overhead of one directive by
+// comparing a loop of directive+delay against the delay-only reference,
+// exactly like the original suite's methodology.
+package epcc
+
+import (
+	"fmt"
+
+	"github.com/interweaving/komp/internal/exec"
+	"github.com/interweaving/komp/internal/omp"
+	"github.com/interweaving/komp/internal/stats"
+)
+
+// Config parameterizes a suite run.
+type Config struct {
+	// Threads is the team size (the paper runs full machine scale).
+	Threads int
+	// OuterReps is the number of timed repetitions (statistics).
+	OuterReps int
+	// InnerReps is the directive count per timed repetition.
+	InnerReps int
+	// DelayNS is the synthetic work per directive body (EPCC's
+	// delaylength, ~0.1 us).
+	DelayNS int64
+	// ArrayBytes is the ARRAY suite's payload size (EPCC's 59049).
+	ArrayBytes int64
+}
+
+// Defaults returns the configuration used for the paper's figures.
+func Defaults(threads int) Config {
+	return Config{
+		Threads:    threads,
+		OuterReps:  15,
+		InnerReps:  24,
+		DelayNS:    100,
+		ArrayBytes: 59049,
+	}
+}
+
+// Result is one benchmark's measured overhead.
+type Result struct {
+	Suite string
+	Name  string
+	// OverheadUS is the median per-directive overhead in microseconds
+	// (the median resists the rare housekeeping spikes a general-purpose
+	// kernel injects; the spread still shows in SDUS).
+	OverheadUS float64
+	// SDUS is the standard deviation across outer repetitions.
+	SDUS float64
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%-24s %10.3f us (sd %8.3f)", r.Name, r.OverheadUS, r.SDUS)
+}
+
+// bench is one microbenchmark: it returns the total virtual time of
+// cfg.InnerReps directive executions (reference time is subtracted by
+// the runner).
+type bench struct {
+	name string
+	// run performs InnerReps directives and returns elapsed ns.
+	run func(tc exec.TC, rt *omp.Runtime, cfg Config) int64
+	// reference performs the equivalent directive-free work.
+	reference func(tc exec.TC, rt *omp.Runtime, cfg Config) int64
+}
+
+func timed(tc exec.TC, fn func()) int64 {
+	t0 := tc.Now()
+	fn()
+	return tc.Now() - t0
+}
+
+// memcpyNSPerByte approximates a ~20 GB/s single-thread copy.
+const memcpyNSPerByte = 0.05
+
+// refMasterDelay is the canonical reference: the master executes the
+// delay loop without any directive.
+func refMasterDelay(tc exec.TC, _ *omp.Runtime, cfg Config) int64 {
+	return timed(tc, func() {
+		for i := 0; i < cfg.InnerReps; i++ {
+			tc.Charge(cfg.DelayNS)
+		}
+	})
+}
+
+// refParallelDelay is the reference for constructs measured inside an
+// open parallel region: one region, each thread running the delay loop.
+func refParallelDelay(tc exec.TC, rt *omp.Runtime, cfg Config) int64 {
+	return timed(tc, func() {
+		rt.Parallel(tc, cfg.Threads, func(w *omp.Worker) {
+			for i := 0; i < cfg.InnerReps; i++ {
+				w.TC().Charge(cfg.DelayNS)
+			}
+		})
+	})
+}
+
+// Run executes one suite in the given runtime and returns per-benchmark
+// overheads. The caller owns runtime shutdown.
+func Run(tc exec.TC, rt *omp.Runtime, suite string, cfg Config) ([]Result, error) {
+	benches, ok := suitesFor(cfg)[suite]
+	if !ok {
+		return nil, fmt.Errorf("epcc: unknown suite %q", suite)
+	}
+	var out []Result
+	for _, b := range benches {
+		var overheads []float64
+		for rep := 0; rep < cfg.OuterReps; rep++ {
+			ref := b.reference(tc, rt, cfg)
+			tot := b.run(tc, rt, cfg)
+			over := float64(tot-ref) / float64(cfg.InnerReps) / 1000.0 // us
+			overheads = append(overheads, over)
+		}
+		out = append(out, Result{
+			Suite:      suite,
+			Name:       b.name,
+			OverheadUS: stats.Percentile(overheads, 50),
+			SDUS:       stats.StdDev(overheads),
+		})
+	}
+	return out, nil
+}
+
+// Suites lists the available suite names in figure order.
+func Suites() []string { return []string{"ARRAY", "SCHEDULE", "SYNCH", "TASK"} }

@@ -1,0 +1,159 @@
+package epcc
+
+import (
+	"testing"
+
+	"github.com/interweaving/komp/internal/core"
+	"github.com/interweaving/komp/internal/exec"
+	"github.com/interweaving/komp/internal/machine"
+	"github.com/interweaving/komp/internal/omp"
+)
+
+// runSuite executes a suite in a fresh environment and returns results
+// keyed by benchmark name.
+func runSuite(t *testing.T, kind core.Kind, threads int, suite string) map[string]Result {
+	t.Helper()
+	env := core.New(core.Config{Machine: machine.PHI(), Kind: kind, Seed: 11, Threads: threads})
+	rt := env.OMPRuntime()
+	var results []Result
+	_, err := env.Layer.Run(func(tc exec.TC) {
+		var err error
+		results, err = Run(tc, rt, suite, Defaults(threads))
+		if err != nil {
+			t.Error(err)
+		}
+		rt.Close(tc)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]Result{}
+	for _, r := range results {
+		out[r.Name] = r
+	}
+	return out
+}
+
+func TestSuiteNames(t *testing.T) {
+	if got := Suites(); len(got) != 4 || got[0] != "ARRAY" {
+		t.Fatalf("suites = %v", got)
+	}
+	env := core.New(core.Config{Machine: machine.PHI(), Kind: core.Linux, Seed: 1, Threads: 2})
+	rt := env.OMPRuntime()
+	_, err := env.Layer.Run(func(tc exec.TC) {
+		if _, err := Run(tc, rt, "BOGUS", Defaults(2)); err == nil {
+			t.Error("unknown suite must error")
+		}
+		rt.Close(tc)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSynchOverheadsPositiveAndOrdered(t *testing.T) {
+	res := runSuite(t, core.RTK, 8, "SYNCH")
+	for _, name := range []string{"PARALLEL", "BARRIER", "REDUCTION", "PARALLEL_FOR"} {
+		if res[name].OverheadUS <= 0 {
+			t.Fatalf("%s overhead = %v, want > 0", name, res[name].OverheadUS)
+		}
+	}
+	// References measure themselves: ~zero overhead.
+	if r := res["reference"]; r.OverheadUS < -0.01 || r.OverheadUS > 0.01 {
+		t.Fatalf("reference overhead = %v", r.OverheadUS)
+	}
+	// PARALLEL_FOR must cost at least as much as a bare FOR.
+	if res["PARALLEL_FOR"].OverheadUS < res["FOR"].OverheadUS {
+		t.Fatalf("PARALLEL_FOR %v < FOR %v", res["PARALLEL_FOR"].OverheadUS, res["FOR"].OverheadUS)
+	}
+	// REDUCTION carries a parallel region + combine: at least PARALLEL.
+	if res["REDUCTION"].OverheadUS < res["PARALLEL"].OverheadUS {
+		t.Fatalf("REDUCTION %v < PARALLEL %v", res["REDUCTION"].OverheadUS, res["PARALLEL"].OverheadUS)
+	}
+}
+
+func TestScheduleDynamicCostlierThanStatic(t *testing.T) {
+	// Use the quiet RTK environment: the shape assertion should not race
+	// against Linux noise spikes.
+	res := runSuite(t, core.RTK, 8, "SCHEDULE")
+	if res["DYNAMIC_1"].OverheadUS <= res["STATIC"].OverheadUS {
+		t.Fatalf("DYNAMIC_1 (%v) must exceed STATIC (%v)",
+			res["DYNAMIC_1"].OverheadUS, res["STATIC"].OverheadUS)
+	}
+	// Bigger dynamic chunks shrink the overhead.
+	if res["DYNAMIC_16"].OverheadUS >= res["DYNAMIC_1"].OverheadUS {
+		t.Fatalf("DYNAMIC_16 (%v) must be under DYNAMIC_1 (%v)",
+			res["DYNAMIC_16"].OverheadUS, res["DYNAMIC_1"].OverheadUS)
+	}
+}
+
+func TestScheduleChunkLadderMatchesMachine(t *testing.T) {
+	phi := scheduleChunks(64)
+	if phi[len(phi)-1] != 128 {
+		t.Fatalf("PHI ladder = %v", phi)
+	}
+	xeon := scheduleChunks(192)
+	if xeon[len(xeon)-1] != 192 {
+		t.Fatalf("8XEON ladder = %v", xeon)
+	}
+}
+
+func TestArraySuiteFirstprivateCostlierThanPrivate(t *testing.T) {
+	res := runSuite(t, core.RTK, 8, "ARRAY")
+	if res["FIRSTPRIVATE"].OverheadUS <= res["PRIVATE"].OverheadUS {
+		t.Fatalf("FIRSTPRIVATE (%v) must exceed PRIVATE (%v): it adds the copy-in",
+			res["FIRSTPRIVATE"].OverheadUS, res["PRIVATE"].OverheadUS)
+	}
+}
+
+func TestTaskSuiteRuns(t *testing.T) {
+	res := runSuite(t, core.RTK, 8, "TASK")
+	for _, name := range []string{"PARALLEL_TASK", "MASTER_TASK", "TASK_WAIT", "BENCH_TASK_TREE"} {
+		if _, ok := res[name]; !ok {
+			t.Fatalf("missing %s", name)
+		}
+	}
+	// Conditional (if(false)) tasks are undeferred: cheaper than real ones.
+	if res["CONDITIONAL_TASK"].OverheadUS >= res["PARALLEL_TASK"].OverheadUS {
+		t.Fatalf("CONDITIONAL_TASK (%v) must be under PARALLEL_TASK (%v)",
+			res["CONDITIONAL_TASK"].OverheadUS, res["PARALLEL_TASK"].OverheadUS)
+	}
+}
+
+// The paper's §6.1 shape: PIK jitter is considerably lower than Linux's.
+func TestPIKJitterBelowLinux(t *testing.T) {
+	lin := runSuite(t, core.Linux, 16, "SYNCH")
+	pik := runSuite(t, core.PIK, 16, "SYNCH")
+	var linSD, pikSD float64
+	for _, name := range []string{"PARALLEL", "BARRIER", "PARALLEL_FOR", "REDUCTION"} {
+		linSD += lin[name].SDUS
+		pikSD += pik[name].SDUS
+	}
+	if pikSD >= linSD {
+		t.Fatalf("PIK jitter (%v) must be below Linux (%v)", pikSD, linSD)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	a := runSuite(t, core.RTK, 8, "SYNCH")
+	b := runSuite(t, core.RTK, 8, "SYNCH")
+	for name, ra := range a {
+		if rb := b[name]; ra.OverheadUS != rb.OverheadUS {
+			t.Fatalf("%s: %v vs %v (must be deterministic)", name, ra.OverheadUS, rb.OverheadUS)
+		}
+	}
+}
+
+// Smoke-test every suite on every OpenMP environment at small scale.
+func TestAllSuitesAllEnvs(t *testing.T) {
+	for _, kind := range []core.Kind{core.Linux, core.RTK, core.PIK} {
+		for _, suite := range Suites() {
+			res := runSuite(t, kind, 4, suite)
+			if len(res) == 0 {
+				t.Fatalf("%v/%s: empty results", kind, suite)
+			}
+		}
+	}
+}
+
+var _ = omp.Static // keep the omp import for documentation examples

@@ -1,0 +1,365 @@
+package epcc
+
+import (
+	"fmt"
+
+	"github.com/interweaving/komp/internal/exec"
+	"github.com/interweaving/komp/internal/omp"
+)
+
+// itersPerThread is the worksharing loop length per thread in the
+// SCHEDULE suite (EPCC uses larger loops; scaled for simulation).
+const itersPerThread = 16
+
+// suitesFor maps suite name to its benchmarks, in the order the paper's
+// figures list them. The SCHEDULE chunk ladder depends on the thread
+// count (compare the Fig. 7 and Fig. 13 x-axes).
+func suitesFor(cfg Config) map[string][]bench {
+	return map[string][]bench{
+		"ARRAY":    arraySuite(),
+		"SCHEDULE": scheduleSuite(cfg.Threads),
+		"SYNCH":    synchSuite(),
+		"TASK":     taskSuite(),
+	}
+}
+
+// chargeArray models allocating and initializing a private array.
+func chargeArray(tc exec.TC, bytes int64) {
+	tc.Charge(tc.Costs().MallocNS + int64(float64(bytes)*memcpyNSPerByte))
+}
+
+func arraySuite() []bench {
+	ref := func(tc exec.TC, _ *omp.Runtime, cfg Config) int64 {
+		return timed(tc, func() {
+			for i := 0; i < cfg.InnerReps; i++ {
+				chargeArray(tc, cfg.ArrayBytes)
+				tc.Charge(cfg.DelayNS)
+			}
+		})
+	}
+	mk := func(name string, body func(w *omp.Worker, cfg Config)) bench {
+		return bench{
+			name:      name,
+			reference: ref,
+			run: func(tc exec.TC, rt *omp.Runtime, cfg Config) int64 {
+				return timed(tc, func() {
+					for i := 0; i < cfg.InnerReps; i++ {
+						rt.Parallel(tc, cfg.Threads, func(w *omp.Worker) {
+							body(w, cfg)
+						})
+					}
+				})
+			},
+		}
+	}
+	return []bench{
+		{name: "reference_59049", reference: ref, run: ref},
+		mk("PRIVATE", func(w *omp.Worker, cfg Config) {
+			// Each thread gets an uninitialized private copy.
+			chargeArray(w.TC(), cfg.ArrayBytes)
+			w.TC().Charge(cfg.DelayNS)
+		}),
+		mk("FIRSTPRIVATE", func(w *omp.Worker, cfg Config) {
+			// Private copy plus a copy-in from the master's array.
+			chargeArray(w.TC(), cfg.ArrayBytes)
+			w.TC().Charge(int64(float64(cfg.ArrayBytes) * memcpyNSPerByte))
+			w.TC().Charge(cfg.DelayNS)
+		}),
+		mk("COPYPRIVATE", func(w *omp.Worker, cfg Config) {
+			v := w.SingleCopyPrivate(func() any {
+				chargeArray(w.TC(), cfg.ArrayBytes)
+				return struct{}{}
+			})
+			_ = v
+			// Every thread copies the broadcast value out.
+			w.TC().Charge(int64(float64(cfg.ArrayBytes) * memcpyNSPerByte))
+			w.TC().Charge(cfg.DelayNS)
+		}),
+		mk("COPYIN", func(w *omp.Worker, cfg Config) {
+			// threadprivate copyin: every thread copies the master's
+			// threadprivate array at region entry.
+			w.TC().Charge(int64(float64(cfg.ArrayBytes) * memcpyNSPerByte))
+			w.TC().Charge(cfg.DelayNS)
+		}),
+	}
+}
+
+// scheduleChunks returns the chunk sweep for a thread count, mirroring
+// the figure labels (powers of two to 2x threads on PHI; the socket
+// ladder on 8XEON).
+func scheduleChunks(threads int) []int {
+	if threads > 64 {
+		return []int{1, 2, 4, 8, 16, 24, 48, 96, 192}
+	}
+	var out []int
+	for c := 1; c <= 2*threads && c <= 128; c *= 2 {
+		out = append(out, c)
+	}
+	return out
+}
+
+func scheduleSuite(threads int) []bench {
+	mk := func(name string, opt func(chunk int) omp.ForOpt, chunk int) bench {
+		return bench{
+			name:      name,
+			reference: refParallelDelayLoop,
+			run: func(tc exec.TC, rt *omp.Runtime, cfg Config) int64 {
+				iters := cfg.Threads * itersPerThread
+				return timed(tc, func() {
+					rt.Parallel(tc, cfg.Threads, func(w *omp.Worker) {
+						for i := 0; i < cfg.InnerReps; i++ {
+							w.ForEach(0, iters, opt(chunk), func(int) {
+								w.TC().Charge(cfg.DelayNS)
+							})
+						}
+					})
+				})
+			},
+		}
+	}
+	benches := []bench{{name: "reference", reference: refParallelDelayLoop, run: refParallelDelayLoop}}
+	benches = append(benches, mk("STATIC", func(int) omp.ForOpt { return omp.ForOpt{Sched: omp.Static} }, 0))
+	for _, c := range scheduleChunks(threads) {
+		benches = append(benches, mk(fmt.Sprintf("STATIC_%d", c),
+			func(chunk int) omp.ForOpt { return omp.ForOpt{Sched: omp.Static, Chunk: chunk} }, c))
+	}
+	for _, c := range scheduleChunks(threads) {
+		benches = append(benches, mk(fmt.Sprintf("DYNAMIC_%d", c),
+			func(chunk int) omp.ForOpt { return omp.ForOpt{Sched: omp.Dynamic, Chunk: chunk} }, c))
+	}
+	for _, c := range []int{1, 2} {
+		benches = append(benches, mk(fmt.Sprintf("GUIDED_%d", c),
+			func(chunk int) omp.ForOpt { return omp.ForOpt{Sched: omp.Guided, Chunk: chunk} }, c))
+	}
+	return benches
+}
+
+// refParallelDelayLoop: one parallel region, each thread performing the
+// ideal per-thread share of the schedule suite's work.
+func refParallelDelayLoop(tc exec.TC, rt *omp.Runtime, cfg Config) int64 {
+	return timed(tc, func() {
+		rt.Parallel(tc, cfg.Threads, func(w *omp.Worker) {
+			for i := 0; i < cfg.InnerReps; i++ {
+				for j := 0; j < itersPerThread; j++ {
+					w.TC().Charge(cfg.DelayNS)
+				}
+			}
+		})
+	})
+}
+
+func synchSuite() []bench {
+	inRegion := func(name string, body func(w *omp.Worker, cfg Config)) bench {
+		return bench{
+			name:      name,
+			reference: refParallelDelay,
+			run: func(tc exec.TC, rt *omp.Runtime, cfg Config) int64 {
+				return timed(tc, func() {
+					rt.Parallel(tc, cfg.Threads, func(w *omp.Worker) {
+						for i := 0; i < cfg.InnerReps; i++ {
+							body(w, cfg)
+						}
+					})
+				})
+			},
+		}
+	}
+	return []bench{
+		{name: "reference", reference: refMasterDelay, run: refMasterDelay},
+		{
+			name:      "PARALLEL",
+			reference: refMasterDelay,
+			run: func(tc exec.TC, rt *omp.Runtime, cfg Config) int64 {
+				return timed(tc, func() {
+					for i := 0; i < cfg.InnerReps; i++ {
+						rt.Parallel(tc, cfg.Threads, func(w *omp.Worker) {
+							w.TC().Charge(cfg.DelayNS)
+						})
+					}
+				})
+			},
+		},
+		inRegion("FOR", func(w *omp.Worker, cfg Config) {
+			w.ForEach(0, w.NumThreads(), omp.ForOpt{Sched: omp.Static}, func(int) {
+				w.TC().Charge(cfg.DelayNS)
+			})
+		}),
+		{
+			name:      "PARALLEL_FOR",
+			reference: refMasterDelay,
+			run: func(tc exec.TC, rt *omp.Runtime, cfg Config) int64 {
+				return timed(tc, func() {
+					for i := 0; i < cfg.InnerReps; i++ {
+						rt.Parallel(tc, cfg.Threads, func(w *omp.Worker) {
+							w.ForEach(0, w.NumThreads(), omp.ForOpt{Sched: omp.Static}, func(int) {
+								w.TC().Charge(cfg.DelayNS)
+							})
+						})
+					}
+				})
+			},
+		},
+		inRegion("BARRIER", func(w *omp.Worker, cfg Config) {
+			w.TC().Charge(cfg.DelayNS)
+			w.Barrier()
+		}),
+		inRegion("SINGLE", func(w *omp.Worker, cfg Config) {
+			w.Single(false, func() { w.TC().Charge(cfg.DelayNS) })
+		}),
+		inRegion("CRITICAL", func(w *omp.Worker, cfg Config) {
+			w.Critical("epcc", func() { w.TC().Charge(cfg.DelayNS) })
+		}),
+		inRegion("LOCK/UNLOCK", func(w *omp.Worker, cfg Config) {
+			l := w.Runtime().NewLock()
+			l.Set(w)
+			w.TC().Charge(cfg.DelayNS)
+			l.Unset(w)
+		}),
+		{
+			name:      "ORDERED",
+			reference: refParallelDelay,
+			run: func(tc exec.TC, rt *omp.Runtime, cfg Config) int64 {
+				return timed(tc, func() {
+					rt.Parallel(tc, cfg.Threads, func(w *omp.Worker) {
+						w.ForOrdered(0, cfg.InnerReps*w.NumThreads(),
+							omp.ForOpt{Sched: omp.Static, Chunk: 1},
+							func(i int, ordered func(func())) {
+								ordered(func() { w.TC().Charge(cfg.DelayNS) })
+							})
+					})
+				})
+			},
+		},
+		{name: "reference_2_tiek", reference: refParallelDelay, run: refParallelDelay},
+		inRegion("ATOMIC", func(w *omp.Worker, cfg Config) {
+			w.Atomic(func() {})
+			w.TC().Charge(cfg.DelayNS)
+		}),
+		{name: "reference_3", reference: refMasterDelay, run: refMasterDelay},
+		{
+			name:      "REDUCTION",
+			reference: refMasterDelay,
+			run: func(tc exec.TC, rt *omp.Runtime, cfg Config) int64 {
+				return timed(tc, func() {
+					for i := 0; i < cfg.InnerReps; i++ {
+						rt.Parallel(tc, cfg.Threads, func(w *omp.Worker) {
+							w.TC().Charge(cfg.DelayNS)
+							w.Reduce(omp.ReduceSum, 1)
+						})
+					}
+				})
+			},
+		},
+	}
+}
+
+func taskSuite() []bench {
+	inRegion := func(name string, body func(w *omp.Worker, cfg Config)) bench {
+		return bench{
+			name:      name,
+			reference: refParallelDelay,
+			run: func(tc exec.TC, rt *omp.Runtime, cfg Config) int64 {
+				return timed(tc, func() {
+					rt.Parallel(tc, cfg.Threads, func(w *omp.Worker) {
+						body(w, cfg)
+					})
+				})
+			},
+		}
+	}
+	delayTask := func(cfg Config) func(*omp.Worker) {
+		return func(w *omp.Worker) { w.TC().Charge(cfg.DelayNS) }
+	}
+	var tree func(w *omp.Worker, cfg Config, depth int, leafWork bool)
+	tree = func(w *omp.Worker, cfg Config, depth int, leafWork bool) {
+		if depth == 0 {
+			if leafWork {
+				w.TC().Charge(cfg.DelayNS)
+			}
+			return
+		}
+		if !leafWork {
+			w.TC().Charge(cfg.DelayNS)
+		}
+		w.Task(func(w *omp.Worker) { tree(w, cfg, depth-1, leafWork) })
+		w.Task(func(w *omp.Worker) { tree(w, cfg, depth-1, leafWork) })
+		w.Taskwait()
+	}
+	return []bench{
+		{name: "reference_1", reference: refMasterDelay, run: refMasterDelay},
+		inRegion("PARALLEL_TASK", func(w *omp.Worker, cfg Config) {
+			for i := 0; i < cfg.InnerReps; i++ {
+				w.Task(delayTask(cfg))
+			}
+			w.Barrier()
+		}),
+		inRegion("MASTER_TASK", func(w *omp.Worker, cfg Config) {
+			w.Master(func() {
+				for i := 0; i < cfg.InnerReps*w.NumThreads(); i++ {
+					w.Task(delayTask(cfg))
+				}
+			})
+			w.Barrier()
+		}),
+		inRegion("MASTER_TASK_BUSY_SLAVES", func(w *omp.Worker, cfg Config) {
+			if w.ThreadNum() == 0 {
+				for i := 0; i < cfg.InnerReps*w.NumThreads(); i++ {
+					w.Task(delayTask(cfg))
+				}
+			} else {
+				for i := 0; i < cfg.InnerReps; i++ {
+					w.TC().Charge(cfg.DelayNS)
+				}
+			}
+			w.Barrier()
+		}),
+		inRegion("CONDITIONAL_TASK", func(w *omp.Worker, cfg Config) {
+			for i := 0; i < cfg.InnerReps; i++ {
+				w.TaskIf(false, delayTask(cfg))
+			}
+			w.Barrier()
+		}),
+		inRegion("TASK_WAIT", func(w *omp.Worker, cfg Config) {
+			for i := 0; i < cfg.InnerReps; i++ {
+				w.Task(delayTask(cfg))
+				w.Taskwait()
+			}
+			w.Barrier()
+		}),
+		inRegion("TASK_BARRIER", func(w *omp.Worker, cfg Config) {
+			for i := 0; i < cfg.InnerReps; i++ {
+				w.Task(delayTask(cfg))
+				w.Barrier()
+			}
+		}),
+		inRegion("NESTED_TASK", func(w *omp.Worker, cfg Config) {
+			for i := 0; i < cfg.InnerReps; i++ {
+				w.Task(func(w *omp.Worker) {
+					w.Task(delayTask(cfg))
+					w.Taskwait()
+				})
+			}
+			w.Barrier()
+		}),
+		inRegion("NESTED_MASTER_TASK", func(w *omp.Worker, cfg Config) {
+			w.Master(func() {
+				for i := 0; i < cfg.InnerReps*w.NumThreads(); i++ {
+					w.Task(func(w *omp.Worker) {
+						w.Task(delayTask(cfg))
+						w.Taskwait()
+					})
+				}
+			})
+			w.Barrier()
+		}),
+		{name: "reference_2", reference: refMasterDelay, run: refMasterDelay},
+		inRegion("BENCH_TASK_TREE", func(w *omp.Worker, cfg Config) {
+			w.Master(func() { tree(w, cfg, 6, false) })
+			w.Barrier()
+		}),
+		inRegion("LEAF_TASK_TREE", func(w *omp.Worker, cfg Config) {
+			w.Master(func() { tree(w, cfg, 6, true) })
+			w.Barrier()
+		}),
+	}
+}

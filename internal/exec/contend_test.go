@@ -1,0 +1,99 @@
+package exec
+
+import (
+	"testing"
+
+	"github.com/interweaving/komp/internal/sim"
+)
+
+func TestContendSerializesAccesses(t *testing.T) {
+	l := NewSimLayer(sim.New(8, 1), Costs{})
+	var line Line
+	ends := make([]int64, 8)
+	elapsed, err := l.Run(func(tc TC) {
+		var hs []Handle
+		for i := 0; i < 8; i++ {
+			i := i
+			hs = append(hs, tc.Spawn("c", i, func(tc TC) {
+				tc.Contend(&line, 100)
+				ends[i] = tc.Now()
+			}))
+		}
+		for _, h := range hs {
+			h.Join(tc)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Eight 100ns accesses to one line serialize: the last completes at
+	// >= 800ns, even though the threads are on distinct CPUs.
+	var last int64
+	for _, e := range ends {
+		if e > last {
+			last = e
+		}
+	}
+	if last < 800 {
+		t.Fatalf("last contended access at %d; line did not serialize", last)
+	}
+	if elapsed < 800 {
+		t.Fatalf("elapsed %d < serialized total", elapsed)
+	}
+	// All completion times distinct (one owner at a time).
+	seen := map[int64]bool{}
+	for _, e := range ends {
+		if seen[e] {
+			t.Fatalf("two threads finished the line at the same instant %d", e)
+		}
+		seen[e] = true
+	}
+}
+
+func TestContendUncontendedIsCheap(t *testing.T) {
+	l := NewSimLayer(sim.New(2, 1), Costs{})
+	var line Line
+	elapsed, err := l.Run(func(tc TC) {
+		for i := 0; i < 10; i++ {
+			tc.Contend(&line, 50)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed != 500 {
+		t.Fatalf("uncontended line cost %d, want 500", elapsed)
+	}
+}
+
+func TestContendZeroNoop(t *testing.T) {
+	l := NewSimLayer(sim.New(1, 1), Costs{})
+	var line Line
+	elapsed, err := l.Run(func(tc TC) { tc.Contend(&line, 0) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed != 0 {
+		t.Fatalf("zero contend advanced time by %d", elapsed)
+	}
+}
+
+func TestRealLayerInteractiveTC(t *testing.T) {
+	l := NewRealLayer(4)
+	tc := l.TC()
+	done := make(chan int, 4)
+	var hs []Handle
+	for i := 0; i < 4; i++ {
+		i := i
+		hs = append(hs, tc.Spawn("w", i, func(TC) { done <- i }))
+	}
+	for _, h := range hs {
+		h.Join(tc)
+	}
+	if len(done) != 4 {
+		t.Fatalf("interactive TC spawned %d/4", len(done))
+	}
+	if tc.Now() < 0 {
+		t.Fatal("clock not started")
+	}
+}

@@ -1,0 +1,133 @@
+package exec
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// RealLayer executes threads as goroutines with real synchronization. It
+// is the layer behind the public komp API when used as an ordinary Go
+// parallelism library; the examples run on it.
+type RealLayer struct {
+	ncpu  int
+	costs Costs
+
+	start time.Time
+
+	futexMu sync.Mutex
+	futexQ  map[*Word][]chan struct{}
+
+	wg sync.WaitGroup
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+// NewRealLayer creates a real layer that reports ncpu CPUs (typically
+// runtime.NumCPU()).
+func NewRealLayer(ncpu int) *RealLayer {
+	if ncpu < 1 {
+		ncpu = 1
+	}
+	return &RealLayer{
+		ncpu:   ncpu,
+		futexQ: make(map[*Word][]chan struct{}),
+		rng:    rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+// NumCPUs returns the configured CPU count.
+func (l *RealLayer) NumCPUs() int { return l.ncpu }
+
+// Costs returns the (all-zero) cost table; real time is measured instead.
+func (l *RealLayer) Costs() *Costs { return &l.costs }
+
+// Run executes main on the calling goroutine and waits for all spawned
+// threads to finish. It returns the elapsed wall-clock nanoseconds.
+func (l *RealLayer) Run(main func(TC)) (int64, error) {
+	l.start = time.Now()
+	main(&realTC{layer: l, cpu: 0})
+	l.wg.Wait()
+	return time.Since(l.start).Nanoseconds(), nil
+}
+
+// TC returns a thread context for the calling goroutine, for interactive
+// use of the layer without Run (the public API's session mode). Spawned
+// threads must be joined by the caller.
+func (l *RealLayer) TC() TC {
+	if l.start.IsZero() {
+		l.start = time.Now()
+	}
+	return &realTC{layer: l, cpu: 0}
+}
+
+type realTC struct {
+	layer *RealLayer
+	cpu   int
+}
+
+func (t *realTC) CPU() int                  { return t.cpu }
+func (t *realTC) NumCPUs() int              { return t.layer.ncpu }
+func (t *realTC) Costs() *Costs             { return &t.layer.costs }
+func (t *realTC) Charge(ns int64)           {}
+func (t *realTC) Contend(l *Line, ns int64) {}
+func (t *realTC) Now() int64                { return time.Since(t.layer.start).Nanoseconds() }
+func (t *realTC) Yield()                    { runtime.Gosched() }
+
+func (t *realTC) Sleep(ns int64) { time.Sleep(time.Duration(ns)) }
+
+func (t *realTC) RandIntn(n int) int {
+	t.layer.rngMu.Lock()
+	defer t.layer.rngMu.Unlock()
+	return t.layer.rng.Intn(n)
+}
+
+type realHandle struct{ done chan struct{} }
+
+func (h *realHandle) Join(TC) { <-h.done }
+
+func (t *realTC) Spawn(name string, cpu int, fn func(TC)) Handle {
+	h := &realHandle{done: make(chan struct{})}
+	t.layer.wg.Add(1)
+	go func() {
+		defer t.layer.wg.Done()
+		defer close(h.done)
+		fn(&realTC{layer: t.layer, cpu: cpu})
+	}()
+	return h
+}
+
+func (t *realTC) FutexWait(w *Word, val uint32) bool {
+	l := t.layer
+	l.futexMu.Lock()
+	if w.Load() != val {
+		l.futexMu.Unlock()
+		return false
+	}
+	ch := make(chan struct{})
+	l.futexQ[w] = append(l.futexQ[w], ch)
+	l.futexMu.Unlock()
+	<-ch
+	return true
+}
+
+func (t *realTC) FutexWake(w *Word, n int) int {
+	l := t.layer
+	l.futexMu.Lock()
+	q := l.futexQ[w]
+	if n < 0 || n > len(q) {
+		n = len(q)
+	}
+	for i := 0; i < n; i++ {
+		close(q[i])
+	}
+	if n == len(q) {
+		delete(l.futexQ, w)
+	} else {
+		l.futexQ[w] = append([]chan struct{}(nil), q[n:]...)
+	}
+	l.futexMu.Unlock()
+	return n
+}

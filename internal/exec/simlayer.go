@@ -1,0 +1,153 @@
+package exec
+
+import (
+	"github.com/interweaving/komp/internal/sim"
+)
+
+// SimLayer executes threads as procs of the deterministic discrete-event
+// simulator, charging every primitive from an environment cost table.
+// All the paper's figures are regenerated on this layer.
+type SimLayer struct {
+	Sim   *sim.Sim
+	costs Costs
+	ft    *sim.FutexTable
+
+	// SpawnHook, if set, is invoked on the spawning thread for every
+	// Spawn. The simulated kernels use it to add scheduler bookkeeping
+	// (e.g. a kernel thread object) or extra environment costs.
+	SpawnHook func(tc TC, cpu int)
+}
+
+// NewSimLayer wraps a simulator with an environment cost table.
+func NewSimLayer(s *sim.Sim, costs Costs) *SimLayer {
+	return &SimLayer{Sim: s, costs: costs, ft: sim.NewFutexTable(s)}
+}
+
+// NumCPUs returns the simulator's CPU count.
+func (l *SimLayer) NumCPUs() int { return l.Sim.NumCPU() }
+
+// Costs returns the environment cost table.
+func (l *SimLayer) Costs() *Costs { return &l.costs }
+
+// Run starts main as a proc on CPU 0 at the current virtual time and runs
+// the simulator to completion. It returns the virtual nanoseconds elapsed
+// between the call and the last event.
+func (l *SimLayer) Run(main func(TC)) (int64, error) {
+	start := l.Sim.Now()
+	l.Sim.Go("main", 0, start, func(p *sim.Proc) {
+		main(&simTC{layer: l, proc: p})
+	})
+	if err := l.Sim.Run(); err != nil {
+		return l.Sim.Now() - start, err
+	}
+	return l.Sim.Now() - start, nil
+}
+
+type simTC struct {
+	layer *SimLayer
+	proc  *sim.Proc
+}
+
+// ProcHolder is implemented by simulator-backed thread contexts; the
+// kernel layers use it to attach kernel thread state to the underlying
+// proc.
+type ProcHolder interface {
+	Proc() *sim.Proc
+}
+
+// Proc exposes the underlying simulator proc (used by the kernel layers).
+func (t *simTC) Proc() *sim.Proc { return t.proc }
+
+// AdoptProc wraps a raw simulator proc in a thread context on this layer
+// — used by kernel execution models (fibers) that create procs outside
+// the thread-spawn path.
+func (l *SimLayer) AdoptProc(p *sim.Proc) TC { return &simTC{layer: l, proc: p} }
+
+func (t *simTC) CPU() int      { return t.proc.CPUID() }
+func (t *simTC) NumCPUs() int  { return t.layer.Sim.NumCPU() }
+func (t *simTC) Costs() *Costs { return &t.layer.costs }
+
+func (t *simTC) Charge(ns int64) {
+	if ns > 0 {
+		t.proc.Compute(ns)
+	}
+}
+
+// Contend serializes on the line: the proc stalls (occupying its CPU,
+// as a spinning CAS does) until the line frees, then owns it for ns.
+func (t *simTC) Contend(l *Line, ns int64) {
+	if ns <= 0 {
+		return
+	}
+	now := t.proc.Now()
+	start := now
+	if l.freeAt > start {
+		start = l.freeAt
+	}
+	end := start + ns
+	l.freeAt = end
+	t.proc.Compute(end - now)
+}
+
+func (t *simTC) Now() int64 { return t.proc.Now() }
+
+// minYieldNS guarantees that a yield advances virtual time: a zero-cost
+// yield would let a spin-waiting proc monopolize the event queue at a
+// single instant and livelock the simulation.
+const minYieldNS = 25
+
+func (t *simTC) Yield() {
+	ns := t.layer.costs.YieldNS
+	if ns < minYieldNS {
+		ns = minYieldNS
+	}
+	t.proc.Compute(ns)
+	t.proc.Yield()
+}
+
+func (t *simTC) Sleep(ns int64) { t.proc.Sleep(ns) }
+
+func (t *simTC) RandIntn(n int) int { return t.layer.Sim.RNG().Intn(n) }
+
+type simHandle struct {
+	layer *SimLayer
+	done  Word
+}
+
+func (h *simHandle) Join(tc TC) {
+	c := tc.Costs()
+	for h.done.Load() == 0 {
+		tc.FutexWait(&h.done, 0)
+	}
+	tc.Charge(c.ThreadJoinNS)
+}
+
+func (t *simTC) Spawn(name string, cpu int, fn func(TC)) Handle {
+	l := t.layer
+	t.Charge(l.costs.ThreadSpawnNS)
+	if l.SpawnHook != nil {
+		l.SpawnHook(t, cpu)
+	}
+	h := &simHandle{layer: l}
+	l.Sim.Go(name, cpu, t.proc.Now(), func(p *sim.Proc) {
+		child := &simTC{layer: l, proc: p}
+		fn(child)
+		child.Charge(l.costs.ThreadExitNS)
+		h.done.Store(1)
+		child.FutexWake(&h.done, -1)
+	})
+	return h
+}
+
+// futexWord adapts a Word to the simulator futex table, which keys on
+// *uint32. Word's single field makes the conversion stable.
+func futexKey(w *Word) *uint32 { return &w.v }
+
+func (t *simTC) FutexWait(w *Word, val uint32) bool {
+	return t.layer.ft.Wait(t.proc, futexKey(w), val, t.layer.costs.FutexWaitEntryNS)
+}
+
+func (t *simTC) FutexWake(w *Word, n int) int {
+	c := &t.layer.costs
+	return t.layer.ft.Wake(t.proc, futexKey(w), n, c.FutexWakeEntryNS, c.FutexWakeLatencyNS, c.FutexWakeStaggerNS)
+}

@@ -1,0 +1,85 @@
+package machine
+
+import "testing"
+
+func TestPHITopology(t *testing.T) {
+	m := PHI()
+	if m.NumCPUs() != 64 {
+		t.Fatalf("PHI CPUs = %d, want 64", m.NumCPUs())
+	}
+	if len(m.Zones) != 2 {
+		t.Fatalf("PHI zones = %d, want 2 (DRAM + flat MCDRAM)", len(m.Zones))
+	}
+	if m.Zones[1].Kind != MCDRAM || len(m.Zones[1].CPUs) != 0 {
+		t.Fatal("PHI MCDRAM zone must be CPU-less in flat mode")
+	}
+	if got := m.ZoneOf(63); got != 0 {
+		t.Fatalf("ZoneOf(63) = %d, want 0", got)
+	}
+	if len(m.DRAMZones()) != 1 {
+		t.Fatal("PHI must have exactly one CPU-attached DRAM zone")
+	}
+	// Flat mode: MCDRAM has high distance, so any NUMA-aware OS prefers
+	// DRAM (§2.2).
+	if m.Distance[0][1] <= m.Distance[0][0] {
+		t.Fatal("MCDRAM distance must exceed local DRAM distance")
+	}
+	if m.Scales[len(m.Scales)-1] != 64 {
+		t.Fatal("PHI sweep must end at 64 CPUs")
+	}
+}
+
+func Test8XEONTopology(t *testing.T) {
+	m := XEON8()
+	if m.NumCPUs() != 192 {
+		t.Fatalf("8XEON CPUs = %d, want 192", m.NumCPUs())
+	}
+	if m.Sockets != 8 || m.CoresPerSocket != 24 {
+		t.Fatalf("8XEON sockets=%d cores=%d, want 8/24", m.Sockets, m.CoresPerSocket)
+	}
+	if len(m.DRAMZones()) != 8 {
+		t.Fatalf("8XEON DRAM zones = %d, want 8", len(m.DRAMZones()))
+	}
+	if got := m.SocketOf(47); got != 1 {
+		t.Fatalf("SocketOf(47) = %d, want 1", got)
+	}
+	if got := m.ZoneOf(191); got != 7 {
+		t.Fatalf("ZoneOf(191) = %d, want 7", got)
+	}
+	if m.Scales[len(m.Scales)-1] != 192 {
+		t.Fatal("8XEON sweep must end at 192 CPUs")
+	}
+}
+
+func TestLatency(t *testing.T) {
+	m := XEON8()
+	local := m.LatencyNS(0, 0)
+	remote := m.LatencyNS(0, 7)
+	if !(local < remote) {
+		t.Fatalf("local %v must be < remote %v", local, remote)
+	}
+	if got := m.LatencyNS(25, 1); got != m.LocalLatencyNS {
+		t.Fatalf("cpu25->zone1 = %v, want local %v", got, m.LocalLatencyNS)
+	}
+}
+
+func TestTLBReach(t *testing.T) {
+	m := PHI()
+	tlb, ok := m.TLBFor(4 << 10)
+	if !ok {
+		t.Fatal("PHI must have 4K TLB")
+	}
+	if tlb.Reach() != int64(tlb.Entries)*4096 {
+		t.Fatal("reach arithmetic wrong")
+	}
+	if _, ok := m.TLBFor(12345); ok {
+		t.Fatal("bogus page size must not resolve")
+	}
+}
+
+func TestCycleNS(t *testing.T) {
+	m := PHI() // 1.3 GHz
+	if got := m.CycleNS(1300); got != 1000 {
+		t.Fatalf("1300 cycles at 1.3GHz = %v ns, want 1000", got)
+	}
+}

@@ -1,0 +1,193 @@
+// Package memsim implements the memory subsystem underneath both simulated
+// kernels: a buddy-system allocator (Nautilus allocates from per-NUMA-zone
+// buddy allocators, §2.1), page tables with identity-mapped and
+// demand-paged policies, NUMA placement policies (immediate, interleaved,
+// first-touch), and an analytic TLB model keyed to machine TLB reach.
+package memsim
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// MinBlock is the smallest buddy block (one 4 KiB page).
+const MinBlock int64 = 4 << 10
+
+// BuddyAllocator is a classic binary buddy allocator over a contiguous
+// range of a memory zone. Offsets are relative to the zone base.
+type BuddyAllocator struct {
+	size     int64
+	maxOrder int
+	free     [][]int64     // free[order] = offsets of free blocks
+	alloc    map[int64]int // offset -> order of live allocation
+	inFree   map[int64]int // offset -> order of free block (for merge lookup)
+
+	// Stats.
+	Allocs, Frees int64
+	BytesLive     int64
+	PeakLive      int64
+	Failures      int64
+}
+
+// NewBuddy creates a buddy allocator managing size bytes (rounded down to
+// a multiple of MinBlock; size must be at least MinBlock).
+func NewBuddy(size int64) *BuddyAllocator {
+	size = size / MinBlock * MinBlock
+	if size < MinBlock {
+		panic("memsim: buddy zone smaller than minimum block")
+	}
+	maxOrder := 0
+	for MinBlock<<maxOrder < size {
+		maxOrder++
+	}
+	b := &BuddyAllocator{
+		size:     size,
+		maxOrder: maxOrder,
+		free:     make([][]int64, maxOrder+1),
+		alloc:    make(map[int64]int),
+		inFree:   make(map[int64]int),
+	}
+	// Seed the free lists by greedily carving the zone into power-of-two
+	// blocks (handles non-power-of-two zone sizes).
+	off := int64(0)
+	rem := size
+	for rem >= MinBlock {
+		o := b.maxOrder
+		for MinBlock<<o > rem || off%(MinBlock<<o) != 0 {
+			o--
+		}
+		b.pushFree(off, o)
+		off += MinBlock << o
+		rem -= MinBlock << o
+	}
+	return b
+}
+
+// Size returns the number of bytes managed.
+func (b *BuddyAllocator) Size() int64 { return b.size }
+
+func (b *BuddyAllocator) pushFree(off int64, order int) {
+	b.free[order] = append(b.free[order], off)
+	b.inFree[off] = order
+}
+
+func (b *BuddyAllocator) popFree(order int) (int64, bool) {
+	l := b.free[order]
+	if len(l) == 0 {
+		return 0, false
+	}
+	off := l[len(l)-1]
+	b.free[order] = l[:len(l)-1]
+	delete(b.inFree, off)
+	return off, true
+}
+
+func (b *BuddyAllocator) removeFree(off int64, order int) bool {
+	if o, ok := b.inFree[off]; !ok || o != order {
+		return false
+	}
+	l := b.free[order]
+	for i, x := range l {
+		if x == off {
+			l[i] = l[len(l)-1]
+			b.free[order] = l[:len(l)-1]
+			delete(b.inFree, off)
+			return true
+		}
+	}
+	return false
+}
+
+func orderFor(size int64) int {
+	if size <= MinBlock {
+		return 0
+	}
+	blocks := (size + MinBlock - 1) / MinBlock
+	return bits.Len64(uint64(blocks - 1))
+}
+
+// BlockSize returns the actual byte size a request of size bytes occupies.
+func BlockSize(size int64) int64 { return MinBlock << orderFor(size) }
+
+// Alloc allocates a block of at least size bytes, returning its offset.
+// ok is false if the zone cannot satisfy the request.
+func (b *BuddyAllocator) Alloc(size int64) (offset int64, ok bool) {
+	if size <= 0 {
+		size = 1
+	}
+	want := orderFor(size)
+	if want > b.maxOrder {
+		b.Failures++
+		return 0, false
+	}
+	// Find the smallest order ≥ want with a free block.
+	o := want
+	for o <= b.maxOrder {
+		if len(b.free[o]) > 0 {
+			break
+		}
+		o++
+	}
+	if o > b.maxOrder {
+		b.Failures++
+		return 0, false
+	}
+	off, _ := b.popFree(o)
+	// Split down to the wanted order, freeing the upper buddies.
+	for o > want {
+		o--
+		b.pushFree(off+MinBlock<<o, o)
+	}
+	b.alloc[off] = want
+	b.Allocs++
+	b.BytesLive += MinBlock << want
+	if b.BytesLive > b.PeakLive {
+		b.PeakLive = b.BytesLive
+	}
+	return off, true
+}
+
+// Free releases the block at offset, merging buddies upward.
+func (b *BuddyAllocator) Free(offset int64) error {
+	order, ok := b.alloc[offset]
+	if !ok {
+		return fmt.Errorf("memsim: free of unallocated offset %#x", offset)
+	}
+	delete(b.alloc, offset)
+	b.Frees++
+	b.BytesLive -= MinBlock << order
+	for order < b.maxOrder {
+		buddy := offset ^ (MinBlock << order)
+		if buddy+MinBlock<<order > b.size {
+			break
+		}
+		if !b.removeFree(buddy, order) {
+			break
+		}
+		if buddy < offset {
+			offset = buddy
+		}
+		order++
+	}
+	b.pushFree(offset, order)
+	return nil
+}
+
+// FreeBytes returns the number of bytes currently free.
+func (b *BuddyAllocator) FreeBytes() int64 {
+	var total int64
+	for o, l := range b.free {
+		total += int64(len(l)) * (MinBlock << o)
+	}
+	return total
+}
+
+// LargestFree returns the size of the largest free block.
+func (b *BuddyAllocator) LargestFree() int64 {
+	for o := b.maxOrder; o >= 0; o-- {
+		if len(b.free[o]) > 0 {
+			return MinBlock << o
+		}
+	}
+	return 0
+}

@@ -1,0 +1,278 @@
+// Package mpi sketches the multi-node direction of §7: "a 'pure'
+// in-kernel MPI implementation would proceed along the lines of RTK or
+// PIK. MPI implementations already have layered designs in which
+// NIC-specific code lies below a HAL. An in-kernel implementation or
+// port would implement the HAL directly on top of kernel drivers."
+//
+// The package models a small cluster inside one simulator: each node is
+// a CPU partition running its own Nautilus kernel; a simulated NIC
+// carries frames between nodes with latency + bandwidth costs; a HAL
+// sits between the communicator and the NIC; and the communicator
+// implements the MPI data-plane primitives (Send/Recv with tag matching,
+// Barrier, Allreduce via recursive doubling). The in-kernel advantage is
+// mechanical: the kernel HAL path has no per-message syscall crossing.
+package mpi
+
+import (
+	"fmt"
+
+	"github.com/interweaving/komp/internal/exec"
+	"github.com/interweaving/komp/internal/machine"
+	"github.com/interweaving/komp/internal/nautilus"
+	"github.com/interweaving/komp/internal/sim"
+)
+
+// Frame is what the HAL moves: opaque payload plus addressing.
+type Frame struct {
+	Src, Dst int
+	Tag      int
+	Bytes    int64
+	Payload  float64
+}
+
+// HAL is the hardware abstraction the communicator sits on. Tx charges
+// the sender-side path and schedules delivery.
+type HAL interface {
+	Tx(tc exec.TC, f Frame)
+}
+
+// Link models the wire: per-frame latency plus serialization.
+type Link struct {
+	LatencyNS  int64
+	BytesPerUS int64 // bandwidth
+}
+
+// frameTime returns the wire time of a frame.
+func (l Link) frameTime(bytes int64) int64 {
+	t := l.LatencyNS
+	if l.BytesPerUS > 0 {
+		t += bytes * 1000 / l.BytesPerUS
+	}
+	return t
+}
+
+// Cluster is a simulated multi-node configuration sharing one simulator.
+type Cluster struct {
+	Sim   *sim.Sim
+	Nodes []*Node
+	Link  Link
+	// TxPathNS is the per-frame sender-side software path below MPI: the
+	// in-kernel HAL talks to the driver directly; a user-level MPI pays
+	// an additional syscall crossing per frame (§7's point).
+	TxPathNS int64
+}
+
+// Node is one cluster member: a CPU partition with its own kernel and
+// receive queue.
+type Node struct {
+	Rank   int
+	CPUs   []int
+	Kernel *nautilus.Kernel
+
+	cluster *Cluster
+	rxq     *sim.WaitQueue
+	inbox   []Frame
+}
+
+// Config builds a cluster.
+type Config struct {
+	Machine     *machine.Machine
+	Seed        int64
+	Nodes       int
+	KernelCosts exec.Costs
+	Link        Link
+	// UserLevel models a user-space MPI (per-frame syscall tax) instead
+	// of the in-kernel HAL.
+	UserLevel bool
+}
+
+// New builds the cluster: the machine's CPUs split evenly into nodes,
+// each running a Nautilus kernel on the shared simulator.
+func New(cfg Config) (*Cluster, error) {
+	m := cfg.Machine
+	if cfg.Nodes < 2 || m.NumCPUs()%cfg.Nodes != 0 {
+		return nil, fmt.Errorf("mpi: %d nodes must evenly split %d CPUs", cfg.Nodes, m.NumCPUs())
+	}
+	per := m.NumCPUs() / cfg.Nodes
+	s := sim.New(m.NumCPUs(), cfg.Seed)
+	c := &Cluster{Sim: s, Link: cfg.Link, TxPathNS: 400}
+	if cfg.UserLevel {
+		c.TxPathNS = 400 + 800 // plus the syscall crossing each way
+	}
+	if c.Link.LatencyNS == 0 {
+		c.Link.LatencyNS = 1200 // one switch hop of modern interconnect
+	}
+	if c.Link.BytesPerUS == 0 {
+		c.Link.BytesPerUS = 12_000 // ~12 GB/s
+	}
+	for r := 0; r < cfg.Nodes; r++ {
+		cpus := make([]int, per)
+		for i := range cpus {
+			cpus[i] = r*per + i
+		}
+		n := &Node{
+			Rank: r,
+			CPUs: cpus,
+			Kernel: nautilus.Boot(nautilus.Config{
+				Machine: m, Seed: cfg.Seed + int64(r), Sim: s, CPUs: cpus,
+				Costs: cfg.KernelCosts,
+			}),
+			cluster: c,
+			rxq:     sim.NewWaitQueue(s),
+		}
+		c.Nodes = append(c.Nodes, n)
+	}
+	return c, nil
+}
+
+// Tx implements the HAL: charge the sender path, put the frame on the
+// wire, deliver into the destination's inbox after the wire time.
+func (c *Cluster) Tx(tc exec.TC, f Frame) {
+	if f.Dst < 0 || f.Dst >= len(c.Nodes) {
+		panic(fmt.Sprintf("mpi: Tx to rank %d of %d", f.Dst, len(c.Nodes)))
+	}
+	tc.Charge(c.TxPathNS)
+	dst := c.Nodes[f.Dst]
+	wire := c.Link.frameTime(f.Bytes)
+	now := tc.Now()
+	c.Sim.At(now+wire, func() {
+		dst.inbox = append(dst.inbox, f)
+		// RX interrupt -> wake a blocked receiver.
+		dst.rxq.WakeAll(c.Sim.Now(), 200, 0)
+	})
+}
+
+// Comm is a rank's communicator handle, bound to a thread context on
+// that rank's kernel.
+type Comm struct {
+	node *Node
+	tc   exec.TC
+}
+
+// Comm returns rank r's communicator for a thread context running on one
+// of its CPUs.
+func (c *Cluster) Comm(r int, tc exec.TC) *Comm {
+	return &Comm{node: c.Nodes[r], tc: tc}
+}
+
+// Rank returns this communicator's rank.
+func (co *Comm) Rank() int { return co.node.Rank }
+
+// Size returns the cluster size.
+func (co *Comm) Size() int { return len(co.node.cluster.Nodes) }
+
+// Send transmits a payload to rank dst with a tag.
+func (co *Comm) Send(dst, tag int, bytes int64, payload float64) {
+	co.node.cluster.Tx(co.tc, Frame{
+		Src: co.node.Rank, Dst: dst, Tag: tag, Bytes: bytes, Payload: payload,
+	})
+}
+
+// Recv blocks until a frame from src (-1: any) with the tag arrives and
+// returns it.
+func (co *Comm) Recv(src, tag int) Frame {
+	n := co.node
+	p := procOf(co.tc)
+	for {
+		for i, f := range n.inbox {
+			if (src < 0 || f.Src == src) && f.Tag == tag {
+				n.inbox = append(n.inbox[:i], n.inbox[i+1:]...)
+				co.tc.Charge(300) // rx path: copy out, complete the request
+				return f
+			}
+		}
+		n.rxq.Wait(p)
+	}
+}
+
+func procOf(tc exec.TC) *sim.Proc {
+	ph, ok := tc.(exec.ProcHolder)
+	if !ok {
+		panic("mpi: communicator must run on the simulator")
+	}
+	return ph.Proc()
+}
+
+// Allreduce combines each rank's value with op across the cluster and
+// returns the result on every rank — recursive doubling for power-of-two
+// sizes, gather+broadcast through rank 0 otherwise. bytes sets the
+// message size for the wire model.
+func (co *Comm) Allreduce(value float64, bytes int64, op func(a, b float64) float64, tag int) float64 {
+	size := co.Size()
+	rank := co.Rank()
+	if size&(size-1) == 0 {
+		acc := value
+		for step := 1; step < size; step <<= 1 {
+			partner := rank ^ step
+			co.Send(partner, tag+step, bytes, acc)
+			f := co.Recv(partner, tag+step)
+			acc = op(acc, f.Payload)
+		}
+		return acc
+	}
+	// Gather to 0, combine, broadcast.
+	if rank == 0 {
+		acc := value
+		for r := 1; r < size; r++ {
+			f := co.Recv(-1, tag)
+			acc = op(acc, f.Payload)
+		}
+		for r := 1; r < size; r++ {
+			co.Send(r, tag+1, bytes, acc)
+		}
+		return acc
+	}
+	co.Send(0, tag, bytes, value)
+	return co.Recv(0, tag+1).Payload
+}
+
+// Barrier synchronizes all ranks (a zero-byte allreduce).
+func (co *Comm) Barrier(tag int) {
+	co.Allreduce(0, 8, func(a, b float64) float64 { return a + b }, tag)
+}
+
+// SpawnOnRank starts a thread on one of the rank's CPUs with a kernel
+// thread context, returning a joinable handle usable from any rank.
+func (c *Cluster) SpawnOnRank(r int, fn func(tc exec.TC)) exec.Handle {
+	node := c.Nodes[r]
+	h := &rankHandle{ft: sim.NewFutexTable(c.Sim)}
+	layer := node.Kernel.Layer
+	c.Sim.Go(fmt.Sprintf("rank%d", r), node.CPUs[0], c.Sim.Now(), func(p *sim.Proc) {
+		tc := layer.AdoptProc(p)
+		fn(tc)
+		h.done = 1
+		h.ft.Wake(p, &h.done, -1, 0, 100, 0)
+	})
+	return h
+}
+
+type rankHandle struct {
+	done uint32
+	ft   *sim.FutexTable
+}
+
+// Join blocks until the rank thread finishes.
+func (h *rankHandle) Join(tc exec.TC) {
+	p := procOf(tc)
+	for h.done == 0 {
+		h.ft.Wait(p, &h.done, 0, 0)
+	}
+}
+
+// Run drives a single-program-multiple-data function on every rank and
+// runs the simulator to completion, returning elapsed virtual ns.
+func (c *Cluster) Run(body func(co *Comm)) (int64, error) {
+	start := c.Sim.Now()
+	var handles []exec.Handle
+	for r := range c.Nodes {
+		r := r
+		handles = append(handles, c.SpawnOnRank(r, func(tc exec.TC) {
+			body(c.Comm(r, tc))
+		}))
+	}
+	if err := c.Sim.Run(); err != nil {
+		return 0, err
+	}
+	_ = handles
+	return c.Sim.Now() - start, nil
+}

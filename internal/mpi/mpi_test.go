@@ -1,0 +1,177 @@
+package mpi
+
+import (
+	"math"
+	"testing"
+
+	"github.com/interweaving/komp/internal/exec"
+	"github.com/interweaving/komp/internal/machine"
+)
+
+func testCluster(t *testing.T, nodes int, userLevel bool) *Cluster {
+	t.Helper()
+	c, err := New(Config{
+		Machine:   machine.PHI(),
+		Seed:      3,
+		Nodes:     nodes,
+		UserLevel: userLevel,
+		KernelCosts: exec.Costs{ThreadSpawnNS: 2000, FutexWaitEntryNS: 80,
+			FutexWakeEntryNS: 80, FutexWakeLatencyNS: 300},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestClusterConstruction(t *testing.T) {
+	c := testCluster(t, 4, false)
+	if len(c.Nodes) != 4 || len(c.Nodes[0].CPUs) != 16 {
+		t.Fatalf("split wrong: %d nodes x %d cpus", len(c.Nodes), len(c.Nodes[0].CPUs))
+	}
+	if c.Nodes[3].CPUs[0] != 48 {
+		t.Fatal("node CPU ranges wrong")
+	}
+	if _, err := New(Config{Machine: machine.PHI(), Nodes: 3}); err == nil {
+		t.Fatal("3 nodes cannot split 64 CPUs evenly")
+	}
+}
+
+func TestPingPong(t *testing.T) {
+	c := testCluster(t, 2, false)
+	var rtt int64
+	_, err := c.Run(func(co *Comm) {
+		switch co.Rank() {
+		case 0:
+			t0 := co.tc.Now()
+			co.Send(1, 7, 8, 42)
+			f := co.Recv(1, 8)
+			rtt = co.tc.Now() - t0
+			if f.Payload != 43 {
+				t.Errorf("pong payload %v", f.Payload)
+			}
+		case 1:
+			f := co.Recv(0, 7)
+			co.Send(0, 8, 8, f.Payload+1)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RTT must include two wire latencies (2 x 1200ns) plus sw paths.
+	if rtt < 2400 {
+		t.Fatalf("rtt = %d ns, below the physical wire time", rtt)
+	}
+	if rtt > 50_000 {
+		t.Fatalf("rtt = %d ns, absurd", rtt)
+	}
+}
+
+func TestTagAndSourceMatching(t *testing.T) {
+	c := testCluster(t, 2, false)
+	_, err := c.Run(func(co *Comm) {
+		if co.Rank() == 1 {
+			co.Send(0, 5, 8, 500) // tag 5 sent first
+			co.Send(0, 3, 8, 300)
+			return
+		}
+		// Receive in the opposite order of arrival: matching, not FIFO.
+		a := co.Recv(1, 3)
+		b := co.Recv(1, 5)
+		if a.Payload != 300 || b.Payload != 500 {
+			t.Errorf("tag matching broken: %v %v", a.Payload, b.Payload)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreducePowerOfTwo(t *testing.T) {
+	c := testCluster(t, 4, false)
+	sums := make([]float64, 4)
+	_, err := c.Run(func(co *Comm) {
+		v := float64(co.Rank() + 1)
+		sums[co.Rank()] = co.Allreduce(v, 8, func(a, b float64) float64 { return a + b }, 100)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, s := range sums {
+		if s != 10 {
+			t.Fatalf("rank %d allreduce = %v, want 10", r, s)
+		}
+	}
+}
+
+func TestAllreduceMax(t *testing.T) {
+	c := testCluster(t, 8, false)
+	vals := make([]float64, 8)
+	_, err := c.Run(func(co *Comm) {
+		v := float64((co.Rank() * 37) % 11)
+		vals[co.Rank()] = co.Allreduce(v, 8, math.Max, 50)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, v := range vals {
+		if v != 9 { // max of (37r mod 11) over r=0..7 is 9
+			t.Fatalf("rank %d max = %v", r, v)
+		}
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	c := testCluster(t, 4, false)
+	var slowDone, fastResumed int64
+	_, err := c.Run(func(co *Comm) {
+		if co.Rank() == 0 {
+			co.tc.Charge(1_000_000) // the straggler
+			slowDone = co.tc.Now()
+		}
+		co.Barrier(10)
+		if co.Rank() == 3 {
+			fastResumed = co.tc.Now()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fastResumed < slowDone {
+		t.Fatalf("rank 3 left the barrier at %d before the straggler arrived at %d", fastResumed, slowDone)
+	}
+}
+
+// The §7 claim in miniature: the in-kernel HAL path beats a user-level
+// MPI that pays a syscall per frame, and the gap grows with message rate.
+func TestInKernelDataPlaneBeatsUserLevel(t *testing.T) {
+	run := func(user bool) int64 {
+		c := testCluster(t, 2, user)
+		elapsed, err := c.Run(func(co *Comm) {
+			const msgs = 300
+			if co.Rank() == 0 {
+				for i := 0; i < msgs; i++ {
+					co.Send(1, i, 64, float64(i))
+					co.Recv(1, i)
+				}
+			} else {
+				for i := 0; i < msgs; i++ {
+					f := co.Recv(0, i)
+					co.Send(0, i, 64, f.Payload)
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return elapsed
+	}
+	kernel, user := run(false), run(true)
+	if kernel >= user {
+		t.Fatalf("in-kernel data plane (%d) must beat user-level (%d)", kernel, user)
+	}
+	// 600 frames x ~1.6us extra syscall tax each way.
+	if user-kernel < 300_000 {
+		t.Fatalf("syscall tax too small: %d", user-kernel)
+	}
+}

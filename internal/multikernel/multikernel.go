@@ -1,0 +1,246 @@
+// Package multikernel implements the deployment model §7 describes for
+// running OpenMP-in-the-kernel alongside a general-purpose OS: the
+// machine is space-partitioned between a Linux-analogue "host" side and
+// a Nautilus compartment (the Pisces co-kernel / HVM style), with
+//
+//   - disjoint CPU sets carrying each side's own noise model,
+//   - a memory budget carving the compartment's zones out of the host's,
+//   - a shared-memory message ring for cross-kernel communication (the
+//     "control plane in Linux, data plane in the specialized kernel"
+//     split), and
+//   - compartment reboot "at timescales similar to a process creation
+//     in Linux" — fast enough to cycle the specialized kernel per job.
+package multikernel
+
+import (
+	"fmt"
+
+	"github.com/interweaving/komp/internal/exec"
+	"github.com/interweaving/komp/internal/linuxsim"
+	"github.com/interweaving/komp/internal/machine"
+	"github.com/interweaving/komp/internal/nautilus"
+	"github.com/interweaving/komp/internal/sim"
+)
+
+// Config describes the partition.
+type Config struct {
+	Machine *machine.Machine
+	Seed    int64
+	// CompartmentCPUs is how many CPUs (from the top of the machine) the
+	// Nautilus compartment owns.
+	CompartmentCPUs int
+	// CompartmentBytes is the memory budget carved for the compartment
+	// (spread over the zones its CPUs live in).
+	CompartmentBytes int64
+	// KernelCosts is the compartment's primitive cost table.
+	KernelCosts exec.Costs
+	// BootImageBytes of the compartment kernel image.
+	BootImageBytes int64
+}
+
+// Partition is a booted multi-kernel configuration.
+type Partition struct {
+	Machine *machine.Machine
+	Sim     *sim.Sim
+	// HostLayer runs on the host (Linux-analogue) CPUs.
+	HostLayer *exec.SimLayer
+	// HostCPUs / CompCPUs are the two CPU sets.
+	HostCPUs, CompCPUs []int
+	// Kernel is the live compartment (nil between Shutdown and Boot).
+	Kernel *nautilus.Kernel
+
+	cfg     Config
+	Reboots int
+}
+
+// Boot builds the partition: a shared simulator, Linux noise on the host
+// CPUs, and a freshly booted compartment on the rest.
+func Boot(cfg Config) (*Partition, error) {
+	m := cfg.Machine
+	n := m.NumCPUs()
+	if cfg.CompartmentCPUs <= 0 || cfg.CompartmentCPUs >= n {
+		return nil, fmt.Errorf("multikernel: compartment of %d CPUs on a %d-CPU machine", cfg.CompartmentCPUs, n)
+	}
+	s := sim.New(n, cfg.Seed)
+	s.SetNoise(linuxsim.NewNoise(m)) // host noise everywhere first
+	p := &Partition{
+		Machine:   m,
+		Sim:       s,
+		HostLayer: exec.NewSimLayer(s, linuxsim.Costs(m)),
+		cfg:       cfg,
+	}
+	for c := 0; c < n-cfg.CompartmentCPUs; c++ {
+		p.HostCPUs = append(p.HostCPUs, c)
+	}
+	for c := n - cfg.CompartmentCPUs; c < n; c++ {
+		p.CompCPUs = append(p.CompCPUs, c)
+	}
+	p.bootCompartment()
+	return p, nil
+}
+
+// zoneBudget spreads the compartment's memory budget over the zones its
+// CPUs touch.
+func (p *Partition) zoneBudget() map[int]int64 {
+	zones := map[int]bool{}
+	for _, c := range p.CompCPUs {
+		zones[p.Machine.ZoneOf(c)] = true
+	}
+	budget := map[int]int64{}
+	if p.cfg.CompartmentBytes <= 0 {
+		return budget
+	}
+	per := p.cfg.CompartmentBytes / int64(len(zones))
+	for z := range zones {
+		budget[z] = per
+	}
+	return budget
+}
+
+func (p *Partition) bootCompartment() {
+	p.Kernel = nautilus.Boot(nautilus.Config{
+		Machine:        p.Machine,
+		Seed:           p.cfg.Seed + int64(p.Reboots),
+		Sim:            p.Sim,
+		CPUs:           p.CompCPUs,
+		Costs:          p.cfg.KernelCosts,
+		ZoneBudget:     p.zoneBudget(),
+		BootImageBytes: p.cfg.BootImageBytes,
+	})
+}
+
+// Shutdown tears the compartment down (the host side keeps running).
+func (p *Partition) Shutdown() {
+	p.Kernel = nil
+	// The host reclaims nothing here: the partition's point is that the
+	// compartment's resources stay reserved for its next incarnation.
+}
+
+// Reboot cycles the compartment: shutdown, charge the modeled boot time
+// on the controlling host thread, boot fresh kernel state. It returns
+// the virtual boot nanoseconds — the quantity §7 compares to Linux
+// process creation.
+func (p *Partition) Reboot(tc exec.TC) int64 {
+	p.Shutdown()
+	p.Reboots++
+	p.bootCompartment()
+	tc.Charge(p.Kernel.BootNS)
+	return p.Kernel.BootNS
+}
+
+// SpawnInCompartment starts a thread inside the compartment kernel on
+// one of its CPUs, handing the body a thread context on the kernel's
+// layer (kernel costs, kernel futexes). It returns a handle the host
+// side can join through its own context.
+func (p *Partition) SpawnInCompartment(name string, cpu int, fn func(exec.TC)) exec.Handle {
+	if p.Kernel == nil {
+		panic("multikernel: compartment is down")
+	}
+	if !p.Kernel.OwnsCPU(cpu) {
+		panic(fmt.Sprintf("multikernel: CPU %d is not in the compartment", cpu))
+	}
+	layer := p.Kernel.Layer
+	// The joiner may live in the other kernel: completion signaling goes
+	// through a shared simulator-level wait table (each kernel's futex
+	// namespace is private to it).
+	h := &compHandle{ft: sim.NewFutexTable(p.Sim)}
+	p.Sim.Go(name, cpu, p.Sim.Now(), func(pr *sim.Proc) {
+		tc := layer.AdoptProc(pr)
+		fn(tc)
+		h.done = 1
+		h.ft.Wake(pr, &h.done, -1, 0, ringDoorbellNS, 0)
+	})
+	return h
+}
+
+type compHandle struct {
+	done uint32
+	ft   *sim.FutexTable
+}
+
+func (h *compHandle) Join(tc exec.TC) {
+	p := ringProc(tc)
+	for h.done == 0 {
+		h.ft.Wait(p, &h.done, 0, 0)
+	}
+}
+
+// --- The cross-kernel shared-memory ring ---
+
+// Message is one entry of the shared ring.
+type Message struct {
+	Kind    string
+	Payload int64
+}
+
+// Ring is a bounded single-producer single-consumer shared-memory
+// channel between the kernels — the communication split of §7's
+// multi-node discussion (control plane on one side, data plane on the
+// other). Each kernel has its own futex namespace, so the cross-kernel
+// doorbells go through a shared simulator-level wait table (standing in
+// for the IPI/poll doorbells a real co-kernel deployment uses).
+type Ring struct {
+	buf        []Message
+	head, tail uint32
+	ft         *sim.FutexTable
+}
+
+// NewRing creates a ring with capacity slots (rounded up to ≥2) on the
+// partition's shared machine.
+func (p *Partition) NewRing(capacity int) *Ring {
+	if capacity < 2 {
+		capacity = 2
+	}
+	return &Ring{buf: make([]Message, capacity), ft: sim.NewFutexTable(p.Sim)}
+}
+
+// ringDoorbellNS is the cross-kernel notification cost (a cache line
+// transfer plus the doorbell).
+const ringDoorbellNS = 350
+
+func ringProc(tc exec.TC) *sim.Proc {
+	ph, ok := tc.(exec.ProcHolder)
+	if !ok {
+		panic("multikernel: ring endpoint must run on the simulator")
+	}
+	return ph.Proc()
+}
+
+// Send enqueues a message, blocking while the ring is full.
+func (r *Ring) Send(tc exec.TC, m Message) {
+	p := ringProc(tc)
+	for {
+		if int(r.tail-r.head) < len(r.buf) {
+			r.buf[r.tail%uint32(len(r.buf))] = m
+			tc.Charge(ringDoorbellNS)
+			r.tail++
+			r.ft.Wake(p, &r.tail, 1, 0, ringDoorbellNS, 0)
+			return
+		}
+		h := r.head
+		if r.head == h {
+			r.ft.Wait(p, &r.head, h, 0) // wait for the consumer to advance
+		}
+	}
+}
+
+// Recv dequeues a message, blocking while the ring is empty.
+func (r *Ring) Recv(tc exec.TC) Message {
+	p := ringProc(tc)
+	for {
+		if r.tail != r.head {
+			m := r.buf[r.head%uint32(len(r.buf))]
+			tc.Charge(ringDoorbellNS)
+			r.head++
+			r.ft.Wake(p, &r.head, 1, 0, ringDoorbellNS, 0)
+			return m
+		}
+		t := r.tail
+		if r.tail == t {
+			r.ft.Wait(p, &r.tail, t, 0)
+		}
+	}
+}
+
+// Len returns the number of queued messages.
+func (r *Ring) Len() int { return int(r.tail - r.head) }

@@ -1,0 +1,194 @@
+package multikernel
+
+import (
+	"testing"
+
+	"github.com/interweaving/komp/internal/exec"
+	"github.com/interweaving/komp/internal/machine"
+	"github.com/interweaving/komp/internal/pik"
+)
+
+func testConfig() Config {
+	return Config{
+		Machine:          machine.PHI(),
+		Seed:             5,
+		CompartmentCPUs:  16,
+		CompartmentBytes: 8 << 30,
+		KernelCosts: exec.Costs{ThreadSpawnNS: 2200, FutexWaitEntryNS: 80,
+			FutexWakeEntryNS: 80, FutexWakeLatencyNS: 400, MallocNS: 300},
+		BootImageBytes: 64 << 20,
+	}
+}
+
+func TestPartitionSplitsCPUs(t *testing.T) {
+	p, err := Boot(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.HostCPUs) != 48 || len(p.CompCPUs) != 16 {
+		t.Fatalf("split = %d/%d", len(p.HostCPUs), len(p.CompCPUs))
+	}
+	if p.Kernel.NumCPUs() != 16 {
+		t.Fatalf("compartment kernel sees %d CPUs", p.Kernel.NumCPUs())
+	}
+	if !p.Kernel.OwnsCPU(63) || p.Kernel.OwnsCPU(0) {
+		t.Fatal("CPU ownership wrong")
+	}
+	if _, err := Boot(Config{Machine: machine.PHI(), CompartmentCPUs: 64}); err == nil {
+		t.Fatal("compartment must not swallow the whole machine")
+	}
+}
+
+func TestCompartmentMemoryBudget(t *testing.T) {
+	p, err := Boot(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PHI has one DRAM zone: the compartment's buddy must be capped at
+	// the 8 GiB budget, not the 96 GiB zone.
+	b := p.Kernel.Buddies[0]
+	if b.Size() > 8<<30 {
+		t.Fatalf("compartment allocator spans %d bytes, budget is 8GiB", b.Size())
+	}
+	_, err = p.HostLayer.Run(func(tc exec.TC) {
+		h := p.SpawnInCompartment("alloc", 60, func(ktc exec.TC) {
+			if _, err := p.Kernel.KAlloc(ktc, "too-big", 16<<30, 60); err == nil {
+				t.Error("allocation beyond the compartment budget must fail")
+			}
+			if _, err := p.Kernel.KAlloc(ktc, "fits", 1<<30, 60); err != nil {
+				t.Errorf("in-budget allocation failed: %v", err)
+			}
+		})
+		h.Join(tc)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRebootIsProcessCreationScale(t *testing.T) {
+	p, err := Boot(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bootNS int64
+	_, err = p.HostLayer.Run(func(tc exec.TC) {
+		bootNS = p.Reboot(tc)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "on the order of milliseconds" (§7): single-digit ms for a 16-CPU
+	// compartment with a 64 MiB image.
+	if bootNS < 1_000_000 || bootNS > 20_000_000 {
+		t.Fatalf("compartment reboot = %.2f ms, want single-digit ms", float64(bootNS)/1e6)
+	}
+	if p.Reboots != 1 || p.Kernel == nil {
+		t.Fatal("reboot bookkeeping wrong")
+	}
+	// The fresh kernel is genuinely fresh: no shell commands, no threads.
+	if len(p.Kernel.Commands()) != 0 {
+		t.Fatal("rebooted kernel kept stale state")
+	}
+}
+
+func TestCrossKernelRing(t *testing.T) {
+	p, err := Boot(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := p.NewRing(4)
+	var got []int64
+	_, err = p.HostLayer.Run(func(tc exec.TC) {
+		// Compartment side: data-plane worker computes and sends results.
+		h := p.SpawnInCompartment("producer", 56, func(ktc exec.TC) {
+			for i := int64(0); i < 20; i++ {
+				ktc.Charge(5_000) // compute
+				ring.Send(ktc, Message{Kind: "result", Payload: i * i})
+			}
+			ring.Send(ktc, Message{Kind: "eof"})
+		})
+		// Host side: control plane consumes.
+		for {
+			m := ring.Recv(tc)
+			if m.Kind == "eof" {
+				break
+			}
+			got = append(got, m.Payload)
+		}
+		h.Join(tc)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 20 {
+		t.Fatalf("received %d messages", len(got))
+	}
+	for i, v := range got {
+		if v != int64(i*i) {
+			t.Fatalf("message %d = %d (order or payload corrupted)", i, v)
+		}
+	}
+	if ring.Len() != 0 {
+		t.Fatal("ring not drained")
+	}
+}
+
+func TestCompartmentIsolationFromHostNoise(t *testing.T) {
+	p, err := Boot(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hostNS, compNS int64
+	_, err = p.HostLayer.Run(func(tc exec.TC) {
+		hHost := tc.Spawn("host-work", 4, func(htc exec.TC) {
+			t0 := htc.Now()
+			htc.Charge(100_000_000)
+			hostNS = htc.Now() - t0
+		})
+		hComp := p.SpawnInCompartment("comp-work", 60, func(ktc exec.TC) {
+			t0 := ktc.Now()
+			ktc.Charge(100_000_000)
+			compNS = ktc.Now() - t0
+		})
+		hHost.Join(tc)
+		hComp.Join(tc)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compNS >= hostNS {
+		t.Fatalf("compartment compute (%d) must be quieter than host (%d)", compNS, hostNS)
+	}
+}
+
+func TestPIKLoadsInsideCompartment(t *testing.T) {
+	// The full §7 story: a PIK executable runs inside the compartment
+	// while Linux-analogue activity owns the rest of the machine.
+	pik.RegisterEntry("mk_main", func(tc exec.TC, proc *pik.Process, args []string) int {
+		proc.WriteString(tc, "compartmentalized\n")
+		return 0
+	})
+	p, err := Boot(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := pik.Link(&pik.Image{Name: "mk", Flags: pik.FlagPIE, Entry: "mk_main",
+		TextBytes: make([]byte, 4096), StackSize: 4096})
+	_, err = p.HostLayer.Run(func(tc exec.TC) {
+		h := p.SpawnInCompartment("pik", 48, func(ktc exec.TC) {
+			proc, code, err := pik.Run(ktc, p.Kernel, img, nil)
+			if err != nil || code != 0 {
+				t.Errorf("pik in compartment: %v code=%d", err, code)
+				return
+			}
+			if proc.Stdout.String() != "compartmentalized\n" {
+				t.Errorf("stdout = %q", proc.Stdout.String())
+			}
+		})
+		h.Join(tc)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

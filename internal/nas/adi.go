@@ -1,0 +1,172 @@
+package nas
+
+import (
+	"math"
+
+	"github.com/interweaving/komp/internal/exec"
+	"github.com/interweaving/komp/internal/omp"
+)
+
+// This file holds the compact BT/SP variants: the full NAS BT and SP
+// codes are ~10k-line ADI solvers for the compressible Navier-Stokes
+// equations; these variants keep their computational *structure* — an
+// implicit timestep split into x, y and z line-solves over a 3D grid,
+// parallelized across the planes perpendicular to the solve direction,
+// with per-line scratch arrays (the privatization pattern that matters
+// for CCK) — while solving the scalar diffusion problem.
+//
+// BTCompact uses tridiagonal (Thomas) line solves, standing in for BT's
+// block-tridiagonal solves; SPCompact uses pentadiagonal solves, as the
+// real SP does (scalar pentadiagonal).
+
+// ADIResult is the output of a compact ADI run.
+type ADIResult struct {
+	Steps int
+	// MaxAbs is the max-norm of the field after the run (diffusion must
+	// shrink it monotonically).
+	MaxAbs float64
+	// Sum is a conservation checksum.
+	Sum float64
+}
+
+// BTCompact runs timesteps of tridiagonal ADI diffusion on an n^3 grid.
+func BTCompact(tc exec.TC, rt *omp.Runtime, n, timesteps, threads int) ADIResult {
+	return adiRun(tc, rt, n, timesteps, threads, false)
+}
+
+// SPCompact runs timesteps of pentadiagonal ADI diffusion on an n^3 grid.
+func SPCompact(tc exec.TC, rt *omp.Runtime, n, timesteps, threads int) ADIResult {
+	return adiRun(tc, rt, n, timesteps, threads, true)
+}
+
+func adiRun(tc exec.TC, rt *omp.Runtime, n, timesteps, threads int, penta bool) ADIResult {
+	u := initField(n)
+	const dt = 0.1
+	for step := 0; step < timesteps; step++ {
+		for dim := 0; dim < 3; dim++ {
+			sweep(tc, rt, u, n, dim, dt/3, threads, penta)
+		}
+	}
+	var res ADIResult
+	res.Steps = timesteps
+	for _, v := range u {
+		res.Sum += v
+		if a := math.Abs(v); a > res.MaxAbs {
+			res.MaxAbs = a
+		}
+	}
+	return res
+}
+
+func initField(n int) []float64 {
+	u := make([]float64, n*n*n)
+	r := NewRand(0)
+	for i := range u {
+		u[i] = 2*r.Next() - 1
+	}
+	return u
+}
+
+// sweep solves (I - dt*D_dim) u' = u along every line in direction dim.
+// The loop over the n*n perpendicular lines is the parallel loop; each
+// line solve uses private scratch arrays — BT/SP's lhs work arrays.
+func sweep(tc exec.TC, rt *omp.Runtime, u []float64, n, dim int, dt float64, threads int, penta bool) {
+	stride := [3]int{n * n, n, 1}[dim]
+	rt.Parallel(tc, threads, func(w *omp.Worker) {
+		// Private per-thread scratch (the privatization pattern).
+		line := make([]float64, n)
+		scratch := make([]float64, 6*n)
+		w.ForEach(0, n*n, omp.ForOpt{Sched: omp.Static}, func(p int) {
+			base := lineBase(p, n, dim)
+			for i := 0; i < n; i++ {
+				line[i] = u[base+i*stride]
+			}
+			if penta {
+				solvePenta(line, scratch, dt)
+			} else {
+				solveTri(line, scratch, dt)
+			}
+			for i := 0; i < n; i++ {
+				u[base+i*stride] = line[i]
+			}
+		})
+	})
+}
+
+// lineBase returns the flat index of the first cell of perpendicular
+// line p for a sweep along dim.
+func lineBase(p, n, dim int) int {
+	a, b := p/n, p%n
+	switch dim {
+	case 0: // lines along i: perpendicular coords (j,k)
+		return a*n + b
+	case 1: // lines along j: coords (i,k)
+		return a*n*n + b
+	default: // lines along k: coords (i,j)
+		return a*n*n + b*n
+	}
+}
+
+// solveTri solves (1+2c) x_i - c x_{i-1} - c x_{i+1} = rhs_i with
+// Dirichlet-like ends, in place (Thomas algorithm).
+func solveTri(x, scratch []float64, c float64) {
+	n := len(x)
+	cp := scratch[:n]
+	dp := scratch[n : 2*n]
+	b := 1 + 2*c
+	cp[0] = -c / b
+	dp[0] = x[0] / b
+	for i := 1; i < n; i++ {
+		m := b + c*cp[i-1]
+		cp[i] = -c / m
+		dp[i] = (x[i] + c*dp[i-1]) / m
+	}
+	x[n-1] = dp[n-1]
+	for i := n - 2; i >= 0; i-- {
+		x[i] = dp[i] - cp[i]*x[i+1]
+	}
+}
+
+// solvePenta solves the symmetric pentadiagonal system arising from a
+// 4th-order diffusion stencil, (1+6c) x_i - 4c x_{i±1} + c x_{i±2} =
+// rhs_i, in place, by banded Gaussian elimination without pivoting (the
+// matrix is strictly diagonally dominant for c > 0).
+func solvePenta(x, scratch []float64, c float64) {
+	n := len(x)
+	if n < 3 {
+		solveTri(x, scratch, c)
+		return
+	}
+	// Band arrays: sub2 A, sub1 B, diag D, sup1 E, sup2 F, rhs R.
+	A := scratch[:n]
+	B := scratch[n : 2*n]
+	D := scratch[2*n : 3*n]
+	E := scratch[3*n : 4*n]
+	F := scratch[4*n : 5*n]
+	R := scratch[5*n : 6*n]
+	for i := 0; i < n; i++ {
+		A[i], B[i], D[i], E[i], F[i], R[i] = c, -4*c, 1+6*c, -4*c, c, x[i]
+	}
+	// Boundary rows have no out-of-range couplings.
+	B[0], A[0], A[1] = 0, 0, 0
+	E[n-1], F[n-1], F[n-2] = 0, 0, 0
+	// Forward elimination.
+	for i := 1; i < n; i++ {
+		m := B[i] / D[i-1]
+		D[i] -= m * E[i-1]
+		E[i] -= m * F[i-1]
+		R[i] -= m * R[i-1]
+		if i+1 < n {
+			m2 := A[i+1] / D[i-1]
+			B[i+1] -= m2 * E[i-1]
+			D[i+1] -= m2 * F[i-1]
+			R[i+1] -= m2 * R[i-1]
+		}
+	}
+	// Back substitution.
+	x[n-1] = R[n-1] / D[n-1]
+	x[n-2] = (R[n-2] - E[n-2]*x[n-1]) / D[n-2]
+	for i := n - 3; i >= 0; i-- {
+		x[i] = (R[i] - E[i]*x[i+1] - F[i]*x[i+2]) / D[i]
+	}
+}

@@ -1,0 +1,124 @@
+package nas
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/interweaving/komp/internal/exec"
+	"github.com/interweaving/komp/internal/omp"
+)
+
+func TestBlock3Inverse(t *testing.T) {
+	r := NewRand(0)
+	for trial := 0; trial < 50; trial++ {
+		var a Block3
+		for i := range a {
+			a[i] = 2*r.Next() - 1
+		}
+		// Make it comfortably nonsingular.
+		a[0] += 3
+		a[4] += 3
+		a[8] += 3
+		inv, ok := a.Inv()
+		if !ok {
+			t.Fatalf("trial %d: invertible block reported singular", trial)
+		}
+		prod := a.Mul(inv)
+		id := Identity3()
+		for i := range prod {
+			if math.Abs(prod[i]-id[i]) > 1e-9 {
+				t.Fatalf("trial %d: A*inv(A) != I at %d: %v", trial, i, prod[i])
+			}
+		}
+	}
+}
+
+func TestBlock3SingularDetected(t *testing.T) {
+	// Rank-deficient: row 2 = row 0.
+	a := Block3{1, 2, 3, 4, 5, 6, 1, 2, 3}
+	if _, ok := a.Inv(); ok {
+		t.Fatal("singular block inverted")
+	}
+}
+
+func TestPropertyBlockMulAssociative(t *testing.T) {
+	f := func(raw [27]int8) bool {
+		var a, b, c Block3
+		for i := 0; i < 9; i++ {
+			a[i] = float64(raw[i])
+			b[i] = float64(raw[i+9])
+			c[i] = float64(raw[i+18])
+		}
+		l := a.Mul(b).Mul(c)
+		r := a.Mul(b.Mul(c))
+		for i := range l {
+			// Integer inputs: exact within float64 for these magnitudes.
+			if math.Abs(l[i]-r[i]) > 1e-6*(1+math.Abs(l[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveBlockTriResidual(t *testing.T) {
+	const n = 24
+	A, B, C := btCoupling(0.1)
+	rhs := make([]Vec3, n)
+	r := NewRand(0)
+	for i := range rhs {
+		rhs[i] = Vec3{2*r.Next() - 1, 2*r.Next() - 1, 2*r.Next() - 1}
+	}
+	x := append([]Vec3(nil), rhs...)
+	if !solveBlockTri(A, B, C, x, newBlockTriScratch(n)) {
+		t.Fatal("solver failed")
+	}
+	// Verify A x_{i-1} + B x_i + C x_{i+1} = rhs_i.
+	for i := 0; i < n; i++ {
+		got := B.MulVec(x[i])
+		if i > 0 {
+			av := A.MulVec(x[i-1])
+			for k := 0; k < 3; k++ {
+				got[k] += av[k]
+			}
+		}
+		if i < n-1 {
+			cv := C.MulVec(x[i+1])
+			for k := 0; k < 3; k++ {
+				got[k] += cv[k]
+			}
+		}
+		for k := 0; k < 3; k++ {
+			if math.Abs(got[k]-rhs[i][k]) > 1e-9 {
+				t.Fatalf("residual at (%d,%d): %v", i, k, got[k]-rhs[i][k])
+			}
+		}
+	}
+}
+
+func TestBTBlockDiffusionSmooths(t *testing.T) {
+	withRuntime(t, 4, func(tc exec.TC, rt *omp.Runtime) {
+		short := BTBlock(tc, rt, 10, 1, 4)
+		long := BTBlock(tc, rt, 10, 5, 4)
+		if !(long.MaxAbs < short.MaxAbs) {
+			t.Errorf("coupled diffusion must shrink max-norm: %v -> %v", short.MaxAbs, long.MaxAbs)
+		}
+	})
+}
+
+func TestBTBlockDeterministicAcrossThreads(t *testing.T) {
+	var a, b BTBlockResult
+	withRuntime(t, 4, func(tc exec.TC, rt *omp.Runtime) {
+		a = BTBlock(tc, rt, 8, 3, 1)
+	})
+	withRuntime(t, 4, func(tc exec.TC, rt *omp.Runtime) {
+		b = BTBlock(tc, rt, 8, 3, 4)
+	})
+	if math.Abs(a.Sum-b.Sum) > 1e-9 || math.Abs(a.MaxAbs-b.MaxAbs) > 1e-12 {
+		t.Fatalf("BT block differs across threads: %+v vs %+v", a, b)
+	}
+}

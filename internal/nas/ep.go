@@ -1,0 +1,88 @@
+package nas
+
+import (
+	"math"
+
+	"github.com/interweaving/komp/internal/exec"
+	"github.com/interweaving/komp/internal/omp"
+)
+
+// EPResult is the embarrassingly-parallel benchmark's output: Gaussian
+// deviate sums and the per-annulus counts the official benchmark
+// verifies.
+type EPResult struct {
+	Sx, Sy float64
+	Counts [10]int64
+	Pairs  int64
+}
+
+// EP runs the embarrassingly parallel benchmark: generate 2^m uniform
+// pairs with the NAS LCG, apply the Marsaglia polar method, and histogram
+// the accepted Gaussian deviates by annulus. Threads carve the stream
+// into disjoint blocks using LCG skip-ahead.
+func EP(tc exec.TC, rt *omp.Runtime, m uint, threads int) EPResult {
+	n := int64(1) << m
+	var res EPResult
+	res.Pairs = n
+	rt.Parallel(tc, threads, func(w *omp.Worker) {
+		var sx, sy float64
+		var counts [10]int64
+		w.For(0, int(n), omp.ForOpt{Sched: omp.Static, NoWait: true}, func(lo, hi int) {
+			// Each pair consumes two stream values; skip to 2*lo.
+			r := RandAt(DefaultSeed, uint64(2*lo))
+			for i := lo; i < hi; i++ {
+				x := 2*r.Next() - 1
+				y := 2*r.Next() - 1
+				t := x*x + y*y
+				if t > 1 || t == 0 {
+					continue
+				}
+				f := math.Sqrt(-2 * math.Log(t) / t)
+				gx, gy := x*f, y*f
+				sx += gx
+				sy += gy
+				l := int(math.Max(math.Abs(gx), math.Abs(gy)))
+				if l < 10 {
+					counts[l]++
+				}
+			}
+		})
+		// Combine per-thread partials.
+		gx := w.Reduce(omp.ReduceSum, sx)
+		gy := w.Reduce(omp.ReduceSum, sy)
+		w.Master(func() {
+			res.Sx, res.Sy = gx, gy
+		})
+		for l := 0; l < 10; l++ {
+			c := w.Reduce(omp.ReduceSum, float64(counts[l]))
+			w.Master(func() { res.Counts[l] = int64(c) })
+		}
+	})
+	return res
+}
+
+// EPSequential is the reference single-stream implementation used for
+// verification.
+func EPSequential(m uint) EPResult {
+	n := int64(1) << m
+	r := NewRand(0)
+	var res EPResult
+	res.Pairs = n
+	for i := int64(0); i < n; i++ {
+		x := 2*r.Next() - 1
+		y := 2*r.Next() - 1
+		t := x*x + y*y
+		if t > 1 || t == 0 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(t) / t)
+		gx, gy := x*f, y*f
+		res.Sx += gx
+		res.Sy += gy
+		l := int(math.Max(math.Abs(gx), math.Abs(gy)))
+		if l < 10 {
+			res.Counts[l]++
+		}
+	}
+	return res
+}

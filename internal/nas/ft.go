@@ -1,0 +1,163 @@
+package nas
+
+import (
+	"math"
+	"math/cmplx"
+
+	"github.com/interweaving/komp/internal/exec"
+	"github.com/interweaving/komp/internal/omp"
+)
+
+// FTResult is the 3D FFT benchmark output: the checksum series the NAS
+// verification compares.
+type FTResult struct {
+	Checksums []complex128
+}
+
+// FT runs the NAS FT structure on an n^3 grid: initialize with the NAS
+// PRNG, forward 3D FFT once, then niter evolution steps (frequency-space
+// exponential decay) each followed by an inverse 3D FFT and a checksum.
+// n must be a power of two.
+func FT(tc exec.TC, rt *omp.Runtime, n, niter, threads int) FTResult {
+	total := n * n * n
+	u0 := make([]complex128, total) // frequency-space state
+	u1 := make([]complex128, total)
+
+	// Initialization with the NAS random stream (two values per cell).
+	rt.Parallel(tc, threads, func(w *omp.Worker) {
+		w.For(0, total, omp.ForOpt{Sched: omp.Static, NoWait: true}, func(lo, hi int) {
+			r := RandAt(DefaultSeed, uint64(2*lo))
+			for i := lo; i < hi; i++ {
+				u1[i] = complex(r.Next(), r.Next())
+			}
+		})
+	})
+
+	fft3(tc, rt, u1, u0, n, threads, -1) // forward
+
+	// Per-cell evolution factor exponents.
+	var res FTResult
+	work := make([]complex128, total)
+	for it := 1; it <= niter; it++ {
+		alpha := 1e-6
+		rt.Parallel(tc, threads, func(w *omp.Worker) {
+			w.ForEach(0, n, omp.ForOpt{Sched: omp.Static}, func(i int) {
+				ki := freq(i, n)
+				for j := 0; j < n; j++ {
+					kj := freq(j, n)
+					for k := 0; k < n; k++ {
+						kk := freq(k, n)
+						e := math.Exp(-alpha * float64(it) * float64(ki*ki+kj*kj+kk*kk))
+						idx := (i*n+j)*n + k
+						work[idx] = u0[idx] * complex(e, 0)
+					}
+				}
+			})
+		})
+		fft3(tc, rt, work, u1, n, threads, +1) // inverse
+		res.Checksums = append(res.Checksums, checksum(u1, n))
+	}
+	return res
+}
+
+func freq(i, n int) int {
+	if i > n/2 {
+		return i - n
+	}
+	return i
+}
+
+// checksum is the NAS FT checksum: a strided sample of 1024 cells.
+func checksum(u []complex128, n int) complex128 {
+	total := n * n * n
+	var s complex128
+	for j := 1; j <= 1024; j++ {
+		q := (j * 9677) % total // large stride sample
+		s += u[q]
+	}
+	return s / complex(float64(total), 0)
+}
+
+// fft3 performs a 3D FFT (sign=-1 forward, +1 inverse with 1/n scaling
+// per dimension) from src into dst, parallelized over pencil lines along
+// each dimension in turn — the cff* structure of NAS FT.
+func fft3(tc exec.TC, rt *omp.Runtime, src, dst []complex128, n, threads, sign int) {
+	copyBuf := make([]complex128, len(src))
+	copy(copyBuf, src)
+	// Dimension k (stride 1).
+	rt.Parallel(tc, threads, func(w *omp.Worker) {
+		line := make([]complex128, n)
+		w.ForEach(0, n*n, omp.ForOpt{Sched: omp.Static}, func(p int) {
+			base := p * n
+			copy(line, copyBuf[base:base+n])
+			fft1(line, sign)
+			copy(copyBuf[base:base+n], line)
+		})
+	})
+	// Dimension j (stride n).
+	rt.Parallel(tc, threads, func(w *omp.Worker) {
+		line := make([]complex128, n)
+		w.ForEach(0, n*n, omp.ForOpt{Sched: omp.Static}, func(p int) {
+			i, k := p/n, p%n
+			for j := 0; j < n; j++ {
+				line[j] = copyBuf[(i*n+j)*n+k]
+			}
+			fft1(line, sign)
+			for j := 0; j < n; j++ {
+				copyBuf[(i*n+j)*n+k] = line[j]
+			}
+		})
+	})
+	// Dimension i (stride n*n).
+	rt.Parallel(tc, threads, func(w *omp.Worker) {
+		line := make([]complex128, n)
+		w.ForEach(0, n*n, omp.ForOpt{Sched: omp.Static}, func(p int) {
+			j, k := p/n, p%n
+			for i := 0; i < n; i++ {
+				line[i] = copyBuf[(i*n+j)*n+k]
+			}
+			fft1(line, sign)
+			for i := 0; i < n; i++ {
+				copyBuf[(i*n+j)*n+k] = line[i]
+			}
+		})
+	})
+	copy(dst, copyBuf)
+}
+
+// fft1 is an in-place iterative radix-2 Cooley-Tukey FFT. sign=-1 is the
+// forward transform; sign=+1 the inverse, scaled by 1/n.
+func fft1(a []complex128, sign int) {
+	n := len(a)
+	// Bit reversal.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := float64(sign) * 2 * math.Pi / float64(length)
+		wl := cmplx.Exp(complex(0, ang))
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			for j := 0; j < length/2; j++ {
+				u := a[i+j]
+				v := a[i+j+length/2] * w
+				a[i+j] = u + v
+				a[i+j+length/2] = u - v
+				w *= wl
+			}
+		}
+	}
+	if sign > 0 {
+		inv := complex(1/float64(n), 0)
+		for i := range a {
+			a[i] *= inv
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package nas
+
+import (
+	"github.com/interweaving/komp/internal/exec"
+	"github.com/interweaving/komp/internal/omp"
+)
+
+// ISResult is the integer sort benchmark output.
+type ISResult struct {
+	Keys   int
+	Sorted bool
+	// RankSum is a checksum over the final ranks.
+	RankSum uint64
+}
+
+// IS runs the NAS IS structure: generate n keys in [0, maxKey) with the
+// NAS PRNG (Gaussian-ish sum of four uniforms, as the official benchmark
+// does), then rank them with a parallel bucket/counting sort. The
+// per-thread histogram arrays are exactly the privatization pattern that
+// defeats AutoMP (§6.2: IS "an extreme case in which no parallelism is
+// extracted").
+func IS(tc exec.TC, rt *omp.Runtime, n, maxKey, threads int) ISResult {
+	keys := make([]int32, n)
+	rt.Parallel(tc, threads, func(w *omp.Worker) {
+		w.For(0, n, omp.ForOpt{Sched: omp.Static, NoWait: true}, func(lo, hi int) {
+			r := RandAt(DefaultSeed, uint64(4*lo))
+			for i := lo; i < hi; i++ {
+				v := (r.Next() + r.Next() + r.Next() + r.Next()) / 4
+				keys[i] = int32(v * float64(maxKey))
+				if keys[i] >= int32(maxKey) {
+					keys[i] = int32(maxKey - 1)
+				}
+			}
+		})
+	})
+
+	// Parallel counting sort: per-thread private histograms merged into
+	// the global one.
+	global := make([]int64, maxKey)
+	perThread := make([][]int64, threads)
+	rt.Parallel(tc, threads, func(w *omp.Worker) {
+		local := make([]int64, maxKey) // the private scratch array
+		w.For(0, n, omp.ForOpt{Sched: omp.Static, NoWait: true}, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				local[keys[i]]++
+			}
+		})
+		perThread[w.ThreadNum()] = local
+		w.Barrier()
+		// Merge: each thread owns a slice of the key space.
+		w.ForEach(0, maxKey, omp.ForOpt{Sched: omp.Static}, func(k int) {
+			var s int64
+			for t := 0; t < w.NumThreads(); t++ {
+				s += perThread[t][k]
+			}
+			global[k] = s
+		})
+	})
+
+	// Exclusive prefix sum (ranks) — sequential scan as in the reference.
+	ranks := make([]int64, maxKey)
+	var acc int64
+	for k := 0; k < maxKey; k++ {
+		ranks[k] = acc
+		acc += global[k]
+	}
+
+	// Permute into sorted order and verify.
+	out := make([]int32, n)
+	next := make([]int64, maxKey)
+	copy(next, ranks)
+	for i := 0; i < n; i++ {
+		k := keys[i]
+		out[next[k]] = k
+		next[k]++
+	}
+	res := ISResult{Keys: n, Sorted: true}
+	for i := 1; i < n; i++ {
+		if out[i-1] > out[i] {
+			res.Sorted = false
+			break
+		}
+	}
+	for k := 0; k < maxKey; k++ {
+		res.RankSum += uint64(ranks[k]) * uint64(k+1)
+	}
+	return res
+}

@@ -1,0 +1,230 @@
+package nas
+
+import (
+	"math"
+
+	"github.com/interweaving/komp/internal/exec"
+	"github.com/interweaving/komp/internal/omp"
+)
+
+// Grid3 is a cubic grid of float64 with edge length n (power of two plus
+// ghost-free periodic indexing).
+type Grid3 struct {
+	N int
+	V []float64
+}
+
+// NewGrid3 allocates an n^3 grid.
+func NewGrid3(n int) *Grid3 { return &Grid3{N: n, V: make([]float64, n*n*n)} }
+
+// At returns the value at (i,j,k) with periodic wrapping.
+func (g *Grid3) At(i, j, k int) float64 {
+	n := g.N
+	return g.V[((i+n)%n)*n*n+((j+n)%n)*n+((k+n)%n)]
+}
+
+// Set stores a value at (i,j,k).
+func (g *Grid3) Set(i, j, k int, v float64) {
+	g.V[i*g.N*g.N+j*g.N+k] = v
+}
+
+// MGResult is the multigrid benchmark output.
+type MGResult struct {
+	RNorm  float64
+	Cycles int
+}
+
+// MG runs the NAS MG structure: niter V-cycles of the multigrid solver
+// for the scalar Poisson problem A u = v on an n^3 periodic grid.
+func MG(tc exec.TC, rt *omp.Runtime, n, niter, threads int) MGResult {
+	v := NewGrid3(n) // right-hand side: a few +1/-1 point charges
+	u := NewGrid3(n)
+	r := NewRand(0)
+	for c := 0; c < 10; c++ {
+		i := int(r.Next() * float64(n))
+		j := int(r.Next() * float64(n))
+		k := int(r.Next() * float64(n))
+		val := 1.0
+		if c%2 == 1 {
+			val = -1.0
+		}
+		v.Set(i%n, j%n, k%n, val)
+	}
+	var res MGResult
+	for it := 0; it < niter; it++ {
+		vcycle(tc, rt, u, v, threads)
+		res.Cycles++
+	}
+	res.RNorm = residNorm(tc, rt, u, v, threads)
+	return res
+}
+
+// vcycle performs one multigrid V-cycle: restrict the residual to the
+// coarsest grid, then interpolate back up with smoothing — rprj3, psinv,
+// interp and resid in NAS terms.
+func vcycle(tc exec.TC, rt *omp.Runtime, u, v *Grid3, threads int) {
+	n := u.N
+	if n <= 4 {
+		smooth(tc, rt, u, v, threads)
+		return
+	}
+	r := resid(tc, rt, u, v, threads)
+	rc := restrict(tc, rt, r, threads)
+	uc := NewGrid3(rc.N)
+	vcycle(tc, rt, uc, rc, threads)
+	prolongAdd(tc, rt, u, uc, threads)
+	smooth(tc, rt, u, v, threads)
+}
+
+// stencil coefficients (the S(a) smoother class of MG).
+var smoothC = [4]float64{-3.0 / 8.0, 1.0 / 32.0, -1.0 / 64.0, 0}
+
+// applyStencil27 computes out(i,j,k) = sum of the 27-point stencil of g
+// with distance-class coefficients c[0..3].
+func applyStencil27(g *Grid3, i, j, k int, c [4]float64) float64 {
+	var s float64
+	for di := -1; di <= 1; di++ {
+		for dj := -1; dj <= 1; dj++ {
+			for dk := -1; dk <= 1; dk++ {
+				d := di*di + dj*dj + dk*dk
+				var w float64
+				switch d {
+				case 0:
+					w = c[0]
+				case 1:
+					w = c[1]
+				case 2:
+					w = c[2]
+				default:
+					w = c[3]
+				}
+				if w != 0 {
+					s += w * g.At(i+di, j+dj, k+dk)
+				}
+			}
+		}
+	}
+	return s
+}
+
+// residC is the A-operator stencil.
+var residC = [4]float64{-8.0 / 3.0, 0, 1.0 / 6.0, 1.0 / 12.0}
+
+// resid computes r = v - A u (NAS resid).
+func resid(tc exec.TC, rt *omp.Runtime, u, v *Grid3, threads int) *Grid3 {
+	n := u.N
+	r := NewGrid3(n)
+	rt.Parallel(tc, threads, func(w *omp.Worker) {
+		w.ForEach(0, n, omp.ForOpt{Sched: omp.Static}, func(i int) {
+			for j := 0; j < n; j++ {
+				for k := 0; k < n; k++ {
+					r.Set(i, j, k, v.At(i, j, k)-applyStencil27(u, i, j, k, residC))
+				}
+			}
+		})
+	})
+	return r
+}
+
+// smooth applies u += S r with r = v - A u (NAS psinv after resid).
+func smooth(tc exec.TC, rt *omp.Runtime, u, v *Grid3, threads int) {
+	r := resid(tc, rt, u, v, threads)
+	n := u.N
+	rt.Parallel(tc, threads, func(w *omp.Worker) {
+		w.ForEach(0, n, omp.ForOpt{Sched: omp.Static}, func(i int) {
+			for j := 0; j < n; j++ {
+				for k := 0; k < n; k++ {
+					u.Set(i, j, k, u.At(i, j, k)+applyStencil27(r, i, j, k, smoothC))
+				}
+			}
+		})
+	})
+}
+
+// restrict projects a fine grid onto the half-resolution grid (rprj3).
+func restrict(tc exec.TC, rt *omp.Runtime, f *Grid3, threads int) *Grid3 {
+	nc := f.N / 2
+	c := NewGrid3(nc)
+	rt.Parallel(tc, threads, func(w *omp.Worker) {
+		w.ForEach(0, nc, omp.ForOpt{Sched: omp.Static}, func(i int) {
+			for j := 0; j < nc; j++ {
+				for k := 0; k < nc; k++ {
+					// Full-weighting restriction.
+					var s float64
+					var wsum float64
+					for di := -1; di <= 1; di++ {
+						for dj := -1; dj <= 1; dj++ {
+							for dk := -1; dk <= 1; dk++ {
+								wgt := 1.0 / float64(int(1)<<uint(abs(di)+abs(dj)+abs(dk)))
+								s += wgt * f.At(2*i+di, 2*j+dj, 2*k+dk)
+								wsum += wgt
+							}
+						}
+					}
+					c.Set(i, j, k, s/wsum)
+				}
+			}
+		})
+	})
+	return c
+}
+
+// prolongAdd interpolates the coarse correction onto the fine grid
+// (interp) and adds it to u.
+func prolongAdd(tc exec.TC, rt *omp.Runtime, u, c *Grid3, threads int) {
+	n := u.N
+	rt.Parallel(tc, threads, func(w *omp.Worker) {
+		w.ForEach(0, n, omp.ForOpt{Sched: omp.Static}, func(i int) {
+			for j := 0; j < n; j++ {
+				for k := 0; k < n; k++ {
+					// Trilinear interpolation from the coarse grid.
+					fi, fj, fk := float64(i)/2, float64(j)/2, float64(k)/2
+					i0, j0, k0 := int(fi), int(fj), int(fk)
+					di, dj, dk := fi-float64(i0), fj-float64(j0), fk-float64(k0)
+					var s float64
+					for a := 0; a <= 1; a++ {
+						for b := 0; b <= 1; b++ {
+							for cc := 0; cc <= 1; cc++ {
+								wgt := lerpW(di, a) * lerpW(dj, b) * lerpW(dk, cc)
+								s += wgt * c.At(i0+a, j0+b, k0+cc)
+							}
+						}
+					}
+					u.Set(i, j, k, u.At(i, j, k)+s)
+				}
+			}
+		})
+	})
+}
+
+func lerpW(frac float64, side int) float64 {
+	if side == 0 {
+		return 1 - frac
+	}
+	return frac
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// residNorm returns ||v - A u||_2 / n^1.5.
+func residNorm(tc exec.TC, rt *omp.Runtime, u, v *Grid3, threads int) float64 {
+	r := resid(tc, rt, u, v, threads)
+	n := r.N
+	var total float64
+	rt.Parallel(tc, threads, func(w *omp.Worker) {
+		var s float64
+		w.For(0, len(r.V), omp.ForOpt{Sched: omp.Static, NoWait: true}, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				s += r.V[i] * r.V[i]
+			}
+		})
+		g := w.Reduce(omp.ReduceSum, s)
+		w.Master(func() { total = g })
+	})
+	return math.Sqrt(total) / math.Pow(float64(n), 1.5)
+}

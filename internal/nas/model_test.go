@@ -1,0 +1,212 @@
+package nas
+
+import (
+	"math"
+	"testing"
+
+	"github.com/interweaving/komp/internal/cck"
+	"github.com/interweaving/komp/internal/core"
+	"github.com/interweaving/komp/internal/machine"
+)
+
+func TestSpecsWellFormed(t *testing.T) {
+	for _, s := range Specs() {
+		if math.Abs(s.TotalShare()-1.0) > 0.02 {
+			t.Errorf("%s: loop shares sum to %v", s.Name, s.TotalShare())
+		}
+		for _, mn := range []string{"PHI", "8XEON"} {
+			p, ok := s.Profiles[mn]
+			if !ok {
+				t.Fatalf("%s: missing %s profile", s.Name, mn)
+			}
+			if p.TimeSec <= 0 {
+				t.Fatalf("%s/%s: bad t", s.Name, mn)
+			}
+		}
+		prog := s.Program(machine.PHI(), 8, PipeOpenMP)
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+	}
+	if SpecByName("BT") == nil || SpecByName("nope") != nil {
+		t.Fatal("SpecByName lookup broken")
+	}
+}
+
+// The calibration contract: Linux at 1 thread reproduces the paper's t.
+func TestLinuxSingleThreadMatchesPaperT(t *testing.T) {
+	for _, mk := range []func() *machine.Machine{machine.PHI, machine.XEON8} {
+		m := mk()
+		for _, s := range Specs() {
+			env := core.New(core.Config{Machine: m, Kind: core.Linux, Seed: 2, Threads: 1})
+			res, err := RunModel(env, s, 1)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", s.Name, m.Name, err)
+			}
+			want := s.profile(m).TimeSec
+			if rel := math.Abs(res.Seconds-want) / want; rel > 0.03 {
+				t.Errorf("%s/%s: Linux@1 = %.2fs, paper t = %.2fs (%.1f%% off)",
+					s.Name, m.Name, res.Seconds, want, rel*100)
+			}
+		}
+	}
+}
+
+func TestModelScalesWithThreads(t *testing.T) {
+	m := machine.PHI()
+	s := SpecByName("EP")
+	t1 := mustRun(t, m, core.Linux, s, 1)
+	t32 := mustRun(t, m, core.Linux, s, 32)
+	speedup := t1 / t32
+	if speedup < 25 {
+		t.Fatalf("EP speedup at 32 threads = %.1f, want near-linear", speedup)
+	}
+}
+
+func mustRun(t *testing.T, m *machine.Machine, kind core.Kind, s *Spec, threads int) float64 {
+	t.Helper()
+	env := core.New(core.Config{Machine: m, Kind: kind, Seed: 2, Threads: threads})
+	res, err := RunModel(env, s, threads)
+	if err != nil {
+		t.Fatalf("%s %v@%d: %v", s.Name, kind, threads, err)
+	}
+	return res.Seconds
+}
+
+// Fig. 9 shape at single CPU: RTK gains per benchmark on PHI.
+func TestRTKSingleCPURatiosOnPHI(t *testing.T) {
+	m := machine.PHI()
+	targets := map[string]float64{ // from Fig. 9
+		"BT": 1.91, "FT": 1.10, "EP": 1.17, "MG": 1.05,
+		"SP": 1.64, "LU": 1.16, "CG": 1.08, "IS": 1.20,
+	}
+	for name, want := range targets {
+		s := SpecByName(name)
+		lin := mustRun(t, m, core.Linux, s, 1)
+		rtk := mustRun(t, m, core.RTK, s, 1)
+		got := lin / rtk
+		if math.Abs(got-want)/want > 0.10 {
+			t.Errorf("%s: RTK/Linux@1 = %.2f, paper %.2f", name, got, want)
+		}
+	}
+}
+
+// Fig. 10 shape at single CPU: PIK gains are the ~10% class.
+func TestPIKSingleCPURatiosOnPHI(t *testing.T) {
+	m := machine.PHI()
+	targets := map[string]float64{ // from Fig. 10
+		"BT": 1.10, "FT": 1.09, "EP": 1.20, "MG": 1.09,
+		"SP": 1.20, "LU": 1.17, "CG": 1.07,
+	}
+	for name, want := range targets {
+		s := SpecByName(name)
+		lin := mustRun(t, m, core.Linux, s, 1)
+		pik := mustRun(t, m, core.PIK, s, 1)
+		got := lin / pik
+		if math.Abs(got-want)/want > 0.12 {
+			t.Errorf("%s: PIK/Linux@1 = %.2f, paper %.2f", name, got, want)
+		}
+	}
+}
+
+// The BT decay: RTK's edge compresses at full PHI scale (1.91 -> ~1.28).
+func TestBTGainDecaysAtScale(t *testing.T) {
+	m := machine.PHI()
+	s := SpecByName("BT")
+	at1 := mustRun(t, m, core.Linux, s, 1) / mustRun(t, m, core.RTK, s, 1)
+	at64 := mustRun(t, m, core.Linux, s, 64) / mustRun(t, m, core.RTK, s, 64)
+	if !(at64 < at1-0.3) {
+		t.Fatalf("BT RTK gain must decay with scale: %.2f@1 -> %.2f@64", at1, at64)
+	}
+	if at64 < 1.05 || at64 > 1.55 {
+		t.Errorf("BT@64 = %.2f, paper shows ~1.28", at64)
+	}
+}
+
+// The AutoMP story of Fig. 11/12: IS extracts no parallelism; BT/SP/LU
+// plateau from privatization-limited loops; MG/CG beat OpenMP.
+func TestAutoMPCoverage(t *testing.T) {
+	m := machine.PHI()
+	progIS := SpecByName("IS").Program(m, 8, PipeAutoMP)
+	cIS, err := compileFor(progIS, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov := cIS.ParallelCoverage(); cov != 0 {
+		t.Fatalf("IS AutoMP coverage = %v, paper: no parallelism extracted", cov)
+	}
+	progBT := SpecByName("BT").Program(m, 8, PipeAutoMP)
+	cBT, err := compileFor(progBT, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov := cBT.ParallelCoverage(); math.Abs(cov-0.75) > 0.02 {
+		t.Fatalf("BT AutoMP coverage = %v, want ~0.75", cov)
+	}
+	progFT := SpecByName("FT").Program(m, 8, PipeAutoMP)
+	cFT, err := compileFor(progFT, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov := cFT.ParallelCoverage(); cov < 0.99 {
+		t.Fatalf("FT AutoMP coverage = %v, want ~1", cov)
+	}
+}
+
+func TestMGAutoMPBeatsOpenMPOnLinux(t *testing.T) {
+	m := machine.PHI()
+	s := SpecByName("MG")
+	omp1 := mustRun(t, m, core.Linux, s, 1)
+	auto1 := mustRun(t, m, core.LinuxAutoMP, s, 1)
+	// Fig. 11: the whole-function pipeline produces ~2.6x better scalar
+	// MG code.
+	if r := omp1 / auto1; r < 2.0 || r > 3.2 {
+		t.Errorf("MG AutoMP@1 ratio = %.2f, paper ~2.6", r)
+	}
+	omp32 := mustRun(t, m, core.Linux, s, 32)
+	auto32 := mustRun(t, m, core.LinuxAutoMP, s, 32)
+	if auto32 >= omp32 {
+		t.Errorf("MG AutoMP@32 (%.2fs) must beat OpenMP (%.2fs)", auto32, omp32)
+	}
+}
+
+func TestBTAutoMPLosesAtScale(t *testing.T) {
+	m := machine.PHI()
+	s := SpecByName("BT")
+	omp64 := mustRun(t, m, core.Linux, s, 64)
+	auto64 := mustRun(t, m, core.LinuxAutoMP, s, 64)
+	if auto64 <= omp64 {
+		t.Errorf("BT AutoMP@64 (%.2fs) must lose to OpenMP (%.2fs): privatization", auto64, omp64)
+	}
+}
+
+func TestFirstTouchBeatsImmediateOn8XEON(t *testing.T) {
+	// The §6.3 extension ablation: at 96 threads, first-touch (threads >=
+	// 24 enables it) must beat a hypothetical immediate-allocation run.
+	// We emulate "immediate" by running at 16 threads' policy... instead,
+	// compare the remote fractions directly.
+	m := machine.XEON8()
+	ft := core.New(core.Config{Machine: m, Kind: core.RTK, Seed: 2, Threads: 96})
+	im := core.New(core.Config{Machine: m, Kind: core.RTK, Seed: 2, Threads: 16})
+	if !ft.FirstTouch || im.FirstTouch {
+		t.Fatal("policy selection broken")
+	}
+	s := SpecByName("MG")
+	rFT := ft.AS.Alloc("d", s.WorkingSetBytes, 0)
+	for t := 0; t < 96; t++ {
+		ft.AS.TouchSlice(rFT, t, t, 96)
+	}
+	rIM := im.AS.Alloc("d", s.WorkingSetBytes, 0)
+	var remFT, remIM float64
+	for t := 0; t < 96; t++ {
+		remFT += ft.AS.RemoteFractionSlice(rFT, t, t, 96) / 96
+		remIM += im.AS.RemoteFractionSlice(rIM, t, t, 96) / 96
+	}
+	if !(remFT < remIM/2) {
+		t.Fatalf("first-touch remote %.2f must be far below immediate %.2f", remFT, remIM)
+	}
+}
+
+func compileFor(p *cck.Program, workers int) (*cck.Compiled, error) {
+	return cck.Compile(p, cck.Options{Workers: workers, Fuse: true})
+}

@@ -1,0 +1,77 @@
+// Package nas implements the NAS Parallel Benchmarks used in the paper's
+// evaluation (§2.2, §6.2) in two forms:
+//
+//   - Real computational kernels (EP, CG, MG, FT, IS in full; BT, SP and
+//     LU as compact ADI/SSOR variants with the same parallel structure),
+//     written against the OpenMP runtime and verified by sequential-vs-
+//     parallel equivalence and analytic invariants. These run on real
+//     goroutines (the examples) and on the simulator.
+//
+//   - Structural models (model.go, specs.go): per-benchmark region tables
+//     carrying class-B/C scale — timestep structure, loop trip counts,
+//     per-iteration cost calibrated from the paper's single-thread times,
+//     memory profiles, and the OpenMP pragma metadata that drives the CCK
+//     compiler. The performance figures are regenerated from these.
+package nas
+
+import "math/bits"
+
+// NAS pseudorandom number generator: x_{k+1} = a * x_k mod 2^46, the
+// exact linear congruential generator the suite specifies (randlc). The
+// implementation is exact 46-bit integer arithmetic rather than the
+// original's double-precision trickery.
+const (
+	randMod  = uint64(1) << 46
+	randMask = randMod - 1
+	// DefaultSeed is the NAS standard seed 271828183.
+	DefaultSeed = uint64(271828183)
+	// LCGMultiplier is the NAS standard multiplier 5^13.
+	LCGMultiplier = uint64(1220703125)
+)
+
+// Rand is a NAS randlc stream.
+type Rand struct {
+	x uint64
+	a uint64
+}
+
+// NewRand creates a stream with the given seed (0 uses the NAS default).
+func NewRand(seed uint64) *Rand {
+	if seed == 0 {
+		seed = DefaultSeed
+	}
+	return &Rand{x: seed & randMask, a: LCGMultiplier}
+}
+
+func mulMod46(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	_ = hi // the low 46 bits of the 128-bit product are lo & randMask
+	return lo & randMask
+}
+
+// Next returns the next value in (0,1), advancing the stream.
+func (r *Rand) Next() float64 {
+	r.x = mulMod46(r.a, r.x)
+	return float64(r.x) / float64(randMod)
+}
+
+// Skip advances the stream by n steps in O(log n) — the skip-ahead that
+// lets EP's threads generate disjoint blocks independently, exactly as
+// the NAS reference does with its power-of-a trick.
+func (r *Rand) Skip(n uint64) {
+	a := r.a
+	for n > 0 {
+		if n&1 == 1 {
+			r.x = mulMod46(a, r.x)
+		}
+		a = mulMod46(a, a)
+		n >>= 1
+	}
+}
+
+// At returns a new stream positioned n steps after seed.
+func RandAt(seed, n uint64) *Rand {
+	r := NewRand(seed)
+	r.Skip(n)
+	return r
+}

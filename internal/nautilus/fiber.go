@@ -1,0 +1,106 @@
+package nautilus
+
+import (
+	"fmt"
+
+	"github.com/interweaving/komp/internal/exec"
+	"github.com/interweaving/komp/internal/sim"
+)
+
+// Fibers are Nautilus's third execution model next to threads and tasks
+// (§3.3 lists "thread, fiber, task, synchronization, and interrupt
+// models"): cooperatively-scheduled contexts multiplexed on one CPU,
+// with creation and switch costs far below kernel threads — part of how
+// an HRT grants a parallel runtime "more subtle control of concurrency".
+
+// Fiber cost knobs (virtual ns).
+const (
+	// FiberSpawnNS is fiber creation: allocate a context, push to the
+	// owner's ready queue. No scheduler interaction.
+	FiberSpawnNS = 180
+	// FiberSwitchNS is a cooperative switch: save/restore registers,
+	// no privilege or stack-table changes.
+	FiberSwitchNS = 45
+)
+
+// Fiber is a cooperative execution context.
+type Fiber struct {
+	ID   int
+	proc *sim.Proc
+	done exec.Word
+	grp  *FiberGroup
+}
+
+// FiberCtx is the capability a fiber body runs with.
+type FiberCtx struct {
+	TC    exec.TC
+	fiber *Fiber
+}
+
+// Yield cooperatively switches to the next runnable fiber on the CPU.
+func (fc *FiberCtx) Yield() {
+	fc.TC.Charge(FiberSwitchNS)
+	if ph, ok := fc.TC.(exec.ProcHolder); ok {
+		ph.Proc().Yield()
+	}
+}
+
+// FiberGroup owns the fibers multiplexed on one CPU.
+type FiberGroup struct {
+	k      *Kernel
+	cpu    int
+	nextID int
+	fibers []*Fiber
+}
+
+// NewFiberGroup creates a fiber group bound to a CPU.
+func (k *Kernel) NewFiberGroup(cpu int) *FiberGroup {
+	if cpu < 0 || cpu >= k.Machine.NumCPUs() {
+		panic(fmt.Sprintf("nautilus: fiber group on CPU %d", cpu))
+	}
+	return &FiberGroup{k: k, cpu: cpu}
+}
+
+// Spawn creates a fiber running fn on the group's CPU. Creation is an
+// order of magnitude cheaper than a kernel thread spawn; the fiber runs
+// interleaved with its siblings through cooperative yields (and with
+// whatever else the CPU runs, through the usual timeline).
+func (g *FiberGroup) Spawn(tc exec.TC, fn func(*FiberCtx)) *Fiber {
+	tc.Charge(FiberSpawnNS)
+	g.nextID++
+	f := &Fiber{ID: g.nextID, grp: g}
+	layer := g.k.Layer
+	start := int64(0)
+	if ph, ok := tc.(exec.ProcHolder); ok {
+		start = ph.Proc().Now()
+	}
+	f.proc = g.k.Sim.Go(fmt.Sprintf("fiber/%d.%d", g.cpu, f.ID), g.cpu, start, func(p *sim.Proc) {
+		ftc := fiberTC(layer, p)
+		fn(&FiberCtx{TC: ftc, fiber: f})
+		f.done.Store(1)
+		ftc.FutexWake(&f.done, -1)
+	})
+	g.fibers = append(g.fibers, f)
+	return f
+}
+
+// fiberTC builds a thread context for a raw sim proc on the kernel's
+// layer (fibers bypass the thread-spawn path entirely).
+func fiberTC(layer *exec.SimLayer, p *sim.Proc) exec.TC {
+	return layer.AdoptProc(p)
+}
+
+// Join blocks the caller until the fiber finishes.
+func (f *Fiber) Join(tc exec.TC) {
+	for f.done.Load() == 0 {
+		tc.FutexWait(&f.done, 0)
+	}
+}
+
+// JoinAll joins every fiber spawned in the group.
+func (g *FiberGroup) JoinAll(tc exec.TC) {
+	for _, f := range g.fibers {
+		f.Join(tc)
+	}
+	g.fibers = g.fibers[:0]
+}

@@ -1,0 +1,96 @@
+package nautilus
+
+import (
+	"testing"
+
+	"github.com/interweaving/komp/internal/exec"
+	"github.com/interweaving/komp/internal/machine"
+)
+
+func TestFibersInterleaveOnOneCPU(t *testing.T) {
+	k := bootPHI(t)
+	var order []int
+	_, err := k.Layer.Run(func(tc exec.TC) {
+		g := k.NewFiberGroup(1)
+		for i := 0; i < 3; i++ {
+			i := i
+			g.Spawn(tc, func(fc *FiberCtx) {
+				for r := 0; r < 3; r++ {
+					order = append(order, i)
+					fc.TC.Charge(1000) // a work step longer than the spawn stagger
+					fc.Yield()
+				}
+			})
+		}
+		g.JoinAll(tc)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 9 {
+		t.Fatalf("fibers ran %d steps, want 9", len(order))
+	}
+	// Cooperative yields interleave the fibers rather than running each
+	// to completion.
+	runToCompletion := true
+	for i := 1; i < 3; i++ {
+		if order[i] != order[0] {
+			runToCompletion = false
+		}
+	}
+	if runToCompletion {
+		t.Fatalf("fibers did not interleave: %v", order)
+	}
+}
+
+func TestFiberSpawnFarCheaperThanThread(t *testing.T) {
+	k := Boot(Config{Machine: machine.PHI(), Seed: 1,
+		Costs: exec.Costs{ThreadSpawnNS: 2200, FutexWaitEntryNS: 60, FutexWakeEntryNS: 60,
+			FutexWakeLatencyNS: 300}})
+	var fiberNS, threadNS int64
+	_, err := k.Layer.Run(func(tc exec.TC) {
+		g := k.NewFiberGroup(2)
+		t0 := tc.Now()
+		for i := 0; i < 50; i++ {
+			g.Spawn(tc, func(fc *FiberCtx) {})
+		}
+		fiberNS = tc.Now() - t0
+		g.JoinAll(tc)
+
+		t0 = tc.Now()
+		var hs []exec.Handle
+		for i := 0; i < 50; i++ {
+			hs = append(hs, tc.Spawn("th", 3, func(exec.TC) {}))
+		}
+		threadNS = tc.Now() - t0
+		for _, h := range hs {
+			h.Join(tc)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fiberNS*5 > threadNS {
+		t.Fatalf("fiber spawns (%dns) must be far cheaper than thread spawns (%dns)", fiberNS, threadNS)
+	}
+}
+
+func TestFiberJoinWaitsForBody(t *testing.T) {
+	k := bootPHI(t)
+	var doneAt, joinedAt int64
+	_, err := k.Layer.Run(func(tc exec.TC) {
+		g := k.NewFiberGroup(1)
+		f := g.Spawn(tc, func(fc *FiberCtx) {
+			fc.TC.Charge(10_000)
+			doneAt = fc.TC.Now()
+		})
+		f.Join(tc)
+		joinedAt = tc.Now()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joinedAt < doneAt {
+		t.Fatalf("join at %d before fiber finished at %d", joinedAt, doneAt)
+	}
+}

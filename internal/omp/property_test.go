@@ -1,0 +1,157 @@
+package omp
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"github.com/interweaving/komp/internal/exec"
+	"github.com/interweaving/komp/internal/sim"
+)
+
+// Property: every schedule covers every iteration of every range exactly
+// once, for arbitrary range bounds, chunk sizes, and team sizes.
+func TestPropertyScheduleCoverage(t *testing.T) {
+	f := func(loRaw, spanRaw uint16, chunkRaw uint8, schedRaw, threadsRaw uint8) bool {
+		lo := int(loRaw % 1000)
+		span := int(spanRaw % 700)
+		hi := lo + span
+		chunk := int(chunkRaw%32) + 1
+		sched := Schedule(schedRaw % 3)
+		threads := int(threadsRaw%8) + 1
+
+		layer := exec.NewSimLayer(sim.New(8, int64(loRaw)+1), exec.Costs{})
+		rt := New(layer, Options{MaxThreads: 8, Bind: true})
+		hits := make([]atomic.Int32, span)
+		_, err := layer.Run(func(tc exec.TC) {
+			rt.Parallel(tc, threads, func(w *Worker) {
+				w.ForEach(lo, hi, ForOpt{Sched: sched, Chunk: chunk}, func(i int) {
+					hits[i-lo].Add(1)
+				})
+			})
+			rt.Close(tc)
+		})
+		if err != nil {
+			return false
+		}
+		for i := range hits {
+			if hits[i].Load() != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: reductions match a sequential fold for arbitrary inputs and
+// team sizes (sum of integers avoids FP association issues).
+func TestPropertyReduceMatchesFold(t *testing.T) {
+	f := func(vals []int16, threadsRaw uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		threads := int(threadsRaw%8) + 1
+		var want float64
+		for _, v := range vals {
+			want += float64(v)
+		}
+		layer := exec.NewSimLayer(sim.New(8, 3), exec.Costs{})
+		rt := New(layer, Options{MaxThreads: 8, Bind: true})
+		var got float64
+		_, err := layer.Run(func(tc exec.TC) {
+			rt.Parallel(tc, threads, func(w *Worker) {
+				local := 0.0
+				w.ForEach(0, len(vals), ForOpt{Sched: Static}, func(i int) {
+					local += float64(vals[i])
+				})
+				r := w.Reduce(ReduceSum, local)
+				w.Master(func() { got = r })
+			})
+			rt.Close(tc)
+		})
+		return err == nil && got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: guided chunks shrink monotonically (never grow) as the loop
+// progresses, and the runtime's guided path terminates for any bounds.
+func TestPropertyGuidedShrinks(t *testing.T) {
+	f := func(spanRaw uint16, threadsRaw uint8) bool {
+		span := int(spanRaw%4000) + 1
+		threads := int(threadsRaw%8) + 1
+		layer := exec.NewSimLayer(sim.New(8, 9), exec.Costs{})
+		rt := New(layer, Options{MaxThreads: 8, Bind: true})
+		type grab struct{ lo, size int }
+		var grabs []grab
+		var mu exec.Word
+		_ = mu
+		_, err := layer.Run(func(tc exec.TC) {
+			rt.Parallel(tc, threads, func(w *Worker) {
+				w.For(0, span, ForOpt{Sched: Guided}, func(lo, hi int) {
+					w.Critical("grabs", func() {
+						grabs = append(grabs, grab{lo, hi - lo})
+					})
+				})
+			})
+			rt.Close(tc)
+		})
+		if err != nil {
+			return false
+		}
+		// Sort by lo: chunk sizes in address order never grow by more
+		// than the guided bound allows (size <= remaining/(2n) or min).
+		total := 0
+		for _, g := range grabs {
+			total += g.size
+		}
+		if total != span {
+			return false
+		}
+		for _, g := range grabs {
+			remaining := span - g.lo
+			bound := remaining/(2*threads) + 1
+			if g.size > bound && g.size > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the task-aware barrier never loses tasks, regardless of how
+// many each thread creates.
+func TestPropertyTasksAllComplete(t *testing.T) {
+	f := func(perThreadRaw [8]uint8) bool {
+		layer := exec.NewSimLayer(sim.New(8, 17), exec.Costs{MallocNS: 40})
+		rt := New(layer, Options{MaxThreads: 8, Bind: true})
+		var want, done atomic.Int64
+		_, err := layer.Run(func(tc exec.TC) {
+			rt.Parallel(tc, 8, func(w *Worker) {
+				n := int(perThreadRaw[w.ThreadNum()] % 20)
+				want.Add(int64(n))
+				for i := 0; i < n; i++ {
+					w.Task(func(*Worker) { done.Add(1) })
+				}
+				w.Barrier()
+				if done.Load() != want.Load() {
+					// Barrier released before all tasks done.
+					done.Store(-1 << 40)
+				}
+			})
+			rt.Close(tc)
+		})
+		return err == nil && done.Load() == want.Load()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,210 @@
+// Package omp is the OpenMP run-time system of this repository — the
+// libomp analogue. It implements parallel regions over a persistent
+// ("hot") thread pool, worksharing loops with static, dynamic and guided
+// schedules, barriers, critical sections, atomics, reductions, single /
+// master constructs, ordered sections, locks, and a task subsystem with
+// per-thread deques and work stealing.
+//
+// The runtime is written entirely against the exec layer, so identical
+// runtime code runs in every environment — which is precisely the
+// property the paper's RTK and PIK paths preserve for libomp ("identical
+// object code is created for a user-level and kernel-level program",
+// §2.1).
+package omp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"github.com/interweaving/komp/internal/exec"
+	"github.com/interweaving/komp/internal/pthread"
+	"github.com/interweaving/komp/internal/trace"
+)
+
+// Schedule is an OpenMP loop schedule kind.
+type Schedule int
+
+// Schedule kinds.
+const (
+	Static Schedule = iota
+	Dynamic
+	Guided
+)
+
+func (s Schedule) String() string {
+	switch s {
+	case Dynamic:
+		return "dynamic"
+	case Guided:
+		return "guided"
+	default:
+		return "static"
+	}
+}
+
+// ParseSchedule parses an OMP_SCHEDULE-style string like "dynamic,4".
+func ParseSchedule(s string) (Schedule, int, error) {
+	parts := strings.SplitN(strings.TrimSpace(strings.ToLower(s)), ",", 2)
+	var kind Schedule
+	switch parts[0] {
+	case "static":
+		kind = Static
+	case "dynamic":
+		kind = Dynamic
+	case "guided":
+		kind = Guided
+	default:
+		return 0, 0, fmt.Errorf("omp: unknown schedule %q", parts[0])
+	}
+	chunk := 0
+	if len(parts) == 2 {
+		n, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+		if err != nil {
+			return 0, 0, fmt.Errorf("omp: bad chunk in %q: %v", s, err)
+		}
+		chunk = n
+	}
+	return kind, chunk, nil
+}
+
+// BarrierAlgo selects the team barrier's release algorithm.
+type BarrierAlgo int
+
+// Barrier algorithms.
+const (
+	// BarrierFlat: the last arriver wakes every waiter (libomp's plain
+	// barrier; the wake storm serializes on one thread).
+	BarrierFlat BarrierAlgo = iota
+	// BarrierTree: released threads fan the wakes out with a bounded
+	// fanout, giving an O(log n) release.
+	BarrierTree
+)
+
+func (b BarrierAlgo) String() string {
+	if b == BarrierTree {
+		return "tree"
+	}
+	return "flat"
+}
+
+// Options configures the runtime (the internal control variables).
+type Options struct {
+	// MaxThreads caps the pool; 0 means the layer's CPU count.
+	MaxThreads int
+	// DefaultThreads is the team size when Parallel is called with 0;
+	// 0 means MaxThreads (OMP_NUM_THREADS).
+	DefaultThreads int
+	// Schedule and Chunk are the defaults for runtime-scheduled loops
+	// (OMP_SCHEDULE).
+	Schedule Schedule
+	Chunk    int
+	// Bind pins worker i to CPU i (OMP_PROC_BIND=true). HPC runs bind.
+	Bind bool
+	// PthreadImpl selects the pthread layer variant beneath the runtime
+	// (NPTL for Linux/PIK, PTE or Custom for RTK).
+	PthreadImpl pthread.Impl
+	// ForkChargeNS is the master-side setup cost per forked worker
+	// (work-descriptor writes, cache line pushes).
+	ForkChargeNS int64
+	// BarrierAlgo selects the barrier release algorithm (default flat).
+	BarrierAlgo BarrierAlgo
+	// Tracer, if non-nil, records parallel regions, worksharing loops
+	// and barriers as Chrome trace events.
+	Tracer *trace.Tracer
+}
+
+// Env reads OpenMP environment variables ("OMP_NUM_THREADS",
+// "OMP_SCHEDULE") from a lookup function (kernel env vars in RTK, the
+// emulated process environment in PIK) into Options.
+func (o *Options) Env(lookup func(string) (string, bool)) error {
+	if v, ok := lookup("OMP_NUM_THREADS"); ok {
+		n, err := strconv.Atoi(strings.TrimSpace(v))
+		if err != nil {
+			return fmt.Errorf("omp: OMP_NUM_THREADS=%q: %v", v, err)
+		}
+		o.DefaultThreads = n
+	}
+	if v, ok := lookup("OMP_SCHEDULE"); ok {
+		kind, chunk, err := ParseSchedule(v)
+		if err != nil {
+			return err
+		}
+		o.Schedule, o.Chunk = kind, chunk
+	}
+	return nil
+}
+
+// Runtime is an OpenMP runtime instance.
+type Runtime struct {
+	layer exec.Layer
+	lib   *pthread.Lib
+	opts  Options
+
+	pool *pool
+
+	critMu   sync.Mutex
+	critical map[string]*pthread.Mutex
+
+	// Stats.
+	Regions    atomic.Int64
+	TasksRun   atomic.Int64
+	TaskSteals atomic.Int64
+}
+
+// New creates a runtime over an execution layer.
+func New(layer exec.Layer, opts Options) *Runtime {
+	if opts.MaxThreads <= 0 {
+		opts.MaxThreads = layer.NumCPUs()
+	}
+	if opts.DefaultThreads <= 0 || opts.DefaultThreads > opts.MaxThreads {
+		opts.DefaultThreads = opts.MaxThreads
+	}
+	if opts.ForkChargeNS == 0 {
+		opts.ForkChargeNS = 120
+	}
+	return &Runtime{
+		layer:    layer,
+		lib:      pthread.New(layer, opts.PthreadImpl),
+		opts:     opts,
+		critical: make(map[string]*pthread.Mutex),
+	}
+}
+
+// Layer returns the runtime's execution layer.
+func (rt *Runtime) Layer() exec.Layer { return rt.layer }
+
+// Lib returns the pthread library beneath the runtime.
+func (rt *Runtime) Lib() *pthread.Lib { return rt.lib }
+
+// MaxThreads returns the pool capacity.
+func (rt *Runtime) MaxThreads() int { return rt.opts.MaxThreads }
+
+// DefaultThreads returns the default team size.
+func (rt *Runtime) DefaultThreads() int { return rt.opts.DefaultThreads }
+
+// DefaultSchedule returns the runtime schedule ICV.
+func (rt *Runtime) DefaultSchedule() (Schedule, int) { return rt.opts.Schedule, rt.opts.Chunk }
+
+// Close shuts down the worker pool. It must be called before the layer's
+// Run can return on the simulator (pool workers otherwise sleep forever).
+func (rt *Runtime) Close(tc exec.TC) {
+	if rt.pool != nil {
+		rt.pool.shutdown(tc)
+		rt.pool = nil
+	}
+}
+
+// criticalMutex returns the global mutex for a named critical section.
+func (rt *Runtime) criticalMutex(name string) *pthread.Mutex {
+	rt.critMu.Lock()
+	defer rt.critMu.Unlock()
+	m, ok := rt.critical[name]
+	if !ok {
+		m = rt.lib.NewMutex()
+		rt.critical[name] = m
+	}
+	return m
+}

@@ -1,0 +1,168 @@
+package omp
+
+import (
+	"sync"
+
+	"github.com/interweaving/komp/internal/pthread"
+)
+
+// Critical executes fn inside the named critical section. The unnamed
+// section is the empty name; all unnamed criticals share one mutex,
+// exactly as in OpenMP.
+func (w *Worker) Critical(name string, fn func()) {
+	m := w.team.rt.criticalMutex(name)
+	m.Lock(w.tc)
+	fn()
+	m.Unlock(w.tc)
+}
+
+// Atomic executes fn as an atomic update; updates to the shared location
+// serialize on its cache line across the team.
+func (w *Worker) Atomic(fn func()) {
+	c := w.tc.Costs()
+	w.tc.Contend(&w.team.atomicLine, c.AtomicRMWNS+c.CacheLineXferNS)
+	fn()
+}
+
+// ReduceOp is a reduction operator.
+type ReduceOp int
+
+// Reduction operators.
+const (
+	ReduceSum ReduceOp = iota
+	ReduceProd
+	ReduceMax
+	ReduceMin
+)
+
+// Apply combines two values.
+func (op ReduceOp) Apply(a, b float64) float64 {
+	switch op {
+	case ReduceProd:
+		return a * b
+	case ReduceMax:
+		if a > b {
+			return a
+		}
+		return b
+	case ReduceMin:
+		if a < b {
+			return a
+		}
+		return b
+	default:
+		return a + b
+	}
+}
+
+// Identity returns the operator identity element.
+func (op ReduceOp) Identity() float64 {
+	switch op {
+	case ReduceProd:
+		return 1
+	case ReduceMax:
+		return negInf
+	case ReduceMin:
+		return posInf
+	default:
+		return 0
+	}
+}
+
+const (
+	negInf = -1.797693134862315708145274237317043567981e308
+	posInf = 1.797693134862315708145274237317043567981e308
+)
+
+// Reduce combines each thread's contribution with the per-thread-slot +
+// combine-at-barrier algorithm and returns the reduced value on every
+// thread. It costs two barriers, like libomp's tree-reduce fallback.
+func (w *Worker) Reduce(op ReduceOp, val float64) float64 {
+	t := w.team
+	if t.n == 1 {
+		return val
+	}
+	t.redSlots[w.id] = val
+	w.Barrier()
+	// Every thread combines between the barriers: the slots are stable
+	// here (the next reduction's writes happen after the closing
+	// barrier), and each thread obtains the result without a third
+	// synchronization round.
+	acc := op.Identity()
+	for _, v := range t.redSlots[:t.n] {
+		acc = op.Apply(acc, v)
+	}
+	w.tc.Charge(int64(t.n) * w.tc.Costs().CacheLineXferNS / 4)
+	w.Barrier()
+	return acc
+}
+
+// --- omp_lock_t / omp_nest_lock_t ---
+
+// Lock is an OpenMP lock (omp_lock_t), a plain pthread mutex underneath.
+type Lock struct {
+	m *pthread.Mutex
+}
+
+// NewLock creates a lock (omp_init_lock).
+func (rt *Runtime) NewLock() *Lock { return &Lock{m: rt.lib.NewMutex()} }
+
+// Set acquires the lock (omp_set_lock).
+func (l *Lock) Set(w *Worker) { l.m.Lock(w.tc) }
+
+// Unset releases the lock (omp_unset_lock).
+func (l *Lock) Unset(w *Worker) { l.m.Unlock(w.tc) }
+
+// Test attempts the lock without blocking (omp_test_lock).
+func (l *Lock) Test(w *Worker) bool { return l.m.TryLock(w.tc) }
+
+// NestLock is an OpenMP nestable lock (omp_nest_lock_t).
+type NestLock struct {
+	m     *pthread.Mutex
+	mu    sync.Mutex
+	owner *Worker
+	depth int
+}
+
+// NewNestLock creates a nestable lock.
+func (rt *Runtime) NewNestLock() *NestLock { return &NestLock{m: rt.lib.NewMutex()} }
+
+// Set acquires the nestable lock, incrementing the nesting depth when the
+// caller already owns it.
+func (l *NestLock) Set(w *Worker) int {
+	l.mu.Lock()
+	if l.owner == w {
+		l.depth++
+		d := l.depth
+		l.mu.Unlock()
+		w.tc.Charge(w.tc.Costs().AtomicRMWNS)
+		return d
+	}
+	l.mu.Unlock()
+	l.m.Lock(w.tc)
+	l.mu.Lock()
+	l.owner = w
+	l.depth = 1
+	l.mu.Unlock()
+	return 1
+}
+
+// Unset releases one nesting level, dropping the lock at depth zero. It
+// returns the remaining depth.
+func (l *NestLock) Unset(w *Worker) int {
+	l.mu.Lock()
+	if l.owner != w {
+		l.mu.Unlock()
+		panic("omp: NestLock.Unset by non-owner")
+	}
+	l.depth--
+	d := l.depth
+	if d == 0 {
+		l.owner = nil
+		l.mu.Unlock()
+		l.m.Unlock(w.tc)
+		return 0
+	}
+	l.mu.Unlock()
+	return d
+}

@@ -1,0 +1,179 @@
+package omp
+
+import (
+	"sync"
+
+	"github.com/interweaving/komp/internal/exec"
+)
+
+// task is an explicit OpenMP task.
+type task struct {
+	fn       func(*Worker)
+	parent   *task
+	children exec.Word
+	waiting  exec.Word // parent is blocked in taskwait
+	team     *Team
+}
+
+// taskDeque is a per-worker work-stealing deque: the owner pushes and
+// pops at the tail (LIFO, for locality); thieves steal from the head
+// (FIFO, for oldest-first stealing), the classic Cilk/libomp discipline.
+type taskDeque struct {
+	mu    sync.Mutex
+	items []*task
+}
+
+func (d *taskDeque) pushTail(t *task) {
+	d.mu.Lock()
+	d.items = append(d.items, t)
+	d.mu.Unlock()
+}
+
+func (d *taskDeque) popTail() *task {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.items)
+	if n == 0 {
+		return nil
+	}
+	t := d.items[n-1]
+	d.items[n-1] = nil
+	d.items = d.items[:n-1]
+	return t
+}
+
+func (d *taskDeque) stealHead() *task {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.items) == 0 {
+		return nil
+	}
+	t := d.items[0]
+	copy(d.items, d.items[1:])
+	d.items[len(d.items)-1] = nil
+	d.items = d.items[:len(d.items)-1]
+	return t
+}
+
+// currentTask returns the task whose body the worker is executing (the
+// implicit task when outside any explicit task).
+func (w *Worker) currentTask() *task {
+	if w.curTask == nil {
+		// Lazily create the implicit task of this thread.
+		w.curTask = &task{team: w.team}
+	}
+	return w.curTask
+}
+
+// taskCreateNS is the allocation + descriptor setup cost of one explicit
+// task beyond the malloc itself.
+const taskCreateNS = 55
+
+// taskDispatchNS is the dequeue-and-invoke cost.
+const taskDispatchNS = 40
+
+// Task creates an explicit task (#pragma omp task). The task may execute
+// on any thread of the team, at task scheduling points (barriers,
+// taskwait, task creation under load).
+func (w *Worker) Task(fn func(*Worker)) {
+	tc := w.tc
+	c := tc.Costs()
+	tc.Charge(c.MallocNS + taskCreateNS)
+	parent := w.currentTask()
+	t := &task{fn: fn, parent: parent, team: w.team}
+	parent.children.Add(1)
+	w.team.pending.Add(1)
+	w.deque.pushTail(t)
+}
+
+// TaskIf creates a task when cond is true, otherwise executes fn
+// immediately (the if clause of #pragma omp task; EPCC CONDITIONAL_TASK
+// measures exactly this with cond false).
+func (w *Worker) TaskIf(cond bool, fn func(*Worker)) {
+	if cond {
+		w.Task(fn)
+		return
+	}
+	// Undeferred task: still a task region, but executed at once.
+	w.tc.Charge(taskCreateNS)
+	w.runTaskBody(&task{fn: fn, parent: w.currentTask(), team: w.team})
+}
+
+// runTaskBody executes t on this worker, maintaining the current-task
+// chain and completion accounting.
+func (w *Worker) runTaskBody(t *task) {
+	prev := w.curTask
+	w.curTask = t
+	t.fn(w)
+	w.curTask = prev
+}
+
+// finishTask propagates completion to the parent and the team.
+func (w *Worker) finishTask(t *task) {
+	if p := t.parent; p != nil {
+		p.children.Add(^uint32(0))
+		if p.waiting.Load() == 1 {
+			w.tc.FutexWake(&p.children, -1)
+		}
+	}
+	w.team.pending.Add(^uint32(0))
+	w.team.rt.TasksRun.Add(1)
+}
+
+// runOneTask executes one ready task: own deque first (tail), then steals
+// round-robin from teammates (head). It reports whether a task ran.
+func (w *Worker) runOneTask() bool {
+	tc := w.tc
+	c := tc.Costs()
+	if t := w.deque.popTail(); t != nil {
+		tc.Charge(taskDispatchNS)
+		w.runTaskBody(t)
+		w.finishTask(t)
+		return true
+	}
+	n := w.team.n
+	for k := 1; k < n; k++ {
+		victim := w.team.workers[(w.id+w.stealRR+k)%n]
+		if victim == nil || victim == w {
+			continue
+		}
+		if t := victim.deque.stealHead(); t != nil {
+			w.stealRR = (w.stealRR + k) % n
+			tc.Charge(taskDispatchNS + c.CacheLineXferNS)
+			w.team.rt.TaskSteals.Add(1)
+			w.runTaskBody(t)
+			w.finishTask(t)
+			return true
+		}
+	}
+	return false
+}
+
+// Taskwait blocks until all child tasks of the current task complete,
+// executing available tasks while it waits (#pragma omp taskwait).
+func (w *Worker) Taskwait() {
+	cur := w.currentTask()
+	tc := w.tc
+	for {
+		n := cur.children.Load()
+		if n == 0 {
+			return
+		}
+		if w.runOneTask() {
+			continue
+		}
+		cur.waiting.Store(1)
+		tc.FutexWait(&cur.children, n)
+		cur.waiting.Store(0)
+	}
+}
+
+// drainAllTasks runs the team's tasks to exhaustion (used by serialized
+// regions and the end of a region).
+func (w *Worker) drainAllTasks() {
+	for w.team.pending.Load() > 0 {
+		if !w.runOneTask() {
+			w.tc.Yield()
+		}
+	}
+}

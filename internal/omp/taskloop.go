@@ -1,0 +1,74 @@
+package omp
+
+// Taskloop and collapse: the task-generating loop construct (#pragma omp
+// taskloop) and multi-dimensional loop collapsing (collapse(2)) — the
+// OpenMP features NAS-style codes lean on for nested grids and irregular
+// loop bodies.
+
+// TaskloopOpt configures a taskloop.
+type TaskloopOpt struct {
+	// Grainsize is the iterations per generated task (0: the runtime
+	// picks ~2 tasks per thread).
+	Grainsize int
+	// NumTasks overrides the task count directly (wins over Grainsize).
+	NumTasks int
+	// NoGroup elides the implicit taskwait at the end (nogroup clause).
+	NoGroup bool
+}
+
+// Taskloop partitions [lo, hi) into tasks executed by the team's task
+// subsystem. Unlike a worksharing For, a single thread encounters the
+// construct and generates the tasks; the team executes them at task
+// scheduling points. The body receives the *executing* worker (tasks
+// migrate across threads). It ends with a taskwait unless NoGroup.
+func (w *Worker) Taskloop(lo, hi int, opt TaskloopOpt, body func(w *Worker, i int)) {
+	n := hi - lo
+	if n <= 0 {
+		if !opt.NoGroup {
+			w.Taskwait()
+		}
+		return
+	}
+	tasks := opt.NumTasks
+	if tasks <= 0 {
+		if opt.Grainsize > 0 {
+			tasks = (n + opt.Grainsize - 1) / opt.Grainsize
+		} else {
+			tasks = 2 * w.team.n
+		}
+	}
+	if tasks > n {
+		tasks = n
+	}
+	for t := 0; t < tasks; t++ {
+		tlo := lo + t*n/tasks
+		thi := lo + (t+1)*n/tasks
+		w.Task(func(tw *Worker) {
+			for i := tlo; i < thi; i++ {
+				body(tw, i)
+			}
+		})
+	}
+	if !opt.NoGroup {
+		w.Taskwait()
+	}
+}
+
+// ForCollapse2 executes a collapse(2) worksharing loop over the
+// rectangular iteration space [0,ni) x [0,nj): the two loops are fused
+// into one ni*nj space before scheduling, exactly as the collapse clause
+// specifies — the fix for outer loops too short to feed wide teams.
+func (w *Worker) ForCollapse2(ni, nj int, opt ForOpt, body func(i, j int)) {
+	w.ForEach(0, ni*nj, opt, func(flat int) {
+		body(flat/nj, flat%nj)
+	})
+}
+
+// ForCollapse3 is collapse(3) over [0,ni) x [0,nj) x [0,nk).
+func (w *Worker) ForCollapse3(ni, nj, nk int, opt ForOpt, body func(i, j, k int)) {
+	w.ForEach(0, ni*nj*nk, opt, func(flat int) {
+		i := flat / (nj * nk)
+		rem := flat % (nj * nk)
+		body(i, rem/nk, rem%nk)
+	})
+}

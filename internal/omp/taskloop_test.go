@@ -1,0 +1,212 @@
+package omp
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"github.com/interweaving/komp/internal/exec"
+)
+
+func TestTaskloopCoversRange(t *testing.T) {
+	for name, mk := range testLayers() {
+		t.Run(name, func(t *testing.T) {
+			run(t, mk, Options{MaxThreads: 8, Bind: true}, func(rt *Runtime, tc exec.TC) {
+				hits := make([]atomic.Int32, 500)
+				rt.Parallel(tc, 8, func(w *Worker) {
+					w.Single(false, func() {
+						w.Taskloop(0, 500, TaskloopOpt{Grainsize: 7}, func(_ *Worker, i int) {
+							hits[i].Add(1)
+						})
+					})
+				})
+				checkCoverage(t, hits, "taskloop")
+			})
+		})
+	}
+}
+
+func TestTaskloopNumTasks(t *testing.T) {
+	for name, mk := range testLayers() {
+		t.Run(name, func(t *testing.T) {
+			run(t, mk, Options{MaxThreads: 4, Bind: true}, func(rt *Runtime, tc exec.TC) {
+				var created atomic.Int64
+				rt.Parallel(tc, 4, func(w *Worker) {
+					w.Master(func() {
+						before := rt.TasksRun.Load()
+						w.Taskloop(0, 1000, TaskloopOpt{NumTasks: 13}, func(*Worker, int) {})
+						if got := rt.TasksRun.Load() - before; got != 13 {
+							created.Store(got)
+						}
+					})
+					w.Barrier()
+				})
+				if created.Load() != 0 {
+					t.Fatalf("taskloop generated %d tasks, want 13", created.Load())
+				}
+			})
+		})
+	}
+}
+
+func TestTaskloopWaitsUnlessNoGroup(t *testing.T) {
+	run(t, testLayers()["sim"], Options{MaxThreads: 4, Bind: true}, func(rt *Runtime, tc exec.TC) {
+		var done atomic.Int64
+		rt.Parallel(tc, 4, func(w *Worker) {
+			w.Master(func() {
+				w.Taskloop(0, 40, TaskloopOpt{}, func(tw *Worker, i int) {
+					tw.TC().Charge(1000)
+					done.Add(1)
+				})
+				if done.Load() != 40 {
+					t.Errorf("taskloop returned with %d/40 done (implicit taskwait missing)", done.Load())
+				}
+			})
+			w.Barrier()
+		})
+	})
+}
+
+func TestForCollapse2Coverage(t *testing.T) {
+	for name, mk := range testLayers() {
+		t.Run(name, func(t *testing.T) {
+			run(t, mk, Options{MaxThreads: 8, Bind: true}, func(rt *Runtime, tc exec.TC) {
+				const ni, nj = 7, 23
+				hits := make([]atomic.Int32, ni*nj)
+				rt.Parallel(tc, 8, func(w *Worker) {
+					w.ForCollapse2(ni, nj, ForOpt{Sched: Dynamic, Chunk: 4}, func(i, j int) {
+						hits[i*nj+j].Add(1)
+					})
+				})
+				checkCoverage(t, hits, "collapse2")
+			})
+		})
+	}
+}
+
+func TestForCollapse3Coverage(t *testing.T) {
+	run(t, testLayers()["sim"], Options{MaxThreads: 8, Bind: true}, func(rt *Runtime, tc exec.TC) {
+		const ni, nj, nk = 5, 6, 7
+		hits := make([]atomic.Int32, ni*nj*nk)
+		rt.Parallel(tc, 8, func(w *Worker) {
+			w.ForCollapse3(ni, nj, nk, ForOpt{Sched: Static}, func(i, j, k int) {
+				hits[(i*nj+j)*nk+k].Add(1)
+			})
+		})
+		checkCoverage(t, hits, "collapse3")
+	})
+}
+
+// Collapse solves the starvation the clause exists for: an outer loop
+// shorter than the team leaves threads idle; collapsed, everyone works.
+func TestCollapseBeatsShortOuterLoop(t *testing.T) {
+	elapsed := func(collapse bool) int64 {
+		layer := testLayers()["sim"]()
+		rt := New(layer, Options{MaxThreads: 8, Bind: true})
+		e, err := layer.Run(func(tc exec.TC) {
+			rt.Parallel(tc, 8, func(w *Worker) {
+				if collapse {
+					w.ForCollapse2(2, 64, ForOpt{Sched: Static}, func(i, j int) {
+						w.TC().Charge(10_000)
+					})
+				} else {
+					w.ForEach(0, 2, ForOpt{Sched: Static}, func(i int) {
+						for j := 0; j < 64; j++ {
+							w.TC().Charge(10_000)
+						}
+					})
+				}
+			})
+			rt.Close(tc)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	flat, nested := elapsed(true), elapsed(false)
+	if flat*2 > nested {
+		t.Fatalf("collapse (%d) must far outrun the starved outer loop (%d)", flat, nested)
+	}
+}
+
+func TestThreadPrivatePersistsAcrossRegions(t *testing.T) {
+	for name, mk := range testLayers() {
+		t.Run(name, func(t *testing.T) {
+			run(t, mk, Options{MaxThreads: 4, Bind: true}, func(rt *Runtime, tc exec.TC) {
+				tp := rt.NewThreadPrivate(func() any { return 0 }, nil)
+				rt.Parallel(tc, 4, func(w *Worker) {
+					tp.Set(w, w.ThreadNum()*10)
+				})
+				var bad atomic.Int64
+				rt.Parallel(tc, 4, func(w *Worker) {
+					if tp.Get(w).(int) != w.ThreadNum()*10 {
+						bad.Add(1)
+					}
+				})
+				if bad.Load() != 0 {
+					t.Fatalf("%d threads lost their threadprivate copies", bad.Load())
+				}
+			})
+		})
+	}
+}
+
+func TestCopyInClonesMaster(t *testing.T) {
+	for name, mk := range testLayers() {
+		t.Run(name, func(t *testing.T) {
+			run(t, mk, Options{MaxThreads: 4, Bind: true}, func(rt *Runtime, tc exec.TC) {
+				tp := rt.NewThreadPrivate(
+					func() any { return []int{0, 0} },
+					func(v any) any { return append([]int(nil), v.([]int)...) },
+				)
+				var bad atomic.Int64
+				rt.Parallel(tc, 4, func(w *Worker) {
+					w.Master(func() {
+						tp.Set(w, []int{7, 9})
+					})
+					tp.CopyIn(w)
+					got := tp.Get(w).([]int)
+					if got[0] != 7 || got[1] != 9 {
+						bad.Add(1)
+					}
+					// Mutating the copy must not leak into the master.
+					if w.ThreadNum() != 0 {
+						got[0] = -1
+					}
+					w.Barrier()
+					w.Master(func() {
+						if tp.Get(w).([]int)[0] != 7 {
+							bad.Add(100)
+						}
+					})
+				})
+				if bad.Load() != 0 {
+					t.Fatalf("copyin broken: code %d", bad.Load())
+				}
+			})
+		})
+	}
+}
+
+func TestRuntimeQueryFunctions(t *testing.T) {
+	run(t, testLayers()["sim"], Options{MaxThreads: 8, Bind: true}, func(rt *Runtime, tc exec.TC) {
+		rt.Parallel(tc, 4, func(w *Worker) {
+			if !w.InParallel() {
+				t.Error("InParallel false inside a 4-thread region")
+			}
+			if w.MaxThreads() != 8 {
+				t.Errorf("MaxThreads = %d", w.MaxThreads())
+			}
+			before := w.Wtime()
+			w.TC().Charge(2_000_000)
+			if w.Wtime()-before < 0.0019 {
+				t.Error("Wtime did not advance with virtual time")
+			}
+		})
+		rt.Parallel(tc, 1, func(w *Worker) {
+			if w.InParallel() {
+				t.Error("InParallel true in a serialized region")
+			}
+		})
+	})
+}

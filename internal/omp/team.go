@@ -1,0 +1,301 @@
+package omp
+
+import (
+	"fmt"
+
+	"github.com/interweaving/komp/internal/exec"
+	"github.com/interweaving/komp/internal/pthread"
+)
+
+// pool is the persistent worker pool ("hot team"): workers are created
+// once and sleep on per-worker futex words between parallel regions, the
+// way libomp keeps its team threads parked.
+type pool struct {
+	rt      *Runtime
+	workers []*poolWorker // index 1..MaxThreads-1; slot 0 is the master
+}
+
+type poolWorker struct {
+	id   int
+	gate exec.Word // generation gate; master bumps it to dispatch
+	team *Team     // assignment for the new generation
+	stop exec.Word
+	th   *pthread.Thread
+}
+
+func (rt *Runtime) ensurePool(tc exec.TC) *pool {
+	if rt.pool != nil {
+		return rt.pool
+	}
+	p := &pool{rt: rt}
+	for i := 1; i < rt.opts.MaxThreads; i++ {
+		pw := &poolWorker{id: i}
+		cpu := -1
+		if rt.opts.Bind {
+			cpu = i % rt.layer.NumCPUs()
+		}
+		pw.th = rt.lib.Create(tc, pthread.Attr{CPU: cpu}, func(wtc exec.TC) {
+			p.workerLoop(wtc, pw)
+		})
+		p.workers = append(p.workers, pw)
+	}
+	rt.pool = p
+	return p
+}
+
+func (p *pool) workerLoop(tc exec.TC, pw *poolWorker) {
+	gen := uint32(0)
+	for {
+		for pw.gate.Load() == gen {
+			tc.FutexWait(&pw.gate, gen)
+		}
+		gen = pw.gate.Load()
+		if pw.stop.Load() == 1 {
+			return
+		}
+		team := pw.team
+		w := team.workers[pw.id]
+		w.tc = tc
+		team.fn(w)
+		w.Barrier() // implicit join barrier of the parallel region
+	}
+}
+
+func (p *pool) shutdown(tc exec.TC) {
+	for _, pw := range p.workers {
+		pw.stop.Store(1)
+		pw.gate.Add(1)
+		tc.FutexWake(&pw.gate, 1)
+	}
+	for _, pw := range p.workers {
+		p.rt.lib.Join(tc, pw.th)
+	}
+}
+
+// Team is the shared state of one parallel region.
+type Team struct {
+	rt *Runtime
+	n  int
+	fn func(*Worker)
+
+	workers []*Worker
+
+	// Join/explicit barrier state.
+	barGen     exec.Word
+	barArrived exec.Word
+	barLine    exec.Line
+	relBudget  exec.Word // tree-release wake budget
+
+	// Worksharing state.
+	loopSeq  exec.Word // construct sequence for dynamic loop descriptors
+	loops    map[uint32]*loopDesc
+	loopsMu  chan struct{} // 1-token structural lock, layer-agnostic
+	singles  map[uint32]*exec.Word
+	sections exec.Word
+
+	// Ordered construct state.
+	orderedNext exec.Word
+
+	// Tasking.
+	pending exec.Word // tasks created and not yet finished
+
+	// Reduction slots (one per thread, cache-line padded in spirit).
+	redSlots []float64
+
+	// Copyprivate broadcast slot.
+	cpVal any
+	cpGen exec.Word
+
+	// atomicLine is the line shared atomics bounce on.
+	atomicLine exec.Line
+}
+
+// Parallel runs fn on a team of n threads (0 means the default ICV). The
+// calling thread becomes thread 0 of the team; pool workers 1..n-1 are
+// dispatched. Parallel returns after the implicit join barrier.
+func (rt *Runtime) Parallel(tc exec.TC, n int, fn func(*Worker)) {
+	if n <= 0 {
+		n = rt.opts.DefaultThreads
+	}
+	if n > rt.opts.MaxThreads {
+		n = rt.opts.MaxThreads
+	}
+	region := rt.Regions.Add(1)
+	t0 := tc.Now()
+	defer func() {
+		if rt.opts.Tracer != nil {
+			rt.opts.Tracer.Span(fmt.Sprintf("parallel#%d", region), "omp", 0,
+				t0, tc.Now()-t0, map[string]string{"threads": fmt.Sprint(n)})
+		}
+	}()
+	if n == 1 {
+		// Serialized region: no team machinery.
+		team := newTeam(rt, 1, fn)
+		w := team.workers[0]
+		w.tc = tc
+		fn(w)
+		w.drainAllTasks()
+		return
+	}
+	p := rt.ensurePool(tc)
+	team := newTeam(rt, n, fn)
+	c := tc.Costs()
+	// Fork: write each worker's descriptor and wake it (libomp's linear
+	// release).
+	for i := 1; i < n; i++ {
+		pw := p.workers[i-1]
+		pw.team = team
+		tc.Charge(rt.opts.ForkChargeNS + c.CacheLineXferNS)
+		pw.gate.Add(1)
+		tc.FutexWake(&pw.gate, 1)
+	}
+	master := team.workers[0]
+	master.tc = tc
+	fn(master)
+	master.Barrier() // implicit join barrier
+}
+
+func newTeam(rt *Runtime, n int, fn func(*Worker)) *Team {
+	t := &Team{
+		rt:       rt,
+		n:        n,
+		fn:       fn,
+		workers:  make([]*Worker, n),
+		loops:    make(map[uint32]*loopDesc),
+		loopsMu:  make(chan struct{}, 1),
+		singles:  make(map[uint32]*exec.Word),
+		redSlots: make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		t.workers[i] = &Worker{team: t, id: i}
+	}
+	t.loopsMu <- struct{}{}
+	return t
+}
+
+func (t *Team) lock()   { <-t.loopsMu }
+func (t *Team) unlock() { t.loopsMu <- struct{}{} }
+
+// Worker is a thread's view of a parallel region: the receiver for every
+// OpenMP construct.
+type Worker struct {
+	tc   exec.TC
+	team *Team
+	id   int
+
+	// Per-thread construct sequence counters (each thread encounters the
+	// same constructs in the same order — the SPMD contract).
+	loopSeen    uint32
+	singleSeen  uint32
+	sectionSeen uint32
+
+	// Tasking.
+	deque   taskDeque
+	curTask *task
+	stealRR int
+}
+
+// TC returns the worker's thread context.
+func (w *Worker) TC() exec.TC { return w.tc }
+
+// Wtime returns elapsed seconds since the layer started — omp_get_wtime
+// (wall-clock on real goroutines, virtual time on the simulator).
+func (w *Worker) Wtime() float64 { return float64(w.tc.Now()) / 1e9 }
+
+// InParallel reports whether the worker is in an active (non-serialized)
+// region — omp_in_parallel.
+func (w *Worker) InParallel() bool { return w.team.n > 1 }
+
+// MaxThreads returns the pool capacity — omp_get_max_threads.
+func (w *Worker) MaxThreads() int { return w.team.rt.opts.MaxThreads }
+
+// ThreadNum returns the OpenMP thread number (omp_get_thread_num).
+func (w *Worker) ThreadNum() int { return w.id }
+
+// NumThreads returns the team size (omp_get_num_threads).
+func (w *Worker) NumThreads() int { return w.team.n }
+
+// Runtime returns the owning runtime.
+func (w *Worker) Runtime() *Runtime { return w.team.rt }
+
+// Master runs fn on thread 0 only (no implied barrier).
+func (w *Worker) Master(fn func()) {
+	if w.id == 0 {
+		fn()
+	}
+}
+
+// Barrier executes a task-aware team barrier: it completes all pending
+// explicit tasks, then releases the team. The release path follows the
+// runtime's BarrierAlgo ICV: flat (the last arriver wakes everyone, a
+// serialized storm) or tree (released threads fan the wakes out, an
+// O(log n) release — the algorithm large machines want).
+func (w *Worker) Barrier() {
+	t := w.team
+	if t.n == 1 {
+		w.drainAllTasks()
+		return
+	}
+	tc := w.tc
+	c := tc.Costs()
+	// Arrival counter updates serialize on its cache line.
+	tc.Contend(&t.barLine, c.AtomicRMWNS+c.CacheLineXferNS)
+	gen := t.barGen.Load()
+	if t.barArrived.Add(1) == uint32(t.n) {
+		// Last arriver: ensure the task pool is drained before release.
+		for t.pending.Load() > 0 {
+			if !w.runOneTask() {
+				tc.Yield()
+			}
+		}
+		t.barArrived.Store(0)
+		if t.rt.opts.BarrierAlgo == BarrierTree {
+			t.relBudget.Store(uint32(t.n - 1))
+			t.barGen.Add(1)
+			w.treeRelease()
+		} else {
+			t.barGen.Add(1)
+			tc.FutexWake(&t.barGen, -1)
+		}
+		return
+	}
+	for t.barGen.Load() == gen {
+		// Help with tasks while waiting.
+		if t.pending.Load() > 0 && w.runOneTask() {
+			continue
+		}
+		tc.FutexWait(&t.barGen, gen)
+	}
+	if t.rt.opts.BarrierAlgo == BarrierTree {
+		w.treeRelease()
+	}
+}
+
+// releaseFanout is each thread's share of the tree release.
+const releaseFanout = 4
+
+// treeRelease forwards up to releaseFanout wakes from the team's release
+// budget. Every woken thread forwards more wakes, so release latency is
+// logarithmic in the team size instead of the flat barrier's linear
+// storm on the last arriver. Wakes are anonymous and value-checked, so a
+// wake "spent" on a thread that never slept is harmless.
+func (w *Worker) treeRelease() {
+	t := w.team
+	for k := 0; k < releaseFanout; k++ {
+		for {
+			v := t.relBudget.Load()
+			if v == 0 {
+				return
+			}
+			if t.relBudget.CompareAndSwap(v, v-1) {
+				break
+			}
+		}
+		w.tc.FutexWake(&t.barGen, 1)
+	}
+}
+
+// String aids debugging.
+func (w *Worker) String() string {
+	return fmt.Sprintf("omp-worker(%d/%d)", w.id, w.team.n)
+}

@@ -1,0 +1,70 @@
+package omp
+
+import "sync"
+
+// ThreadPrivate is a threadprivate variable: each OpenMP thread owns a
+// lazily-created copy that persists across parallel regions on the same
+// pool (the #pragma omp threadprivate semantics). CopyIn implements the
+// copyin clause: at region entry, every thread replaces its copy with a
+// clone of the master's.
+type ThreadPrivate struct {
+	rt   *Runtime
+	init func() any
+	// clone produces the copyin clone of a value (nil: the value is
+	// copied by assignment, fine for value types).
+	clone func(any) any
+
+	mu   sync.Mutex
+	vals map[int]any // thread id -> value
+}
+
+// NewThreadPrivate declares a threadprivate variable with an initializer
+// and an optional deep-clone function for copyin.
+func (rt *Runtime) NewThreadPrivate(init func() any, clone func(any) any) *ThreadPrivate {
+	if clone == nil {
+		clone = func(v any) any { return v }
+	}
+	return &ThreadPrivate{rt: rt, init: init, clone: clone, vals: make(map[int]any)}
+}
+
+// Get returns the calling thread's copy, creating it on first use. The
+// access is charged as a TLS load (threadprivate lives in the TLS block;
+// §3.4's hardware-TLS machinery is what backs it in RTK).
+func (tp *ThreadPrivate) Get(w *Worker) any {
+	w.tc.Charge(w.tc.Costs().TLSAccessNS)
+	tp.mu.Lock()
+	defer tp.mu.Unlock()
+	v, ok := tp.vals[w.id]
+	if !ok {
+		v = tp.init()
+		tp.vals[w.id] = v
+	}
+	return v
+}
+
+// Set stores the calling thread's copy.
+func (tp *ThreadPrivate) Set(w *Worker, v any) {
+	w.tc.Charge(w.tc.Costs().TLSAccessNS)
+	tp.mu.Lock()
+	tp.vals[w.id] = v
+	tp.mu.Unlock()
+}
+
+// CopyIn replaces every thread's copy with a clone of the master's value
+// (the copyin clause). It must be called by all threads of the region
+// and carries the implied synchronization: a barrier before the copies
+// are visible.
+func (tp *ThreadPrivate) CopyIn(w *Worker) {
+	// The master publishes; everyone else clones after the barrier.
+	if w.ThreadNum() == 0 {
+		tp.Get(w) // ensure the master copy exists
+	}
+	w.Barrier()
+	if w.ThreadNum() != 0 {
+		tp.mu.Lock()
+		master := tp.vals[0]
+		tp.mu.Unlock()
+		tp.Set(w, tp.clone(master))
+	}
+	w.Barrier()
+}

@@ -1,0 +1,271 @@
+package omp
+
+import "github.com/interweaving/komp/internal/exec"
+
+// ForOpt configures a worksharing loop.
+type ForOpt struct {
+	// Sched selects the schedule; Chunk its chunk size (0 = default:
+	// block partition for static, 1 for dynamic, min 1 for guided).
+	Sched Schedule
+	Chunk int
+	// NoWait elides the implicit barrier at loop end.
+	NoWait bool
+}
+
+// loopDesc is the shared descriptor of one dynamically-scheduled loop.
+type loopDesc struct {
+	lo, hi int
+	chunk  int
+	sched  Schedule
+	next   exec.Word // offset from lo, in iterations
+	line   exec.Line // the cache line the shared counter lives on
+	done   exec.Word // threads finished with this loop
+	// ordNext is the ordered-construct cursor (absolute iteration).
+	ordNext exec.Word
+}
+
+// getLoop returns this thread's next loop descriptor, creating it on
+// first arrival and garbage-collecting it after the last.
+func (w *Worker) getLoop(lo, hi int, opt ForOpt) *loopDesc {
+	t := w.team
+	id := w.loopSeen
+	w.loopSeen++
+	t.lock()
+	d, ok := t.loops[id]
+	if !ok {
+		chunk := opt.Chunk
+		if chunk <= 0 {
+			chunk = 1
+		}
+		d = &loopDesc{lo: lo, hi: hi, chunk: chunk, sched: opt.Sched}
+		d.ordNext.Store(uint32(0))
+		t.loops[id] = d
+	}
+	t.unlock()
+	return d
+}
+
+func (w *Worker) putLoop(id uint32, d *loopDesc) {
+	if d.done.Add(1) == uint32(w.team.n) {
+		t := w.team
+		t.lock()
+		delete(t.loops, id)
+		t.unlock()
+	}
+}
+
+// For executes the canonical worksharing loop for the half-open range
+// [lo, hi). The body receives contiguous sub-ranges (chunks); use ForEach
+// for a per-iteration body. The implicit barrier at the end is elided
+// with NoWait.
+func (w *Worker) For(lo, hi int, opt ForOpt, body func(lo, hi int)) {
+	c := w.tc.Costs()
+	n := w.team.n
+	if tr := w.team.rt.opts.Tracer; tr != nil {
+		t0 := w.tc.Now()
+		defer func() {
+			tr.Span("for/"+opt.Sched.String(), "omp", w.id, t0, w.tc.Now()-t0, nil)
+		}()
+	}
+	switch opt.Sched {
+	case Static:
+		w.tc.Charge(staticSetupNS)
+		if opt.Chunk <= 0 {
+			// Block partition.
+			total := hi - lo
+			base := total / n
+			rem := total % n
+			myLo := lo + w.id*base + min(w.id, rem)
+			myHi := myLo + base
+			if w.id < rem {
+				myHi++
+			}
+			if myLo < myHi {
+				body(myLo, myHi)
+			}
+		} else {
+			// Round-robin chunks.
+			for s := lo + w.id*opt.Chunk; s < hi; s += n * opt.Chunk {
+				e := s + opt.Chunk
+				if e > hi {
+					e = hi
+				}
+				body(s, e)
+			}
+		}
+	case Dynamic:
+		id := w.loopSeen
+		d := w.getLoop(lo, hi, opt)
+		for {
+			// The shared chunk counter is one cache line: grabs
+			// serialize across the team (the real cost of dynamic,1).
+			w.tc.Contend(&d.line, c.AtomicRMWNS+c.CacheLineXferNS)
+			off := int(d.next.Add(uint32(d.chunk))) - d.chunk
+			s := lo + off
+			if s >= hi {
+				break
+			}
+			e := s + d.chunk
+			if e > hi {
+				e = hi
+			}
+			body(s, e)
+		}
+		w.putLoop(id, d)
+	case Guided:
+		id := w.loopSeen
+		d := w.getLoop(lo, hi, opt)
+		total := hi - lo
+		for {
+			w.tc.Contend(&d.line, c.AtomicRMWNS+c.CacheLineXferNS)
+			var s, e int
+			for {
+				off := int(d.next.Load())
+				if off >= total {
+					s = hi
+					break
+				}
+				remaining := total - off
+				sz := remaining / (2 * n)
+				if sz < d.chunk {
+					sz = d.chunk
+				}
+				if sz > remaining {
+					sz = remaining
+				}
+				if d.next.CompareAndSwap(uint32(off), uint32(off+sz)) {
+					s, e = lo+off, lo+off+sz
+					break
+				}
+				w.tc.Charge(c.AtomicRMWNS)
+			}
+			if s >= hi {
+				break
+			}
+			body(s, e)
+		}
+		w.putLoop(id, d)
+	}
+	if !opt.NoWait {
+		w.Barrier()
+	}
+}
+
+// staticSetupNS is the cost of computing a static partition.
+const staticSetupNS = 25
+
+// ForEach is For with a per-iteration body.
+func (w *Worker) ForEach(lo, hi int, opt ForOpt, body func(i int)) {
+	w.For(lo, hi, opt, func(s, e int) {
+		for i := s; i < e; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForOrdered executes a worksharing loop with an ordered clause. The body
+// receives the iteration index and an ordered closure that runs its
+// argument in strict iteration order.
+func (w *Worker) ForOrdered(lo, hi int, opt ForOpt, body func(i int, ordered func(func()))) {
+	id := w.loopSeen // the descriptor the chunk iterator will use
+	var d *loopDesc
+	inner := func(i int) {
+		body(i, func(fn func()) {
+			tc := w.tc
+			c := tc.Costs()
+			want := uint32(i - lo)
+			for {
+				cur := d.ordNext.Load()
+				if cur == want {
+					break
+				}
+				tc.Charge(c.AtomicRMWNS)
+				tc.FutexWait(&d.ordNext, cur)
+			}
+			fn()
+			d.ordNext.Add(1)
+			tc.FutexWake(&d.ordNext, -1)
+		})
+	}
+	// Pre-create the descriptor so `d` is bound before iteration.
+	d = w.getLoop(lo, hi, opt)
+	w.loopSeen-- // getLoop in For will re-fetch the same id
+	w.ForEach(lo, hi, ForOpt{Sched: opt.Sched, Chunk: opt.Chunk, NoWait: true}, inner)
+	if w.loopSeen == id { // static path did not consume the descriptor
+		w.loopSeen++
+		w.putLoop(id, d)
+	}
+	if !opt.NoWait {
+		w.Barrier()
+	}
+}
+
+// Single runs fn on the first thread to arrive; the others skip it. The
+// construct ends with a barrier unless nowait.
+func (w *Worker) Single(nowait bool, fn func()) {
+	w.singleImpl(nowait, func() { fn() })
+}
+
+// SingleCopyPrivate runs fn on one thread and broadcasts its result to
+// every thread's return value (the copyprivate clause). It always ends
+// with a barrier (copyprivate requires it).
+func (w *Worker) SingleCopyPrivate(fn func() any) any {
+	t := w.team
+	w.singleImpl(true, func() {
+		t.cpVal = fn()
+	})
+	w.Barrier()
+	v := t.cpVal
+	w.Barrier() // the value must be read before the next single overwrites it
+	return v
+}
+
+func (w *Worker) singleImpl(nowait bool, fn func()) {
+	t := w.team
+	tc := w.tc
+	c := tc.Costs()
+	id := w.singleSeen
+	w.singleSeen++
+	if t.n == 1 {
+		fn()
+		return
+	}
+	t.lock()
+	claim, ok := t.singles[id]
+	if !ok {
+		claim = &exec.Word{}
+		t.singles[id] = claim
+	}
+	t.unlock()
+	tc.Charge(c.AtomicRMWNS + c.CacheLineXferNS)
+	if claim.CompareAndSwap(0, 1) {
+		fn()
+	}
+	// Arrival accounting for descriptor GC.
+	if claim.Add(1) == uint32(t.n)+1 {
+		t.lock()
+		delete(t.singles, id)
+		t.unlock()
+	}
+	if !nowait {
+		w.Barrier()
+	}
+}
+
+// Sections distributes the given section bodies over the team (dynamic,
+// one section per grab), with the implicit end barrier unless nowait.
+func (w *Worker) Sections(nowait bool, sections ...func()) {
+	w.ForEach(0, len(sections), ForOpt{Sched: Dynamic, Chunk: 1, NoWait: true}, func(i int) {
+		sections[i]()
+	})
+	if !nowait {
+		w.Barrier()
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,32 @@
+package pik
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParse drives the image parser with arbitrary bytes: it must never
+// panic, and anything it accepts must survive a re-link round trip.
+func FuzzParse(f *testing.F) {
+	f.Add(Link(testImage("seed", "main")))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xE8}, 64))
+	corrupt := Link(testImage("c", "m"))
+	corrupt[20] ^= 0xFF
+	f.Add(corrupt)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		img, err := Parse(data)
+		if err != nil {
+			return
+		}
+		again, err := Parse(Link(img))
+		if err != nil {
+			t.Fatalf("re-parse of accepted image failed: %v", err)
+		}
+		if again.Name != img.Name || again.Entry != img.Entry ||
+			!bytes.Equal(again.TextBytes, img.TextBytes) ||
+			!bytes.Equal(again.TDATA, img.TDATA) {
+			t.Fatal("accepted image does not round-trip")
+		}
+	})
+}

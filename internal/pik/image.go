@@ -1,0 +1,154 @@
+// Package pik implements the process in kernel (PIK) path (§4): a
+// multiboot2-style executable image format, a kernel loader that places
+// the image anywhere in physical memory (static PIE), a kernel-mode
+// process abstraction (thread group + custom allocator, no user mode, no
+// privilege switch), and an emulated subset of the Linux syscall ABI —
+// stubs for everything, real implementations for what the C runtime and
+// libomp actually use, plus /proc/self.
+//
+// One substitution from the paper is unavoidable in Go: machine code
+// cannot be carried in the image, so the image stores the *name* of its
+// entry point and the loader resolves it against a registry of Go
+// functions (the registry plays the role of the ELF entry address). All
+// other mechanics — header parsing, checksums, placement, BSS/TBSS
+// initialization, the copy costs — operate on real bytes.
+package pik
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Multiboot2-style constants. The header magic is the real multiboot2
+// header magic; the architecture field uses an unused value to mark our
+// 64-bit variant (§4.1: "a custom-designed 64-bit variant of a multiboot2
+// header at the very beginning of the output file").
+const (
+	HeaderMagic = 0xE85250D6
+	Arch64      = 0x40
+)
+
+// Image flags.
+const (
+	// FlagPIE marks a position-independent static executable. The
+	// Nautilus loader requires it (§4.1).
+	FlagPIE = 1 << iota
+	// FlagRedZone marks code compiled with x64 red zone use (the PIK
+	// default: no -mno-red-zone needed).
+	FlagRedZone
+)
+
+// Image is a parsed PIK executable.
+type Image struct {
+	Name      string
+	Flags     uint32
+	Entry     string // entry symbol, resolved via the registry
+	TextBytes []byte // opaque "text+rodata+data" payload
+	BSSSize   uint32
+	TDATA     []byte // TLS initialized data template
+	TBSSSize  uint32
+	StackSize uint32
+}
+
+// TotalLoadSize returns the memory footprint the loader must allocate.
+func (img *Image) TotalLoadSize() int64 {
+	return int64(len(img.TextBytes)) + int64(img.BSSSize) + int64(img.StackSize)
+}
+
+// Link serializes an Image to its on-disk byte format — the job of the
+// paper's nld wrapper script. Layout (little-endian):
+//
+//	u32 magic | u32 arch | u32 headerLen | u32 checksum
+//	u32 flags | u32 bssSize | u32 tbssSize | u32 stackSize
+//	u16 nameLen | name | u16 entryLen | entry
+//	u32 textLen | text | u32 tdataLen | tdata
+func Link(img *Image) []byte {
+	var buf []byte
+	u32 := func(v uint32) { buf = binary.LittleEndian.AppendUint32(buf, v) }
+	u16 := func(v uint16) { buf = binary.LittleEndian.AppendUint16(buf, v) }
+
+	headerLen := uint32(32)
+	u32(HeaderMagic)
+	u32(Arch64)
+	u32(headerLen)
+	u32(0 - (HeaderMagic + Arch64 + headerLen)) // multiboot2 checksum rule
+	u32(img.Flags)
+	u32(img.BSSSize)
+	u32(img.TBSSSize)
+	u32(img.StackSize)
+
+	u16(uint16(len(img.Name)))
+	buf = append(buf, img.Name...)
+	u16(uint16(len(img.Entry)))
+	buf = append(buf, img.Entry...)
+	u32(uint32(len(img.TextBytes)))
+	buf = append(buf, img.TextBytes...)
+	u32(uint32(len(img.TDATA)))
+	buf = append(buf, img.TDATA...)
+	return buf
+}
+
+// Parse decodes an image file, validating the multiboot2-style header.
+func Parse(data []byte) (*Image, error) {
+	if len(data) < 32 {
+		return nil, fmt.Errorf("pik: image truncated (%d bytes)", len(data))
+	}
+	u32 := func(off int) uint32 { return binary.LittleEndian.Uint32(data[off:]) }
+	magic, arch, hlen, csum := u32(0), u32(4), u32(8), u32(12)
+	if magic != HeaderMagic {
+		return nil, fmt.Errorf("pik: bad header magic %#x", magic)
+	}
+	if arch != Arch64 {
+		return nil, fmt.Errorf("pik: unsupported architecture %#x", arch)
+	}
+	if magic+arch+hlen+csum != 0 {
+		return nil, fmt.Errorf("pik: header checksum mismatch")
+	}
+	img := &Image{
+		Flags:     u32(16),
+		BSSSize:   u32(20),
+		TBSSSize:  u32(24),
+		StackSize: u32(28),
+	}
+	off := 32
+	str := func() (string, error) {
+		if off+2 > len(data) {
+			return "", fmt.Errorf("pik: image truncated in string length")
+		}
+		n := int(binary.LittleEndian.Uint16(data[off:]))
+		off += 2
+		if off+n > len(data) {
+			return "", fmt.Errorf("pik: image truncated in string body")
+		}
+		s := string(data[off : off+n])
+		off += n
+		return s, nil
+	}
+	blob := func() ([]byte, error) {
+		if off+4 > len(data) {
+			return nil, fmt.Errorf("pik: image truncated in blob length")
+		}
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		off += 4
+		if off+n > len(data) {
+			return nil, fmt.Errorf("pik: image truncated in blob body")
+		}
+		b := data[off : off+n]
+		off += n
+		return b, nil
+	}
+	var err error
+	if img.Name, err = str(); err != nil {
+		return nil, err
+	}
+	if img.Entry, err = str(); err != nil {
+		return nil, err
+	}
+	if img.TextBytes, err = blob(); err != nil {
+		return nil, err
+	}
+	if img.TDATA, err = blob(); err != nil {
+		return nil, err
+	}
+	return img, nil
+}

@@ -1,0 +1,102 @@
+package pik
+
+import (
+	"fmt"
+
+	"github.com/interweaving/komp/internal/exec"
+	"github.com/interweaving/komp/internal/nautilus"
+)
+
+// Loader cost knobs (virtual ns).
+const (
+	// copyNSPerKB is the cost of copying image content into place.
+	copyNSPerKB = 90
+	// zeroNSPerKB is the cost of zeroing BSS/TBSS.
+	zeroNSPerKB = 25
+	// setupNS is the fixed cost of process/thread setup ("pre-start").
+	setupNS = 4000
+)
+
+// Load parses an image file, places it in kernel memory, initializes
+// BSS and TBSS, and creates the kernel-mode process — everything the
+// paper's "Windows-style CreateProcess, but done entirely in kernel"
+// loader does (§4.2). It does not start execution; see Exec.
+func Load(tc exec.TC, k *nautilus.Kernel, file []byte) (*Process, error) {
+	img, err := Parse(file)
+	if err != nil {
+		return nil, err
+	}
+	if img.Flags&FlagPIE == 0 {
+		// The loader places the executable wherever prior allocations
+		// allow; without position independence that is unsound (§4.1).
+		return nil, fmt.Errorf("pik: image %q is not position-independent (nld requires -fPIE)", img.Name)
+	}
+	if _, ok := lookupEntry(img.Entry); !ok {
+		return nil, fmt.Errorf("pik: unresolved entry symbol %q", img.Entry)
+	}
+	size := img.TotalLoadSize()
+	if size <= 0 {
+		return nil, fmt.Errorf("pik: image %q loads nothing", img.Name)
+	}
+	region, err := k.KAlloc(tc, "pik-image-"+img.Name, size, tc.CPU())
+	if err != nil {
+		return nil, err
+	}
+	_ = region
+	// "Copies the file content to it, initializes BSS/TBSS."
+	tc.Charge(int64(len(img.TextBytes))/1024*copyNSPerKB + setupNS)
+	tc.Charge(int64(img.BSSSize+img.TBSSSize) / 1024 * zeroNSPerKB)
+
+	base := int64(0x100000) + int64(len(img.Name))*0x1000 // placement varies with prior allocations
+	p := newProcess(k, img, base)
+	// The process inherits the kernel environment (how OMP_NUM_THREADS
+	// reaches the emulated process).
+	for _, kv := range k.Environ() {
+		for i := 0; i < len(kv); i++ {
+			if kv[i] == '=' {
+				p.Setenv(kv[:i], kv[i+1:])
+				break
+			}
+		}
+	}
+	// PIK eases the red-zone restriction with the IST trampoline (§4.2)
+	// and needs hardware TLS + lazy FPU for the unmodified binary (§4.2).
+	k.ISTTrampoline = true
+	k.LazyFPU = true
+	return p, nil
+}
+
+// Exec runs the loaded process's entry function on the calling thread —
+// the loader's final "jumps to the entry point". It returns the exit
+// code.
+func Exec(tc exec.TC, p *Process, args []string) int {
+	fn, ok := lookupEntry(p.Img.Entry)
+	if !ok {
+		panic("pik: Exec without resolved entry")
+	}
+	// The initial thread runs the pre-start wrapper that completes
+	// process setup before invoking the user's code (§4.2). The wrapper
+	// installs the TLS template for the initial thread.
+	th := p.K.Thread(tc)
+	th.UsesRedZone = p.Img.Flags&FlagRedZone != 0
+	if len(p.Img.TDATA) > 0 || p.Img.TBSSSize > 0 {
+		p.K.SetTLS(tc, &nautilus.TLSImage{Data: p.Img.TDATA, BSSSize: int(p.Img.TBSSSize)})
+	}
+	tc.Charge(setupNS)
+	code := fn(tc, p, args)
+	if !p.Exited {
+		p.Exited = true
+		p.ExitCode = code
+	}
+	return p.ExitCode
+}
+
+// Run is Load followed by Exec.
+func Run(tc exec.TC, k *nautilus.Kernel, file []byte, args []string) (*Process, int, error) {
+	p, err := Load(tc, k, file)
+	if err != nil {
+		return nil, 0, err
+	}
+	code := Exec(tc, p, args)
+	return p, code, nil
+}

@@ -1,0 +1,391 @@
+package pik
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/interweaving/komp/internal/exec"
+	"github.com/interweaving/komp/internal/machine"
+	"github.com/interweaving/komp/internal/nautilus"
+)
+
+func testImage(name, entry string) *Image {
+	return &Image{
+		Name:      name,
+		Flags:     FlagPIE | FlagRedZone,
+		Entry:     entry,
+		TextBytes: make([]byte, 64<<10),
+		BSSSize:   128 << 10,
+		TDATA:     []byte{1, 2, 3, 4},
+		TBSSSize:  16,
+		StackSize: 64 << 10,
+	}
+}
+
+func bootKernel() *nautilus.Kernel {
+	return nautilus.Boot(nautilus.Config{Machine: machine.PHI(), Seed: 1,
+		Costs: exec.Costs{MallocNS: 200, SyscallExtraNS: 120, FutexWaitEntryNS: 80,
+			FutexWakeEntryNS: 80, FutexWakeLatencyNS: 300, ThreadSpawnNS: 1500}})
+}
+
+func TestLinkParseRoundTrip(t *testing.T) {
+	img := testImage("app", "app_main")
+	data := Link(img)
+	got, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "app" || got.Entry != "app_main" {
+		t.Fatalf("roundtrip: %+v", got)
+	}
+	if got.BSSSize != img.BSSSize || got.TBSSSize != img.TBSSSize || got.StackSize != img.StackSize {
+		t.Fatal("sizes lost in roundtrip")
+	}
+	if len(got.TextBytes) != len(img.TextBytes) || string(got.TDATA) != string(img.TDATA) {
+		t.Fatal("payload lost in roundtrip")
+	}
+	if got.Flags&FlagPIE == 0 {
+		t.Fatal("flags lost")
+	}
+}
+
+func TestParseRejectsCorruption(t *testing.T) {
+	img := testImage("app", "m")
+	data := Link(img)
+	// Bad magic.
+	bad := append([]byte(nil), data...)
+	bad[0] ^= 0xFF
+	if _, err := Parse(bad); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("bad magic: %v", err)
+	}
+	// Bad checksum.
+	bad = append([]byte(nil), data...)
+	bad[12] ^= 0x01
+	if _, err := Parse(bad); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("bad checksum: %v", err)
+	}
+	// Truncation at various points.
+	for _, cut := range []int{8, 31, 40, len(data) - 1} {
+		if _, err := Parse(data[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestLoaderRejectsNonPIE(t *testing.T) {
+	RegisterEntry("nonpie_main", func(tc exec.TC, p *Process, args []string) int { return 0 })
+	img := testImage("nonpie", "nonpie_main")
+	img.Flags = FlagRedZone // no PIE
+	k := bootKernel()
+	_, err := k.Layer.Run(func(tc exec.TC) {
+		if _, err := Load(tc, k, Link(img)); err == nil || !strings.Contains(err.Error(), "position-independent") {
+			t.Errorf("non-PIE image must be rejected: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoaderRejectsUnknownEntry(t *testing.T) {
+	img := testImage("ghost", "no_such_symbol")
+	k := bootKernel()
+	_, err := k.Layer.Run(func(tc exec.TC) {
+		if _, err := Load(tc, k, Link(img)); err == nil || !strings.Contains(err.Error(), "unresolved") {
+			t.Errorf("unknown entry must be rejected: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadExecRunsProgram(t *testing.T) {
+	ran := false
+	RegisterEntry("hello_main", func(tc exec.TC, p *Process, args []string) int {
+		ran = true
+		p.WriteString(tc, "hello from ring 0\n")
+		if len(args) != 2 || args[1] != "world" {
+			t.Errorf("args = %v", args)
+		}
+		return 7
+	})
+	k := bootKernel()
+	k.Setenv("OMP_NUM_THREADS", "4")
+	_, err := k.Layer.Run(func(tc exec.TC) {
+		p, code, err := Run(tc, k, Link(testImage("hello", "hello_main")), []string{"hello", "world"})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if code != 7 || !p.Exited {
+			t.Errorf("exit = %d exited=%v", code, p.Exited)
+		}
+		if !strings.Contains(p.Stdout.String(), "ring 0") {
+			t.Errorf("stdout = %q", p.Stdout.String())
+		}
+		// The process must inherit the kernel environment.
+		if v, ok := p.Getenv("OMP_NUM_THREADS"); !ok || v != "4" {
+			t.Errorf("env not inherited: %q %v", v, ok)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("entry never ran")
+	}
+}
+
+func TestLoaderEnablesISTAndLazyFPU(t *testing.T) {
+	RegisterEntry("cfg_main", func(tc exec.TC, p *Process, args []string) int { return 0 })
+	k := bootKernel()
+	if k.ISTTrampoline || k.LazyFPU {
+		t.Fatal("kernel must boot without PIK features")
+	}
+	_, err := k.Layer.Run(func(tc exec.TC) {
+		if _, _, err := Run(tc, k, Link(testImage("cfg", "cfg_main")), nil); err != nil {
+			t.Error(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !k.ISTTrampoline || !k.LazyFPU {
+		t.Fatal("PIK load must enable IST trampoline and lazy FPU (§4.2)")
+	}
+}
+
+func TestSyscallStubsReturnENOSYS(t *testing.T) {
+	RegisterEntry("stub_main", func(tc exec.TC, p *Process, args []string) int {
+		if r := p.Syscall(tc, 999); r != -ENOSYS {
+			t.Errorf("unknown syscall returned %d", r)
+		}
+		if r := p.Syscall(tc, 16 /* ioctl */); r != -ENOSYS {
+			t.Errorf("ioctl stub returned %d", r)
+		}
+		return 0
+	})
+	k := bootKernel()
+	_, err := k.Layer.Run(func(tc exec.TC) {
+		p, _, err := Run(tc, k, Link(testImage("stub", "stub_main")), nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if p.StubCalls[999] != 1 || p.StubCalls[16] != 1 {
+			t.Errorf("stub accounting: %v", p.StubCalls)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMmapBrkMunmap(t *testing.T) {
+	RegisterEntry("mem_main", func(tc exec.TC, p *Process, args []string) int {
+		a := p.Syscall(tc, SysMmap, 0, 1<<20)
+		if a <= 0 {
+			t.Errorf("mmap = %d", a)
+		}
+		b := p.Syscall(tc, SysMmap, 0, 1<<20)
+		if b <= a {
+			t.Errorf("second mmap %d must be above first %d", b, a)
+		}
+		if r := p.Syscall(tc, SysMunmap, a); r != 0 {
+			t.Errorf("munmap = %d", r)
+		}
+		if r := p.Syscall(tc, SysMunmap, a); r != -EINVAL {
+			t.Errorf("double munmap = %d", r)
+		}
+		cur := p.Syscall(tc, SysBrk, 0)
+		if r := p.Syscall(tc, SysBrk, cur+4096); r != cur+4096 {
+			t.Errorf("brk grow = %d", r)
+		}
+		return 0
+	})
+	k := bootKernel()
+	if _, err := k.Layer.Run(func(tc exec.TC) {
+		if _, _, err := Run(tc, k, Link(testImage("mem", "mem_main")), nil); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcSelfOnly(t *testing.T) {
+	RegisterEntry("proc_main", func(tc exec.TC, p *Process, args []string) int {
+		st, err := p.ReadFile(tc, "/proc/self/status")
+		if err != nil {
+			t.Error(err)
+			return 1
+		}
+		if !strings.Contains(st, "Cpus_allowed_list:\t0-63") {
+			t.Errorf("status = %q", st)
+		}
+		if _, err := p.ReadFile(tc, "/proc/cpuinfo"); err == nil {
+			t.Error("/proc/cpuinfo must not exist (only /proc/self, §4.3)")
+		}
+		if _, err := p.ReadFile(tc, "/sys/devices"); err == nil {
+			t.Error("/sys must not exist")
+		}
+		if r := p.Syscall(tc, SysOpenat, 0, PathArg("/proc/self/maps")); r < 3 {
+			t.Errorf("openat /proc/self/maps = %d", r)
+		}
+		return 0
+	})
+	k := bootKernel()
+	if _, err := k.Layer.Run(func(tc exec.TC) {
+		if _, _, err := Run(tc, k, Link(testImage("proc", "proc_main")), nil); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneAndFutexAcrossThreads(t *testing.T) {
+	RegisterEntry("thr_main", func(tc exec.TC, p *Process, args []string) int {
+		const addr = 0x1000
+		w := p.FutexWord(addr)
+		h := p.Clone(tc, 1, func(wtc exec.TC, tid int) {
+			if tid == p.PID {
+				t.Error("cloned thread must get a fresh tid")
+			}
+			wtc.Charge(5000)
+			w.Store(1)
+			p.FutexWake(wtc, addr, 1)
+		})
+		for w.Load() == 0 {
+			p.FutexWait(tc, addr, 0)
+		}
+		h.Join(tc)
+		return 0
+	})
+	k := bootKernel()
+	if _, err := k.Layer.Run(func(tc exec.TC) {
+		p, code, err := Run(tc, k, Link(testImage("thr", "thr_main")), nil)
+		if err != nil || code != 0 {
+			t.Errorf("err=%v code=%d", err, code)
+			return
+		}
+		if p.Calls[SysClone] != 1 {
+			t.Errorf("clone calls = %d", p.Calls[SysClone])
+		}
+		if p.Calls[SysFutex] == 0 {
+			t.Error("futex syscalls not accounted")
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArchPrctlFSBase(t *testing.T) {
+	RegisterEntry("tls_main", func(tc exec.TC, p *Process, args []string) int {
+		if r := p.Syscall(tc, SysArchPrctl, ArchSetFS, 0xBEEF000); r != 0 {
+			t.Errorf("ARCH_SET_FS = %d", r)
+		}
+		if r := p.Syscall(tc, SysArchPrctl, ArchGetFS); r != 0xBEEF000 {
+			t.Errorf("ARCH_GET_FS = %#x", r)
+		}
+		if r := p.Syscall(tc, SysArchPrctl, 0x9999); r != -EINVAL {
+			t.Errorf("bad arch_prctl code = %d", r)
+		}
+		return 0
+	})
+	k := bootKernel()
+	if _, err := k.Layer.Run(func(tc exec.TC) {
+		if _, _, err := Run(tc, k, Link(testImage("tls", "tls_main")), nil); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRedZonePreservedUnderPIK(t *testing.T) {
+	RegisterEntry("rz_main", func(tc exec.TC, p *Process, args []string) int {
+		th := p.K.Thread(tc)
+		if !th.UsesRedZone {
+			t.Error("PIK binaries use the red zone")
+		}
+		p.K.IRQ.Register(&nautilus.IRQHandler{Name: "tick", PathNS: 200})
+		p.K.IRQ.Fire("tick", 0)
+		if !th.RedZoneIntact {
+			t.Error("IST trampoline must preserve the red zone (§4.2)")
+		}
+		return 0
+	})
+	k := bootKernel()
+	if _, err := k.Layer.Run(func(tc exec.TC) {
+		if _, _, err := Run(tc, k, Link(testImage("rz", "rz_main")), nil); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTLSTemplateInstalledByPreStart(t *testing.T) {
+	RegisterEntry("tdata_main", func(tc exec.TC, p *Process, args []string) int {
+		v, err := p.K.TLSLoad(tc, 1)
+		if err != nil {
+			t.Error(err)
+			return 1
+		}
+		if v != 2 {
+			t.Errorf("TLS data = %d, want template byte", v)
+		}
+		return 0
+	})
+	k := bootKernel()
+	if _, err := k.Layer.Run(func(tc exec.TC) {
+		if _, _, err := Run(tc, k, Link(testImage("tdata", "tdata_main")), nil); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAffinityAndSignalSyscalls(t *testing.T) {
+	RegisterEntry("aff_main", func(tc exec.TC, p *Process, args []string) int {
+		if r := p.Syscall(tc, SysSchedGetaff); r != 64 {
+			t.Errorf("default affinity = %d", r)
+		}
+		if r := p.Syscall(tc, SysSchedSetaff, 0, 8); r != 0 {
+			t.Errorf("setaffinity = %d", r)
+		}
+		if r := p.Syscall(tc, SysSchedGetaff); r != 8 {
+			t.Errorf("narrowed affinity = %d", r)
+		}
+		if r := p.Syscall(tc, SysSchedSetaff, 0, 9999); r != -EINVAL {
+			t.Errorf("oversized mask = %d", r)
+		}
+		if r := p.Syscall(tc, SysRtSigaction, 11); r != 0 {
+			t.Errorf("rt_sigaction = %d", r)
+		}
+		if p.sigHandlers[11] != 1 {
+			t.Error("handler not recorded")
+		}
+		if r := p.Syscall(tc, SysMadvise, 0, 4096, 14); r != 0 {
+			t.Errorf("MADV_HUGEPAGE = %d", r)
+		}
+		if r := p.Syscall(tc, SysMadvise, 0, 4096, 4); r != -EINVAL {
+			t.Errorf("unsupported advice = %d", r)
+		}
+		if r := p.Syscall(tc, SysGetcpu); r != int64(tc.CPU()) {
+			t.Errorf("getcpu = %d on cpu %d", r, tc.CPU())
+		}
+		return 0
+	})
+	k := bootKernel()
+	if _, err := k.Layer.Run(func(tc exec.TC) {
+		if _, _, err := Run(tc, k, Link(testImage("aff", "aff_main")), nil); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

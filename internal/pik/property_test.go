@@ -1,0 +1,69 @@
+package pik
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: Link/Parse round-trips arbitrary image contents exactly.
+func TestPropertyLinkParseRoundTrip(t *testing.T) {
+	f := func(name string, entry string, text []byte, tdata []byte, bss, tbss, stack uint32, flags uint8) bool {
+		if len(name) > 60000 || len(entry) > 60000 {
+			return true
+		}
+		img := &Image{
+			Name:      name,
+			Flags:     uint32(flags) | FlagPIE,
+			Entry:     entry,
+			TextBytes: text,
+			BSSSize:   bss,
+			TDATA:     tdata,
+			TBSSSize:  tbss,
+			StackSize: stack,
+		}
+		got, err := Parse(Link(img))
+		if err != nil {
+			return false
+		}
+		return got.Name == img.Name &&
+			got.Entry == img.Entry &&
+			got.Flags == img.Flags &&
+			got.BSSSize == img.BSSSize &&
+			got.TBSSSize == img.TBSSSize &&
+			got.StackSize == img.StackSize &&
+			string(got.TextBytes) == string(img.TextBytes) &&
+			string(got.TDATA) == string(img.TDATA)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Parse never panics and never accepts a truncation of a valid
+// image as valid (every strict prefix must error).
+func TestPropertyParseRejectsAllTruncations(t *testing.T) {
+	img := testImage("trunc", "m")
+	data := Link(img)
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := Parse(data[:cut]); err == nil {
+			t.Fatalf("prefix of %d/%d bytes accepted", cut, len(data))
+		}
+	}
+}
+
+// Property: Parse tolerates arbitrary garbage without panicking.
+func TestPropertyParseGarbageSafe(t *testing.T) {
+	f := func(data []byte) bool {
+		defer func() {
+			if recover() != nil {
+				t.Fatal("Parse panicked on garbage")
+			}
+		}()
+		img, err := Parse(data)
+		// Either an error, or a structurally valid image.
+		return err != nil || img != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

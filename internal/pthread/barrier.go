@@ -1,0 +1,80 @@
+package pthread
+
+import "github.com/interweaving/komp/internal/exec"
+
+// Barrier is a pthread barrier. The last arriving thread's Wait returns
+// true (PTHREAD_BARRIER_SERIAL_THREAD).
+type Barrier interface {
+	Wait(tc exec.TC) bool
+}
+
+// NewBarrier creates a barrier for n threads using the library's variant:
+// PTE builds it generically from a mutex and a condition variable (the
+// portable path, with broadcast wake storms); NPTL and Custom use the
+// futex-generation design that wakes all waiters with one kernel call.
+func (l *Lib) NewBarrier(n int) Barrier {
+	if l.Impl == PTE {
+		b := &condBarrier{lib: l, n: uint32(n)}
+		b.mu.lib = l
+		b.cv.lib = l
+		return b
+	}
+	return &futexBarrier{lib: l, n: uint32(n)}
+}
+
+// condBarrier is the generic PTE-style barrier: count under a mutex, block
+// on a condvar, broadcast on the last arrival. Every waiter must reacquire
+// the mutex on wakeup, serializing the exit path.
+type condBarrier struct {
+	lib   *Lib
+	n     uint32
+	mu    Mutex
+	cv    Cond
+	count uint32
+	gen   uint32
+}
+
+func (b *condBarrier) Wait(tc exec.TC) bool {
+	b.lib.tax(tc)
+	b.mu.Lock(tc)
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cv.Broadcast(tc)
+		b.mu.Unlock(tc)
+		return true
+	}
+	for b.gen == gen {
+		b.cv.Wait(tc, &b.mu)
+	}
+	b.mu.Unlock(tc)
+	return false
+}
+
+// futexBarrier is the customized design: a lock-free arrival counter and a
+// generation word woken once.
+type futexBarrier struct {
+	lib     *Lib
+	n       uint32
+	arrived exec.Word
+	gen     exec.Word
+}
+
+func (b *futexBarrier) Wait(tc exec.TC) bool {
+	c := tc.Costs()
+	b.lib.tax(tc)
+	tc.Charge(c.AtomicRMWNS + c.CacheLineXferNS)
+	gen := b.gen.Load()
+	if b.arrived.Add(1) == b.n {
+		b.arrived.Store(0)
+		b.gen.Add(1)
+		tc.FutexWake(&b.gen, -1)
+		return true
+	}
+	for b.gen.Load() == gen {
+		tc.FutexWait(&b.gen, gen)
+	}
+	return false
+}

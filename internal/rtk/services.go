@@ -1,0 +1,108 @@
+package rtk
+
+import (
+	"fmt"
+
+	"github.com/interweaving/komp/internal/exec"
+	"github.com/interweaving/komp/internal/memsim"
+	"github.com/interweaving/komp/internal/omp"
+)
+
+// This file implements the opportunity the paper's introduction points
+// out beyond running applications: "enabling OpenMP within the kernel,
+// specifically the RTK design point, also presents the opportunity to
+// write traditional kernel-level code using OpenMP. This may become
+// useful as general purpose kernels need to deal with increasingly
+// larger scale machines." (§1)
+//
+// KernelServices are ordinary kernel maintenance jobs — page scrubbing,
+// memory-zone verification, checksumming — written against the in-kernel
+// OpenMP runtime exactly as application code would be.
+
+// scrubNSPerKB is the per-kilobyte cost of zeroing memory.
+const scrubNSPerKB = 28
+
+// checksumNSPerKB is the per-kilobyte cost of summing memory.
+const checksumNSPerKB = 11
+
+// Services exposes OpenMP-parallel kernel maintenance operations.
+type Services struct {
+	port *Port
+}
+
+// Services returns the kernel-service interface of a port.
+func (p *Port) Services() *Services { return &Services{port: p} }
+
+// ScrubResult reports a parallel scrub pass.
+type ScrubResult struct {
+	Bytes   int64
+	Threads int
+	// VirtualNS is the elapsed virtual time of the pass.
+	VirtualNS int64
+}
+
+// scrubBlock is the work-distribution granule (pages can be 1 GiB under
+// identity mapping, far too coarse to parallelize over).
+const scrubBlock = 2 << 20
+
+// ScrubRegion zeroes a memory region with an OpenMP parallel loop over
+// 2 MiB blocks — the kind of boot-time/idle-time work a large machine
+// wants parallelized in-kernel.
+func (s *Services) ScrubRegion(tc exec.TC, r *memsim.Region, threads int) ScrubResult {
+	blocks := int((r.Bytes + scrubBlock - 1) / scrubBlock)
+	t0 := tc.Now()
+	s.port.RT.Parallel(tc, threads, func(w *omp.Worker) {
+		w.For(0, blocks, omp.ForOpt{Sched: omp.Static}, func(lo, hi int) {
+			w.TC().Charge(int64(hi-lo) * (scrubBlock / 1024) * scrubNSPerKB)
+		})
+	})
+	return ScrubResult{Bytes: r.Bytes, Threads: threads, VirtualNS: tc.Now() - t0}
+}
+
+// VerifyZones sums every zone allocator's free-space accounting in
+// parallel and cross-checks it against the zone sizes — a consistency
+// pass over kernel memory metadata.
+func (s *Services) VerifyZones(tc exec.TC, threads int) error {
+	k := s.port.K
+	zones := make([]int, 0, len(k.Buddies))
+	for z := range k.Buddies {
+		zones = append(zones, z)
+	}
+	var bad exec.Word
+	s.port.RT.Parallel(tc, threads, func(w *omp.Worker) {
+		w.ForEach(0, len(zones), omp.ForOpt{Sched: omp.Dynamic, Chunk: 1}, func(i int) {
+			b := k.Buddies[zones[i]]
+			w.TC().Charge(2_000) // walk the free lists
+			if b.FreeBytes()+b.BytesLive != b.Size() {
+				bad.Store(uint32(zones[i]) + 1)
+			}
+		})
+	})
+	if z := bad.Load(); z != 0 {
+		return fmt.Errorf("rtk: zone %d accounting corrupt", z-1)
+	}
+	return nil
+}
+
+// ChecksumRegion computes a parallel checksum over a region with a
+// reduction — the OpenMP idiom applied to kernel integrity checking.
+func (s *Services) ChecksumRegion(tc exec.TC, r *memsim.Region, threads int) float64 {
+	blocks := int((r.Bytes + scrubBlock - 1) / scrubBlock)
+	var sum float64
+	s.port.RT.Parallel(tc, threads, func(w *omp.Worker) {
+		local := 0.0
+		w.For(0, blocks, omp.ForOpt{Sched: omp.Static, NoWait: true}, func(lo, hi int) {
+			w.TC().Charge(int64(hi-lo) * (scrubBlock / 1024) * checksumNSPerKB)
+			for i := lo; i < hi; i++ {
+				page := int(int64(i) * scrubBlock / r.PageSize)
+				if page >= r.Pages() {
+					page = r.Pages() - 1
+				}
+				local += float64(r.ZoneOfPage(page) + 1) // stand-in for block contents
+			}
+		})
+		total := w.Reduce(omp.ReduceSum, local)
+		w.Master(func() { sum = total })
+	})
+	return sum
+}

@@ -1,0 +1,78 @@
+package rtk
+
+import (
+	"testing"
+
+	"github.com/interweaving/komp/internal/exec"
+)
+
+func TestScrubRegionParallelSpeedup(t *testing.T) {
+	k := bootKernel()
+	p, err := NewPort(k, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := p.Services()
+	var t1, t16 int64
+	_, err = k.Layer.Run(func(tc exec.TC) {
+		r, err := k.KAlloc(tc, "scrubme", 256<<20, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		t1 = svc.ScrubRegion(tc, r, 1).VirtualNS
+		t16 = svc.ScrubRegion(tc, r, 16).VirtualNS
+		p.Close(tc)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if speedup := float64(t1) / float64(t16); speedup < 8 {
+		t.Fatalf("kernel scrub speedup at 16 threads = %.1f, want > 8", speedup)
+	}
+}
+
+func TestVerifyZonesClean(t *testing.T) {
+	k := bootKernel()
+	p, err := NewPort(k, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = k.Layer.Run(func(tc exec.TC) {
+		if _, err := k.KAlloc(tc, "live", 8<<20, 0); err != nil {
+			t.Error(err)
+		}
+		if err := p.Services().VerifyZones(tc, 4); err != nil {
+			t.Errorf("clean zones reported corrupt: %v", err)
+		}
+		p.Close(tc)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChecksumRegionDeterministicAcrossThreads(t *testing.T) {
+	k := bootKernel()
+	p, err := NewPort(k, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c1, c8 float64
+	_, err = k.Layer.Run(func(tc exec.TC) {
+		r, err := k.KAlloc(tc, "sum", 64<<20, 5)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		c1 = p.Services().ChecksumRegion(tc, r, 1)
+		c8 = p.Services().ChecksumRegion(tc, r, 8)
+		p.Close(tc)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c8 || c1 == 0 {
+		t.Fatalf("checksums differ across team sizes: %v vs %v", c1, c8)
+	}
+}

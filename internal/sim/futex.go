@@ -1,0 +1,70 @@
+package sim
+
+// FutexTable implements futex-style wait/wake keyed on word addresses.
+// It is the primitive beneath the simulated pthread and OpenMP layers,
+// mirroring how libomp on Linux ultimately blocks in futex(2).
+type FutexTable struct {
+	sim    *Sim
+	queues map[*uint32]*WaitQueue
+}
+
+// NewFutexTable creates a futex table on s.
+func NewFutexTable(s *Sim) *FutexTable {
+	return &FutexTable{sim: s, queues: make(map[*uint32]*WaitQueue)}
+}
+
+// Wait blocks p on addr if *addr still equals val, after charging entryCost
+// (the syscall/trap path) to p's timeline. It returns true if the proc
+// blocked (and has since been woken), false if the value check failed
+// (EAGAIN in Linux terms).
+func (t *FutexTable) Wait(p *Proc, addr *uint32, val uint32, entryCost Time) bool {
+	if entryCost > 0 {
+		p.Compute(entryCost)
+	}
+	if *addr != val {
+		return false
+	}
+	q := t.queues[addr]
+	if q == nil {
+		q = NewWaitQueue(t.sim)
+		t.queues[addr] = q
+	}
+	q.Wait(p)
+	return true
+}
+
+// Wake wakes up to n waiters on addr, charging entryCost to the caller and
+// delivering wakeLatency (plus a per-waiter stagger) to each waiter. It
+// returns the number of procs woken.
+func (t *FutexTable) Wake(p *Proc, addr *uint32, n int, entryCost, wakeLatency, stagger Time) int {
+	if entryCost > 0 {
+		p.Compute(entryCost)
+	}
+	q := t.queues[addr]
+	if q == nil || q.Len() == 0 {
+		return 0
+	}
+	if n < 0 || n > q.Len() {
+		n = q.Len()
+	}
+	woken := 0
+	at := p.Now()
+	for i := 0; i < n; i++ {
+		if q.WakeOne(at+Time(i)*stagger, wakeLatency) == nil {
+			break
+		}
+		woken++
+	}
+	if q.Len() == 0 {
+		delete(t.queues, addr)
+	}
+	return woken
+}
+
+// Waiters returns the number of procs currently blocked on addr.
+func (t *FutexTable) Waiters(addr *uint32) int {
+	if q := t.queues[addr]; q != nil {
+		return q.Len()
+	}
+	return 0
+}

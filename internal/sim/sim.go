@@ -1,0 +1,501 @@
+// Package sim implements a deterministic discrete-event simulator with
+// cooperative simulated threads ("procs"), per-CPU timelines, wait queues,
+// and a seeded random source.
+//
+// The simulator is the substrate for every simulated kernel environment in
+// this repository (the Nautilus-analogue and the Linux-analogue). It runs
+// exactly one proc at a time, so all state touched from proc code is
+// race-free and every run with the same seed is bit-identical.
+//
+// Time is virtual and measured in nanoseconds (the Time alias). A proc
+// advances time only through explicit operations: Compute (occupies its
+// CPU), Sleep (does not occupy a CPU), Park/Unpark, and wait queues.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Time is virtual time in nanoseconds.
+type Time = int64
+
+// Common durations, in virtual nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000
+	Millisecond Time = 1000 * 1000
+	Second      Time = 1000 * 1000 * 1000
+)
+
+// NoiseModel extends compute segments with environment-dependent
+// interference (OS noise, interrupts, competing activity). Extend returns
+// the completion time of a compute burst of duration d that starts at
+// time start on the given CPU. Implementations must be deterministic
+// given the simulator's seeded RNG.
+type NoiseModel interface {
+	Extend(rng *rand.Rand, cpu int, start, d Time) Time
+}
+
+// NoNoise is the zero-interference noise model.
+type NoNoise struct{}
+
+// Extend returns start + d unchanged.
+func (NoNoise) Extend(_ *rand.Rand, _ int, start, d Time) Time { return start + d }
+
+// CPU is a simulated hardware thread with its own timeline.
+type CPU struct {
+	ID     int
+	FreeAt Time // time at which the current compute segment ends
+	Noise  NoiseModel
+
+	// Accounting.
+	BusyNS   Time // virtual ns spent computing (including noise stretch)
+	Segments int64
+}
+
+// ProcState describes what a proc is currently doing.
+type ProcState int
+
+// Proc states.
+const (
+	StateNew ProcState = iota
+	StateRunnable
+	StateRunning
+	StateBlocked
+	StateDone
+)
+
+func (s ProcState) String() string {
+	switch s {
+	case StateNew:
+		return "new"
+	case StateRunnable:
+		return "runnable"
+	case StateRunning:
+		return "running"
+	case StateBlocked:
+		return "blocked"
+	case StateDone:
+		return "done"
+	default:
+		return fmt.Sprintf("ProcState(%d)", int(s))
+	}
+}
+
+// Proc is a simulated thread of execution, backed by a goroutine that runs
+// cooperatively under the simulator's control.
+type Proc struct {
+	ID   int
+	Name string
+
+	sim   *Sim
+	cpu   int // bound CPU, or -1
+	state ProcState
+	now   Time // proc-local clock: the virtual time it has reached
+
+	resume chan struct{}
+
+	// Data is an arbitrary per-proc slot for the layers above (e.g. the
+	// kernel thread object wrapping this proc).
+	Data any
+}
+
+// CPUID returns the CPU the proc is bound to, or -1 if unbound.
+func (p *Proc) CPUID() int { return p.cpu }
+
+// SetCPU rebinds the proc to a CPU (or -1 to unbind). The binding takes
+// effect at the proc's next compute segment.
+func (p *Proc) SetCPU(cpu int) {
+	if cpu >= len(p.sim.cpus) {
+		panic(fmt.Sprintf("sim: SetCPU(%d) beyond %d CPUs", cpu, len(p.sim.cpus)))
+	}
+	p.cpu = cpu
+}
+
+// State reports the proc's current state.
+func (p *Proc) State() ProcState { return p.state }
+
+// Now returns the proc's local virtual time.
+func (p *Proc) Now() Time { return p.now }
+
+// Sim returns the owning simulator.
+func (p *Proc) Sim() *Sim { return p.sim }
+
+type event struct {
+	at   Time
+	seq  uint64 // FIFO tiebreak for equal times
+	proc *Proc  // proc to resume, or nil if fn-only
+	fn   func() // optional callback run on the scheduler goroutine
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+func (h eventHeap) Peek() *event { return h[0] }
+func (h eventHeap) Empty() bool  { return len(h) == 0 }
+
+// Sim is a deterministic discrete-event simulator.
+type Sim struct {
+	now    Time
+	eq     eventHeap
+	seq    uint64
+	rng    *rand.Rand
+	cpus   []*CPU
+	nextID int
+
+	yield   chan struct{} // proc -> scheduler: "I have blocked or exited"
+	running *Proc
+	live    int // procs not yet done
+	blocked map[int]*Proc
+}
+
+// New creates a simulator with ncpu CPUs and the given RNG seed.
+func New(ncpu int, seed int64) *Sim {
+	if ncpu < 1 {
+		panic("sim: need at least one CPU")
+	}
+	s := &Sim{
+		rng:     rand.New(rand.NewSource(seed)),
+		yield:   make(chan struct{}),
+		blocked: make(map[int]*Proc),
+	}
+	for i := 0; i < ncpu; i++ {
+		s.cpus = append(s.cpus, &CPU{ID: i, Noise: NoNoise{}})
+	}
+	return s
+}
+
+// Now returns the current global virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// RNG returns the simulator's seeded random source. It must only be used
+// from proc code or scheduler callbacks (never concurrently).
+func (s *Sim) RNG() *rand.Rand { return s.rng }
+
+// NumCPU returns the number of simulated CPUs.
+func (s *Sim) NumCPU() int { return len(s.cpus) }
+
+// CPU returns the CPU with the given id.
+func (s *Sim) CPU(id int) *CPU { return s.cpus[id] }
+
+// SetNoise installs a noise model on every CPU.
+func (s *Sim) SetNoise(n NoiseModel) {
+	for _, c := range s.cpus {
+		c.Noise = n
+	}
+}
+
+func (s *Sim) schedule(at Time, p *Proc, fn func()) {
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	heap.Push(&s.eq, &event{at: at, seq: s.seq, proc: p, fn: fn})
+}
+
+// At schedules fn to run on the scheduler at virtual time at (clamped to
+// now). Use it for interrupts, timers, and other asynchronous machinery.
+func (s *Sim) At(at Time, fn func()) { s.schedule(at, nil, fn) }
+
+// After schedules fn to run d nanoseconds from now.
+func (s *Sim) After(d Time, fn func()) { s.schedule(s.now+d, nil, fn) }
+
+// Go creates a proc bound to the given CPU (-1 for unbound) that starts at
+// virtual time max(now, start) and runs fn. It may be called from the
+// scheduler (before Run) or from proc code.
+func (s *Sim) Go(name string, cpu int, start Time, fn func(p *Proc)) *Proc {
+	if cpu >= len(s.cpus) {
+		panic(fmt.Sprintf("sim: Go on CPU %d beyond %d CPUs", cpu, len(s.cpus)))
+	}
+	s.nextID++
+	p := &Proc{ID: s.nextID, Name: name, sim: s, cpu: cpu, state: StateNew, resume: make(chan struct{})}
+	s.live++
+	if start < s.now {
+		start = s.now
+	}
+	go func() {
+		// The deferred handshake also fires if fn unwinds via
+		// runtime.Goexit (e.g. t.Fatal on a proc goroutine), so the
+		// scheduler never deadlocks waiting for a vanished proc.
+		done := false
+		defer func() {
+			if r := recover(); r != nil {
+				panic(r)
+			}
+			if !done {
+				p.state = StateDone
+				s.live--
+				s.yield <- struct{}{}
+			}
+		}()
+		<-p.resume // wait for first dispatch
+		fn(p)
+		p.state = StateDone
+		s.live--
+		done = true
+		s.yield <- struct{}{}
+	}()
+	p.state = StateRunnable
+	s.schedule(start, p, nil)
+	return p
+}
+
+// dispatch resumes proc p and waits until it blocks or exits.
+func (s *Sim) dispatch(p *Proc) {
+	if p.state == StateDone {
+		return
+	}
+	p.state = StateRunning
+	if p.now < s.now {
+		p.now = s.now
+	}
+	prev := s.running
+	s.running = p
+	p.resume <- struct{}{}
+	<-s.yield
+	s.running = prev
+}
+
+// Run processes events until none remain. It returns an error if live
+// procs remain blocked with an empty event queue (deadlock).
+func (s *Sim) Run() error {
+	for !s.eq.Empty() {
+		e := heap.Pop(&s.eq).(*event)
+		s.now = e.at
+		if e.fn != nil {
+			e.fn()
+			continue
+		}
+		if e.proc != nil {
+			delete(s.blocked, e.proc.ID)
+			s.dispatch(e.proc)
+		}
+	}
+	if s.live > 0 {
+		return s.deadlockError()
+	}
+	return nil
+}
+
+// RunUntil processes events with time ≤ t, then returns. The clock is
+// advanced to t.
+func (s *Sim) RunUntil(t Time) {
+	for !s.eq.Empty() && s.eq.Peek().at <= t {
+		e := heap.Pop(&s.eq).(*event)
+		s.now = e.at
+		if e.fn != nil {
+			e.fn()
+			continue
+		}
+		if e.proc != nil {
+			delete(s.blocked, e.proc.ID)
+			s.dispatch(e.proc)
+		}
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+func (s *Sim) deadlockError() error {
+	var names []string
+	for _, p := range s.blocked {
+		names = append(names, fmt.Sprintf("%s(#%d)", p.Name, p.ID))
+	}
+	sort.Strings(names)
+	return fmt.Errorf("sim: deadlock: %d proc(s) blocked forever: %v", s.live, names)
+}
+
+// --- Proc operations (must be called from the proc's own goroutine) ---
+
+func (p *Proc) mustBeRunning() {
+	if p.sim.running != p {
+		panic(fmt.Sprintf("sim: proc %s(#%d) operated on while not running", p.Name, p.ID))
+	}
+}
+
+// block parks the proc until the scheduler dispatches it again.
+func (p *Proc) block() {
+	p.state = StateBlocked
+	p.sim.blocked[p.ID] = p
+	p.sim.yield <- struct{}{}
+	<-p.resume
+}
+
+// Compute advances the proc by d nanoseconds of work on its bound CPU,
+// respecting CPU contention (non-preemptive FIFO) and the CPU's noise
+// model. Unbound procs advance without contention or noise.
+func (p *Proc) Compute(d Time) {
+	p.mustBeRunning()
+	if d < 0 {
+		panic("sim: negative compute duration")
+	}
+	s := p.sim
+	if p.cpu < 0 {
+		p.sleepUntil(p.now + d)
+		return
+	}
+	c := s.cpus[p.cpu]
+	start := p.now
+	if c.FreeAt > start {
+		start = c.FreeAt
+	}
+	end := c.Noise.Extend(s.rng, c.ID, start, d)
+	if end < start+d {
+		panic("sim: noise model shortened compute")
+	}
+	c.FreeAt = end
+	c.BusyNS += end - start
+	c.Segments++
+	p.sleepUntil(end)
+}
+
+// Sleep advances the proc by d nanoseconds without occupying its CPU.
+func (p *Proc) Sleep(d Time) {
+	p.mustBeRunning()
+	if d < 0 {
+		panic("sim: negative sleep duration")
+	}
+	p.sleepUntil(p.now + d)
+}
+
+func (p *Proc) sleepUntil(t Time) {
+	if t <= p.now && t <= p.sim.now {
+		// Zero-length: still yield through the queue so same-time events
+		// interleave fairly and deterministically.
+		t = p.sim.now
+	}
+	p.sim.schedule(t, p, nil)
+	p.block()
+}
+
+// Yield reschedules the proc at the current time, letting same-time events
+// run first.
+func (p *Proc) Yield() {
+	p.mustBeRunning()
+	p.sleepUntil(p.now)
+}
+
+// Park blocks the proc until another proc (or a scheduler callback) calls
+// Unpark on it.
+func (p *Proc) Park() {
+	p.mustBeRunning()
+	p.block()
+}
+
+// Unpark makes a parked proc runnable at virtual time at (clamped to now).
+// It may be called from any proc or scheduler callback, but not for a proc
+// that is runnable or running.
+func (s *Sim) Unpark(p *Proc, at Time) {
+	if p.state != StateBlocked {
+		panic(fmt.Sprintf("sim: Unpark of %s proc %s(#%d)", p.state, p.Name, p.ID))
+	}
+	if at < s.now {
+		at = s.now
+	}
+	p.state = StateRunnable
+	s.schedule(at, p, nil)
+}
+
+// Utilization summarizes CPU busy fractions over the elapsed time.
+type Utilization struct {
+	ElapsedNS Time
+	// BusyFrac[c] is CPU c's busy fraction of the elapsed time.
+	BusyFrac []float64
+	// Mean is the average busy fraction.
+	Mean float64
+}
+
+// Utilization reports per-CPU busy fractions since time 0.
+func (s *Sim) Utilization() Utilization {
+	u := Utilization{ElapsedNS: s.now, BusyFrac: make([]float64, len(s.cpus))}
+	if s.now == 0 {
+		return u
+	}
+	var sum float64
+	for i, c := range s.cpus {
+		u.BusyFrac[i] = float64(c.BusyNS) / float64(s.now)
+		sum += u.BusyFrac[i]
+	}
+	u.Mean = sum / float64(len(s.cpus))
+	return u
+}
+
+// --- Wait queues ---
+
+// WaitQueue is a FIFO queue of blocked procs.
+type WaitQueue struct {
+	sim   *Sim
+	procs []*Proc
+}
+
+// NewWaitQueue creates a wait queue on s.
+func NewWaitQueue(s *Sim) *WaitQueue { return &WaitQueue{sim: s} }
+
+// Len returns the number of waiting procs.
+func (q *WaitQueue) Len() int { return len(q.procs) }
+
+// Wait blocks the calling proc on the queue.
+func (q *WaitQueue) Wait(p *Proc) {
+	p.mustBeRunning()
+	q.procs = append(q.procs, p)
+	p.block()
+}
+
+// WakeOne wakes the oldest waiter at time at, with an extra delay latency
+// added to model the wake path cost on the waiter's side. It returns the
+// woken proc, or nil if the queue was empty.
+func (q *WaitQueue) WakeOne(at, latency Time) *Proc {
+	if len(q.procs) == 0 {
+		return nil
+	}
+	p := q.procs[0]
+	copy(q.procs, q.procs[1:])
+	q.procs[len(q.procs)-1] = nil
+	q.procs = q.procs[:len(q.procs)-1]
+	q.sim.Unpark(p, at+latency)
+	return p
+}
+
+// WakeAll wakes every waiter. Each waiter i resumes at at+latency+i*stagger,
+// modeling serialized wake-up paths. It returns the number woken.
+func (q *WaitQueue) WakeAll(at, latency, stagger Time) int {
+	n := len(q.procs)
+	for i, p := range q.procs {
+		q.sim.Unpark(p, at+latency+Time(i)*stagger)
+		q.procs[i] = nil
+	}
+	q.procs = q.procs[:0]
+	return n
+}
+
+// Remove removes a specific proc from the queue without waking it. It
+// reports whether the proc was present.
+func (q *WaitQueue) Remove(p *Proc) bool {
+	for i, w := range q.procs {
+		if w == p {
+			q.procs = append(q.procs[:i], q.procs[i+1:]...)
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,354 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSingleProcAdvancesTime(t *testing.T) {
+	s := New(1, 1)
+	var end Time
+	s.Go("p", 0, 0, func(p *Proc) {
+		p.Compute(100)
+		p.Compute(50)
+		end = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if end != 150 {
+		t.Fatalf("proc time = %d, want 150", end)
+	}
+	if s.Now() != 150 {
+		t.Fatalf("sim time = %d, want 150", s.Now())
+	}
+}
+
+func TestParallelProcsOverlap(t *testing.T) {
+	s := New(4, 1)
+	ends := make([]Time, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		s.Go("p", i, 0, func(p *Proc) {
+			p.Compute(1000)
+			ends[i] = p.Now()
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range ends {
+		if e != 1000 {
+			t.Fatalf("proc %d end = %d, want 1000 (parallel execution)", i, e)
+		}
+	}
+	if s.Now() != 1000 {
+		t.Fatalf("sim end = %d, want 1000", s.Now())
+	}
+}
+
+func TestSameCPUContends(t *testing.T) {
+	s := New(1, 1)
+	ends := make([]Time, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		s.Go("p", 0, 0, func(p *Proc) {
+			p.Compute(1000)
+			ends[i] = p.Now()
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got := []Time{ends[0], ends[1]}
+	if got[0] > got[1] {
+		got[0], got[1] = got[1], got[0]
+	}
+	if got[0] != 1000 || got[1] != 2000 {
+		t.Fatalf("contended ends = %v, want [1000 2000]", got)
+	}
+}
+
+func TestSleepDoesNotOccupyCPU(t *testing.T) {
+	s := New(1, 1)
+	var computeEnd Time
+	s.Go("sleeper", 0, 0, func(p *Proc) { p.Sleep(1000) })
+	s.Go("worker", 0, 0, func(p *Proc) {
+		p.Compute(500)
+		computeEnd = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if computeEnd != 500 {
+		t.Fatalf("worker end = %d, want 500 (sleeper must not hold the CPU)", computeEnd)
+	}
+}
+
+func TestParkUnpark(t *testing.T) {
+	s := New(2, 1)
+	var consumer *Proc
+	var got Time
+	consumer = s.Go("consumer", 0, 0, func(p *Proc) {
+		p.Park()
+		got = p.Now()
+	})
+	s.Go("producer", 1, 0, func(p *Proc) {
+		p.Compute(700)
+		s.Unpark(consumer, p.Now()+42)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 742 {
+		t.Fatalf("consumer woke at %d, want 742", got)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	s := New(1, 1)
+	s.Go("stuck", 0, 0, func(p *Proc) { p.Park() })
+	if err := s.Run(); err == nil {
+		t.Fatal("expected deadlock error, got nil")
+	}
+}
+
+func TestWaitQueueFIFO(t *testing.T) {
+	s := New(4, 1)
+	q := NewWaitQueue(s)
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		s.Go("waiter", i, Time(i), func(p *Proc) {
+			q.Wait(p)
+			order = append(order, i)
+		})
+	}
+	s.Go("waker", 3, 100, func(p *Proc) {
+		for q.Len() > 0 {
+			q.WakeOne(p.Now(), 10)
+			p.Compute(5)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("wake order = %v, want [0 1 2]", order)
+	}
+}
+
+func TestWakeAllStagger(t *testing.T) {
+	s := New(8, 1)
+	q := NewWaitQueue(s)
+	ends := make([]Time, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		s.Go("waiter", i, 0, func(p *Proc) {
+			q.Wait(p)
+			ends[i] = p.Now()
+		})
+	}
+	s.Go("waker", 7, 100, func(p *Proc) {
+		if n := q.WakeAll(p.Now(), 10, 3); n != 4 {
+			t.Errorf("WakeAll woke %d, want 4", n)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range ends {
+		want := Time(110 + 3*i)
+		if e != want {
+			t.Fatalf("waiter %d woke at %d, want %d", i, e, want)
+		}
+	}
+}
+
+func TestFutexValueCheck(t *testing.T) {
+	s := New(2, 1)
+	ft := NewFutexTable(s)
+	word := uint32(1)
+	var blocked bool
+	s.Go("w", 0, 0, func(p *Proc) {
+		blocked = ft.Wait(p, &word, 7, 25) // value mismatch: no block
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if blocked {
+		t.Fatal("futex Wait blocked despite value mismatch")
+	}
+	if s.Now() != 25 {
+		t.Fatalf("entry cost not charged: now=%d want 25", s.Now())
+	}
+}
+
+func TestFutexWaitWake(t *testing.T) {
+	s := New(2, 1)
+	ft := NewFutexTable(s)
+	word := uint32(0)
+	var wakeTime Time
+	s.Go("waiter", 0, 0, func(p *Proc) {
+		if !ft.Wait(p, &word, 0, 100) {
+			t.Error("expected to block")
+		}
+		wakeTime = p.Now()
+	})
+	s.Go("waker", 1, 500, func(p *Proc) {
+		word = 1
+		if n := ft.Wake(p, &word, 1, 100, 50, 0); n != 1 {
+			t.Errorf("woke %d, want 1", n)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// waker: starts at 500, entry cost 100 -> wake issued at 600, +50 latency.
+	if wakeTime != 650 {
+		t.Fatalf("waiter woke at %d, want 650", wakeTime)
+	}
+	if ft.Waiters(&word) != 0 {
+		t.Fatal("queue not cleaned up")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() Time {
+		s := New(8, 42)
+		s.SetNoise(jitterNoise{})
+		done := NewWaitQueue(s)
+		for i := 0; i < 8; i++ {
+			s.Go("p", i, 0, func(p *Proc) {
+				for k := 0; k < 50; k++ {
+					p.Compute(100)
+					p.Yield()
+				}
+			})
+		}
+		_ = done
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return s.Now()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("non-deterministic: %d vs %d", a, b)
+	}
+}
+
+// jitterNoise adds a pseudo-random stretch to every segment.
+type jitterNoise struct{}
+
+func (jitterNoise) Extend(rng *rand.Rand, _ int, start, d Time) Time {
+	return start + d + Time(rng.Intn(20))
+}
+
+func TestNoiseExtends(t *testing.T) {
+	s := New(1, 7)
+	s.SetNoise(jitterNoise{})
+	var end Time
+	s.Go("p", 0, 0, func(p *Proc) {
+		p.Compute(1000)
+		end = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if end < 1000 || end >= 1020 {
+		t.Fatalf("noisy end = %d, want [1000,1020)", end)
+	}
+}
+
+func TestAtCallback(t *testing.T) {
+	s := New(1, 1)
+	var fired Time = -1
+	s.At(333, func() { fired = s.Now() })
+	s.Go("p", 0, 0, func(p *Proc) { p.Compute(1000) })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 333 {
+		t.Fatalf("callback fired at %d, want 333", fired)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New(1, 1)
+	ticks := 0
+	var tick func()
+	tick = func() {
+		ticks++
+		s.After(100, tick)
+	}
+	s.After(100, tick)
+	s.RunUntil(1000)
+	if ticks != 10 {
+		t.Fatalf("ticks = %d, want 10", ticks)
+	}
+	if s.Now() != 1000 {
+		t.Fatalf("now = %d, want 1000", s.Now())
+	}
+}
+
+func TestCPUAccounting(t *testing.T) {
+	s := New(2, 1)
+	s.Go("a", 0, 0, func(p *Proc) { p.Compute(300) })
+	s.Go("b", 0, 0, func(p *Proc) { p.Compute(200) })
+	s.Go("c", 1, 0, func(p *Proc) { p.Compute(50) })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.CPU(0).BusyNS != 500 || s.CPU(0).Segments != 2 {
+		t.Fatalf("cpu0 busy=%d segs=%d, want 500/2", s.CPU(0).BusyNS, s.CPU(0).Segments)
+	}
+	if s.CPU(1).BusyNS != 50 {
+		t.Fatalf("cpu1 busy=%d, want 50", s.CPU(1).BusyNS)
+	}
+}
+
+func TestWaitQueueRemove(t *testing.T) {
+	s := New(2, 1)
+	q := NewWaitQueue(s)
+	var victim *Proc
+	woke := false
+	victim = s.Go("victim", 0, 0, func(p *Proc) {
+		q.Wait(p)
+		woke = true
+	})
+	s.Go("killer", 1, 10, func(p *Proc) {
+		if !q.Remove(victim) {
+			t.Error("Remove failed")
+		}
+		s.Unpark(victim, p.Now())
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !woke {
+		t.Fatal("victim never resumed")
+	}
+	if q.Len() != 0 {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestUtilizationReport(t *testing.T) {
+	s := New(4, 1)
+	s.Go("busy", 0, 0, func(p *Proc) { p.Compute(1000) })
+	s.Go("half", 1, 0, func(p *Proc) { p.Compute(500) })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	u := s.Utilization()
+	if u.ElapsedNS != 1000 {
+		t.Fatalf("elapsed = %d", u.ElapsedNS)
+	}
+	if u.BusyFrac[0] != 1.0 || u.BusyFrac[1] != 0.5 || u.BusyFrac[2] != 0 {
+		t.Fatalf("busy = %v", u.BusyFrac)
+	}
+	if u.Mean != (1.0+0.5)/4 {
+		t.Fatalf("mean = %v", u.Mean)
+	}
+}

@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func close(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if !close(Mean([]float64{1, 2, 3, 4}), 2.5) {
+		t.Fatal("mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean must be 0")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if !close(StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}), 2.13808993529939) {
+		t.Fatalf("stddev = %v", StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}))
+	}
+	if StdDev([]float64{5}) != 0 {
+		t.Fatal("single-sample stddev must be 0")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if !close(GeoMean([]float64{1, 4}), 2) {
+		t.Fatal("geomean wrong")
+	}
+	// The paper's headline: geomean of per-benchmark speedups.
+	if g := GeoMean([]float64{1.22, 1.22, 1.22}); !close(g, 1.22) {
+		t.Fatalf("constant geomean = %v", g)
+	}
+	if GeoMean([]float64{-1, 0}) != 0 {
+		t.Fatal("all-nonpositive geomean must be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if !close(Percentile(xs, 50), 3) {
+		t.Fatal("median wrong")
+	}
+	if !close(Percentile(xs, 0), 1) || !close(Percentile(xs, 100), 5) {
+		t.Fatal("extremes wrong")
+	}
+	if !close(Percentile(xs, 25), 2) {
+		t.Fatalf("p25 = %v", Percentile(xs, 25))
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 3})
+	if s.N != 2 || !close(s.Mean, 2) || !close(s.Min, 1) || !close(s.Max, 3) {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestPropertyGeoMeanBetweenMinMax(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, x := range raw {
+			if x > 0 && !math.IsInf(x, 0) && !math.IsNaN(x) && x < 1e18 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		g := GeoMean(xs)
+		return g >= Min(xs)-1e-9*Min(xs) && g <= Max(xs)*(1+1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMeanShiftInvariance(t *testing.T) {
+	f := func(raw []float64, shift float64) bool {
+		if len(raw) == 0 || math.IsNaN(shift) || math.IsInf(shift, 0) {
+			return true
+		}
+		var xs []float64
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e15 {
+				return true
+			}
+			xs = append(xs, x)
+		}
+		if math.Abs(shift) > 1e15 {
+			return true
+		}
+		shifted := make([]float64, len(xs))
+		for i, x := range xs {
+			shifted[i] = x + shift
+		}
+		lhs := Mean(shifted)
+		rhs := Mean(xs) + shift
+		scale := math.Max(1, math.Max(math.Abs(lhs), math.Abs(rhs)))
+		return math.Abs(lhs-rhs) < 1e-6*scale
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

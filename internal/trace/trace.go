@@ -1,0 +1,90 @@
+// Package trace records execution timelines in the Chrome trace-event
+// format (chrome://tracing, Perfetto): parallel regions, worksharing
+// loops and barriers from the OpenMP runtime, on either execution layer —
+// wall-clock spans on real goroutines, virtual-time spans on the
+// simulator. Durations are emitted in microseconds as the format
+// requires.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Event is one trace-event entry ("X" complete events and "C" counters).
+type Event struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"` // microseconds
+	Dur  float64           `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// Tracer collects events; safe for concurrent use.
+type Tracer struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// New creates an empty tracer.
+func New() *Tracer { return &Tracer{} }
+
+// Span records a complete span on a thread lane.
+func (t *Tracer) Span(name, cat string, tid int, startNS, durNS int64, args map[string]string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = append(t.events, Event{
+		Name: name, Cat: cat, Ph: "X",
+		TS: float64(startNS) / 1000, Dur: float64(durNS) / 1000,
+		Pid: 1, Tid: tid, Args: args,
+	})
+	t.mu.Unlock()
+}
+
+// Counter records a counter sample (e.g. pending tasks).
+func (t *Tracer) Counter(name string, tsNS int64, value int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = append(t.events, Event{
+		Name: name, Ph: "C", TS: float64(tsNS) / 1000, Pid: 1, Tid: 0,
+		Args: map[string]string{"value": fmt.Sprint(value)},
+	})
+	t.mu.Unlock()
+}
+
+// Len returns the number of recorded events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Events returns a copy of the recorded events.
+func (t *Tracer) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// WriteJSON emits the trace as a Chrome trace-event JSON array.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	enc := json.NewEncoder(w)
+	type file struct {
+		TraceEvents []Event `json:"traceEvents"`
+	}
+	return enc.Encode(file{TraceEvents: t.events})
+}

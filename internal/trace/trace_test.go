@@ -1,0 +1,46 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSpanAndJSON(t *testing.T) {
+	tr := New()
+	tr.Span("parallel#1", "omp", 0, 1000, 5000, map[string]string{"threads": "4"})
+	tr.Counter("tasks", 2000, 7)
+	if tr.Len() != 2 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		TraceEvents []Event `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.TraceEvents) != 2 {
+		t.Fatalf("decoded %d events", len(decoded.TraceEvents))
+	}
+	e := decoded.TraceEvents[0]
+	if e.Name != "parallel#1" || e.Ph != "X" || e.TS != 1.0 || e.Dur != 5.0 {
+		t.Fatalf("event = %+v (timestamps must be microseconds)", e)
+	}
+	if !strings.Contains(buf.String(), `"threads":"4"`) {
+		t.Fatal("args lost")
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Span("x", "y", 0, 0, 1, nil) // must not panic
+	tr.Counter("c", 0, 0)
+	if tr.Len() != 0 {
+		t.Fatal("nil tracer recorded something")
+	}
+}

@@ -1,0 +1,233 @@
+// Package virgil implements VIRGIL, the custom task-based run-time system
+// that CCK-compiled code targets instead of libomp (§5). VIRGIL is
+// deliberately tiny: it only runs tasks that are already independent and
+// ready — "the compiler generates code such that all tasks that are
+// handed to the runtime are immediately ready". Group joins are not the
+// runtime's business; the compiler emits landing-task counters in the
+// generated code.
+//
+// Two versions exist, as in the paper:
+//
+//   - User: builds on threads and futex-style blocking (the C++17/futex
+//     version that runs on Linux, 620 LoC in the paper).
+//   - Kernel: a thin veneer over the Nautilus task system, which operates
+//     like Linux's SoftIRQ mechanism (550 LoC in the paper).
+package virgil
+
+import (
+	"sync/atomic"
+
+	"github.com/interweaving/komp/internal/exec"
+	"github.com/interweaving/komp/internal/nautilus"
+)
+
+// Runtime is the minimal interface CCK-generated code needs.
+type Runtime interface {
+	// Start brings up the worker fleet; tc is a running thread context.
+	Start(tc exec.TC)
+	// Submit hands an immediately-ready task to the runtime.
+	Submit(tc exec.TC, fn func(exec.TC))
+	// SubmitBatch hands a whole group of ready tasks to the runtime in
+	// one operation — what CCK's generated code does at the head of a
+	// parallel region, so the submitting thread does not interleave
+	// with already-running tasks.
+	SubmitBatch(tc exec.TC, fns []func(exec.TC))
+	// Stop drains outstanding tasks and shuts the workers down.
+	Stop(tc exec.TC)
+	// Workers returns the worker count.
+	Workers() int
+}
+
+// --- User-level VIRGIL ---
+
+// User is the user-level VIRGIL: n worker threads sharing one queue,
+// blocking on a futex word when idle.
+type User struct {
+	n       int
+	queue   []func(exec.TC)
+	qlock   chan struct{} // 1-token structural lock (layer-agnostic)
+	pending exec.Word
+	stop    exec.Word
+	workers []exec.Handle
+
+	// Executed counts completed tasks.
+	Executed atomic.Int64
+}
+
+// NewUser creates a user-level VIRGIL with n workers.
+func NewUser(n int) *User {
+	u := &User{n: n, qlock: make(chan struct{}, 1)}
+	u.qlock <- struct{}{}
+	return u
+}
+
+// Workers returns the worker count.
+func (u *User) Workers() int { return u.n }
+
+// Start spawns the worker threads, bound round-robin to CPUs.
+func (u *User) Start(tc exec.TC) {
+	ncpu := tc.NumCPUs()
+	for i := 0; i < u.n; i++ {
+		h := tc.Spawn("virgil-user", i%ncpu, u.workerLoop)
+		u.workers = append(u.workers, h)
+	}
+}
+
+// Submit enqueues a ready task and wakes an idle worker.
+func (u *User) Submit(tc exec.TC, fn func(exec.TC)) {
+	c := tc.Costs()
+	tc.Charge(c.MallocNS/2 + c.AtomicRMWNS)
+	<-u.qlock
+	u.queue = append(u.queue, fn)
+	u.qlock <- struct{}{}
+	u.pending.Add(1)
+	// Wake one worker per submission: with a shared queue, waking only on
+	// the empty→non-empty edge would leave all but one worker asleep
+	// during a burst of submissions.
+	tc.FutexWake(&u.pending, 1)
+}
+
+// SubmitBatch enqueues a group of ready tasks with a single charge and
+// wakes enough workers to start draining it.
+func (u *User) SubmitBatch(tc exec.TC, fns []func(exec.TC)) {
+	if len(fns) == 0 {
+		return
+	}
+	c := tc.Costs()
+	tc.Charge(int64(len(fns)) * (c.MallocNS/2 + c.AtomicRMWNS))
+	<-u.qlock
+	u.queue = append(u.queue, fns...)
+	u.qlock <- struct{}{}
+	u.pending.Add(uint32(len(fns)))
+	n := len(fns)
+	if n > u.n {
+		n = u.n
+	}
+	tc.FutexWake(&u.pending, n)
+}
+
+func (u *User) pop() func(exec.TC) {
+	<-u.qlock
+	defer func() { u.qlock <- struct{}{} }()
+	if len(u.queue) == 0 {
+		return nil
+	}
+	fn := u.queue[0]
+	copy(u.queue, u.queue[1:])
+	u.queue[len(u.queue)-1] = nil
+	u.queue = u.queue[:len(u.queue)-1]
+	u.pending.Add(^uint32(0))
+	return fn
+}
+
+// stopBit is folded into the pending word so that a Stop between a
+// worker's emptiness check and its futex wait changes the word value and
+// defeats the lost-wakeup race.
+const stopBit = uint32(1) << 31
+
+func (u *User) workerLoop(tc exec.TC) {
+	c := tc.Costs()
+	for {
+		if fn := u.pop(); fn != nil {
+			tc.Charge(c.AtomicRMWNS)
+			fn(tc)
+			u.Executed.Add(1)
+			continue
+		}
+		v := u.pending.Load()
+		if v&^stopBit != 0 {
+			continue // a task arrived between pop and the check
+		}
+		if v&stopBit != 0 {
+			return
+		}
+		tc.FutexWait(&u.pending, v)
+	}
+}
+
+// Stop shuts the workers down after the queue drains.
+func (u *User) Stop(tc exec.TC) {
+	u.stop.Store(1)
+	u.pending.Add(stopBit)
+	tc.FutexWake(&u.pending, -1)
+	for _, h := range u.workers {
+		h.Join(tc)
+	}
+	u.workers = nil
+}
+
+// --- Kernel-level VIRGIL ---
+
+// Kernel is the kernel-level VIRGIL: a thin veneer over the Nautilus task
+// system.
+type Kernel struct {
+	k    *nautilus.Kernel
+	cpus []int
+}
+
+// NewKernel creates a kernel-level VIRGIL running on the given CPUs of a
+// booted kernel.
+func NewKernel(k *nautilus.Kernel, cpus []int) *Kernel {
+	return &Kernel{k: k, cpus: cpus}
+}
+
+// Workers returns the worker count.
+func (v *Kernel) Workers() int { return len(v.cpus) }
+
+// Start brings up the kernel task workers.
+func (v *Kernel) Start(tc exec.TC) { v.k.Tasks.Start(tc, v.cpus) }
+
+// Submit hands a ready task to the kernel task system (round-robin CPU).
+func (v *Kernel) Submit(tc exec.TC, fn func(exec.TC)) {
+	v.k.Tasks.Submit(tc, -1, &nautilus.KTask{Fn: fn})
+}
+
+// SubmitBatch spreads a group of ready tasks across the per-CPU queues
+// with a single submission charge.
+func (v *Kernel) SubmitBatch(tc exec.TC, fns []func(exec.TC)) {
+	tasks := make([]*nautilus.KTask, len(fns))
+	for i, fn := range fns {
+		tasks[i] = &nautilus.KTask{Fn: fn}
+	}
+	v.k.Tasks.SubmitBatch(tc, tasks)
+}
+
+// Stop drains and shuts down the kernel task workers.
+func (v *Kernel) Stop(tc exec.TC) { v.k.Tasks.Stop(tc) }
+
+// --- The compiler-side join helper ---
+
+// Group is the landing-task counter CCK compiles into generated code: the
+// runtime itself stays unaware of joins (§5.4). Done must be called once
+// per task; Wait blocks the caller until the whole group has landed.
+type Group struct {
+	remaining exec.Word
+	waiting   exec.Word
+}
+
+// NewGroup creates a group expecting n completions.
+func NewGroup(n int) *Group {
+	g := &Group{}
+	g.remaining.Store(uint32(n))
+	return g
+}
+
+// Done records one task completion, waking the landing code when the
+// group is complete.
+func (g *Group) Done(tc exec.TC) {
+	if g.remaining.Add(^uint32(0)) == 0 && g.waiting.Load() == 1 {
+		tc.FutexWake(&g.remaining, -1)
+	}
+}
+
+// Wait blocks until every task in the group has called Done.
+func (g *Group) Wait(tc exec.TC) {
+	g.waiting.Store(1)
+	for {
+		n := g.remaining.Load()
+		if n == 0 {
+			return
+		}
+		tc.FutexWait(&g.remaining, n)
+	}
+}

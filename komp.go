@@ -1,0 +1,176 @@
+// Package komp is the public API of the "Paths to OpenMP in the Kernel"
+// reproduction (Ma et al., SC '21): an OpenMP-style parallel runtime for
+// Go, plus a deterministic simulation of the paper's three paths for
+// bringing that runtime into an operating system kernel — RTK (runtime
+// in kernel), PIK (process in kernel) and CCK (custom compilation for
+// kernel) — and the harness that regenerates every figure of the paper's
+// evaluation.
+//
+// Two ways to use it:
+//
+//   - As a parallelism library: komp.New(threads) gives an OpenMP-style
+//     runtime over real goroutines (parallel regions, worksharing loops
+//     with static/dynamic/guided schedules, barriers, reductions,
+//     critical sections, tasks).
+//
+//   - As a systems laboratory: komp.NewEnvironment constructs one of the
+//     paper's execution environments over the discrete-event simulator,
+//     and komp.RunFigure regenerates the paper's tables and figures.
+package komp
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+
+	"github.com/interweaving/komp/internal/bench"
+	"github.com/interweaving/komp/internal/core"
+	"github.com/interweaving/komp/internal/exec"
+	"github.com/interweaving/komp/internal/machine"
+	"github.com/interweaving/komp/internal/nas"
+	"github.com/interweaving/komp/internal/omp"
+)
+
+// --- The real-execution OpenMP API ---
+
+// Worker is a thread's view of a parallel region; it carries every
+// OpenMP construct (For, Barrier, Critical, Reduce, Task, ...).
+type Worker = omp.Worker
+
+// ForOpt configures a worksharing loop.
+type ForOpt = omp.ForOpt
+
+// TaskloopOpt configures a task-generating loop (Worker.Taskloop).
+type TaskloopOpt = omp.TaskloopOpt
+
+// Schedule kinds for worksharing loops.
+const (
+	Static  = omp.Static
+	Dynamic = omp.Dynamic
+	Guided  = omp.Guided
+)
+
+// Reduction operators.
+const (
+	ReduceSum  = omp.ReduceSum
+	ReduceProd = omp.ReduceProd
+	ReduceMax  = omp.ReduceMax
+	ReduceMin  = omp.ReduceMin
+)
+
+// OMP is an OpenMP-style runtime running on real goroutines.
+type OMP struct {
+	layer *exec.RealLayer
+	rt    *omp.Runtime
+	tc    exec.TC
+}
+
+// New creates a runtime with the given pool size (0 means GOMAXPROCS).
+// Close it when done.
+func New(threads int) *OMP {
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	layer := exec.NewRealLayer(threads)
+	rt := omp.New(layer, omp.Options{MaxThreads: threads, Bind: true})
+	return &OMP{layer: layer, rt: rt, tc: layer.TC()}
+}
+
+// Parallel runs fn on a team of n threads (0 = all). It returns after
+// the implicit join barrier.
+func (o *OMP) Parallel(n int, fn func(*Worker)) { o.rt.Parallel(o.tc, n, fn) }
+
+// ParallelFor runs a worksharing loop over [lo, hi) on a team of n
+// threads (0 = all).
+func (o *OMP) ParallelFor(n, lo, hi int, opt ForOpt, body func(i int)) {
+	o.rt.Parallel(o.tc, n, func(w *Worker) {
+		w.ForEach(lo, hi, opt, body)
+	})
+}
+
+// Threads returns the pool size.
+func (o *OMP) Threads() int { return o.rt.MaxThreads() }
+
+// Close shuts the worker pool down.
+func (o *OMP) Close() { o.rt.Close(o.tc) }
+
+// --- The simulation API ---
+
+// Machine names.
+const (
+	MachinePHI   = "PHI"
+	Machine8XEON = "8XEON"
+)
+
+// NewMachine returns one of the paper's machine models.
+func NewMachine(name string) (*machine.Machine, error) {
+	switch name {
+	case MachinePHI:
+		return machine.PHI(), nil
+	case Machine8XEON:
+		return machine.XEON8(), nil
+	default:
+		return nil, fmt.Errorf("komp: unknown machine %q (want %s or %s)", name, MachinePHI, Machine8XEON)
+	}
+}
+
+// Environment kinds (the paper's execution environments).
+const (
+	EnvLinux       = core.Linux
+	EnvRTK         = core.RTK
+	EnvPIK         = core.PIK
+	EnvCCK         = core.CCK
+	EnvLinuxAutoMP = core.LinuxAutoMP
+)
+
+// EnvConfig configures an environment; see core.Config.
+type EnvConfig = core.Config
+
+// Environment is a constructed simulated environment.
+type Environment = core.Env
+
+// NewEnvironment builds one of the paper's execution environments over
+// the deterministic simulator.
+func NewEnvironment(cfg EnvConfig) *Environment { return core.New(cfg) }
+
+// NASBenchmarks returns the names of the modeled NAS benchmarks.
+func NASBenchmarks() []string {
+	var out []string
+	for _, s := range nas.Specs() {
+		out = append(out, s.Name)
+	}
+	return out
+}
+
+// RunNAS runs one NAS benchmark model in an environment, returning the
+// virtual seconds it took.
+func RunNAS(env *Environment, name string, threads int) (float64, error) {
+	s := nas.SpecByName(name)
+	if s == nil {
+		return 0, fmt.Errorf("komp: unknown NAS benchmark %q", name)
+	}
+	res, err := nas.RunModel(env, s, threads)
+	return res.Seconds, err
+}
+
+// FigureIDs returns the regenerable figure ids in paper order.
+func FigureIDs() []string {
+	var out []string
+	for _, f := range bench.Figures() {
+		out = append(out, f.ID)
+	}
+	return out
+}
+
+// FigureOptions tunes figure regeneration.
+type FigureOptions = bench.Options
+
+// RunFigure regenerates one of the paper's figures ("fig6".."fig15") as
+// a text table on w.
+func RunFigure(id string, w io.Writer, opt FigureOptions) error {
+	f, ok := bench.ByID(id)
+	if !ok {
+		return fmt.Errorf("komp: unknown figure %q (see FigureIDs)", id)
+	}
+	return f.Run(w, opt)
+}

@@ -1,0 +1,111 @@
+package komp
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRealOMPParallelFor(t *testing.T) {
+	o := New(4)
+	defer o.Close()
+	const n = 10000
+	out := make([]int64, n)
+	o.ParallelFor(0, 0, n, ForOpt{Sched: Static}, func(i int) {
+		out[i] = int64(i) * 2
+	})
+	for i := 0; i < n; i++ {
+		if out[i] != int64(i)*2 {
+			t.Fatalf("out[%d] = %d", i, out[i])
+		}
+	}
+}
+
+func TestRealOMPReduceAndCritical(t *testing.T) {
+	o := New(4)
+	defer o.Close()
+	var viaCritical int64
+	var viaReduce float64
+	o.Parallel(4, func(w *Worker) {
+		local := 0.0
+		w.ForEach(1, 101, ForOpt{Sched: Dynamic, Chunk: 5}, func(i int) {
+			local += float64(i)
+			w.Critical("", func() { viaCritical += int64(i) })
+		})
+		total := w.Reduce(ReduceSum, local)
+		w.Master(func() { viaReduce = total })
+	})
+	if viaCritical != 5050 || viaReduce != 5050 {
+		t.Fatalf("critical=%d reduce=%v, want 5050", viaCritical, viaReduce)
+	}
+}
+
+func TestRealOMPTasks(t *testing.T) {
+	o := New(4)
+	defer o.Close()
+	var done atomic.Int64
+	o.Parallel(0, func(w *Worker) {
+		w.Master(func() {
+			for i := 0; i < 64; i++ {
+				w.Task(func(*Worker) { done.Add(1) })
+			}
+		})
+		w.Barrier()
+	})
+	if done.Load() != 64 {
+		t.Fatalf("tasks = %d", done.Load())
+	}
+}
+
+func TestMachines(t *testing.T) {
+	phi, err := NewMachine(MachinePHI)
+	if err != nil || phi.NumCPUs() != 64 {
+		t.Fatalf("PHI: %v %v", phi, err)
+	}
+	xeon, err := NewMachine(Machine8XEON)
+	if err != nil || xeon.NumCPUs() != 192 {
+		t.Fatalf("8XEON: %v %v", xeon, err)
+	}
+	if _, err := NewMachine("cray"); err == nil {
+		t.Fatal("unknown machine must error")
+	}
+}
+
+func TestSimulationAPI(t *testing.T) {
+	m, _ := NewMachine(MachinePHI)
+	lin := NewEnvironment(EnvConfig{Machine: m, Kind: EnvLinux, Seed: 1, Threads: 8})
+	rtk := NewEnvironment(EnvConfig{Machine: m, Kind: EnvRTK, Seed: 1, Threads: 8})
+	tl, err := RunNAS(lin, "EP", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := RunNAS(rtk, "EP", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(tr < tl) {
+		t.Fatalf("RTK (%v) must beat Linux (%v) on EP", tr, tl)
+	}
+	if _, err := RunNAS(lin, "ZZ", 8); err == nil {
+		t.Fatal("unknown benchmark must error")
+	}
+	if len(NASBenchmarks()) != 8 {
+		t.Fatalf("benchmarks = %v", NASBenchmarks())
+	}
+}
+
+func TestFigureAPI(t *testing.T) {
+	if len(FigureIDs()) != 10 {
+		t.Fatalf("figures = %v", FigureIDs())
+	}
+	var b strings.Builder
+	if err := RunFigure("fig6", &b, FigureOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "CCK") {
+		t.Fatal("fig6 content missing")
+	}
+	if err := RunFigure("fig99", &b, FigureOptions{}); err == nil {
+		t.Fatal("unknown figure must error")
+	}
+}
