@@ -1,0 +1,22 @@
+# Tier-1 verification recipe (see ROADMAP.md). The -race pass covers the
+# packages that run real goroutines under the real execution layer.
+RACE_PKGS = ./internal/omp/ ./internal/exec/ ./internal/mpi/
+
+.PHONY: verify build test vet race figures
+
+verify: build vet test race
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race $(RACE_PKGS)
+
+figures:
+	go run ./cmd/kompbench -quick

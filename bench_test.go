@@ -69,7 +69,10 @@ func BenchmarkFig15CCK8Xeon(b *testing.B) { benchFigure(b, "fig15") }
 
 // BenchmarkBuddyAllocFree measures the kernel buddy allocator.
 func BenchmarkBuddyAllocFree(b *testing.B) {
-	buddy := memsim.NewBuddy(1 << 30)
+	buddy, err := memsim.NewBuddy(1 << 30)
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		off, ok := buddy.Alloc(8192)

@@ -71,6 +71,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "kompbench: %s: %v\n", f.ID, err)
 			os.Exit(1)
 		}
-		fmt.Printf("[%s regenerated in %.1fs]\n", f.ID, time.Since(start).Seconds())
+		// Wall-clock timing goes to stderr so stdout is a pure function of
+		// the seed (fault runs are diffed byte-for-byte across runs).
+		fmt.Fprintf(os.Stderr, "[%s regenerated in %.1fs]\n", f.ID, time.Since(start).Seconds())
 	}
 }

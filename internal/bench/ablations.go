@@ -25,6 +25,7 @@ func Ablations() []Figure {
 		{"ab-chunk", "Ablation: AutoMP latency-aware chunk budget sweep", AblationChunk},
 		{"ab-privatization", "Ablation: exploiting privatization directives (the §6.2 future-work fix)", AblationPrivatization},
 		{"ab-boot", "Experiment: compartment reboot vs process creation (the §7 deployment argument)", AblationBootTime},
+		{"faults", "Resilience study: seeded fault injection across the MPI, OpenMP, and multikernel recovery paths", AblationFaults},
 	}
 }
 

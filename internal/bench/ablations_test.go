@@ -7,10 +7,10 @@ import (
 
 func TestAblationRegistry(t *testing.T) {
 	abs := Ablations()
-	if len(abs) != 5 {
+	if len(abs) != 6 {
 		t.Fatalf("ablations = %d", len(abs))
 	}
-	for _, id := range []string{"ab-firsttouch", "ab-pthread", "ab-chunk", "ab-privatization"} {
+	for _, id := range []string{"ab-firsttouch", "ab-pthread", "ab-chunk", "ab-privatization", "faults"} {
 		if _, ok := AblationByID(id); !ok {
 			t.Fatalf("missing %s", id)
 		}

@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAblationFaultsRecovers pins the three acceptance behaviors of the
+// resilience study: lossy MPI completes (and total loss fails cleanly),
+// the shrunken OpenMP team covers every iteration exactly once, and the
+// crashed compartment is recovered within the restart budget.
+func TestAblationFaultsRecovers(t *testing.T) {
+	var b strings.Builder
+	if err := AblationFaults(&b, Options{Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"drop=0.05    yes", // lossy Allreduce run completed
+		"no (link failed)", // total loss failed cleanly, did not hang
+		"6/8",              // two CPUs gone, six survivors finished
+		"no (budget)",      // storm exhausted the restart budget
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lacks %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "BAD") {
+		t.Errorf("a shrunken loop lost or repeated iterations:\n%s", out)
+	}
+}
+
+// TestAblationFaultsDeterministic: two runs with the same seed must be
+// byte-identical — the whole point of a seeded fault plan.
+func TestAblationFaultsDeterministic(t *testing.T) {
+	var a, b strings.Builder
+	if err := AblationFaults(&a, Options{Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := AblationFaults(&b, Options{Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("same-seed runs diverged:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a.String(), b.String())
+	}
+}

@@ -1,0 +1,405 @@
+// Package fault is a deterministic, seeded fault-plan engine for the
+// discrete-event simulator. A Plan names faults either scheduled at
+// virtual times (CPU offline, compartment crash, IRQ storm) or injected
+// by seeded probability at well-defined probe points (NIC frame drop and
+// corruption, lost futex wakes, allocation failures).
+//
+// Determinism: the engine draws from its own RNG stream, seeded from
+// Plan.Seed, never from the workload simulator's RNG. Probes are rolled
+// at deterministic points of the DES schedule (one proc runs at a time),
+// so two runs of the same workload with the same plan inject byte-for-
+// byte identical fault sequences — a failing run can always be replayed.
+//
+// The engine knows nothing about the layers above the simulator. Probes
+// (DropFrame, LoseWake, FailAlloc, ...) are plain func() bool values the
+// layers accept in their configs, and scheduled faults invoke caller-
+// provided Handlers, so mpi/omp/multikernel/nautilus stay decoupled from
+// this package.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/interweaving/komp/internal/sim"
+)
+
+// Kind enumerates injectable fault classes.
+type Kind int
+
+// Fault kinds. The first group is scheduled at virtual times; the second
+// is probability-driven at probe points.
+const (
+	// CPUOffline takes a CPU out of service at a virtual time (Arg: CPU).
+	CPUOffline Kind = iota
+	// CompartmentCrash kills a kernel compartment (Arg: compartment id).
+	CompartmentCrash
+	// IRQStorm floods a CPU with interrupts for a duration (Arg: CPU,
+	// Dur: storm length).
+	IRQStorm
+
+	// FrameDrop drops a NIC frame (rate-driven).
+	FrameDrop
+	// FrameCorrupt corrupts a NIC frame in flight (rate-driven).
+	FrameCorrupt
+	// LostWake drops a futex wake-up (rate-driven).
+	LostWake
+	// AllocFail fails a kernel allocation (rate-driven).
+	AllocFail
+)
+
+func (k Kind) String() string {
+	switch k {
+	case CPUOffline:
+		return "cpu-offline"
+	case CompartmentCrash:
+		return "crash"
+	case IRQStorm:
+		return "irq-storm"
+	case FrameDrop:
+		return "drop"
+	case FrameCorrupt:
+		return "corrupt"
+	case LostWake:
+		return "lost-wake"
+	case AllocFail:
+		return "alloc-fail"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one scheduled fault.
+type Event struct {
+	At   sim.Time
+	Kind Kind
+	Arg  int      // CPU id or compartment id
+	Dur  sim.Time // IRQStorm only: storm duration
+}
+
+// Plan is a complete, self-describing fault plan.
+type Plan struct {
+	// Seed feeds the engine's private RNG stream (probe rolls). The
+	// workload's own seed is untouched.
+	Seed int64
+
+	// Scheduled faults, applied in virtual-time order.
+	Events []Event
+
+	// Probe rates in [0, 1].
+	DropRate      float64 // NIC frame drop
+	CorruptRate   float64 // NIC frame corruption
+	LostWakeRate  float64 // futex wake loss
+	AllocFailRate float64 // kernel allocation failure
+}
+
+// Empty reports whether the plan injects nothing.
+func (p Plan) Empty() bool {
+	return len(p.Events) == 0 && p.DropRate == 0 && p.CorruptRate == 0 &&
+		p.LostWakeRate == 0 && p.AllocFailRate == 0
+}
+
+// String renders the plan in the same directive format Parse accepts.
+func (p Plan) String() string {
+	var parts []string
+	if p.Seed != 0 {
+		parts = append(parts, fmt.Sprintf("seed=%d", p.Seed))
+	}
+	for _, r := range []struct {
+		name string
+		rate float64
+	}{{"drop", p.DropRate}, {"corrupt", p.CorruptRate}, {"lostwake", p.LostWakeRate}, {"allocfail", p.AllocFailRate}} {
+		if r.rate > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%g", r.name, r.rate))
+		}
+	}
+	for _, e := range p.Events {
+		s := fmt.Sprintf("%s@%s:%d", e.Kind, fmtDur(e.At), e.Arg)
+		if e.Kind == IRQStorm {
+			s += "+" + fmtDur(e.Dur)
+		}
+		parts = append(parts, s)
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ";")
+}
+
+func fmtDur(t sim.Time) string {
+	switch {
+	case t%sim.Second == 0 && t != 0:
+		return fmt.Sprintf("%ds", t/sim.Second)
+	case t%sim.Millisecond == 0 && t != 0:
+		return fmt.Sprintf("%dms", t/sim.Millisecond)
+	case t%sim.Microsecond == 0 && t != 0:
+		return fmt.Sprintf("%dus", t/sim.Microsecond)
+	default:
+		return fmt.Sprintf("%dns", t)
+	}
+}
+
+// Parse reads a plan from its compact directive syntax: semicolon-
+// separated terms, each either a rate (`drop=0.05`, `corrupt=0.01`,
+// `lostwake=0.02`, `allocfail=0.1`), the RNG seed (`seed=42`), or a
+// scheduled fault `kind@time:arg` with time suffixed ns/us/ms/s —
+// e.g. `cpu-offline@2ms:3`, `crash@1ms:1`, `irq-storm@500us:0+2ms`
+// (the `+dur` suffix gives the storm length).
+func Parse(s string) (Plan, error) {
+	var p Plan
+	s = strings.TrimSpace(s)
+	if s == "" || s == "none" {
+		return p, nil
+	}
+	for _, term := range strings.Split(s, ";") {
+		term = strings.TrimSpace(term)
+		if term == "" {
+			continue
+		}
+		if k, v, ok := strings.Cut(term, "="); ok && !strings.Contains(k, "@") {
+			if err := p.setRate(k, v); err != nil {
+				return Plan{}, err
+			}
+			continue
+		}
+		ev, err := parseEvent(term)
+		if err != nil {
+			return Plan{}, err
+		}
+		p.Events = append(p.Events, ev)
+	}
+	sort.SliceStable(p.Events, func(i, j int) bool { return p.Events[i].At < p.Events[j].At })
+	return p, nil
+}
+
+func (p *Plan) setRate(k, v string) error {
+	if k == "seed" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return fmt.Errorf("fault: bad seed %q", v)
+		}
+		p.Seed = n
+		return nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil || f < 0 || f > 1 {
+		return fmt.Errorf("fault: bad rate %s=%q (want [0,1])", k, v)
+	}
+	switch k {
+	case "drop":
+		p.DropRate = f
+	case "corrupt":
+		p.CorruptRate = f
+	case "lostwake":
+		p.LostWakeRate = f
+	case "allocfail":
+		p.AllocFailRate = f
+	default:
+		return fmt.Errorf("fault: unknown rate %q", k)
+	}
+	return nil
+}
+
+func parseEvent(term string) (Event, error) {
+	kindStr, rest, ok := strings.Cut(term, "@")
+	if !ok {
+		return Event{}, fmt.Errorf("fault: bad term %q (want kind@time:arg or rate=x)", term)
+	}
+	var kind Kind
+	switch kindStr {
+	case "cpu-offline":
+		kind = CPUOffline
+	case "crash":
+		kind = CompartmentCrash
+	case "irq-storm":
+		kind = IRQStorm
+	default:
+		return Event{}, fmt.Errorf("fault: unknown scheduled fault %q", kindStr)
+	}
+	timeStr, argStr, ok := strings.Cut(rest, ":")
+	if !ok {
+		return Event{}, fmt.Errorf("fault: %q missing :arg", term)
+	}
+	at, err := parseDur(timeStr)
+	if err != nil {
+		return Event{}, err
+	}
+	ev := Event{At: at, Kind: kind}
+	if kind == IRQStorm {
+		if a, d, ok := strings.Cut(argStr, "+"); ok {
+			ev.Dur, err = parseDur(d)
+			if err != nil {
+				return Event{}, err
+			}
+			argStr = a
+		} else {
+			ev.Dur = sim.Millisecond
+		}
+	}
+	ev.Arg, err = strconv.Atoi(argStr)
+	if err != nil {
+		return Event{}, fmt.Errorf("fault: bad arg in %q", term)
+	}
+	return ev, nil
+}
+
+func parseDur(s string) (sim.Time, error) {
+	unit := sim.Nanosecond
+	switch {
+	case strings.HasSuffix(s, "ns"):
+		s = s[:len(s)-2]
+	case strings.HasSuffix(s, "us"):
+		s, unit = s[:len(s)-2], sim.Microsecond
+	case strings.HasSuffix(s, "ms"):
+		s, unit = s[:len(s)-2], sim.Millisecond
+	case strings.HasSuffix(s, "s"):
+		s, unit = s[:len(s)-1], sim.Second
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("fault: bad duration %q", s)
+	}
+	return n * unit, nil
+}
+
+// Handlers receives scheduled faults. A nil field means that fault kind
+// is ignored (counted but with no effect).
+type Handlers struct {
+	CPUOffline       func(cpu int)
+	CompartmentCrash func(id int)
+	// IRQStorm is optional; when nil the engine applies its built-in
+	// storm, stealing CPU time directly from the simulated timeline.
+	IRQStorm func(cpu int, dur sim.Time)
+}
+
+// Engine instantiates a Plan against one simulator run.
+type Engine struct {
+	Plan Plan
+
+	sim *sim.Sim
+	rng *rand.Rand
+
+	// Injected counts faults actually delivered, per kind.
+	Injected map[Kind]int64
+}
+
+// IRQ storm shape: one interrupt every period, each stealing cost from
+// the CPU, matching the dedicated-IRQ-line pressure of §5's NIC study.
+const (
+	stormPeriodNS = 10 * sim.Microsecond
+	stormCostNS   = 4 * sim.Microsecond
+)
+
+// New creates an engine for plan p over s. Scheduled faults are armed
+// immediately via Arm; probes are live from the start.
+func New(s *sim.Sim, p Plan) *Engine {
+	return &Engine{
+		Plan:     p,
+		sim:      s,
+		rng:      rand.New(rand.NewSource(p.Seed ^ 0x5eed_fa17)),
+		Injected: make(map[Kind]int64),
+	}
+}
+
+// Arm schedules the plan's timed faults on the simulator, routing each to
+// the matching handler. Call it once, before the simulation runs.
+func (e *Engine) Arm(h Handlers) {
+	for _, ev := range e.Plan.Events {
+		ev := ev
+		e.sim.At(ev.At, func() {
+			e.Injected[ev.Kind]++
+			switch ev.Kind {
+			case CPUOffline:
+				if h.CPUOffline != nil {
+					h.CPUOffline(ev.Arg)
+				}
+			case CompartmentCrash:
+				if h.CompartmentCrash != nil {
+					h.CompartmentCrash(ev.Arg)
+				}
+			case IRQStorm:
+				if h.IRQStorm != nil {
+					h.IRQStorm(ev.Arg, ev.Dur)
+				} else {
+					e.stormCPU(ev.Arg, ev.Dur)
+				}
+			}
+		})
+	}
+}
+
+// stormCPU is the built-in IRQ storm: interrupts arrive every
+// stormPeriodNS for dur, each stealing stormCostNS of the CPU's timeline
+// — exactly how a hardware IRQ preempts whatever compute segment is in
+// flight.
+func (e *Engine) stormCPU(cpu int, dur sim.Time) {
+	if cpu < 0 || cpu >= e.sim.NumCPU() {
+		return
+	}
+	end := e.sim.Now() + dur
+	var tick func()
+	tick = func() {
+		c := e.sim.CPU(cpu)
+		if c.FreeAt < e.sim.Now() {
+			c.FreeAt = e.sim.Now()
+		}
+		c.FreeAt += stormCostNS
+		c.BusyNS += stormCostNS
+		if e.sim.Now()+stormPeriodNS < end {
+			e.sim.After(stormPeriodNS, tick)
+		}
+	}
+	tick()
+}
+
+// roll draws one probe decision at rate r.
+func (e *Engine) roll(k Kind, r float64) bool {
+	if r <= 0 {
+		return false
+	}
+	if r < 1 && e.rng.Float64() >= r {
+		return false
+	}
+	e.Injected[k]++
+	return true
+}
+
+// DropFrame reports whether the NIC should drop the next frame.
+func (e *Engine) DropFrame() bool { return e.roll(FrameDrop, e.Plan.DropRate) }
+
+// CorruptFrame reports whether the NIC should corrupt the next frame.
+func (e *Engine) CorruptFrame() bool { return e.roll(FrameCorrupt, e.Plan.CorruptRate) }
+
+// LoseWake reports whether the next futex wake should be dropped.
+func (e *Engine) LoseWake() bool { return e.roll(LostWake, e.Plan.LostWakeRate) }
+
+// FailAlloc reports whether the next kernel allocation should fail.
+func (e *Engine) FailAlloc() bool { return e.roll(AllocFail, e.Plan.AllocFailRate) }
+
+// InjectedTotal returns the total number of faults delivered.
+func (e *Engine) InjectedTotal() int64 {
+	var n int64
+	for _, c := range e.Injected {
+		n += c
+	}
+	return n
+}
+
+// Summary renders delivered-fault counts in a fixed kind order (for
+// deterministic report output).
+func (e *Engine) Summary() string {
+	kinds := []Kind{CPUOffline, CompartmentCrash, IRQStorm, FrameDrop, FrameCorrupt, LostWake, AllocFail}
+	var parts []string
+	for _, k := range kinds {
+		if n := e.Injected[k]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", k, n))
+		}
+	}
+	if len(parts) == 0 {
+		return "no faults delivered"
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,165 @@
+package fault
+
+import (
+	"testing"
+
+	"github.com/interweaving/komp/internal/sim"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	const src = "seed=42;drop=0.05;lostwake=0.01;cpu-offline@2ms:3;crash@1ms:1;irq-storm@500us:0+2ms"
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 42 || p.DropRate != 0.05 || p.LostWakeRate != 0.01 {
+		t.Fatalf("rates: %+v", p)
+	}
+	if len(p.Events) != 3 {
+		t.Fatalf("events = %d, want 3", len(p.Events))
+	}
+	// Events sort by time: irq-storm@500us, crash@1ms, cpu-offline@2ms.
+	if p.Events[0].Kind != IRQStorm || p.Events[0].At != 500*sim.Microsecond || p.Events[0].Dur != 2*sim.Millisecond {
+		t.Fatalf("event[0] = %+v", p.Events[0])
+	}
+	if p.Events[1].Kind != CompartmentCrash || p.Events[1].Arg != 1 {
+		t.Fatalf("event[1] = %+v", p.Events[1])
+	}
+	if p.Events[2].Kind != CPUOffline || p.Events[2].Arg != 3 || p.Events[2].At != 2*sim.Millisecond {
+		t.Fatalf("event[2] = %+v", p.Events[2])
+	}
+	// String() re-parses to the same plan.
+	p2, err := Parse(p.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", p.String(), err)
+	}
+	if p2.String() != p.String() {
+		t.Fatalf("round trip: %q vs %q", p.String(), p2.String())
+	}
+}
+
+func TestParseEmptyAndErrors(t *testing.T) {
+	for _, src := range []string{"", "none", "  "} {
+		p, err := Parse(src)
+		if err != nil || !p.Empty() {
+			t.Fatalf("Parse(%q) = %+v, %v", src, p, err)
+		}
+	}
+	for _, src := range []string{"drop=1.5", "bogus=0.1", "cpu-offline@2ms", "frob@1ms:0", "drop=x", "cpu-offline@2ms:zz"} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestProbesDeterministic(t *testing.T) {
+	roll := func() []bool {
+		s := sim.New(1, 1)
+		e := New(s, Plan{Seed: 7, DropRate: 0.3, LostWakeRate: 0.1})
+		out := make([]bool, 0, 200)
+		for i := 0; i < 100; i++ {
+			out = append(out, e.DropFrame(), e.LoseWake())
+		}
+		return out
+	}
+	a, b := roll(), roll()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("probe %d differs between identical runs", i)
+		}
+	}
+	drops := 0
+	for i := 0; i < len(a); i += 2 {
+		if a[i] {
+			drops++
+		}
+	}
+	if drops < 10 || drops > 60 {
+		t.Fatalf("drop count %d/100 implausible for rate 0.3", drops)
+	}
+}
+
+func TestEngineRNGIndependentOfWorkload(t *testing.T) {
+	// Probe rolls must not consume the workload simulator's RNG stream.
+	s := sim.New(1, 99)
+	before := s.RNG().Int63()
+	s2 := sim.New(1, 99)
+	e := New(s2, Plan{Seed: 1, DropRate: 0.5})
+	for i := 0; i < 50; i++ {
+		e.DropFrame()
+	}
+	after := s2.RNG().Int63()
+	if before != after {
+		t.Fatal("fault probes perturbed the workload RNG stream")
+	}
+}
+
+func TestArmDeliversScheduledFaults(t *testing.T) {
+	s := sim.New(2, 1)
+	p, err := Parse("cpu-offline@500ns:1;crash@900ns:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(s, p)
+	var offlined, crashed []int
+	var offAt, crashAt sim.Time
+	e.Arm(Handlers{
+		CPUOffline:       func(cpu int) { offlined = append(offlined, cpu); offAt = s.Now() },
+		CompartmentCrash: func(id int) { crashed = append(crashed, id); crashAt = s.Now() },
+	})
+	s.Go("w", 0, 0, func(pr *sim.Proc) { pr.Compute(2000) })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(offlined) != 1 || offlined[0] != 1 || offAt != 500 {
+		t.Fatalf("offline = %v at %d", offlined, offAt)
+	}
+	if len(crashed) != 1 || crashed[0] != 0 || crashAt != 900 {
+		t.Fatalf("crash = %v at %d", crashed, crashAt)
+	}
+	if e.Injected[CPUOffline] != 1 || e.Injected[CompartmentCrash] != 1 {
+		t.Fatalf("injected = %v", e.Injected)
+	}
+}
+
+func TestBuiltinIRQStormStealsCPUTime(t *testing.T) {
+	run := func(storm bool) sim.Time {
+		s := sim.New(1, 1)
+		if storm {
+			p, err := Parse("irq-storm@0ns:0+1ms")
+			if err != nil {
+				t.Fatal(err)
+			}
+			New(s, p).Arm(Handlers{})
+		}
+		var end sim.Time
+		s.Go("w", 0, 0, func(pr *sim.Proc) {
+			for i := 0; i < 100; i++ {
+				pr.Compute(10 * sim.Microsecond)
+			}
+			end = pr.Now()
+		})
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return end
+	}
+	clean, stormy := run(false), run(true)
+	if stormy <= clean {
+		t.Fatalf("IRQ storm did not slow the workload: clean=%d stormy=%d", clean, stormy)
+	}
+}
+
+func TestSummaryDeterministicOrder(t *testing.T) {
+	s := sim.New(1, 1)
+	e := New(s, Plan{Seed: 3, DropRate: 1, LostWakeRate: 1})
+	e.LoseWake()
+	e.DropFrame()
+	e.DropFrame()
+	if got, want := e.Summary(), "drop=2 lost-wake=1"; got != want {
+		t.Fatalf("Summary() = %q, want %q", got, want)
+	}
+	if e.InjectedTotal() != 3 {
+		t.Fatalf("total = %d", e.InjectedTotal())
+	}
+}

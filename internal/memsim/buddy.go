@@ -30,11 +30,13 @@ type BuddyAllocator struct {
 }
 
 // NewBuddy creates a buddy allocator managing size bytes (rounded down to
-// a multiple of MinBlock; size must be at least MinBlock).
-func NewBuddy(size int64) *BuddyAllocator {
+// a multiple of MinBlock). It returns an error when the zone cannot hold
+// even one minimum block — a misconfigured budget a kernel must surface,
+// not crash on.
+func NewBuddy(size int64) (*BuddyAllocator, error) {
 	size = size / MinBlock * MinBlock
 	if size < MinBlock {
-		panic("memsim: buddy zone smaller than minimum block")
+		return nil, fmt.Errorf("memsim: buddy zone of %d bytes is smaller than the %d-byte minimum block", size, MinBlock)
 	}
 	maxOrder := 0
 	for MinBlock<<maxOrder < size {
@@ -60,7 +62,7 @@ func NewBuddy(size int64) *BuddyAllocator {
 		off += MinBlock << o
 		rem -= MinBlock << o
 	}
-	return b
+	return b, nil
 }
 
 // Size returns the number of bytes managed.

@@ -8,8 +8,33 @@ import (
 	"github.com/interweaving/komp/internal/machine"
 )
 
+func mustBuddy(t *testing.T, size int64) *BuddyAllocator {
+	t.Helper()
+	b, err := NewBuddy(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestNewBuddyRejectsTinyZone(t *testing.T) {
+	for _, size := range []int64{0, 1, MinBlock - 1, -4096} {
+		if b, err := NewBuddy(size); err == nil {
+			t.Fatalf("NewBuddy(%d) = %v, want error", size, b)
+		}
+	}
+	// Exactly one minimum block is the smallest legal zone.
+	b, err := NewBuddy(MinBlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Size() != MinBlock {
+		t.Fatalf("size = %d, want %d", b.Size(), MinBlock)
+	}
+}
+
 func TestBuddyAllocFree(t *testing.T) {
-	b := NewBuddy(1 << 20) // 1 MiB: 256 pages
+	b := mustBuddy(t, 1<<20) // 1 MiB: 256 pages
 	off, ok := b.Alloc(4096)
 	if !ok {
 		t.Fatal("alloc failed")
@@ -26,7 +51,7 @@ func TestBuddyAllocFree(t *testing.T) {
 }
 
 func TestBuddySplitsAndMerges(t *testing.T) {
-	b := NewBuddy(64 << 10) // 16 pages
+	b := mustBuddy(t, 64<<10) // 16 pages
 	var offs []int64
 	for i := 0; i < 16; i++ {
 		off, ok := b.Alloc(4096)
@@ -69,7 +94,7 @@ func TestBuddyRoundsToPowerOfTwo(t *testing.T) {
 }
 
 func TestBuddyDoubleFree(t *testing.T) {
-	b := NewBuddy(1 << 20)
+	b := mustBuddy(t, 1<<20)
 	off, _ := b.Alloc(8192)
 	if err := b.Free(off); err != nil {
 		t.Fatal(err)
@@ -80,7 +105,7 @@ func TestBuddyDoubleFree(t *testing.T) {
 }
 
 func TestBuddyNonPowerOfTwoZone(t *testing.T) {
-	b := NewBuddy(3 << 20) // 3 MiB: 2 MiB + 1 MiB blocks
+	b := mustBuddy(t, 3<<20) // 3 MiB: 2 MiB + 1 MiB blocks
 	if b.FreeBytes() != 3<<20 {
 		t.Fatalf("free = %d, want 3MiB", b.FreeBytes())
 	}
@@ -102,7 +127,7 @@ func TestBuddyNonPowerOfTwoZone(t *testing.T) {
 func TestBuddyPropertyConservation(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		b := NewBuddy(1 << 22) // 4 MiB
+		b := mustBuddy(t, 1<<22) // 4 MiB
 		live := map[int64]bool{}
 		for i := 0; i < 300; i++ {
 			if rng.Intn(2) == 0 || len(live) == 0 {

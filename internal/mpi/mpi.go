@@ -11,6 +11,14 @@
 // implements the MPI data-plane primitives (Send/Recv with tag matching,
 // Barrier, Allreduce via recursive doubling). The in-kernel advantage is
 // mechanical: the kernel HAL path has no per-message syscall crossing.
+//
+// The link is optionally lossy: with Drop/Corrupt fault hooks installed
+// (or Reliable set), the transport adds per-pair sequence numbers,
+// receiver-side dedup + acks, and sender-side retransmission with
+// exponential backoff under a retry budget. A fault-free reliable run
+// differs from the fast path only by the ack traffic; exhausting the
+// retry budget fails the link cleanly — every blocked Recv returns the
+// transport error instead of hanging.
 package mpi
 
 import (
@@ -22,12 +30,16 @@ import (
 	"github.com/interweaving/komp/internal/sim"
 )
 
-// Frame is what the HAL moves: opaque payload plus addressing.
+// Frame is what the HAL moves: opaque payload plus addressing. Seq and
+// IsAck belong to the reliable transport; both are zero on the fast path.
 type Frame struct {
 	Src, Dst int
 	Tag      int
 	Bytes    int64
 	Payload  float64
+
+	Seq   uint64 // per (src,dst) sequence number (reliable mode)
+	IsAck bool   // transport ack for Seq (never user-visible)
 }
 
 // HAL is the hardware abstraction the communicator sits on. Tx charges
@@ -51,6 +63,31 @@ func (l Link) frameTime(bytes int64) int64 {
 	return t
 }
 
+// RetxPolicy bounds the reliable transport's recovery: the first
+// retransmit fires after TimeoutNS, each subsequent one backs off by
+// Backoff, and after MaxRetries unacked attempts the link is declared
+// failed.
+type RetxPolicy struct {
+	TimeoutNS  int64
+	Backoff    float64
+	MaxRetries int
+}
+
+// DefaultRetx is the retransmission policy used when none is given:
+// 20 µs initial timeout (a dozen wire round trips), doubling per retry,
+// eight retries before declaring the link dead.
+var DefaultRetx = RetxPolicy{TimeoutNS: 20_000, Backoff: 2, MaxRetries: 8}
+
+// LinkStats counts transport-level events on the cluster.
+type LinkStats struct {
+	DataSent  int64 // first transmissions of data frames
+	Retx      int64 // retransmitted data frames
+	AcksSent  int64
+	Dropped   int64 // frames lost on the wire (fault hook)
+	Corrupted int64 // frames discarded by the receiver checksum
+	Dups      int64 // duplicate data frames discarded by dedup
+}
+
 // Cluster is a simulated multi-node configuration sharing one simulator.
 type Cluster struct {
 	Sim   *sim.Sim
@@ -60,6 +97,16 @@ type Cluster struct {
 	// in-kernel HAL talks to the driver directly; a user-level MPI pays
 	// an additional syscall crossing per frame (§7's point).
 	TxPathNS int64
+
+	// Reliable transport state (nil hooks + false => fast path).
+	reliable bool
+	drop     func() bool
+	corrupt  func() bool
+	retx     RetxPolicy
+
+	Stats LinkStats
+
+	err error // first transport failure; poisons every communicator
 }
 
 // Node is one cluster member: a CPU partition with its own kernel and
@@ -72,6 +119,22 @@ type Node struct {
 	cluster *Cluster
 	rxq     *sim.WaitQueue
 	inbox   []Frame
+
+	nextSeq   map[int]uint64            // per-destination next sequence number
+	delivered map[int]map[uint64]bool   // per-source seqs already delivered
+	pending   map[pendKey]*pendingFrame // unacked data frames by (dst, seq)
+}
+
+type pendKey struct {
+	dst int
+	seq uint64
+}
+
+type pendingFrame struct {
+	frame  Frame
+	tries  int
+	acked  bool
+	cancel func()
 }
 
 // Config builds a cluster.
@@ -84,6 +147,18 @@ type Config struct {
 	// UserLevel models a user-space MPI (per-frame syscall tax) instead
 	// of the in-kernel HAL.
 	UserLevel bool
+
+	// Drop and Corrupt, if set, are rolled once per frame put on the
+	// wire (acks included): Drop loses the frame in flight, Corrupt
+	// delivers it but the receiver's checksum discards it. Installing
+	// either enables the reliable transport.
+	Drop    func() bool
+	Corrupt func() bool
+	// Reliable forces seq/ack/retransmit transport even with no fault
+	// hooks (to measure the ack overhead itself).
+	Reliable bool
+	// Retx overrides DefaultRetx when non-zero.
+	Retx RetxPolicy
 }
 
 // New builds the cluster: the machine's CPUs split evenly into nodes,
@@ -95,7 +170,20 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	per := m.NumCPUs() / cfg.Nodes
 	s := sim.New(m.NumCPUs(), cfg.Seed)
-	c := &Cluster{Sim: s, Link: cfg.Link, TxPathNS: 400}
+	c := &Cluster{
+		Sim: s, Link: cfg.Link, TxPathNS: 400,
+		reliable: cfg.Reliable || cfg.Drop != nil || cfg.Corrupt != nil,
+		drop:     cfg.Drop, corrupt: cfg.Corrupt, retx: cfg.Retx,
+	}
+	if c.retx.TimeoutNS <= 0 {
+		c.retx.TimeoutNS = DefaultRetx.TimeoutNS
+	}
+	if c.retx.Backoff < 1 {
+		c.retx.Backoff = DefaultRetx.Backoff
+	}
+	if c.retx.MaxRetries <= 0 {
+		c.retx.MaxRetries = DefaultRetx.MaxRetries
+	}
 	if cfg.UserLevel {
 		c.TxPathNS = 400 + 800 // plus the syscall crossing each way
 	}
@@ -117,13 +205,19 @@ func New(cfg Config) (*Cluster, error) {
 				Machine: m, Seed: cfg.Seed + int64(r), Sim: s, CPUs: cpus,
 				Costs: cfg.KernelCosts,
 			}),
-			cluster: c,
-			rxq:     sim.NewWaitQueue(s),
+			cluster:   c,
+			rxq:       sim.NewWaitQueue(s).SetLabel(fmt.Sprintf("mpi rx rank%d", r)),
+			nextSeq:   make(map[int]uint64),
+			delivered: make(map[int]map[uint64]bool),
+			pending:   make(map[pendKey]*pendingFrame),
 		}
 		c.Nodes = append(c.Nodes, n)
 	}
 	return c, nil
 }
+
+// Err returns the transport failure, if any (retry budget exhausted).
+func (c *Cluster) Err() error { return c.err }
 
 // Tx implements the HAL: charge the sender path, put the frame on the
 // wire, deliver into the destination's inbox after the wire time.
@@ -132,6 +226,10 @@ func (c *Cluster) Tx(tc exec.TC, f Frame) {
 		panic(fmt.Sprintf("mpi: Tx to rank %d of %d", f.Dst, len(c.Nodes)))
 	}
 	tc.Charge(c.TxPathNS)
+	if c.reliable {
+		c.txReliable(f)
+		return
+	}
 	dst := c.Nodes[f.Dst]
 	wire := c.Link.frameTime(f.Bytes)
 	now := tc.Now()
@@ -140,6 +238,116 @@ func (c *Cluster) Tx(tc exec.TC, f Frame) {
 		// RX interrupt -> wake a blocked receiver.
 		dst.rxq.WakeAll(c.Sim.Now(), 200, 0)
 	})
+}
+
+// --- Reliable transport ---
+
+// txReliable assigns the frame a sequence number, records it pending,
+// puts the first copy on the wire, and arms the retransmit timer. Runs
+// in the sender proc's context (the TxPathNS charge already happened).
+func (c *Cluster) txReliable(f Frame) {
+	src := c.Nodes[f.Src]
+	f.Seq = src.nextSeq[f.Dst]
+	src.nextSeq[f.Dst]++
+	pd := &pendingFrame{frame: f}
+	src.pending[pendKey{f.Dst, f.Seq}] = pd
+	c.Stats.DataSent++
+	c.putOnWire(f)
+	c.armRetx(src, pd)
+}
+
+// putOnWire rolls the wire faults and schedules delivery. Scheduler-safe
+// (retransmits and acks call it outside any proc).
+func (c *Cluster) putOnWire(f Frame) {
+	if c.drop != nil && c.drop() {
+		c.Stats.Dropped++
+		return
+	}
+	corrupt := c.corrupt != nil && c.corrupt()
+	wire := c.Link.frameTime(f.Bytes)
+	c.Sim.After(wire, func() {
+		if corrupt {
+			// Receiver NIC checksum rejects the frame: indistinguishable
+			// from a drop except that wire time was spent.
+			c.Stats.Corrupted++
+			return
+		}
+		c.rxFrame(f)
+	})
+}
+
+// rxFrame is the receive-side NIC interrupt path for the reliable
+// transport: acks complete pending sends; data frames are deduplicated,
+// delivered, and acked.
+func (c *Cluster) rxFrame(f Frame) {
+	dst := c.Nodes[f.Dst]
+	if f.IsAck {
+		key := pendKey{f.Src, f.Seq}
+		if pd := dst.pending[key]; pd != nil {
+			pd.acked = true
+			if pd.cancel != nil {
+				pd.cancel()
+			}
+			delete(dst.pending, key)
+		}
+		return
+	}
+	seen := dst.delivered[f.Src]
+	if seen == nil {
+		seen = make(map[uint64]bool)
+		dst.delivered[f.Src] = seen
+	}
+	if seen[f.Seq] {
+		// Duplicate (our ack was lost): discard, but re-ack so the
+		// sender stops retransmitting.
+		c.Stats.Dups++
+	} else {
+		seen[f.Seq] = true
+		dst.inbox = append(dst.inbox, f)
+		dst.rxq.WakeAll(c.Sim.Now(), 200, 0)
+	}
+	c.Stats.AcksSent++
+	c.putOnWire(Frame{Src: f.Dst, Dst: f.Src, Seq: f.Seq, Bytes: ackBytes, IsAck: true})
+}
+
+// ackBytes is the wire size of a transport ack.
+const ackBytes = 16
+
+// armRetx schedules the next retransmission of pd, with exponential
+// backoff over the attempt count. Retransmits run in NIC/timer context:
+// they cost wire time but steal no CPU from the sending proc (the frame
+// is already in the NIC ring).
+func (c *Cluster) armRetx(n *Node, pd *pendingFrame) {
+	timeout := c.retx.TimeoutNS
+	for i := 0; i < pd.tries; i++ {
+		timeout = int64(float64(timeout) * c.retx.Backoff)
+	}
+	pd.cancel = c.Sim.AfterCancel(timeout, func() {
+		if pd.acked || c.err != nil {
+			return
+		}
+		if pd.tries >= c.retx.MaxRetries {
+			c.failLink(fmt.Errorf("mpi: link failed: frame %d->%d tag=%d seq=%d unacked after %d retransmits",
+				pd.frame.Src, pd.frame.Dst, pd.frame.Tag, pd.frame.Seq, pd.tries))
+			return
+		}
+		pd.tries++
+		c.Stats.Retx++
+		c.putOnWire(pd.frame)
+		c.armRetx(n, pd)
+	})
+}
+
+// failLink records the first transport failure and wakes every blocked
+// receiver on every node so Recv returns the error instead of hanging.
+func (c *Cluster) failLink(err error) {
+	if c.err != nil {
+		return
+	}
+	c.err = err
+	for _, n := range c.Nodes {
+		n.rxq.WakeAll(c.Sim.Now(), 0, 0)
+	}
 }
 
 // Comm is a rank's communicator handle, bound to a thread context on
@@ -161,25 +369,46 @@ func (co *Comm) Rank() int { return co.node.Rank }
 // Size returns the cluster size.
 func (co *Comm) Size() int { return len(co.node.cluster.Nodes) }
 
-// Send transmits a payload to rank dst with a tag.
-func (co *Comm) Send(dst, tag int, bytes int64, payload float64) {
-	co.node.cluster.Tx(co.tc, Frame{
-		Src: co.node.Rank, Dst: dst, Tag: tag, Bytes: bytes, Payload: payload,
-	})
+// selfCopyNS is the cost of a rank sending to itself: a local memcpy
+// through the MPI progress engine, no NIC involved.
+const selfCopyNS = 150
+
+// Send transmits a payload to rank dst with a tag. A send to self is a
+// local copy (never touches the wire, cannot be dropped). It returns an
+// error only once the transport has failed.
+func (co *Comm) Send(dst, tag int, bytes int64, payload float64) error {
+	c := co.node.cluster
+	if c.err != nil {
+		return c.err
+	}
+	f := Frame{Src: co.node.Rank, Dst: dst, Tag: tag, Bytes: bytes, Payload: payload}
+	if dst == co.node.Rank {
+		co.tc.Charge(selfCopyNS)
+		co.node.inbox = append(co.node.inbox, f)
+		co.node.rxq.WakeAll(co.tc.Now(), 0, 0)
+		return nil
+	}
+	c.Tx(co.tc, f)
+	return nil
 }
 
 // Recv blocks until a frame from src (-1: any) with the tag arrives and
-// returns it.
-func (co *Comm) Recv(src, tag int) Frame {
+// returns it. It returns an error if the transport fails while (or
+// before) waiting.
+func (co *Comm) Recv(src, tag int) (Frame, error) {
 	n := co.node
+	c := n.cluster
 	p := procOf(co.tc)
 	for {
 		for i, f := range n.inbox {
 			if (src < 0 || f.Src == src) && f.Tag == tag {
 				n.inbox = append(n.inbox[:i], n.inbox[i+1:]...)
 				co.tc.Charge(300) // rx path: copy out, complete the request
-				return f
+				return f, nil
 			}
+		}
+		if c.err != nil {
+			return Frame{}, c.err
 		}
 		n.rxq.Wait(p)
 	}
@@ -197,38 +426,55 @@ func procOf(tc exec.TC) *sim.Proc {
 // returns the result on every rank — recursive doubling for power-of-two
 // sizes, gather+broadcast through rank 0 otherwise. bytes sets the
 // message size for the wire model.
-func (co *Comm) Allreduce(value float64, bytes int64, op func(a, b float64) float64, tag int) float64 {
+func (co *Comm) Allreduce(value float64, bytes int64, op func(a, b float64) float64, tag int) (float64, error) {
 	size := co.Size()
 	rank := co.Rank()
 	if size&(size-1) == 0 {
 		acc := value
 		for step := 1; step < size; step <<= 1 {
 			partner := rank ^ step
-			co.Send(partner, tag+step, bytes, acc)
-			f := co.Recv(partner, tag+step)
+			if err := co.Send(partner, tag+step, bytes, acc); err != nil {
+				return 0, err
+			}
+			f, err := co.Recv(partner, tag+step)
+			if err != nil {
+				return 0, err
+			}
 			acc = op(acc, f.Payload)
 		}
-		return acc
+		return acc, nil
 	}
 	// Gather to 0, combine, broadcast.
 	if rank == 0 {
 		acc := value
 		for r := 1; r < size; r++ {
-			f := co.Recv(-1, tag)
+			f, err := co.Recv(-1, tag)
+			if err != nil {
+				return 0, err
+			}
 			acc = op(acc, f.Payload)
 		}
 		for r := 1; r < size; r++ {
-			co.Send(r, tag+1, bytes, acc)
+			if err := co.Send(r, tag+1, bytes, acc); err != nil {
+				return 0, err
+			}
 		}
-		return acc
+		return acc, nil
 	}
-	co.Send(0, tag, bytes, value)
-	return co.Recv(0, tag+1).Payload
+	if err := co.Send(0, tag, bytes, value); err != nil {
+		return 0, err
+	}
+	f, err := co.Recv(0, tag+1)
+	if err != nil {
+		return 0, err
+	}
+	return f.Payload, nil
 }
 
 // Barrier synchronizes all ranks (a zero-byte allreduce).
-func (co *Comm) Barrier(tag int) {
-	co.Allreduce(0, 8, func(a, b float64) float64 { return a + b }, tag)
+func (co *Comm) Barrier(tag int) error {
+	_, err := co.Allreduce(0, 8, func(a, b float64) float64 { return a + b }, tag)
+	return err
 }
 
 // SpawnOnRank starts a thread on one of the rank's CPUs with a kernel
@@ -260,19 +506,28 @@ func (h *rankHandle) Join(tc exec.TC) {
 }
 
 // Run drives a single-program-multiple-data function on every rank and
-// runs the simulator to completion, returning elapsed virtual ns.
-func (c *Cluster) Run(body func(co *Comm)) (int64, error) {
+// runs the simulator to completion, returning elapsed virtual ns. The
+// first error — from a rank body or from the transport — is returned.
+func (c *Cluster) Run(body func(co *Comm) error) (int64, error) {
 	start := c.Sim.Now()
-	var handles []exec.Handle
+	rankErrs := make([]error, len(c.Nodes))
 	for r := range c.Nodes {
 		r := r
-		handles = append(handles, c.SpawnOnRank(r, func(tc exec.TC) {
-			body(c.Comm(r, tc))
-		}))
+		c.SpawnOnRank(r, func(tc exec.TC) {
+			rankErrs[r] = body(c.Comm(r, tc))
+		})
 	}
 	if err := c.Sim.Run(); err != nil {
 		return 0, err
 	}
-	_ = handles
-	return c.Sim.Now() - start, nil
+	elapsed := c.Sim.Now() - start
+	for _, err := range rankErrs {
+		if err != nil {
+			return elapsed, err
+		}
+	}
+	if c.err != nil {
+		return elapsed, c.err
+	}
+	return elapsed, nil
 }

@@ -2,26 +2,41 @@ package mpi
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"github.com/interweaving/komp/internal/exec"
 	"github.com/interweaving/komp/internal/machine"
 )
 
-func testCluster(t *testing.T, nodes int, userLevel bool) *Cluster {
-	t.Helper()
-	c, err := New(Config{
+func testConfig(nodes int, userLevel bool) Config {
+	return Config{
 		Machine:   machine.PHI(),
 		Seed:      3,
 		Nodes:     nodes,
 		UserLevel: userLevel,
 		KernelCosts: exec.Costs{ThreadSpawnNS: 2000, FutexWaitEntryNS: 80,
 			FutexWakeEntryNS: 80, FutexWakeLatencyNS: 300},
-	})
+	}
+}
+
+func testCluster(t *testing.T, nodes int, userLevel bool) *Cluster {
+	t.Helper()
+	c, err := New(testConfig(nodes, userLevel))
 	if err != nil {
 		t.Fatal(err)
 	}
 	return c
+}
+
+// mustRecv unwraps Recv in tests that run on a loss-free link.
+func mustRecv(t *testing.T, co *Comm, src, tag int) Frame {
+	t.Helper()
+	f, err := co.Recv(src, tag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
 }
 
 func TestClusterConstruction(t *testing.T) {
@@ -40,20 +55,21 @@ func TestClusterConstruction(t *testing.T) {
 func TestPingPong(t *testing.T) {
 	c := testCluster(t, 2, false)
 	var rtt int64
-	_, err := c.Run(func(co *Comm) {
+	_, err := c.Run(func(co *Comm) error {
 		switch co.Rank() {
 		case 0:
 			t0 := co.tc.Now()
 			co.Send(1, 7, 8, 42)
-			f := co.Recv(1, 8)
+			f := mustRecv(t, co, 1, 8)
 			rtt = co.tc.Now() - t0
 			if f.Payload != 43 {
 				t.Errorf("pong payload %v", f.Payload)
 			}
 		case 1:
-			f := co.Recv(0, 7)
+			f := mustRecv(t, co, 0, 7)
 			co.Send(0, 8, 8, f.Payload+1)
 		}
+		return nil
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -69,18 +85,19 @@ func TestPingPong(t *testing.T) {
 
 func TestTagAndSourceMatching(t *testing.T) {
 	c := testCluster(t, 2, false)
-	_, err := c.Run(func(co *Comm) {
+	_, err := c.Run(func(co *Comm) error {
 		if co.Rank() == 1 {
 			co.Send(0, 5, 8, 500) // tag 5 sent first
 			co.Send(0, 3, 8, 300)
-			return
+			return nil
 		}
 		// Receive in the opposite order of arrival: matching, not FIFO.
-		a := co.Recv(1, 3)
-		b := co.Recv(1, 5)
+		a := mustRecv(t, co, 1, 3)
+		b := mustRecv(t, co, 1, 5)
 		if a.Payload != 300 || b.Payload != 500 {
 			t.Errorf("tag matching broken: %v %v", a.Payload, b.Payload)
 		}
+		return nil
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -90,9 +107,11 @@ func TestTagAndSourceMatching(t *testing.T) {
 func TestAllreducePowerOfTwo(t *testing.T) {
 	c := testCluster(t, 4, false)
 	sums := make([]float64, 4)
-	_, err := c.Run(func(co *Comm) {
+	_, err := c.Run(func(co *Comm) error {
 		v := float64(co.Rank() + 1)
-		sums[co.Rank()] = co.Allreduce(v, 8, func(a, b float64) float64 { return a + b }, 100)
+		s, err := co.Allreduce(v, 8, func(a, b float64) float64 { return a + b }, 100)
+		sums[co.Rank()] = s
+		return err
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -107,9 +126,11 @@ func TestAllreducePowerOfTwo(t *testing.T) {
 func TestAllreduceMax(t *testing.T) {
 	c := testCluster(t, 8, false)
 	vals := make([]float64, 8)
-	_, err := c.Run(func(co *Comm) {
+	_, err := c.Run(func(co *Comm) error {
 		v := float64((co.Rank() * 37) % 11)
-		vals[co.Rank()] = co.Allreduce(v, 8, math.Max, 50)
+		m, err := co.Allreduce(v, 8, math.Max, 50)
+		vals[co.Rank()] = m
+		return err
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -124,15 +145,18 @@ func TestAllreduceMax(t *testing.T) {
 func TestBarrierSynchronizes(t *testing.T) {
 	c := testCluster(t, 4, false)
 	var slowDone, fastResumed int64
-	_, err := c.Run(func(co *Comm) {
+	_, err := c.Run(func(co *Comm) error {
 		if co.Rank() == 0 {
 			co.tc.Charge(1_000_000) // the straggler
 			slowDone = co.tc.Now()
 		}
-		co.Barrier(10)
+		if err := co.Barrier(10); err != nil {
+			return err
+		}
 		if co.Rank() == 3 {
 			fastResumed = co.tc.Now()
 		}
+		return nil
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -147,19 +171,20 @@ func TestBarrierSynchronizes(t *testing.T) {
 func TestInKernelDataPlaneBeatsUserLevel(t *testing.T) {
 	run := func(user bool) int64 {
 		c := testCluster(t, 2, user)
-		elapsed, err := c.Run(func(co *Comm) {
+		elapsed, err := c.Run(func(co *Comm) error {
 			const msgs = 300
 			if co.Rank() == 0 {
 				for i := 0; i < msgs; i++ {
 					co.Send(1, i, 64, float64(i))
-					co.Recv(1, i)
+					mustRecv(t, co, 1, i)
 				}
 			} else {
 				for i := 0; i < msgs; i++ {
-					f := co.Recv(0, i)
+					f := mustRecv(t, co, 0, i)
 					co.Send(0, i, 64, f.Payload)
 				}
 			}
+			return nil
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -173,5 +198,275 @@ func TestInKernelDataPlaneBeatsUserLevel(t *testing.T) {
 	// 600 frames x ~1.6us extra syscall tax each way.
 	if user-kernel < 300_000 {
 		t.Fatalf("syscall tax too small: %d", user-kernel)
+	}
+}
+
+// --- Edge cases and the lossy-link transport ---
+
+func TestSendToSelf(t *testing.T) {
+	c := testCluster(t, 2, false)
+	_, err := c.Run(func(co *Comm) error {
+		if co.Rank() != 0 {
+			return nil
+		}
+		if err := co.Send(0, 9, 8, 3.14); err != nil {
+			return err
+		}
+		f, err := co.Recv(0, 9)
+		if err != nil {
+			return err
+		}
+		if f.Payload != 3.14 || f.Src != 0 {
+			t.Errorf("self-recv = %+v", f)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroByteFrames(t *testing.T) {
+	c := testCluster(t, 2, false)
+	_, err := c.Run(func(co *Comm) error {
+		if co.Rank() == 0 {
+			return co.Send(1, 1, 0, 0)
+		}
+		f, err := co.Recv(0, 1)
+		if err != nil {
+			return err
+		}
+		if f.Bytes != 0 {
+			t.Errorf("bytes = %d", f.Bytes)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// everyNth drops one frame in every n deterministically.
+func everyNth(n int) func() bool {
+	i := 0
+	return func() bool {
+		i++
+		return i%n == 0
+	}
+}
+
+func TestLossyLinkRetransmits(t *testing.T) {
+	cfg := testConfig(2, false)
+	cfg.Drop = everyNth(4) // 25% loss
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const msgs = 50
+	got := make([]bool, msgs)
+	_, err = c.Run(func(co *Comm) error {
+		if co.Rank() == 0 {
+			for i := 0; i < msgs; i++ {
+				if err := co.Send(1, i, 64, float64(i)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < msgs; i++ {
+			f, err := co.Recv(0, i)
+			if err != nil {
+				return err
+			}
+			if f.Payload != float64(i) {
+				t.Errorf("msg %d payload %v", i, f.Payload)
+			}
+			got[i] = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("25%% loss not recovered: %v", err)
+	}
+	for i, ok := range got {
+		if !ok {
+			t.Fatalf("message %d never delivered", i)
+		}
+	}
+	if c.Stats.Retx == 0 || c.Stats.Dropped == 0 {
+		t.Fatalf("stats show no recovery: %+v", c.Stats)
+	}
+}
+
+func TestMismatchedTagsUnderRetransmission(t *testing.T) {
+	// Drops force dup retransmissions; tag matching must still pick
+	// messages by tag, never deliver a frame twice, and never reorder a
+	// tag's payload.
+	cfg := testConfig(2, false)
+	cfg.Drop = everyNth(3)
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Run(func(co *Comm) error {
+		if co.Rank() == 0 {
+			for i := 0; i < 20; i++ {
+				if err := co.Send(1, 100+i, 32, float64(i)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		// Receive in reverse tag order: every message must be matched by
+		// tag even though retransmissions shuffle arrival order.
+		for i := 19; i >= 0; i-- {
+			f, err := co.Recv(0, 100+i)
+			if err != nil {
+				return err
+			}
+			if f.Payload != float64(i) {
+				t.Errorf("tag %d carried %v, want %d", 100+i, f.Payload, i)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats.Dups > 0 && c.Stats.DataSent != 20 {
+		t.Fatalf("dup discarding broke accounting: %+v", c.Stats)
+	}
+}
+
+func TestDropEverythingExhaustsRetryBudget(t *testing.T) {
+	cfg := testConfig(2, false)
+	cfg.Drop = func() bool { return true } // rate 1.0
+	cfg.Retx = RetxPolicy{TimeoutNS: 5_000, Backoff: 2, MaxRetries: 3}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Run(func(co *Comm) error {
+		if co.Rank() == 0 {
+			if err := co.Send(1, 1, 64, 1); err != nil {
+				return err
+			}
+			_, err := co.Recv(1, 2)
+			return err
+		}
+		_, err := co.Recv(0, 1)
+		return err
+	})
+	if err == nil {
+		t.Fatal("expected a transport error on a drop-rate-1.0 link")
+	}
+	if !strings.Contains(err.Error(), "link failed") {
+		t.Fatalf("error = %v, want a clean link-failure report", err)
+	}
+	if c.Stats.Retx != 3 {
+		t.Fatalf("retx = %d, want exactly the budget (3)", c.Stats.Retx)
+	}
+	if c.Err() == nil {
+		t.Fatal("cluster error not latched")
+	}
+}
+
+func TestCorruptFramesAreRetransmitted(t *testing.T) {
+	cfg := testConfig(2, false)
+	cfg.Corrupt = everyNth(5)
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	_, err = c.Run(func(co *Comm) error {
+		if co.Rank() == 0 {
+			for i := 0; i < 30; i++ {
+				if err := co.Send(1, 5, 64, 1); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < 30; i++ {
+			f, err := co.Recv(0, 5)
+			if err != nil {
+				return err
+			}
+			sum += f.Payload
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != 30 {
+		t.Fatalf("sum = %v, want 30 (each message exactly once)", sum)
+	}
+	if c.Stats.Corrupted == 0 {
+		t.Fatal("no corruption recorded despite the hook")
+	}
+}
+
+func TestAllreduceUnderLoss(t *testing.T) {
+	cfg := testConfig(4, false)
+	cfg.Drop = everyNth(20) // 5% loss
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := make([]float64, 4)
+	elapsed, err := c.Run(func(co *Comm) error {
+		v := float64(co.Rank() + 1)
+		s, err := co.Allreduce(v, 1024, func(a, b float64) float64 { return a + b }, 100)
+		sums[co.Rank()] = s
+		return err
+	})
+	if err != nil {
+		t.Fatalf("allreduce under 5%% loss: %v", err)
+	}
+	for r, s := range sums {
+		if s != 10 {
+			t.Fatalf("rank %d sum = %v, want 10", r, s)
+		}
+	}
+	if elapsed <= 0 {
+		t.Fatal("no elapsed time")
+	}
+}
+
+func TestReliableModeDeterministic(t *testing.T) {
+	run := func() (int64, LinkStats) {
+		cfg := testConfig(2, false)
+		cfg.Drop = everyNth(4)
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		elapsed, err := c.Run(func(co *Comm) error {
+			if co.Rank() == 0 {
+				for i := 0; i < 40; i++ {
+					if err := co.Send(1, i, 128, float64(i)); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			for i := 0; i < 40; i++ {
+				if _, err := co.Recv(0, i); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return elapsed, c.Stats
+	}
+	e1, s1 := run()
+	e2, s2 := run()
+	if e1 != e2 || s1 != s2 {
+		t.Fatalf("non-deterministic lossy run: %d/%+v vs %d/%+v", e1, s1, e2, s2)
 	}
 }

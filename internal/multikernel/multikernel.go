@@ -51,6 +51,10 @@ type Partition struct {
 
 	cfg     Config
 	Reboots int
+	// Crashes counts hard compartment failures injected via Crash.
+	Crashes int
+
+	crashed bool // compartment is down due to a crash (vs clean Shutdown)
 }
 
 // Boot builds the partition: a shared simulator, Linux noise on the host
@@ -110,22 +114,119 @@ func (p *Partition) bootCompartment() {
 }
 
 // Shutdown tears the compartment down (the host side keeps running).
+// It is idempotent: shutting down an already-down compartment is a no-op.
 func (p *Partition) Shutdown() {
 	p.Kernel = nil
+	p.crashed = false
 	// The host reclaims nothing here: the partition's point is that the
 	// compartment's resources stay reserved for its next incarnation.
 }
 
+// Crash models a hard compartment failure (panic, machine check, fault
+// injection): every proc running on a compartment CPU is killed with no
+// chance to clean up, and the kernel state is gone. The host side keeps
+// running and can detect the crash (Crashed) and Reboot. Safe to call
+// from a scheduler callback (e.g. a fault-plan event).
+func (p *Partition) Crash() {
+	if p.Kernel == nil {
+		return
+	}
+	comp := make(map[int]bool, len(p.CompCPUs))
+	for _, c := range p.CompCPUs {
+		comp[c] = true
+	}
+	for _, pr := range p.Sim.Procs() {
+		if comp[pr.CPUID()] {
+			p.Sim.Kill(pr)
+		}
+	}
+	p.Kernel = nil
+	p.crashed = true
+	p.Crashes++
+}
+
+// Crashed reports whether the compartment is down due to a crash (as
+// opposed to a clean Shutdown or a live kernel).
+func (p *Partition) Crashed() bool { return p.crashed }
+
 // Reboot cycles the compartment: shutdown, charge the modeled boot time
 // on the controlling host thread, boot fresh kernel state. It returns
 // the virtual boot nanoseconds — the quantity §7 compares to Linux
-// process creation.
+// process creation. Rebooting a crashed or already-shut-down compartment
+// is fine: the fresh kernel re-carves the same budget (never a
+// double-free, since zone budgets are rebuilt from the config each time).
 func (p *Partition) Reboot(tc exec.TC) int64 {
 	p.Shutdown()
 	p.Reboots++
 	p.bootCompartment()
-	tc.Charge(p.Kernel.BootNS)
-	return p.Kernel.BootNS
+	// Snapshot before Charge: charging yields to the scheduler, and a
+	// crash event may tear the fresh kernel down mid-boot.
+	bootNS := p.Kernel.BootNS
+	tc.Charge(bootNS)
+	return bootNS
+}
+
+// RestartPolicy bounds RunSupervised's recovery loop.
+type RestartPolicy struct {
+	// MaxRestarts is how many reboot-and-rerun cycles are allowed after
+	// the initial attempt.
+	MaxRestarts int
+	// PollNS is the supervisor's liveness poll period (host-side virtual
+	// time between checks). Zero selects 100 µs.
+	PollNS int64
+}
+
+// SupervisedResult reports what RunSupervised had to do.
+type SupervisedResult struct {
+	Restarts int   // reboot-and-rerun cycles taken
+	BootNS   int64 // total virtual time spent rebooting
+}
+
+// RunSupervised runs body inside the compartment under host-side
+// supervision: the calling host thread polls for compartment death and,
+// on a crash, reboots the compartment and re-runs body from the start
+// (the job's state died with the kernel, so rerun-from-scratch is the
+// only sound recovery), up to pol.MaxRestarts times. §7's millisecond
+// reboot is what makes this loop cheap enough to be a real availability
+// strategy. tc must be a host-layer thread context.
+func (p *Partition) RunSupervised(tc exec.TC, name string, cpu int, pol RestartPolicy, body func(ktc exec.TC)) (SupervisedResult, error) {
+	if pol.PollNS <= 0 {
+		pol.PollNS = 100_000
+	}
+	var res SupervisedResult
+	attempt := func() *uint32 {
+		done := new(uint32)
+		p.SpawnInCompartment(name, cpu, func(ktc exec.TC) {
+			body(ktc)
+			*done = 1
+		})
+		return done
+	}
+	var done *uint32
+	if p.Kernel == nil {
+		res.BootNS += p.Reboot(tc)
+	}
+	if p.Kernel != nil { // a crash can land during the reboot charge itself
+		done = attempt()
+	}
+	for {
+		if done != nil && *done == 1 {
+			return res, nil
+		}
+		if p.crashed || done == nil {
+			if res.Restarts >= pol.MaxRestarts {
+				return res, fmt.Errorf("multikernel: %s: compartment crashed again after %d restart(s), budget exhausted",
+					name, res.Restarts)
+			}
+			res.Restarts++
+			res.BootNS += p.Reboot(tc)
+			done = nil
+			if p.Kernel != nil {
+				done = attempt()
+			}
+		}
+		tc.Sleep(pol.PollNS)
+	}
 }
 
 // SpawnInCompartment starts a thread inside the compartment kernel on

@@ -1,0 +1,63 @@
+package nautilus
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/interweaving/komp/internal/exec"
+	"github.com/interweaving/komp/internal/machine"
+)
+
+// TestKAllocInjectedFailure: the AllocFail hook turns individual KAllocs
+// into caller-visible errors; the allocator itself is untouched, so the
+// next allocation succeeds (transient exhaustion, not corruption).
+func TestKAllocInjectedFailure(t *testing.T) {
+	calls := 0
+	k := Boot(Config{Machine: machine.PHI(), Seed: 1,
+		AllocFail: func() bool {
+			calls++
+			return calls == 1 // fail exactly the first allocation
+		}})
+	_, err := k.Layer.Run(func(tc exec.TC) {
+		if _, aerr := k.KAlloc(tc, "doomed", 1<<20, 0); aerr == nil {
+			t.Error("first KAlloc succeeded despite injected fault")
+		} else if !strings.Contains(aerr.Error(), "injected fault") {
+			t.Errorf("error = %v", aerr)
+		}
+		r, aerr := k.KAlloc(tc, "fine", 1<<20, 0)
+		if aerr != nil || r == nil {
+			t.Errorf("second KAlloc = %v, %v; want success", r, aerr)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.InjectedAllocFails != 1 {
+		t.Fatalf("InjectedAllocFails = %d, want 1", k.InjectedAllocFails)
+	}
+	// The failed allocation must not have touched the buddy allocator.
+	if got := k.Buddies[0].Allocs; got != 1 {
+		t.Fatalf("buddy allocs = %d, want only the successful one", got)
+	}
+}
+
+// TestBootSkipsUnusableZoneBudget: a zone budget below one buddy block
+// yields a kernel without that zone's allocator rather than a panic, and
+// KAlloc on its CPUs reports the missing allocator.
+func TestBootSkipsUnusableZoneBudget(t *testing.T) {
+	k := Boot(Config{Machine: machine.PHI(), Seed: 1,
+		ZoneBudget: map[int]int64{0: 512}}) // below the 4 KiB minimum block
+	if k.Buddies[0] != nil {
+		t.Fatal("unusable budget produced an allocator")
+	}
+	_, err := k.Layer.Run(func(tc exec.TC) {
+		if _, aerr := k.KAlloc(tc, "x", 4096, 0); aerr == nil {
+			t.Error("KAlloc on allocator-less zone succeeded")
+		} else if !strings.Contains(aerr.Error(), "no allocator") {
+			t.Errorf("error = %v", aerr)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -63,6 +63,10 @@ type Config struct {
 	// image (RTK/CCK gigabyte-size globals problem, §6.2). It is
 	// resident at boot.
 	BootImageBytes int64
+	// AllocFail, if non-nil, is consulted on every KAlloc; returning true
+	// fails that allocation with a caller-visible error (fault
+	// injection: transient allocator exhaustion).
+	AllocFail func() bool
 }
 
 // ShellCmd is a kernel shell command. In RTK the application's main() is
@@ -89,6 +93,10 @@ type Kernel struct {
 	nextTID    int
 	bootImg    *memsim.Region
 	firstTouch bool
+	allocFail  func() bool
+
+	// InjectedAllocFails counts KAllocs failed by the AllocFail hook.
+	InjectedAllocFails int64
 
 	// CPUs is the kernel's CPU set (nil: the whole machine) — restricted
 	// in multi-kernel configurations (§7).
@@ -176,6 +184,7 @@ func Boot(cfg Config) *Kernel {
 		shell:      make(map[string]ShellCmd),
 		threads:    make(map[int]*KThread),
 		firstTouch: cfg.FirstTouch,
+		allocFail:  cfg.AllocFail,
 	}
 	for _, z := range cfg.Machine.Zones {
 		if z.Kind == machine.DRAM && len(z.CPUs) > 0 {
@@ -183,7 +192,14 @@ func Boot(cfg Config) *Kernel {
 			if b, ok := cfg.ZoneBudget[z.ID]; ok && b > 0 && b < budget {
 				budget = b
 			}
-			k.Buddies[z.ID] = memsim.NewBuddy(budget)
+			b, err := memsim.NewBuddy(budget)
+			if err != nil {
+				// A zone whose budget cannot hold one block simply gets no
+				// allocator: KAlloc on its CPUs reports "no allocator for
+				// zone" instead of the whole boot crashing.
+				continue
+			}
+			k.Buddies[z.ID] = b
 		}
 	}
 	k.CPUs = append([]int(nil), cfg.CPUs...)
@@ -254,6 +270,10 @@ func (k *Kernel) KAlloc(tc exec.TC, name string, size int64, cpu int) (*memsim.R
 	b := k.Buddies[zone]
 	if b == nil {
 		return nil, fmt.Errorf("nautilus: no allocator for zone %d", zone)
+	}
+	if k.allocFail != nil && k.allocFail() {
+		k.InjectedAllocFails++
+		return nil, fmt.Errorf("nautilus: zone %d allocation of %d bytes failed (injected fault)", zone, size)
 	}
 	if _, ok := b.Alloc(size); !ok {
 		return nil, fmt.Errorf("nautilus: zone %d out of memory for %d bytes", zone, size)

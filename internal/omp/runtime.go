@@ -111,6 +111,12 @@ type Options struct {
 	ForkChargeNS int64
 	// BarrierAlgo selects the barrier release algorithm (default flat).
 	BarrierAlgo BarrierAlgo
+	// Resilient enables team shrink: when a CPU is taken offline
+	// (OfflineCPU), its worker leaves the team at the next safe point and
+	// the region completes on the survivors. Static loops degrade to
+	// shared-counter chunk claiming so every iteration still runs exactly
+	// once. Requires Bind (offline is identified by CPU).
+	Resilient bool
 	// Tracer, if non-nil, records parallel regions, worksharing loops
 	// and barriers as Chrome trace events.
 	Tracer *trace.Tracer
@@ -195,6 +201,30 @@ func (rt *Runtime) Close(tc exec.TC) {
 		rt.pool.shutdown(tc)
 		rt.pool = nil
 	}
+}
+
+// OfflineCPU models CPU cpu going away mid-run: every pool worker bound
+// to it is marked doomed and leaves its team at the next safe point (a
+// barrier arrival or a loop chunk claim) — the team shrink path. It
+// returns how many workers were doomed. Safe to call from a scheduler
+// callback (e.g. a fault-plan event). Requires Bind (workers are
+// identified by their bound CPU); the master thread's CPU cannot be
+// taken offline. Combine with Options.Resilient so static loops degrade
+// to exactly-once chunk claiming — without it a dead worker's static
+// block is silently lost. Note that a doomed worker's private locals die
+// with it: resilient region bodies should flush per-chunk results into
+// shared state (Atomic, tasks) before each chunk body returns.
+func (rt *Runtime) OfflineCPU(cpu int) int {
+	if rt.pool == nil {
+		return 0
+	}
+	n := 0
+	for _, pw := range rt.pool.workers {
+		if pw.cpu == cpu && pw.dead.Load() == 0 && pw.doom.CompareAndSwap(0, 1) {
+			n++
+		}
+	}
+	return n
 }
 
 // criticalMutex returns the global mutex for a named critical section.

@@ -1,0 +1,229 @@
+package omp
+
+import (
+	"testing"
+
+	"github.com/interweaving/komp/internal/exec"
+	"github.com/interweaving/komp/internal/sim"
+)
+
+// shrinkRun builds a resilient runtime on a fresh simulator, lets the
+// test arm fault events against the sim, runs body as the master thread
+// and returns the elapsed virtual time.
+func shrinkRun(t *testing.T, opts Options, arm func(s *sim.Sim, rt *Runtime), body func(rt *Runtime, tc exec.TC)) int64 {
+	t.Helper()
+	s := sim.New(8, 7)
+	layer := exec.NewSimLayer(s, simCosts())
+	rt := New(layer, opts)
+	if arm != nil {
+		arm(s, rt)
+	}
+	elapsed, err := layer.Run(func(tc exec.TC) {
+		body(rt, tc)
+		rt.Close(tc)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return elapsed
+}
+
+func resilientOpts() Options {
+	return Options{MaxThreads: 4, Bind: true, Resilient: true}
+}
+
+// TestShrinkDynamicLoopExactlyOnce takes a CPU offline mid-loop: the
+// dead worker's unclaimed chunks must be redistributed so every
+// iteration still runs exactly once, and the region must complete.
+func TestShrinkDynamicLoopExactlyOnce(t *testing.T) {
+	const iters = 200
+	cov := make([]int, iters)
+	aliveAfter := 0
+	shrinkRun(t, resilientOpts(),
+		func(s *sim.Sim, rt *Runtime) {
+			s.At(1_000_000, func() {
+				if n := rt.OfflineCPU(2); n != 1 {
+					t.Errorf("OfflineCPU doomed %d workers, want 1", n)
+				}
+			})
+		},
+		func(rt *Runtime, tc exec.TC) {
+			rt.Parallel(tc, 4, func(w *Worker) {
+				w.ForEach(0, iters, ForOpt{Sched: Dynamic, Chunk: 2}, func(i int) {
+					w.TC().Charge(40_000)
+					cov[i]++
+				})
+				aliveAfter = w.NumAlive()
+			})
+		})
+	for i, c := range cov {
+		if c != 1 {
+			t.Fatalf("iteration %d ran %d times", i, c)
+		}
+	}
+	if aliveAfter != 3 {
+		t.Fatalf("NumAlive = %d after shrink, want 3", aliveAfter)
+	}
+}
+
+// TestShrinkStaticDegradesToExactlyOnce: with Resilient set, a static
+// loop degrades to shared-counter claiming, so a mid-loop CPU offline
+// loses no iterations (a fixed block partition would).
+func TestShrinkStaticDegradesToExactlyOnce(t *testing.T) {
+	const iters = 128
+	cov := make([]int, iters)
+	shrinkRun(t, resilientOpts(),
+		func(s *sim.Sim, rt *Runtime) {
+			s.At(800_000, func() { rt.OfflineCPU(1) })
+		},
+		func(rt *Runtime, tc exec.TC) {
+			rt.Parallel(tc, 4, func(w *Worker) {
+				w.ForEach(0, iters, ForOpt{Sched: Static}, func(i int) {
+					w.TC().Charge(60_000)
+					cov[i]++
+				})
+			})
+		})
+	for i, c := range cov {
+		if c != 1 {
+			t.Fatalf("iteration %d ran %d times", i, c)
+		}
+	}
+}
+
+// TestShrinkDyingWorkerCompletesBarrier arranges for the doomed worker
+// to be the last arrival the barrier is waiting on: its departure must
+// release the survivors instead of hanging the team.
+func TestShrinkDyingWorkerCompletesBarrier(t *testing.T) {
+	for _, algo := range []BarrierAlgo{BarrierFlat, BarrierTree} {
+		opts := resilientOpts()
+		opts.BarrierAlgo = algo
+		passed := 0
+		shrinkRun(t, opts,
+			func(s *sim.Sim, rt *Runtime) {
+				// Worker 3 is mid-charge when its CPU dies; everyone else
+				// is already parked in the barrier.
+				s.At(1_000_000, func() { rt.OfflineCPU(3) })
+			},
+			func(rt *Runtime, tc exec.TC) {
+				rt.Parallel(tc, 4, func(w *Worker) {
+					if w.ThreadNum() == 3 {
+						w.TC().Charge(5_000_000)
+					}
+					w.Barrier()
+					passed++
+				})
+			})
+		if passed != 3 {
+			t.Fatalf("%v: %d workers passed the barrier, want the 3 survivors", algo, passed)
+		}
+	}
+}
+
+// TestShrinkReduceSkipsDeadSlot: a reduction after a shrink combines
+// only the survivors' contributions; the dead worker's stale slot from
+// the previous round must not leak in.
+func TestShrinkReduceSkipsDeadSlot(t *testing.T) {
+	var r1, r2 float64
+	shrinkRun(t, resilientOpts(),
+		func(s *sim.Sim, rt *Runtime) {
+			s.At(1_000_000, func() { rt.OfflineCPU(2) })
+		},
+		func(rt *Runtime, tc exec.TC) {
+			rt.Parallel(tc, 4, func(w *Worker) {
+				a := w.Reduce(ReduceSum, 1) // before the fault: 4 contributors
+				// Long enough that the offline at t=1ms lands mid-loop, so
+				// the doomed worker dies at a chunk claim before round 2.
+				w.ForEach(0, 64, ForOpt{Sched: Dynamic, Chunk: 1}, func(i int) {
+					w.TC().Charge(200_000)
+				})
+				b := w.Reduce(ReduceSum, 1) // after the shrink: 3 survivors
+				w.Master(func() { r1, r2 = a, b })
+			})
+		})
+	if r1 != 4 {
+		t.Fatalf("pre-fault reduce = %v, want 4", r1)
+	}
+	if r2 != 3 {
+		t.Fatalf("post-shrink reduce = %v, want 3 (survivors only)", r2)
+	}
+}
+
+// TestShrinkPersistsAcrossRegions: a worker lost in one region stays
+// gone; the next region forks without it and still covers all work.
+func TestShrinkPersistsAcrossRegions(t *testing.T) {
+	const iters = 64
+	cov := make([]int, iters)
+	var alive2 int
+	shrinkRun(t, resilientOpts(),
+		func(s *sim.Sim, rt *Runtime) {
+			s.At(500_000, func() { rt.OfflineCPU(1) })
+		},
+		func(rt *Runtime, tc exec.TC) {
+			rt.Parallel(tc, 4, func(w *Worker) {
+				w.ForEach(0, iters, ForOpt{Sched: Dynamic, Chunk: 1}, func(i int) {
+					w.TC().Charge(60_000)
+				})
+			})
+			rt.Parallel(tc, 4, func(w *Worker) {
+				if w.ThreadNum() == 0 {
+					alive2 = w.NumAlive()
+				}
+				w.ForEach(0, iters, ForOpt{Sched: Dynamic, Chunk: 1}, func(i int) {
+					w.TC().Charge(10_000)
+					cov[i]++
+				})
+			})
+		})
+	if alive2 != 3 {
+		t.Fatalf("second region NumAlive = %d, want 3 from the start", alive2)
+	}
+	for i, c := range cov {
+		if c != 1 {
+			t.Fatalf("iteration %d ran %d times in the shrunk region", i, c)
+		}
+	}
+}
+
+// TestShrinkDeterministic: the same fault plan on the same seed yields
+// the same virtual-time trajectory.
+func TestShrinkDeterministic(t *testing.T) {
+	one := func() int64 {
+		return shrinkRun(t, resilientOpts(),
+			func(s *sim.Sim, rt *Runtime) {
+				s.At(1_000_000, func() { rt.OfflineCPU(2) })
+			},
+			func(rt *Runtime, tc exec.TC) {
+				rt.Parallel(tc, 4, func(w *Worker) {
+					w.ForEach(0, 100, ForOpt{Sched: Dynamic, Chunk: 2}, func(i int) {
+						w.TC().Charge(40_000)
+					})
+				})
+			})
+	}
+	a, b := one(), one()
+	if a != b {
+		t.Fatalf("same fault plan diverged: %d vs %d virtual ns", a, b)
+	}
+}
+
+// TestResilientFaultFreeUnperturbed: with no fault injected, a resilient
+// dynamic-schedule run costs exactly what the baseline does — the shrink
+// machinery must be free until it fires.
+func TestResilientFaultFreeUnperturbed(t *testing.T) {
+	run := func(resilient bool) int64 {
+		opts := Options{MaxThreads: 4, Bind: true, Resilient: resilient}
+		return shrinkRun(t, opts, nil, func(rt *Runtime, tc exec.TC) {
+			rt.Parallel(tc, 4, func(w *Worker) {
+				w.ForEach(0, 100, ForOpt{Sched: Dynamic, Chunk: 2}, func(i int) {
+					w.TC().Charge(40_000)
+				})
+				w.Reduce(ReduceSum, float64(w.ThreadNum()))
+			})
+		})
+	}
+	base, res := run(false), run(true)
+	if base != res {
+		t.Fatalf("resilient mode perturbed a fault-free run: %d vs %d virtual ns", base, res)
+	}
+}

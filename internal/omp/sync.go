@@ -82,15 +82,21 @@ func (w *Worker) Reduce(op ReduceOp, val float64) float64 {
 	if t.n == 1 {
 		return val
 	}
+	round := w.redSeen + 1
+	w.redSeen++
 	t.redSlots[w.id] = val
+	t.redMark[w.id] = round
 	w.Barrier()
 	// Every thread combines between the barriers: the slots are stable
 	// here (the next reduction's writes happen after the closing
 	// barrier), and each thread obtains the result without a third
-	// synchronization round.
+	// synchronization round. Slots whose mark is stale belong to workers
+	// that died before contributing to this round and are skipped.
 	acc := op.Identity()
-	for _, v := range t.redSlots[:t.n] {
-		acc = op.Apply(acc, v)
+	for i := 0; i < t.n; i++ {
+		if t.redMark[i] == round {
+			acc = op.Apply(acc, t.redSlots[i])
+		}
 	}
 	w.tc.Charge(int64(t.n) * w.tc.Costs().CacheLineXferNS / 4)
 	w.Barrier()

@@ -17,9 +17,12 @@ type pool struct {
 
 type poolWorker struct {
 	id   int
+	cpu  int       // bound CPU (-1 when unbound)
 	gate exec.Word // generation gate; master bumps it to dispatch
 	team *Team     // assignment for the new generation
 	stop exec.Word
+	doom exec.Word // CPU taken offline: die at the next safe point
+	dead exec.Word // worker thread has exited for good (offline death)
 	th   *pthread.Thread
 }
 
@@ -29,12 +32,11 @@ func (rt *Runtime) ensurePool(tc exec.TC) *pool {
 	}
 	p := &pool{rt: rt}
 	for i := 1; i < rt.opts.MaxThreads; i++ {
-		pw := &poolWorker{id: i}
-		cpu := -1
+		pw := &poolWorker{id: i, cpu: -1}
 		if rt.opts.Bind {
-			cpu = i % rt.layer.NumCPUs()
+			pw.cpu = i % rt.layer.NumCPUs()
 		}
-		pw.th = rt.lib.Create(tc, pthread.Attr{CPU: cpu}, func(wtc exec.TC) {
+		pw.th = rt.lib.Create(tc, pthread.Attr{CPU: pw.cpu}, func(wtc exec.TC) {
 			p.workerLoop(wtc, pw)
 		})
 		p.workers = append(p.workers, pw)
@@ -43,7 +45,19 @@ func (rt *Runtime) ensurePool(tc exec.TC) *pool {
 	return p
 }
 
+// offlineSignal unwinds a doomed worker out of the region body back to
+// the worker loop, where it is recovered and the pool thread exits.
+type offlineSignal struct{}
+
 func (p *pool) workerLoop(tc exec.TC, pw *poolWorker) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(offlineSignal); !ok {
+				panic(r)
+			}
+			pw.dead.Store(1)
+		}
+	}()
 	gen := uint32(0)
 	for {
 		for pw.gate.Load() == gen {
@@ -56,6 +70,10 @@ func (p *pool) workerLoop(tc exec.TC, pw *poolWorker) {
 		team := pw.team
 		w := team.workers[pw.id]
 		w.tc = tc
+		w.pw = pw
+		if pw.doom.Load() == 1 {
+			w.die() // doomed between fork and the first instruction
+		}
 		team.fn(w)
 		w.Barrier() // implicit join barrier of the parallel region
 	}
@@ -80,6 +98,13 @@ type Team struct {
 
 	workers []*Worker
 
+	// alive is the live team size: n minus workers lost to CPU-offline
+	// faults. On a fault-free run it stays n, and every comparison
+	// against it degenerates to the classic fixed-size protocol.
+	alive exec.Word
+	// resilient mirrors Options.Resilient for the region.
+	resilient bool
+
 	// Join/explicit barrier state.
 	barGen     exec.Word
 	barArrived exec.Word
@@ -100,7 +125,10 @@ type Team struct {
 	pending exec.Word // tasks created and not yet finished
 
 	// Reduction slots (one per thread, cache-line padded in spirit).
+	// redMark[i] is the reduction round slot i was written for, so the
+	// combine skips slots of workers that died before contributing.
 	redSlots []float64
+	redMark  []uint32
 
 	// Copyprivate broadcast slot.
 	cpVal any
@@ -144,6 +172,12 @@ func (rt *Runtime) Parallel(tc exec.TC, n int, fn func(*Worker)) {
 	// release).
 	for i := 1; i < n; i++ {
 		pw := p.workers[i-1]
+		if pw.dead.Load() == 1 || pw.doom.Load() == 1 {
+			// The slot's CPU is offline: fork nothing and shrink the
+			// team up front.
+			team.alive.Add(^uint32(0))
+			continue
+		}
 		pw.team = team
 		tc.Charge(rt.opts.ForkChargeNS + c.CacheLineXferNS)
 		pw.gate.Add(1)
@@ -165,7 +199,10 @@ func newTeam(rt *Runtime, n int, fn func(*Worker)) *Team {
 		loopsMu:  make(chan struct{}, 1),
 		singles:  make(map[uint32]*exec.Word),
 		redSlots: make([]float64, n),
+		redMark:  make([]uint32, n),
 	}
+	t.alive.Store(uint32(n))
+	t.resilient = rt.opts.Resilient
 	for i := 0; i < n; i++ {
 		t.workers[i] = &Worker{team: t, id: i}
 	}
@@ -182,12 +219,14 @@ type Worker struct {
 	tc   exec.TC
 	team *Team
 	id   int
+	pw   *poolWorker // nil for the master and serialized regions
 
 	// Per-thread construct sequence counters (each thread encounters the
 	// same constructs in the same order — the SPMD contract).
 	loopSeen    uint32
 	singleSeen  uint32
 	sectionSeen uint32
+	redSeen     uint32
 
 	// Tasking.
 	deque   taskDeque
@@ -215,6 +254,10 @@ func (w *Worker) ThreadNum() int { return w.id }
 // NumThreads returns the team size (omp_get_num_threads).
 func (w *Worker) NumThreads() int { return w.team.n }
 
+// NumAlive returns the live team size: NumThreads minus workers lost to
+// CPU-offline faults. Equal to NumThreads on a fault-free run.
+func (w *Worker) NumAlive() int { return int(w.team.alive.Load()) }
+
 // Runtime returns the owning runtime.
 func (w *Worker) Runtime() *Runtime { return w.team.rt }
 
@@ -236,27 +279,19 @@ func (w *Worker) Barrier() {
 		w.drainAllTasks()
 		return
 	}
+	if w.doomed() {
+		w.die() // safe point: the barrier arrival becomes a departure
+	}
 	tc := w.tc
 	c := tc.Costs()
 	// Arrival counter updates serialize on its cache line.
 	tc.Contend(&t.barLine, c.AtomicRMWNS+c.CacheLineXferNS)
 	gen := t.barGen.Load()
-	if t.barArrived.Add(1) == uint32(t.n) {
-		// Last arriver: ensure the task pool is drained before release.
-		for t.pending.Load() > 0 {
-			if !w.runOneTask() {
-				tc.Yield()
-			}
-		}
-		t.barArrived.Store(0)
-		if t.rt.opts.BarrierAlgo == BarrierTree {
-			t.relBudget.Store(uint32(t.n - 1))
-			t.barGen.Add(1)
-			w.treeRelease()
-		} else {
-			t.barGen.Add(1)
-			tc.FutexWake(&t.barGen, -1)
-		}
+	// Completion compares against the live size, not n: arrived == alive
+	// == n fault-free, while after a shrink the survivors alone complete
+	// the barrier.
+	if arrived := t.barArrived.Add(1); arrived >= t.alive.Load() {
+		w.finishBarrier(arrived - 1)
 		return
 	}
 	for t.barGen.Load() == gen {
@@ -269,6 +304,52 @@ func (w *Worker) Barrier() {
 	if t.rt.opts.BarrierAlgo == BarrierTree {
 		w.treeRelease()
 	}
+}
+
+// finishBarrier performs the release half of the team barrier: drain the
+// task pool, reset the arrival counter, bump the generation and wake the
+// waiters (all of them flat, or seed the fanout budget for tree). It
+// runs on the last arriver — or on a dying worker whose departure is
+// what completes the barrier, in which case every arrived thread is a
+// waiter.
+func (w *Worker) finishBarrier(waiters uint32) {
+	t := w.team
+	tc := w.tc
+	for t.pending.Load() > 0 {
+		if !w.runOneTask() {
+			tc.Yield()
+		}
+	}
+	t.barArrived.Store(0)
+	if t.rt.opts.BarrierAlgo == BarrierTree {
+		t.relBudget.Store(waiters)
+		t.barGen.Add(1)
+		w.treeRelease()
+	} else {
+		t.barGen.Add(1)
+		tc.FutexWake(&t.barGen, -1)
+	}
+}
+
+// doomed reports whether this worker's CPU has been taken offline.
+func (w *Worker) doomed() bool {
+	return w.pw != nil && w.pw.doom.Load() == 1
+}
+
+// die removes the worker from the team at a safe point (a barrier
+// arrival or a loop chunk claim): the live count shrinks, the team
+// barrier is completed if this departure is what completes it, and
+// control unwinds to the worker loop, where the pool thread exits for
+// good. Safe points are placed so the worker never dies mid-construct:
+// claimed chunks have fully executed, held locks were released, and any
+// tasks it queued stay stealable by the survivors.
+func (w *Worker) die() {
+	t := w.team
+	alive := t.alive.Add(^uint32(0))
+	if arrived := t.barArrived.Load(); alive > 0 && arrived > 0 && arrived >= alive {
+		w.finishBarrier(arrived)
+	}
+	panic(offlineSignal{})
 }
 
 // releaseFanout is each thread's share of the tree release.

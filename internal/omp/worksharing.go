@@ -67,7 +67,23 @@ func (w *Worker) For(lo, hi int, opt ForOpt, body func(lo, hi int)) {
 			tr.Span("for/"+opt.Sched.String(), "omp", w.id, t0, w.tc.Now()-t0, nil)
 		}()
 	}
-	switch opt.Sched {
+	sched := opt.Sched
+	if sched == Static && w.team.resilient {
+		// Under team shrink a block partition computed from the team
+		// size would silently lose a dead worker's block; degrade to
+		// shared-counter chunk claiming so every iteration is claimed
+		// exactly once whatever subset of the team survives. The chunk
+		// size is a pure function of the bounds and team size, so every
+		// worker degrades identically.
+		sched = Dynamic
+		if opt.Chunk <= 0 {
+			opt.Chunk = (hi - lo + 8*n - 1) / (8 * n)
+			if opt.Chunk < 1 {
+				opt.Chunk = 1
+			}
+		}
+	}
+	switch sched {
 	case Static:
 		w.tc.Charge(staticSetupNS)
 		if opt.Chunk <= 0 {
@@ -97,6 +113,9 @@ func (w *Worker) For(lo, hi int, opt ForOpt, body func(lo, hi int)) {
 		id := w.loopSeen
 		d := w.getLoop(lo, hi, opt)
 		for {
+			if w.doomed() {
+				w.die() // safe point: unclaimed chunks go to survivors
+			}
 			// The shared chunk counter is one cache line: grabs
 			// serialize across the team (the real cost of dynamic,1).
 			w.tc.Contend(&d.line, c.AtomicRMWNS+c.CacheLineXferNS)
@@ -117,6 +136,9 @@ func (w *Worker) For(lo, hi int, opt ForOpt, body func(lo, hi int)) {
 		d := w.getLoop(lo, hi, opt)
 		total := hi - lo
 		for {
+			if w.doomed() {
+				w.die() // safe point: unclaimed chunks go to survivors
+			}
 			w.tc.Contend(&d.line, c.AtomicRMWNS+c.CacheLineXferNS)
 			var s, e int
 			for {

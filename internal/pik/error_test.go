@@ -1,0 +1,48 @@
+package pik
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/interweaving/komp/internal/exec"
+)
+
+// TestExecUnresolvedEntryIsError: an entry symbol vanishing between Load
+// and Exec must come back as an error, not a panic.
+func TestExecUnresolvedEntryIsError(t *testing.T) {
+	k := bootKernel()
+	img := testImage("ghost", "ghost_entry_never_registered")
+	_, err := k.Layer.Run(func(tc exec.TC) {
+		p := newProcess(k, img, 0x100000)
+		code, eerr := Exec(tc, p, nil)
+		if eerr == nil {
+			t.Errorf("Exec of unresolved entry returned code %d, want error", code)
+		} else if !strings.Contains(eerr.Error(), "ghost_entry_never_registered") {
+			t.Errorf("error does not name the missing symbol: %v", eerr)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunPropagatesExecError: Run must surface an Exec failure instead
+// of reporting a bogus exit code.
+func TestRunPropagatesExecError(t *testing.T) {
+	// Register the entry so Load succeeds, then unregister it by
+	// replacing the registry entry is impossible — instead exercise the
+	// Load-time check: a never-registered entry fails Load with an error.
+	k := bootKernel()
+	img := testImage("lost", "lost_entry_never_registered")
+	data := Link(img)
+	_, err := k.Layer.Run(func(tc exec.TC) {
+		if _, _, rerr := Run(tc, k, data, nil); rerr == nil {
+			t.Error("Run with unresolved entry succeeded")
+		} else if !strings.Contains(rerr.Error(), "unresolved entry") {
+			t.Errorf("error = %v", rerr)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -68,11 +68,12 @@ func Load(tc exec.TC, k *nautilus.Kernel, file []byte) (*Process, error) {
 
 // Exec runs the loaded process's entry function on the calling thread —
 // the loader's final "jumps to the entry point". It returns the exit
-// code.
-func Exec(tc exec.TC, p *Process, args []string) int {
+// code. The entry symbol is resolved again here: it may have been
+// unregistered between Load and Exec, which is an error, not a crash.
+func Exec(tc exec.TC, p *Process, args []string) (int, error) {
 	fn, ok := lookupEntry(p.Img.Entry)
 	if !ok {
-		panic("pik: Exec without resolved entry")
+		return 0, fmt.Errorf("pik: entry symbol %q of image %q is no longer registered", p.Img.Entry, p.Img.Name)
 	}
 	// The initial thread runs the pre-start wrapper that completes
 	// process setup before invoking the user's code (§4.2). The wrapper
@@ -88,7 +89,7 @@ func Exec(tc exec.TC, p *Process, args []string) int {
 		p.Exited = true
 		p.ExitCode = code
 	}
-	return p.ExitCode
+	return p.ExitCode, nil
 }
 
 // Run is Load followed by Exec.
@@ -97,6 +98,9 @@ func Run(tc exec.TC, k *nautilus.Kernel, file []byte, args []string) (*Process, 
 	if err != nil {
 		return nil, 0, err
 	}
-	code := Exec(tc, p, args)
+	code, err := Exec(tc, p, args)
+	if err != nil {
+		return nil, 0, err
+	}
 	return p, code, nil
 }

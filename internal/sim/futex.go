@@ -1,16 +1,60 @@
 package sim
 
+import "fmt"
+
 // FutexTable implements futex-style wait/wake keyed on word addresses.
 // It is the primitive beneath the simulated pthread and OpenMP layers,
 // mirroring how libomp on Linux ultimately blocks in futex(2).
+//
+// For fault injection the table supports two knobs:
+//
+//   - LoseWake: a deterministic predicate consulted once per would-be
+//     woken waiter. When it returns true the wake-up is silently dropped
+//     (the waiter stays parked), modeling a lost futex wake — the classic
+//     missed-wakeup kernel bug class.
+//   - Timed rechecks (SetRecheck): a waiter re-examines its word every
+//     RecheckNS of virtual time and self-wakes if the value moved on
+//     without it, which is exactly how futex timeouts paper over lost
+//     wakes in production runtimes. The recheck budget bounds recovery
+//     attempts so a genuine deadlock still terminates detection.
 type FutexTable struct {
 	sim    *Sim
 	queues map[*uint32]*WaitQueue
+
+	// LoseWake, if set, is asked before each individual wake delivery;
+	// returning true drops that wake. It must be deterministic (driven by
+	// the fault engine's seeded RNG).
+	LoseWake func() bool
+
+	// recheckNS is the timed-recheck period (0: no rechecks); budget caps
+	// the number of rechecks a single Wait may arm.
+	recheckNS     Time
+	recheckBudget int
+
+	// Stats.
+	WakesLost int64 // wakes dropped by LoseWake
+	Rechecks  int64 // timed rechecks that fired
+	Recovered int64 // waiters recovered by a recheck (value had moved)
 }
+
+// DefaultRecheckBudget bounds timed rechecks per Wait so that a genuinely
+// dead proc stops re-arming and the deadlock detector can fire.
+const DefaultRecheckBudget = 64
 
 // NewFutexTable creates a futex table on s.
 func NewFutexTable(s *Sim) *FutexTable {
 	return &FutexTable{sim: s, queues: make(map[*uint32]*WaitQueue)}
+}
+
+// SetRecheck arms timed rechecks: every period ns of virtual time a
+// blocked waiter re-reads its word and self-wakes if the value changed.
+// budget caps rechecks per Wait call (<= 0 selects DefaultRecheckBudget).
+func (t *FutexTable) SetRecheck(period Time, budget int) {
+	if budget <= 0 {
+		budget = DefaultRecheckBudget
+	}
+	t.recheckNS = period
+	t.recheckBudget = budget
 }
 
 // Wait blocks p on addr if *addr still equals val, after charging entryCost
@@ -26,16 +70,60 @@ func (t *FutexTable) Wait(p *Proc, addr *uint32, val uint32, entryCost Time) boo
 	}
 	q := t.queues[addr]
 	if q == nil {
-		q = NewWaitQueue(t.sim)
+		q = NewWaitQueue(t.sim).SetLabel(fmt.Sprintf("futex %p", addr))
 		t.queues[addr] = q
+	}
+	if t.recheckNS > 0 {
+		st := &recheckState{}
+		t.armRecheck(p, q, addr, val, 1, st)
+		// Disarm the pending recheck once the waiter resumes (or dies via
+		// Kill — the defer runs under runtime.Goexit too), so fault-free
+		// runs carry no leftover timer events.
+		defer func() {
+			if st.cancel != nil {
+				st.cancel()
+			}
+		}()
 	}
 	q.Wait(p)
 	return true
 }
 
+// recheckState carries the cancel handle of the currently armed recheck
+// in a chain, so the waiter can disarm it on wake-up.
+type recheckState struct{ cancel func() }
+
+// armRecheck schedules the n-th timed recheck for p blocked on addr. If
+// the recheck fires while p is still parked on q and the word has moved,
+// p is extracted and woken (self-recovery from a lost wake). If the word
+// is unchanged, the next recheck is armed until the budget runs out.
+func (t *FutexTable) armRecheck(p *Proc, q *WaitQueue, addr *uint32, val uint32, n int, st *recheckState) {
+	st.cancel = t.sim.AfterCancel(t.recheckNS, func() {
+		st.cancel = nil
+		if p.state != StateBlocked || p.wq != q {
+			return // woken (or moved on) in the meantime
+		}
+		t.Rechecks++
+		if *addr != val {
+			q.Remove(p)
+			if q.Len() == 0 && t.queues[addr] == q {
+				delete(t.queues, addr)
+			}
+			t.Recovered++
+			t.sim.Unpark(p, t.sim.now)
+			return
+		}
+		if n < t.recheckBudget {
+			t.armRecheck(p, q, addr, val, n+1, st)
+		}
+	})
+}
+
 // Wake wakes up to n waiters on addr, charging entryCost to the caller and
 // delivering wakeLatency (plus a per-waiter stagger) to each waiter. It
-// returns the number of procs woken.
+// returns the number of procs woken. Wakes may be dropped by the LoseWake
+// fault hook; dropped wakes count against n (as in a real lost wake, the
+// waker believes it delivered them).
 func (t *FutexTable) Wake(p *Proc, addr *uint32, n int, entryCost, wakeLatency, stagger Time) int {
 	if entryCost > 0 {
 		p.Compute(entryCost)
@@ -50,6 +138,10 @@ func (t *FutexTable) Wake(p *Proc, addr *uint32, n int, entryCost, wakeLatency, 
 	woken := 0
 	at := p.Now()
 	for i := 0; i < n; i++ {
+		if t.LoseWake != nil && t.LoseWake() {
+			t.WakesLost++
+			continue
+		}
 		if q.WakeOne(at+Time(i)*stagger, wakeLatency) == nil {
 			break
 		}

@@ -16,7 +16,9 @@ import (
 	"container/heap"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
+	"strings"
 )
 
 // Time is virtual time in nanoseconds.
@@ -98,6 +100,21 @@ type Proc struct {
 
 	resume chan struct{}
 
+	// Diagnostics: what the proc is blocked on and since when (valid
+	// while state == StateBlocked).
+	waitReason   string
+	blockedSince Time
+	// hasEvent marks a proc with a pending wake-up event in the queue
+	// (sleepers and scheduled resumes), distinguishing it from a proc
+	// blocked with no way forward.
+	hasEvent bool
+	// killed marks a proc condemned by Kill; it exits at its next
+	// scheduling point instead of resuming.
+	killed bool
+	// wq is the wait queue the proc is currently parked on, if any, so
+	// Kill can extract it.
+	wq *WaitQueue
+
 	// Data is an arbitrary per-proc slot for the layers above (e.g. the
 	// kernel thread object wrapping this proc).
 	Data any
@@ -118,6 +135,16 @@ func (p *Proc) SetCPU(cpu int) {
 // State reports the proc's current state.
 func (p *Proc) State() ProcState { return p.state }
 
+// WaitReason describes what a blocked proc is waiting on ("" while
+// runnable or running).
+func (p *Proc) WaitReason() string { return p.waitReason }
+
+// BlockedSince returns the virtual time at which a blocked proc blocked.
+func (p *Proc) BlockedSince() Time { return p.blockedSince }
+
+// Killed reports whether the proc has been condemned by Kill.
+func (p *Proc) Killed() bool { return p.killed }
+
 // Now returns the proc's local virtual time.
 func (p *Proc) Now() Time { return p.now }
 
@@ -125,10 +152,11 @@ func (p *Proc) Now() Time { return p.now }
 func (p *Proc) Sim() *Sim { return p.sim }
 
 type event struct {
-	at   Time
-	seq  uint64 // FIFO tiebreak for equal times
-	proc *Proc  // proc to resume, or nil if fn-only
-	fn   func() // optional callback run on the scheduler goroutine
+	at        Time
+	seq       uint64 // FIFO tiebreak for equal times
+	proc      *Proc  // proc to resume, or nil if fn-only
+	fn        func() // optional callback run on the scheduler goroutine
+	cancelled bool   // discarded on pop without advancing the clock
 }
 
 type eventHeap []*event
@@ -166,6 +194,13 @@ type Sim struct {
 	running *Proc
 	live    int // procs not yet done
 	blocked map[int]*Proc
+	procs   map[int]*Proc // all live procs, for diagnostics and Kill
+
+	// watchdogNS is the per-proc progress deadline (0: disabled): a proc
+	// blocked with no pending event for longer than this aborts Run with
+	// a StallError carrying a full diagnostic dump.
+	watchdogNS Time
+	wdNext     Time
 }
 
 // New creates a simulator with ncpu CPUs and the given RNG seed.
@@ -177,6 +212,7 @@ func New(ncpu int, seed int64) *Sim {
 		rng:     rand.New(rand.NewSource(seed)),
 		yield:   make(chan struct{}),
 		blocked: make(map[int]*Proc),
+		procs:   make(map[int]*Proc),
 	}
 	for i := 0; i < ncpu; i++ {
 		s.cpus = append(s.cpus, &CPU{ID: i, Noise: NoNoise{}})
@@ -208,6 +244,9 @@ func (s *Sim) schedule(at Time, p *Proc, fn func()) {
 	if at < s.now {
 		at = s.now
 	}
+	if p != nil {
+		p.hasEvent = true
+	}
 	s.seq++
 	heap.Push(&s.eq, &event{at: at, seq: s.seq, proc: p, fn: fn})
 }
@@ -219,6 +258,24 @@ func (s *Sim) At(at Time, fn func()) { s.schedule(at, nil, fn) }
 // After schedules fn to run d nanoseconds from now.
 func (s *Sim) After(d Time, fn func()) { s.schedule(s.now+d, nil, fn) }
 
+// AfterCancel schedules fn like After and returns a cancel function. A
+// cancelled event is discarded on pop without advancing the clock, so an
+// armed-but-unneeded timer (e.g. a futex recheck) leaves no trace on
+// fault-free timings.
+func (s *Sim) AfterCancel(d Time, fn func()) (cancel func()) {
+	at := s.now + d
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	e := &event{at: at, seq: s.seq, fn: fn}
+	heap.Push(&s.eq, e)
+	return func() {
+		e.cancelled = true
+		e.fn = nil
+	}
+}
+
 // Go creates a proc bound to the given CPU (-1 for unbound) that starts at
 // virtual time max(now, start) and runs fn. It may be called from the
 // scheduler (before Run) or from proc code.
@@ -229,13 +286,15 @@ func (s *Sim) Go(name string, cpu int, start Time, fn func(p *Proc)) *Proc {
 	s.nextID++
 	p := &Proc{ID: s.nextID, Name: name, sim: s, cpu: cpu, state: StateNew, resume: make(chan struct{})}
 	s.live++
+	s.procs[p.ID] = p
 	if start < s.now {
 		start = s.now
 	}
 	go func() {
 		// The deferred handshake also fires if fn unwinds via
-		// runtime.Goexit (e.g. t.Fatal on a proc goroutine), so the
-		// scheduler never deadlocks waiting for a vanished proc.
+		// runtime.Goexit (e.g. t.Fatal on a proc goroutine, or a proc
+		// condemned by Kill), so the scheduler never deadlocks waiting
+		// for a vanished proc.
 		done := false
 		defer func() {
 			if r := recover(); r != nil {
@@ -248,7 +307,9 @@ func (s *Sim) Go(name string, cpu int, start Time, fn func(p *Proc)) *Proc {
 			}
 		}()
 		<-p.resume // wait for first dispatch
-		fn(p)
+		if !p.killed {
+			fn(p)
+		}
 		p.state = StateDone
 		s.live--
 		done = true
@@ -265,6 +326,7 @@ func (s *Sim) dispatch(p *Proc) {
 		return
 	}
 	p.state = StateRunning
+	p.waitReason = ""
 	if p.now < s.now {
 		p.now = s.now
 	}
@@ -273,20 +335,34 @@ func (s *Sim) dispatch(p *Proc) {
 	p.resume <- struct{}{}
 	<-s.yield
 	s.running = prev
+	if p.state == StateDone {
+		delete(s.procs, p.ID)
+		delete(s.blocked, p.ID)
+	}
 }
 
 // Run processes events until none remain. It returns an error if live
-// procs remain blocked with an empty event queue (deadlock).
+// procs remain blocked with an empty event queue (deadlock), or — when a
+// watchdog is set — if a proc misses its progress deadline (stall).
 func (s *Sim) Run() error {
 	for !s.eq.Empty() {
 		e := heap.Pop(&s.eq).(*event)
+		if e.cancelled {
+			continue
+		}
 		s.now = e.at
+		if s.watchdogNS > 0 && s.now >= s.wdNext {
+			if err := s.watchdogCheck(); err != nil {
+				return err
+			}
+		}
 		if e.fn != nil {
 			e.fn()
 			continue
 		}
 		if e.proc != nil {
 			delete(s.blocked, e.proc.ID)
+			e.proc.hasEvent = false
 			s.dispatch(e.proc)
 		}
 	}
@@ -301,6 +377,9 @@ func (s *Sim) Run() error {
 func (s *Sim) RunUntil(t Time) {
 	for !s.eq.Empty() && s.eq.Peek().at <= t {
 		e := heap.Pop(&s.eq).(*event)
+		if e.cancelled {
+			continue
+		}
 		s.now = e.at
 		if e.fn != nil {
 			e.fn()
@@ -308,6 +387,7 @@ func (s *Sim) RunUntil(t Time) {
 		}
 		if e.proc != nil {
 			delete(s.blocked, e.proc.ID)
+			e.proc.hasEvent = false
 			s.dispatch(e.proc)
 		}
 	}
@@ -316,13 +396,124 @@ func (s *Sim) RunUntil(t Time) {
 	}
 }
 
-func (s *Sim) deadlockError() error {
-	var names []string
+// SetWatchdog arms a per-proc progress deadline: if any proc stays
+// blocked (with no pending wake-up event) for longer than limit of
+// virtual time while the simulation is otherwise advancing, Run aborts
+// with a StallError naming every stalled proc, its wait reason, and how
+// long it has been stuck. Zero disables the watchdog.
+func (s *Sim) SetWatchdog(limit Time) {
+	s.watchdogNS = limit
+	s.wdNext = s.now + limit
+}
+
+func (s *Sim) watchdogCheck() error {
+	var stalled []ProcStall
 	for _, p := range s.blocked {
-		names = append(names, fmt.Sprintf("%s(#%d)", p.Name, p.ID))
+		if p.hasEvent || p.state != StateBlocked {
+			continue
+		}
+		if s.now-p.blockedSince > s.watchdogNS {
+			stalled = append(stalled, p.stall(s.now))
+		}
 	}
-	sort.Strings(names)
-	return fmt.Errorf("sim: deadlock: %d proc(s) blocked forever: %v", s.live, names)
+	if len(stalled) > 0 {
+		sortStalls(stalled)
+		return &StallError{Kind: "watchdog", Now: s.now, Limit: s.watchdogNS, Stalled: stalled}
+	}
+	// Re-check one quarter-deadline later: granular enough to catch a
+	// stall promptly, coarse enough to stay off the hot path.
+	step := s.watchdogNS / 4
+	if step < 1 {
+		step = 1
+	}
+	s.wdNext = s.now + step
+	return nil
+}
+
+// ProcStall describes one blocked proc in a stall or deadlock report.
+type ProcStall struct {
+	Name   string
+	ID     int
+	CPU    int
+	Reason string // what it is blocked on
+	Since  Time   // virtual time at which it blocked
+	Waited Time   // how long it has been blocked
+}
+
+func (p *Proc) stall(now Time) ProcStall {
+	reason := p.waitReason
+	if reason == "" {
+		reason = "unknown"
+	}
+	return ProcStall{Name: p.Name, ID: p.ID, CPU: p.cpu, Reason: reason,
+		Since: p.blockedSince, Waited: now - p.blockedSince}
+}
+
+func sortStalls(st []ProcStall) {
+	sort.Slice(st, func(i, j int) bool { return st[i].ID < st[j].ID })
+}
+
+// StallError reports procs blocked forever (deadlock) or beyond the
+// watchdog deadline (stall), with a per-proc diagnostic dump.
+type StallError struct {
+	Kind    string // "deadlock" or "watchdog"
+	Now     Time
+	Limit   Time // watchdog deadline (0 for deadlock)
+	Stalled []ProcStall
+}
+
+func (e *StallError) Error() string {
+	var b strings.Builder
+	if e.Kind == "watchdog" {
+		fmt.Fprintf(&b, "sim: watchdog: %d proc(s) exceeded the %dns progress deadline at t=%dns:",
+			len(e.Stalled), e.Limit, e.Now)
+	} else {
+		fmt.Fprintf(&b, "sim: deadlock: %d proc(s) blocked forever at t=%dns:", len(e.Stalled), e.Now)
+	}
+	for _, st := range e.Stalled {
+		fmt.Fprintf(&b, "\n  %s(#%d) cpu=%d blocked on %s since t=%dns (%dns ago)",
+			st.Name, st.ID, st.CPU, st.Reason, st.Since, st.Waited)
+	}
+	return b.String()
+}
+
+func (s *Sim) deadlockError() error {
+	var stalled []ProcStall
+	for _, p := range s.blocked {
+		stalled = append(stalled, p.stall(s.now))
+	}
+	sortStalls(stalled)
+	return &StallError{Kind: "deadlock", Now: s.now, Stalled: stalled}
+}
+
+// Procs returns the live (not yet done) procs, sorted by ID. It is meant
+// for diagnostics and fault injection (e.g. crashing a kernel
+// compartment kills every proc on its CPUs).
+func (s *Sim) Procs() []*Proc {
+	out := make([]*Proc, 0, len(s.procs))
+	for _, p := range s.procs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Kill condemns a proc: instead of resuming at its next scheduling
+// point, it exits. A blocked proc is extracted from its wait queue and
+// scheduled to die now; a runnable proc dies at dispatch. Kill models
+// hard faults (a crashed kernel compartment, a failed CPU) — the victim
+// gets no chance to clean up, exactly like real hardware.
+func (s *Sim) Kill(p *Proc) {
+	if p == nil || p.state == StateDone || p.killed {
+		return
+	}
+	p.killed = true
+	if p.state == StateBlocked && !p.hasEvent {
+		if p.wq != nil {
+			p.wq.Remove(p)
+		}
+		s.Unpark(p, s.now)
+	}
 }
 
 // --- Proc operations (must be called from the proc's own goroutine) ---
@@ -333,12 +524,20 @@ func (p *Proc) mustBeRunning() {
 	}
 }
 
-// block parks the proc until the scheduler dispatches it again.
-func (p *Proc) block() {
+// block parks the proc until the scheduler dispatches it again,
+// recording what it is waiting on for stall/deadlock diagnostics. A proc
+// condemned by Kill exits here instead of resuming; the deferred
+// handshake in Go completes the bookkeeping.
+func (p *Proc) block(reason string) {
 	p.state = StateBlocked
+	p.waitReason = reason
+	p.blockedSince = p.now
 	p.sim.blocked[p.ID] = p
 	p.sim.yield <- struct{}{}
 	<-p.resume
+	if p.killed {
+		runtime.Goexit()
+	}
 }
 
 // Compute advances the proc by d nanoseconds of work on its bound CPU,
@@ -385,7 +584,7 @@ func (p *Proc) sleepUntil(t Time) {
 		t = p.sim.now
 	}
 	p.sim.schedule(t, p, nil)
-	p.block()
+	p.block("sleep")
 }
 
 // Yield reschedules the proc at the current time, letting same-time events
@@ -399,7 +598,15 @@ func (p *Proc) Yield() {
 // Unpark on it.
 func (p *Proc) Park() {
 	p.mustBeRunning()
-	p.block()
+	p.block("park")
+}
+
+// ParkReason is Park with an explicit wait reason for diagnostics (e.g.
+// "futex 0xc0000140a0" or "mpi recv tag=3"). The reason appears in
+// watchdog and deadlock reports.
+func (p *Proc) ParkReason(reason string) {
+	p.mustBeRunning()
+	p.block(reason)
 }
 
 // Unpark makes a parked proc runnable at virtual time at (clamped to now).
@@ -445,11 +652,19 @@ func (s *Sim) Utilization() Utilization {
 // WaitQueue is a FIFO queue of blocked procs.
 type WaitQueue struct {
 	sim   *Sim
+	label string
 	procs []*Proc
 }
 
 // NewWaitQueue creates a wait queue on s.
 func NewWaitQueue(s *Sim) *WaitQueue { return &WaitQueue{sim: s} }
+
+// SetLabel names the queue for stall/deadlock diagnostics: procs blocked
+// on it report "waitqueue <label>" as their wait reason.
+func (q *WaitQueue) SetLabel(label string) *WaitQueue {
+	q.label = label
+	return q
+}
 
 // Len returns the number of waiting procs.
 func (q *WaitQueue) Len() int { return len(q.procs) }
@@ -458,7 +673,12 @@ func (q *WaitQueue) Len() int { return len(q.procs) }
 func (q *WaitQueue) Wait(p *Proc) {
 	p.mustBeRunning()
 	q.procs = append(q.procs, p)
-	p.block()
+	p.wq = q
+	reason := "waitqueue"
+	if q.label != "" {
+		reason = "waitqueue " + q.label
+	}
+	p.block(reason)
 }
 
 // WakeOne wakes the oldest waiter at time at, with an extra delay latency
@@ -472,6 +692,7 @@ func (q *WaitQueue) WakeOne(at, latency Time) *Proc {
 	copy(q.procs, q.procs[1:])
 	q.procs[len(q.procs)-1] = nil
 	q.procs = q.procs[:len(q.procs)-1]
+	p.wq = nil
 	q.sim.Unpark(p, at+latency)
 	return p
 }
@@ -481,6 +702,7 @@ func (q *WaitQueue) WakeOne(at, latency Time) *Proc {
 func (q *WaitQueue) WakeAll(at, latency, stagger Time) int {
 	n := len(q.procs)
 	for i, p := range q.procs {
+		p.wq = nil
 		q.sim.Unpark(p, at+latency+Time(i)*stagger)
 		q.procs[i] = nil
 	}
@@ -494,6 +716,7 @@ func (q *WaitQueue) Remove(p *Proc) bool {
 	for i, w := range q.procs {
 		if w == p {
 			q.procs = append(q.procs[:i], q.procs[i+1:]...)
+			p.wq = nil
 			return true
 		}
 	}
