@@ -2,7 +2,7 @@
 # packages that run real goroutines under the real execution layer.
 RACE_PKGS = ./internal/omp/ ./internal/exec/ ./internal/mpi/
 
-.PHONY: verify build test vet race figures
+.PHONY: verify build test vet race figures bench-smoke
 
 verify: build vet test race
 
@@ -20,3 +20,19 @@ race:
 
 figures:
 	go run ./cmd/kompbench -quick
+
+# bench-smoke runs the EPCC figures and the barrier-topology ablation
+# twice at -quick scale and diffs the outputs byte-for-byte: stdout must
+# be a pure function of the seed (simulator determinism). Not part of
+# `verify` (it costs a couple of builds) but documented next to it in
+# ROADMAP.md; run it when touching the runtime's synchronization paths.
+bench-smoke:
+	@mkdir -p /tmp/komp-bench-smoke
+	@for run in 1 2; do \
+		( go run ./cmd/kompbench -quick -figure fig7 && \
+		  go run ./cmd/kompbench -quick -figure fig13 && \
+		  go run ./cmd/kompbench -quick -ablation barrier ) \
+		  > /tmp/komp-bench-smoke/run$$run.txt 2>/dev/null || exit 1; \
+	done
+	@cmp /tmp/komp-bench-smoke/run1.txt /tmp/komp-bench-smoke/run2.txt && \
+		echo "bench-smoke: two runs byte-identical"

@@ -7,6 +7,7 @@
 //	kompbench -figure fig9    # one figure
 //	kompbench -quick          # reduced scales/reps for a fast look
 //	kompbench -bench BT,EP    # restrict the NAS set
+//	kompbench -json out.json  # also write machine-readable records
 package main
 
 import (
@@ -25,11 +26,15 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced scales and repetitions")
 	seed := flag.Int64("seed", 42, "simulator seed")
 	benches := flag.String("bench", "", "comma-separated NAS subset (e.g. BT,EP)")
+	jsonPath := flag.String("json", "", "write machine-readable per-figure records to this file")
 	flag.Parse()
 
 	opt := bench.Options{Quick: *quick, Seed: *seed}
 	if *benches != "" {
 		opt.Benchmarks = strings.Split(*benches, ",")
+	}
+	if *jsonPath != "" {
+		opt.Recorder = &bench.Recorder{}
 	}
 
 	var figs []bench.Figure
@@ -74,5 +79,22 @@ func main() {
 		// Wall-clock timing goes to stderr so stdout is a pure function of
 		// the seed (fault runs are diffed byte-for-byte across runs).
 		fmt.Fprintf(os.Stderr, "[%s regenerated in %.1fs]\n", f.ID, time.Since(start).Seconds())
+	}
+
+	if *jsonPath != "" {
+		out, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kompbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := opt.Recorder.WriteJSON(out); err != nil {
+			fmt.Fprintf(os.Stderr, "kompbench: writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		if err := out.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "kompbench: closing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "[%d records written to %s]\n", len(opt.Recorder.Records), *jsonPath)
 	}
 }

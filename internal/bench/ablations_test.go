@@ -7,10 +7,10 @@ import (
 
 func TestAblationRegistry(t *testing.T) {
 	abs := Ablations()
-	if len(abs) != 6 {
+	if len(abs) != 7 {
 		t.Fatalf("ablations = %d", len(abs))
 	}
-	for _, id := range []string{"ab-firsttouch", "ab-pthread", "ab-chunk", "ab-privatization", "faults"} {
+	for _, id := range []string{"ab-firsttouch", "ab-pthread", "ab-chunk", "ab-privatization", "barrier", "faults"} {
 		if _, ok := AblationByID(id); !ok {
 			t.Fatalf("missing %s", id)
 		}
@@ -49,6 +49,23 @@ func TestAblationChunkRuns(t *testing.T) {
 	}
 	if !strings.Contains(b.String(), "single task") {
 		t.Fatalf("malformed:\n%s", b.String())
+	}
+}
+
+// TestAblationBarrierShape checks the topology study's output: all three
+// algorithms appear, and the fused-reduction comparison line is present.
+// (The quantitative ≥2× hier-vs-flat claim is asserted by the omp
+// package's TestHierBeatsFlatAtScale at the same 192-core scale.)
+func TestAblationBarrierShape(t *testing.T) {
+	var b strings.Builder
+	if err := AblationBarrier(&b, Options{Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"flat", "tree", "hier", "fused Reduce", "2 flat barriers"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ablation output missing %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -26,6 +26,9 @@ type Options struct {
 	Scales []int
 	// Benchmarks restricts the NAS set (nil: all eight).
 	Benchmarks []string
+	// Recorder, when non-nil, collects machine-readable Records from
+	// every figure run (kompbench -json).
+	Recorder *Recorder
 }
 
 func (o Options) seed() int64 {

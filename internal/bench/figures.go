@@ -10,8 +10,9 @@ import (
 	"github.com/interweaving/komp/internal/nas"
 )
 
-// epccFigure renders one EPCC comparison figure.
-func epccFigure(w io.Writer, title string, m *machine.Machine, kinds []core.Kind, threads int, opt Options) error {
+// epccFigure renders one EPCC comparison figure, recording a Record per
+// (environment, benchmark) when opt.Recorder is set.
+func epccFigure(w io.Writer, id, title string, m *machine.Machine, kinds []core.Kind, threads int, opt Options) error {
 	fmt.Fprintln(w, title)
 	data := map[string]map[string]map[string]epcc.Result{} // kind -> suite -> name
 	var order map[string][]string
@@ -33,6 +34,17 @@ func epccFigure(w io.Writer, title string, m *machine.Machine, kinds []core.Kind
 			perKind[c] = data[c][suite]
 		}
 		epccTable(w, suite, order[suite], cols, perKind)
+		for _, c := range cols {
+			for _, n := range order[suite] {
+				r := perKind[c][n]
+				rec := Record{Figure: id, Suite: suite, Construct: n, Env: c,
+					Cores: threads, MedianNS: r.OverheadUS * 1000, SDNS: r.SDUS * 1000}
+				if suite == "SCHEDULE" {
+					rec.Construct, rec.Schedule = "for", n
+				}
+				opt.Recorder.Add(rec)
+			}
+		}
 	}
 	return nil
 }
@@ -43,7 +55,7 @@ func Fig7(w io.Writer, opt Options) error {
 	if opt.Quick {
 		threads = 8
 	}
-	return epccFigure(w,
+	return epccFigure(w, "fig7",
 		fmt.Sprintf("Figure 7: RTK vs Linux, EPCC microbenchmarks, %d cores of PHI (overhead us; lower is better)", threads),
 		machine.PHI(), []core.Kind{core.Linux, core.RTK}, threads, opt)
 }
@@ -54,7 +66,7 @@ func Fig8(w io.Writer, opt Options) error {
 	if opt.Quick {
 		threads = 8
 	}
-	return epccFigure(w,
+	return epccFigure(w, "fig8",
 		fmt.Sprintf("Figure 8: PIK vs Linux, EPCC microbenchmarks, %d cores of PHI (overhead us; lower is better)", threads),
 		machine.PHI(), []core.Kind{core.Linux, core.PIK}, threads, opt)
 }
@@ -66,14 +78,15 @@ func Fig13(w io.Writer, opt Options) error {
 	if opt.Quick {
 		threads = 24
 	}
-	return epccFigure(w,
+	return epccFigure(w, "fig13",
 		fmt.Sprintf("Figure 13: RTK and PIK vs Linux, EPCC microbenchmarks, %d cores of 8XEON (overhead us; lower is better)", threads),
 		machine.XEON8(), []core.Kind{core.Linux, core.RTK, core.PIK}, threads, opt)
 }
 
 // nasRelFigure renders a normalized-performance NAS figure for one or
-// more environments against the Linux baseline.
-func nasRelFigure(w io.Writer, title string, m *machine.Machine, kinds []core.Kind, opt Options) error {
+// more environments against the Linux baseline, recording absolute
+// Seconds per (environment, benchmark, scale) when opt.Recorder is set.
+func nasRelFigure(w io.Writer, id, title string, m *machine.Machine, kinds []core.Kind, opt Options) error {
 	scales := nasScales(m, opt)
 	specs := nasSpecs(opt)
 	linux := map[string]map[int]float64{}
@@ -82,6 +95,12 @@ func nasRelFigure(w io.Writer, title string, m *machine.Machine, kinds []core.Ki
 	for _, kind := range kinds {
 		envs[kind.String()] = map[string]map[int]float64{}
 		envOrder = append(envOrder, kind.String())
+	}
+	record := func(s *nas.Spec, env string, secs map[int]float64) {
+		for _, n := range scales {
+			opt.Recorder.Add(Record{Figure: id, Construct: s.Name + "-" + s.Class,
+				Env: env, Cores: n, Seconds: secs[n]})
+		}
 	}
 	for _, s := range specs {
 		ls, err := sweep(m, core.Linux, s, scales, opt.seed())
@@ -94,12 +113,14 @@ func nasRelFigure(w io.Writer, title string, m *machine.Machine, kinds []core.Ki
 			ls[1] = s.Profiles[m.Name].TimeSec
 		}
 		linux[s.Name] = ls
+		record(s, core.Linux.String(), ls)
 		for _, kind := range kinds {
 			es, err := sweep(m, kind, s, scales, opt.seed())
 			if err != nil {
 				return err
 			}
 			envs[kind.String()][s.Name] = es
+			record(s, kind.String(), es)
 		}
 	}
 	relTable(w, title, scales, specs, linux, envs, envOrder)
@@ -108,14 +129,14 @@ func nasRelFigure(w io.Writer, title string, m *machine.Machine, kinds []core.Ki
 
 // Fig9 regenerates Figure 9: NAS, RTK relative to Linux on PHI.
 func Fig9(w io.Writer, opt Options) error {
-	return nasRelFigure(w,
+	return nasRelFigure(w, "fig9",
 		"Figure 9: RTK performance relative to Linux (NAS on PHI; higher is better; baseline 1.0)",
 		machine.PHI(), []core.Kind{core.RTK}, opt)
 }
 
 // Fig10 regenerates Figure 10: NAS, PIK relative to Linux on PHI.
 func Fig10(w io.Writer, opt Options) error {
-	return nasRelFigure(w,
+	return nasRelFigure(w, "fig10",
 		"Figure 10: PIK performance relative to Linux (NAS on PHI; higher is better; baseline 1.0)",
 		machine.PHI(), []core.Kind{core.PIK}, opt)
 }
@@ -123,7 +144,7 @@ func Fig10(w io.Writer, opt Options) error {
 // Fig14 regenerates Figure 14: NAS, RTK and PIK relative to Linux on
 // 8XEON.
 func Fig14(w io.Writer, opt Options) error {
-	return nasRelFigure(w,
+	return nasRelFigure(w, "fig14",
 		"Figure 14: RTK and PIK performance relative to Linux (NAS on 8XEON; higher is better; baseline 1.0)",
 		machine.XEON8(), []core.Kind{core.RTK, core.PIK}, opt)
 }
@@ -173,6 +194,14 @@ func Fig11(w io.Writer, opt Options) error {
 	fmt.Fprintln(w, "note: IS elided — AutoMP extracts no parallelism from it (§6.2)")
 	cols := []string{core.Linux.String(), core.LinuxAutoMP.String(), core.CCK.String()}
 	for _, s := range specs {
+		for _, c := range cols {
+			for _, n := range scales {
+				opt.Recorder.Add(Record{Figure: "fig11", Construct: s.Name + "-" + s.Class,
+					Env: c, Cores: n, Seconds: data[c][s.Name][n]})
+			}
+		}
+	}
+	for _, s := range specs {
 		fmt.Fprintf(w, "\n%s-%s\n", s.Name, s.Class)
 		fmt.Fprintf(w, "%-14s", "config")
 		for _, n := range scales {
@@ -192,10 +221,18 @@ func Fig11(w io.Writer, opt Options) error {
 
 // cckRelFigure renders Fig. 12/15: both AutoMP variants normalized to
 // Linux OpenMP.
-func cckRelFigure(w io.Writer, title string, m *machine.Machine, opt Options) error {
+func cckRelFigure(w io.Writer, id, title string, m *machine.Machine, opt Options) error {
 	scales, specs, data, err := cckData(m, opt)
 	if err != nil {
 		return err
+	}
+	for _, s := range specs {
+		for _, env := range []string{core.Linux.String(), core.LinuxAutoMP.String(), core.CCK.String()} {
+			for _, n := range scales {
+				opt.Recorder.Add(Record{Figure: id, Construct: s.Name + "-" + s.Class,
+					Env: env, Cores: n, Seconds: data[env][s.Name][n]})
+			}
+		}
 	}
 	linux := map[string]map[int]float64{}
 	for _, s := range specs {
@@ -216,14 +253,14 @@ func cckRelFigure(w io.Writer, title string, m *machine.Machine, opt Options) er
 
 // Fig12 regenerates Figure 12: CCK relative to Linux OpenMP on PHI.
 func Fig12(w io.Writer, opt Options) error {
-	return cckRelFigure(w,
+	return cckRelFigure(w, "fig12",
 		"Figure 12: CCK performance relative to Linux OpenMP (NAS on PHI; higher is better; baseline 1.0)",
 		machine.PHI(), opt)
 }
 
 // Fig15 regenerates Figure 15: CCK relative to Linux OpenMP on 8XEON.
 func Fig15(w io.Writer, opt Options) error {
-	return cckRelFigure(w,
+	return cckRelFigure(w, "fig15",
 		"Figure 15: CCK performance relative to Linux OpenMP (NAS on 8XEON; higher is better; baseline 1.0)",
 		machine.XEON8(), opt)
 }

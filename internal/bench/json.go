@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Record is one machine-readable measurement row. EPCC rows carry the
+// per-directive overhead (MedianNS/SDNS); NAS rows carry whole-benchmark
+// Seconds. The schema is documented in EXPERIMENTS.md.
+type Record struct {
+	// Figure is the figure or ablation id the row came from (fig7, ...).
+	Figure string `json:"figure"`
+	// Suite is the EPCC suite (ARRAY, SCHEDULE, SYNCH, TASK); empty for
+	// NAS rows.
+	Suite string `json:"suite,omitempty"`
+	// Construct names the measured construct: the EPCC benchmark name
+	// (BARRIER, REDUCTION, ...) or the NAS benchmark (MG-C, ...).
+	Construct string `json:"construct"`
+	// Schedule is the loop schedule for SCHEDULE-suite rows (STATIC_2,
+	// DYNAMIC_8, ...); empty otherwise.
+	Schedule string `json:"schedule,omitempty"`
+	// Env is the execution environment (linux-omp, rtk, pik, ...).
+	Env string `json:"env"`
+	// Cores is the team size / worker count of the measurement.
+	Cores int `json:"cores"`
+	// MedianNS is the median per-directive overhead in nanoseconds
+	// (EPCC rows); SDNS its standard deviation.
+	MedianNS float64 `json:"median_ns,omitempty"`
+	SDNS     float64 `json:"sd_ns,omitempty"`
+	// Seconds is the modeled whole-benchmark time (NAS rows).
+	Seconds float64 `json:"seconds,omitempty"`
+}
+
+// Recorder accumulates Records alongside a figure run. All methods are
+// nil-receiver safe so figure code can Add unconditionally; recording
+// happens only when the caller (kompbench -json) hangs a Recorder on
+// Options.
+type Recorder struct {
+	Records []Record
+}
+
+// Add appends one record; a nil Recorder drops it.
+func (r *Recorder) Add(rec Record) {
+	if r == nil {
+		return
+	}
+	r.Records = append(r.Records, rec)
+}
+
+// WriteJSON emits the accumulated records as an indented JSON array.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	recs := []Record{}
+	if r != nil {
+		recs = r.Records
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(recs)
+}

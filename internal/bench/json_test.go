@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestRecorderCollectsEPCCRows: a figure run with a Recorder hung on the
+// options yields one machine-readable row per (environment, benchmark),
+// with SCHEDULE-suite rows carrying the schedule name, and the JSON
+// round-trips.
+func TestRecorderCollectsEPCCRows(t *testing.T) {
+	rec := &Recorder{}
+	if err := Fig7(io.Discard, Options{Quick: true, Recorder: rec}); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Records) == 0 {
+		t.Fatal("no records collected")
+	}
+	envs := map[string]bool{}
+	sched := 0
+	for _, r := range rec.Records {
+		if r.Figure != "fig7" {
+			t.Fatalf("record figure = %q", r.Figure)
+		}
+		if r.Cores <= 0 {
+			t.Fatalf("record without cores: %+v", r)
+		}
+		envs[r.Env] = true
+		if r.Schedule != "" {
+			sched++
+			if r.Construct != "for" {
+				t.Fatalf("schedule row construct = %q", r.Construct)
+			}
+		}
+	}
+	if !envs["linux-omp"] || !envs["rtk"] {
+		t.Fatalf("environments recorded = %v", envs)
+	}
+	if sched == 0 {
+		t.Fatal("no SCHEDULE-suite rows recorded")
+	}
+
+	var b strings.Builder
+	if err := rec.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var back []Record
+	if err := json.Unmarshal([]byte(b.String()), &back); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if len(back) != len(rec.Records) {
+		t.Fatalf("round-trip lost records: %d != %d", len(back), len(rec.Records))
+	}
+}
+
+// TestRecorderNilSafe: figure code Adds unconditionally; a nil Recorder
+// must drop records silently, and WriteJSON on nil must emit an empty
+// array.
+func TestRecorderNilSafe(t *testing.T) {
+	var r *Recorder
+	r.Add(Record{Figure: "x"})
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(b.String()) != "[]" {
+		t.Fatalf("nil recorder wrote %q", b.String())
+	}
+}

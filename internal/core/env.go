@@ -85,6 +85,11 @@ type Config struct {
 	// (allocation-time local) placement regardless of thread count —
 	// the baseline of the §6.3 first-touch ablation.
 	ForceImmediate bool
+	// BarrierAlgo selects the OpenMP barrier topology (zero value:
+	// hierarchical combining tree); BarrierFanout its arity (0 = default).
+	// Exposed for the barrier-topology ablation.
+	BarrierAlgo   omp.BarrierAlgo
+	BarrierFanout int
 }
 
 // Env is a constructed execution environment.
@@ -104,9 +109,11 @@ type Env struct {
 	// FirstTouch reports the active NUMA placement policy.
 	FirstTouch bool
 
-	tlb         memsim.TLBModel
-	pthreadImpl pthread.Impl
-	threads     int
+	tlb           memsim.TLBModel
+	pthreadImpl   pthread.Impl
+	threads       int
+	barrierAlgo   omp.BarrierAlgo
+	barrierFanout int
 }
 
 // New constructs an environment.
@@ -119,7 +126,8 @@ func New(cfg Config) *Env {
 	if threads <= 0 {
 		threads = m.NumCPUs()
 	}
-	e := &Env{Kind: cfg.Kind, Machine: m, tlb: memsim.TLBModel{Machine: m}, threads: threads}
+	e := &Env{Kind: cfg.Kind, Machine: m, tlb: memsim.TLBModel{Machine: m}, threads: threads,
+		barrierAlgo: cfg.BarrierAlgo, barrierFanout: cfg.BarrierFanout}
 
 	switch cfg.Kind {
 	case Linux, LinuxAutoMP:
@@ -184,9 +192,11 @@ func (e *Env) OMPRuntime() *omp.Runtime {
 		panic("core: CCK has no OpenMP runtime to instantiate")
 	}
 	opts := omp.Options{
-		MaxThreads:  e.threads,
-		Bind:        true,
-		PthreadImpl: e.pthreadImpl,
+		MaxThreads:    e.threads,
+		Bind:          true,
+		PthreadImpl:   e.pthreadImpl,
+		BarrierAlgo:   e.barrierAlgo,
+		BarrierFanout: e.barrierFanout,
 	}
 	return omp.New(e.Layer, opts)
 }

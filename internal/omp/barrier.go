@@ -1,0 +1,310 @@
+package omp
+
+import "github.com/interweaving/komp/internal/exec"
+
+// This file is the team barrier: the hierarchical combining-tree arrival
+// (BarrierHier, the default), the flat central-counter arrival
+// (BarrierFlat/BarrierTree), the tree release both share, the fused
+// reduction combine, and the team-shrink removal paths.
+//
+// Hierarchical arrival: workers arrive at a fanout-k tree of per-node
+// counters, each on its own cache line, so a full barrier costs O(k·log n)
+// serialized line transfers on the critical path instead of n bounces on
+// one central line. Each node tracks {remaining, alive}: arrivals and
+// removals both count down `remaining`, and the decrement that takes a
+// node to zero is the unique event that propagates one arrival to the
+// parent — atomicity of the fetch-and-add makes the propagation
+// exactly-once even when an arriving worker races a dying one.
+
+// barNode is one node of the arrival tree. A leaf covers a group of up to
+// fanout workers; an internal node covers a contiguous run of child
+// nodes.
+type barNode struct {
+	line      exec.Line // the cache line this node's counters live on
+	remaining exec.Word // arrivals still pending this round
+	alive     exec.Word // live members (workers or child subtrees)
+	mark      exec.Word // reduction round `partial` was combined for
+	partial   float64   // combined contribution of this subtree
+	parent    int       // node index; -1 at the root
+	first     int       // first worker id (leaf) or first child node index
+	count     int       // member count
+	leaf      bool
+}
+
+// barTree is a team's arrival tree. Nodes are stored level by level,
+// leaves first, so an internal node's children are contiguous indices.
+type barTree struct {
+	nodes  []barNode
+	leafOf []int // worker id -> leaf node index
+	root   int
+}
+
+func newBarTree(n, fanout int) *barTree {
+	bt := &barTree{leafOf: make([]int, n)}
+	level := make([]int, 0, (n+fanout-1)/fanout)
+	for s := 0; s < n; s += fanout {
+		cnt := min(fanout, n-s)
+		bt.nodes = append(bt.nodes, barNode{parent: -1, first: s, count: cnt, leaf: true})
+		ni := len(bt.nodes) - 1
+		level = append(level, ni)
+		for i := s; i < s+cnt; i++ {
+			bt.leafOf[i] = ni
+		}
+	}
+	for len(level) > 1 {
+		next := make([]int, 0, (len(level)+fanout-1)/fanout)
+		for s := 0; s < len(level); s += fanout {
+			cnt := min(fanout, len(level)-s)
+			ni := len(bt.nodes)
+			bt.nodes = append(bt.nodes, barNode{parent: -1, first: level[s], count: cnt})
+			for j := 0; j < cnt; j++ {
+				bt.nodes[level[s+j]].parent = ni
+			}
+			next = append(next, ni)
+		}
+		level = next
+	}
+	bt.root = level[0]
+	for i := range bt.nodes {
+		nd := &bt.nodes[i]
+		nd.alive.Store(uint32(nd.count))
+		nd.remaining.Store(uint32(nd.count))
+	}
+	return bt
+}
+
+// doomed reports whether this worker's CPU has been taken offline.
+func (w *Worker) doomed() bool {
+	return w.pw != nil && w.pw.doom.Load() == 1
+}
+
+// die removes this worker from the team at a safe point and unwinds it
+// out of the region body; the pool thread then exits for good.
+func (w *Worker) die() {
+	w.removeWorker(w.id)
+	panic(offlineSignal{})
+}
+
+// Barrier synchronizes the team (a task scheduling point: waiting threads
+// execute queued tasks, and the barrier completes only when the task pool
+// is drained).
+func (w *Worker) Barrier() {
+	t := w.team
+	if t.n == 1 {
+		w.drainAllTasks()
+		return
+	}
+	if w.doomed() {
+		w.die() // safe point: leave the team instead of arriving
+	}
+	tc := w.tc
+	gen := t.barGen.Load()
+	if t.bar != nil {
+		if w.hierArrive() {
+			return // this thread completed the barrier and released the team
+		}
+	} else {
+		c := tc.Costs()
+		// Central arrival counter: every arrival bounces the same line.
+		tc.Contend(&t.barLine, c.AtomicRMWNS+c.CacheLineXferNS)
+		if arrived := t.barArrived.Add(1); arrived >= t.alive.Load() {
+			w.finishBarrier(arrived - 1)
+			return
+		}
+	}
+	for t.barGen.Load() == gen {
+		if t.pending.Load() > 0 && w.runOneTask() {
+			continue
+		}
+		tc.FutexWait(&t.barGen, gen)
+	}
+	if t.rt.opts.BarrierAlgo != BarrierFlat {
+		w.treeRelease()
+	}
+}
+
+// hierArrive walks this worker's arrival path up the tree. It returns
+// true when this worker completed the root — i.e. it was the last live
+// arrival and has already run finishHier (reset + release); the caller
+// returns immediately. Otherwise the caller waits on barGen.
+func (w *Worker) hierArrive() bool {
+	t := w.team
+	bt := t.bar
+	c := w.tc.Costs()
+	ni := bt.leafOf[w.id]
+	for {
+		nd := &bt.nodes[ni]
+		// Siblings serialize on the node's line only; other subtrees
+		// proceed in parallel.
+		w.tc.Contend(&nd.line, c.AtomicRMWNS+c.CacheLineXferNS)
+		if nd.remaining.Add(^uint32(0)) != 0 {
+			return false
+		}
+		w.combineNode(ni)
+		if nd.parent < 0 {
+			w.finishHier(t.alive.Load() - 1)
+			return true
+		}
+		ni = nd.parent
+	}
+}
+
+// hierRemove is removeWorker's tree walk: the removed worker's leaf loses
+// a member permanently (alive and remaining both count down). If that
+// zeroes `remaining`, either the whole subtree is dead — the parent loses
+// a child for good, and the removal recurses — or live siblings already
+// arrived and the removal doubles as the subtree's completion, which
+// propagates upward as an ordinary arrival.
+func (w *Worker) hierRemove(id int) {
+	t := w.team
+	bt := t.bar
+	c := w.tc.Costs()
+	ni := bt.leafOf[id]
+	removing := true
+	for {
+		nd := &bt.nodes[ni]
+		w.tc.Contend(&nd.line, c.AtomicRMWNS+c.CacheLineXferNS)
+		subtreeAlive := uint32(1)
+		if removing {
+			subtreeAlive = nd.alive.Add(^uint32(0))
+		}
+		if nd.remaining.Add(^uint32(0)) != 0 {
+			return
+		}
+		if removing && subtreeAlive == 0 {
+			// No survivors below: the parent's membership shrinks too.
+			if nd.parent < 0 {
+				return // whole team dead; nobody left to release
+			}
+			ni = nd.parent
+			continue
+		}
+		// Live members of this subtree had all arrived; the removal
+		// completes the node on their behalf.
+		w.combineNode(ni)
+		if nd.parent < 0 {
+			// Every live thread is a waiter (the remover is not waiting).
+			w.finishHier(t.alive.Load())
+			return
+		}
+		ni = nd.parent
+		removing = false
+	}
+}
+
+// combineNode folds the node's reduction inputs into its partial when the
+// barrier in flight is a fused reduction (redArmed ahead of redDone); a
+// plain barrier skips it. Leaves fold their workers' contribution slots,
+// internal nodes their children's partials — O(fanout) work per node in
+// place of the per-thread O(n) scan of the two-barrier algorithm. Stale
+// marks are slots of workers that died before contributing.
+func (w *Worker) combineNode(ni int) {
+	t := w.team
+	round := t.redArmed.Load()
+	if round == t.redDone.Load() {
+		return
+	}
+	op := ReduceOp(t.redOp.Load())
+	nd := &t.bar.nodes[ni]
+	acc := op.Identity()
+	if nd.leaf {
+		for i := nd.first; i < nd.first+nd.count; i++ {
+			if t.redMark[i] == round {
+				acc = op.Apply(acc, t.redSlots[i])
+			}
+		}
+	} else {
+		for ci := nd.first; ci < nd.first+nd.count; ci++ {
+			ch := &t.bar.nodes[ci]
+			if ch.mark.Load() == round {
+				acc = op.Apply(acc, ch.partial)
+			}
+		}
+	}
+	w.tc.Charge(int64(nd.count) * w.tc.Costs().CacheLineXferNS / 4)
+	nd.partial = acc
+	nd.mark.Store(round)
+}
+
+// finishHier completes a hierarchical barrier: drain the task pool,
+// publish a fused reduction's result, re-arm every node for the next
+// round (remaining := alive), bump the generation and release the
+// waiters through the tree.
+func (w *Worker) finishHier(waiters uint32) {
+	t := w.team
+	tc := w.tc
+	for t.pending.Load() > 0 {
+		if !w.runOneTask() {
+			tc.Yield()
+		}
+	}
+	if round := t.redArmed.Load(); round != t.redDone.Load() {
+		t.redResult = t.bar.nodes[t.bar.root].partial
+		t.redDone.Store(round)
+	}
+	for i := range t.bar.nodes {
+		nd := &t.bar.nodes[i]
+		nd.remaining.Store(nd.alive.Load())
+	}
+	t.relBudget.Store(waiters)
+	t.barGen.Add(1)
+	w.treeRelease()
+}
+
+// finishBarrier completes a flat or tree barrier on behalf of the last
+// arrival (or of a dying worker whose removal satisfied the count).
+// waiters is the number of threads blocked on barGen.
+func (w *Worker) finishBarrier(waiters uint32) {
+	t := w.team
+	tc := w.tc
+	for t.pending.Load() > 0 {
+		if !w.runOneTask() {
+			tc.Yield()
+		}
+	}
+	if round := t.redArmed.Load(); round != t.redDone.Load() {
+		// Fused reduction, flat arrival: one O(n) scan by the completer
+		// replaces the per-thread scans of the two-barrier algorithm.
+		op := ReduceOp(t.redOp.Load())
+		acc := op.Identity()
+		for i := 0; i < t.n; i++ {
+			if t.redMark[i] == round {
+				acc = op.Apply(acc, t.redSlots[i])
+			}
+		}
+		tc.Charge(int64(t.n) * tc.Costs().CacheLineXferNS / 4)
+		t.redResult = acc
+		t.redDone.Store(round)
+	}
+	t.barArrived.Store(0)
+	if t.rt.opts.BarrierAlgo == BarrierFlat {
+		t.barGen.Add(1)
+		// Wake storm: the single waker pays for every wake.
+		tc.FutexWake(&t.barGen, -1)
+		return
+	}
+	t.relBudget.Store(waiters)
+	t.barGen.Add(1)
+	w.treeRelease()
+}
+
+// treeRelease fans the post-barrier wake-up out: each released thread
+// takes up to BarrierFanout wakes from the shared budget and issues them
+// before going on, so the release completes in O(log n) wake latencies
+// instead of one thread paying for all n.
+func (w *Worker) treeRelease() {
+	t := w.team
+	tc := w.tc
+	fan := t.rt.opts.BarrierFanout
+	for k := 0; k < fan; k++ {
+		n := t.relBudget.Load()
+		if n == 0 {
+			return
+		}
+		if !t.relBudget.CompareAndSwap(n, n-1) {
+			k--
+			continue
+		}
+		tc.FutexWake(&t.barGen, 1)
+	}
+}

@@ -1,0 +1,147 @@
+package omp
+
+import "github.com/interweaving/komp/internal/exec"
+
+// Dispatch buffers: each team owns a fixed ring of pre-allocated
+// descriptors per construct kind (loops, singles), indexed by the
+// construct's sequence number mod the ring size — libomp's
+// __kmp_dispatch buffers. Claiming a buffer is one CAS on its slot; no
+// structural lock is taken and nothing is allocated on the fast path.
+//
+// Buffers are tagged with seq+1 (so 0 means free). The fault-free
+// retirement is the last of the team's n arrivals freeing the buffer. A
+// worker that dies mid-construct makes that count unreachable; the
+// buffer then lingers — bounded by the ring — until the ring wraps back
+// onto it and the claimant of seq+dispatchRingSize reclaims it after
+// proving it quiescent: every live worker's published progress counter
+// is past the old construct, so no live thread can still touch it. (This
+// is the fix for the descriptor leak the map-based design had, where an
+// un-GC'd descriptor survived for the team's whole lifetime.)
+
+const (
+	dispatchRingSize = 8
+	dispatchRingMask = dispatchRingSize - 1
+)
+
+// loopBuf is one dispatch ring slot for worksharing loops.
+type loopBuf struct {
+	claim exec.Word // tag (seq+1) that owns the slot; 0 = free
+	ready exec.Word // tag once the descriptor below is initialized
+	d     loopDesc
+}
+
+// singleBuf is one dispatch ring slot for single constructs.
+type singleBuf struct {
+	claim exec.Word // tag (seq+1) that owns the slot; 0 = free
+	ready exec.Word // tag once usable
+	won   exec.Word // CAS winner executes the single's body
+	done  exec.Word // arrivals, for the fault-free retirement
+	line  exec.Line // the line the winner CAS bounces on
+}
+
+// acquireLoop returns loop construct id's dispatch buffer, claiming and
+// initializing it on first arrival. The caller must have published
+// loopPos = id+1 beforehand (getLoop does).
+func (w *Worker) acquireLoop(id uint32, lo, hi int, opt ForOpt) *loopBuf {
+	t := w.team
+	b := &t.loopRing[id&dispatchRingMask]
+	tag := id + 1
+	for {
+		if b.ready.Load() == tag {
+			return b
+		}
+		if b.claim.CompareAndSwap(0, tag) {
+			d := &b.d
+			chunk := opt.Chunk
+			if chunk <= 0 {
+				chunk = 1
+			}
+			d.lo, d.hi, d.chunk, d.sched = lo, hi, chunk, opt.Sched
+			d.next.Store(0)
+			d.done.Store(0)
+			d.ordNext.Store(0)
+			b.ready.Store(tag) // publish: claim's CAS + this Store order the plain writes
+			return b
+		}
+		// The ring wrapped onto a construct from dispatchRingSize ago
+		// that was never retired (a worker died before the last
+		// arrival). Reclaim it once provably quiescent.
+		if old := b.ready.Load(); old != 0 && old != tag && t.loopQuiescent(old) {
+			t.freeLoop(b, old)
+			continue
+		}
+		if w.doomed() {
+			w.die() // safe point: nothing claimed from this construct yet
+		}
+		w.tc.Yield()
+	}
+}
+
+// acquireSingle is acquireLoop for the single-construct ring.
+func (w *Worker) acquireSingle(id uint32) *singleBuf {
+	t := w.team
+	b := &t.singleRing[id&dispatchRingMask]
+	tag := id + 1
+	for {
+		if b.ready.Load() == tag {
+			return b
+		}
+		if b.claim.CompareAndSwap(0, tag) {
+			b.won.Store(0)
+			b.done.Store(0)
+			b.ready.Store(tag)
+			return b
+		}
+		if old := b.ready.Load(); old != 0 && old != tag && t.singleQuiescent(old) {
+			t.freeSingle(b, old)
+			continue
+		}
+		if w.doomed() {
+			w.die()
+		}
+		w.tc.Yield()
+	}
+}
+
+// loopQuiescent reports whether every live worker has moved past the
+// loop construct with tag `tag` — its published position names a later
+// construct, which it can only have entered after leaving this one.
+// Removed workers are skipped: they will never touch the buffer again.
+func (t *Team) loopQuiescent(tag uint32) bool {
+	for _, ww := range t.workers {
+		if ww.gone.Load() != 0 {
+			continue
+		}
+		if ww.loopPos.Load() <= tag {
+			return false
+		}
+	}
+	return true
+}
+
+func (t *Team) singleQuiescent(tag uint32) bool {
+	for _, ww := range t.workers {
+		if ww.gone.Load() != 0 {
+			continue
+		}
+		if ww.singlePos.Load() <= tag {
+			return false
+		}
+	}
+	return true
+}
+
+// freeLoop retires a loop buffer. CAS-guarded so a racing fast-path
+// retirement and a quiescence rescue free it exactly once; ready drops
+// first so late claimants never see a half-freed slot.
+func (t *Team) freeLoop(b *loopBuf, tag uint32) {
+	if b.ready.CompareAndSwap(tag, 0) {
+		b.claim.CompareAndSwap(tag, 0)
+	}
+}
+
+func (t *Team) freeSingle(b *singleBuf, tag uint32) {
+	if b.ready.CompareAndSwap(tag, 0) {
+		b.claim.CompareAndSwap(tag, 0)
+	}
+}

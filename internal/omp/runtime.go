@@ -70,24 +70,50 @@ func ParseSchedule(s string) (Schedule, int, error) {
 	return kind, chunk, nil
 }
 
-// BarrierAlgo selects the team barrier's release algorithm.
+// BarrierAlgo selects the team barrier's arrival and release algorithm.
 type BarrierAlgo int
 
 // Barrier algorithms.
 const (
-	// BarrierFlat: the last arriver wakes every waiter (libomp's plain
-	// barrier; the wake storm serializes on one thread).
-	BarrierFlat BarrierAlgo = iota
-	// BarrierTree: released threads fan the wakes out with a bounded
-	// fanout, giving an O(log n) release.
+	// BarrierHier (the default): arrival ascends a fanout-k combining
+	// tree of per-node counters, so a barrier costs O(log n) serialized
+	// cache-line transfers instead of n bounces on one central line, and
+	// the release fans out through the same tree. This is the algorithm
+	// hierarchical machines want (Thibault et al.), and reductions fuse
+	// their combine into the arrival tree.
+	BarrierHier BarrierAlgo = iota
+	// BarrierFlat: one central arrival counter, and the last arriver
+	// wakes every waiter (libomp's plain barrier; both the arrival and
+	// the wake storm serialize).
+	BarrierFlat
+	// BarrierTree: flat central-counter arrival, but released threads
+	// fan the wakes out with a bounded fanout — O(n) arrival, O(log n)
+	// release.
 	BarrierTree
 )
 
 func (b BarrierAlgo) String() string {
-	if b == BarrierTree {
+	switch b {
+	case BarrierFlat:
+		return "flat"
+	case BarrierTree:
 		return "tree"
+	default:
+		return "hier"
 	}
-	return "flat"
+}
+
+// ParseBarrierAlgo parses a KOMP_BARRIER_ALGO-style string.
+func ParseBarrierAlgo(s string) (BarrierAlgo, error) {
+	switch strings.TrimSpace(strings.ToLower(s)) {
+	case "hier", "hierarchical":
+		return BarrierHier, nil
+	case "flat":
+		return BarrierFlat, nil
+	case "tree":
+		return BarrierTree, nil
+	}
+	return 0, fmt.Errorf("omp: unknown barrier algorithm %q", s)
 }
 
 // Options configures the runtime (the internal control variables).
@@ -106,11 +132,19 @@ type Options struct {
 	// PthreadImpl selects the pthread layer variant beneath the runtime
 	// (NPTL for Linux/PIK, PTE or Custom for RTK).
 	PthreadImpl pthread.Impl
-	// ForkChargeNS is the master-side setup cost per forked worker
+	// ForkChargeNS is the dispatching-side setup cost per forked worker
 	// (work-descriptor writes, cache line pushes).
 	ForkChargeNS int64
-	// BarrierAlgo selects the barrier release algorithm (default flat).
+	// BarrierAlgo selects the barrier arrival/release algorithm
+	// (default hierarchical).
 	BarrierAlgo BarrierAlgo
+	// BarrierFanout is the arity of the barrier arrival/release trees
+	// (KOMP_BARRIER_FANOUT; default 4, libomp's branching factor).
+	BarrierFanout int
+	// ForkFanout is the arity of the fork tree: the master wakes only
+	// its ForkFanout children in Parallel and woken workers forward the
+	// remaining dispatches (KOMP_FORK_FANOUT; default 4).
+	ForkFanout int
 	// Resilient enables team shrink: when a CPU is taken offline
 	// (OfflineCPU), its worker leaves the team at the next safe point and
 	// the region completes on the survivors. Static loops degrade to
@@ -139,6 +173,27 @@ func (o *Options) Env(lookup func(string) (string, bool)) error {
 			return err
 		}
 		o.Schedule, o.Chunk = kind, chunk
+	}
+	if v, ok := lookup("KOMP_BARRIER_ALGO"); ok {
+		algo, err := ParseBarrierAlgo(v)
+		if err != nil {
+			return err
+		}
+		o.BarrierAlgo = algo
+	}
+	if v, ok := lookup("KOMP_BARRIER_FANOUT"); ok {
+		n, err := strconv.Atoi(strings.TrimSpace(v))
+		if err != nil || n < 2 {
+			return fmt.Errorf("omp: KOMP_BARRIER_FANOUT=%q: want an integer >= 2", v)
+		}
+		o.BarrierFanout = n
+	}
+	if v, ok := lookup("KOMP_FORK_FANOUT"); ok {
+		n, err := strconv.Atoi(strings.TrimSpace(v))
+		if err != nil || n < 1 {
+			return fmt.Errorf("omp: KOMP_FORK_FANOUT=%q: want a positive integer", v)
+		}
+		o.ForkFanout = n
 	}
 	return nil
 }
@@ -170,6 +225,12 @@ func New(layer exec.Layer, opts Options) *Runtime {
 	}
 	if opts.ForkChargeNS == 0 {
 		opts.ForkChargeNS = 120
+	}
+	if opts.BarrierFanout < 2 {
+		opts.BarrierFanout = 4
+	}
+	if opts.ForkFanout < 1 {
+		opts.ForkFanout = 4
 	}
 	return &Runtime{
 		layer:    layer,

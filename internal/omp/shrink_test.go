@@ -95,7 +95,7 @@ func TestShrinkStaticDegradesToExactlyOnce(t *testing.T) {
 // to be the last arrival the barrier is waiting on: its departure must
 // release the survivors instead of hanging the team.
 func TestShrinkDyingWorkerCompletesBarrier(t *testing.T) {
-	for _, algo := range []BarrierAlgo{BarrierFlat, BarrierTree} {
+	for _, algo := range []BarrierAlgo{BarrierFlat, BarrierTree, BarrierHier} {
 		opts := resilientOpts()
 		opts.BarrierAlgo = algo
 		passed := 0
@@ -146,6 +146,81 @@ func TestShrinkReduceSkipsDeadSlot(t *testing.T) {
 	}
 	if r2 != 3 {
 		t.Fatalf("post-shrink reduce = %v, want 3 (survivors only)", r2)
+	}
+}
+
+// TestShrinkReduceMidRound kills a worker in the middle of a reduction
+// round, after its teammates have already contributed and parked in the
+// fused barrier: the dying worker's removal must complete the barrier,
+// combine only the survivors' slots, and broadcast the right result —
+// under every barrier algorithm.
+func TestShrinkReduceMidRound(t *testing.T) {
+	for _, algo := range []BarrierAlgo{BarrierFlat, BarrierTree, BarrierHier} {
+		opts := resilientOpts()
+		opts.BarrierAlgo = algo
+		var sum float64
+		got := 0
+		shrinkRun(t, opts,
+			func(s *sim.Sim, rt *Runtime) {
+				// Worker 3 is mid-charge when its CPU dies; the other three
+				// have contributed and are waiting inside the reduction.
+				s.At(1_000_000, func() { rt.OfflineCPU(3) })
+			},
+			func(rt *Runtime, tc exec.TC) {
+				rt.Parallel(tc, 4, func(w *Worker) {
+					if w.ThreadNum() == 3 {
+						w.TC().Charge(5_000_000)
+					}
+					r := w.Reduce(ReduceSum, float64(w.ThreadNum()+1))
+					w.Master(func() { sum = r })
+					got++
+				})
+			})
+		if got != 3 {
+			t.Fatalf("%v: %d survivors finished, want 3", algo, got)
+		}
+		// Workers 0,1,2 contributed 1+2+3; the doomed worker 3 never did.
+		if sum != 6 {
+			t.Fatalf("%v: mid-round reduce = %v, want 6 (survivors only)", algo, sum)
+		}
+	}
+}
+
+// TestShrinkDispatchRingNoLeak is the descriptor-leak regression: the old
+// map-based descriptors were never GC'd once a worker died (the arrival
+// count compared against t.n became unreachable). With the ring, a
+// buffer orphaned by the death is reclaimed via the quiescence rescue
+// when the ring wraps onto it — so a long run of nowait loops after a
+// shrink must keep completing, each construct exactly once.
+func TestShrinkDispatchRingNoLeak(t *testing.T) {
+	const loops = 4 * dispatchRingSize
+	const iters = 32
+	cov := make([]int32, loops*iters)
+	var singles int32
+	shrinkRun(t, resilientOpts(),
+		func(s *sim.Sim, rt *Runtime) {
+			s.At(400_000, func() { rt.OfflineCPU(2) })
+		},
+		func(rt *Runtime, tc exec.TC) {
+			rt.Parallel(tc, 4, func(w *Worker) {
+				for l := 0; l < loops; l++ {
+					l := l
+					w.ForEach(0, iters, ForOpt{Sched: Dynamic, Chunk: 1, NoWait: true}, func(i int) {
+						w.TC().Charge(2_000)
+						cov[l*iters+i]++
+					})
+					w.Single(true, func() { singles++ })
+				}
+				w.Barrier()
+			})
+		})
+	for i, c := range cov {
+		if c != 1 {
+			t.Fatalf("iteration %d ran %d times after the shrink", i, c)
+		}
+	}
+	if singles != loops {
+		t.Fatalf("singles = %d, want %d", singles, loops)
 	}
 }
 

@@ -74,33 +74,36 @@ const (
 	posInf = 1.797693134862315708145274237317043567981e308
 )
 
-// Reduce combines each thread's contribution with the per-thread-slot +
-// combine-at-barrier algorithm and returns the reduced value on every
-// thread. It costs two barriers, like libomp's tree-reduce fallback.
+// Reduce combines each thread's contribution and returns the reduced
+// value on every thread. The combine is fused into the team barrier:
+// each thread writes its slot, arms the reduction round, and arrives.
+// Under the hierarchical barrier every arrival-tree node that completes
+// folds its subtree's inputs — O(fanout) work per node — and the root's
+// partial is the result; under flat arrival the completer does one O(n)
+// scan. Either way the reduction costs exactly one barrier, not the two
+// barriers plus a per-thread O(n) scan of the classic algorithm.
 func (w *Worker) Reduce(op ReduceOp, val float64) float64 {
 	t := w.team
 	if t.n == 1 {
 		return val
 	}
+	if w.doomed() {
+		w.die() // safe point: die before contributing, as at a barrier
+	}
 	round := w.redSeen + 1
-	w.redSeen++
+	w.redSeen = round
 	t.redSlots[w.id] = val
 	t.redMark[w.id] = round
+	// Every live thread stores the same op and round (SPMD), so the
+	// racing stores are idempotent. The slot writes above are published
+	// to the completer by the arrival counter's fetch-and-add.
+	t.redOp.Store(uint32(op))
+	t.redArmed.Store(round)
 	w.Barrier()
-	// Every thread combines between the barriers: the slots are stable
-	// here (the next reduction's writes happen after the closing
-	// barrier), and each thread obtains the result without a third
-	// synchronization round. Slots whose mark is stale belong to workers
-	// that died before contributing to this round and are skipped.
-	acc := op.Identity()
-	for i := 0; i < t.n; i++ {
-		if t.redMark[i] == round {
-			acc = op.Apply(acc, t.redSlots[i])
-		}
-	}
-	w.tc.Charge(int64(t.n) * w.tc.Costs().CacheLineXferNS / 4)
-	w.Barrier()
-	return acc
+	// The release publishes redResult (written before the generation
+	// bump); one line transfer fetches the broadcast value.
+	w.tc.Charge(w.tc.Costs().CacheLineXferNS)
+	return t.redResult
 }
 
 // --- omp_lock_t / omp_nest_lock_t ---

@@ -71,6 +71,10 @@ func (p *pool) workerLoop(tc exec.TC, pw *poolWorker) {
 		w := team.workers[pw.id]
 		w.tc = tc
 		w.pw = pw
+		// Forward the fork tree before anything else — even a doomed
+		// worker must dispatch its subtree, or the descendants would
+		// never wake.
+		w.forkChildren()
 		if pw.doom.Load() == 1 {
 			w.die() // doomed between fork and the first instruction
 		}
@@ -105,34 +109,40 @@ type Team struct {
 	// resilient mirrors Options.Resilient for the region.
 	resilient bool
 
-	// Join/explicit barrier state.
+	// Join/explicit barrier state. bar is the hierarchical arrival tree
+	// (BarrierHier, the default); barArrived/barLine are the central
+	// counter the flat and tree algorithms arrive on.
+	bar        *barTree
 	barGen     exec.Word
 	barArrived exec.Word
 	barLine    exec.Line
 	relBudget  exec.Word // tree-release wake budget
 
-	// Worksharing state.
-	loopSeq  exec.Word // construct sequence for dynamic loop descriptors
-	loops    map[uint32]*loopDesc
-	loopsMu  chan struct{} // 1-token structural lock, layer-agnostic
-	singles  map[uint32]*exec.Word
-	sections exec.Word
-
-	// Ordered construct state.
-	orderedNext exec.Word
+	// Worksharing state: fixed rings of pre-allocated construct
+	// descriptors indexed by construct sequence (libomp's dispatch
+	// buffers) — no structural lock, no per-construct allocation.
+	loopRing   [dispatchRingSize]loopBuf
+	singleRing [dispatchRingSize]singleBuf
+	sections   exec.Word
 
 	// Tasking.
 	pending exec.Word // tasks created and not yet finished
 
-	// Reduction slots (one per thread, cache-line padded in spirit).
-	// redMark[i] is the reduction round slot i was written for, so the
-	// combine skips slots of workers that died before contributing.
-	redSlots []float64
-	redMark  []uint32
+	// Reduction state: per-thread contribution slots plus the fused
+	// combine-at-barrier protocol. redMark[i] is the reduction round
+	// slot i was written for, so the combine skips slots of workers
+	// that died before contributing. redArmed/redDone track whether the
+	// barrier in flight is a reduction barrier; redResult is the
+	// combined value the completer broadcasts before the release.
+	redSlots  []float64
+	redMark   []uint32
+	redOp     exec.Word
+	redArmed  exec.Word
+	redDone   exec.Word
+	redResult float64
 
 	// Copyprivate broadcast slot.
 	cpVal any
-	cpGen exec.Word
 
 	// atomicLine is the line shared atomics bounce on.
 	atomicLine exec.Line
@@ -140,7 +150,8 @@ type Team struct {
 
 // Parallel runs fn on a team of n threads (0 means the default ICV). The
 // calling thread becomes thread 0 of the team; pool workers 1..n-1 are
-// dispatched. Parallel returns after the implicit join barrier.
+// dispatched through the fork tree. Parallel returns after the implicit
+// join barrier.
 func (rt *Runtime) Parallel(tc exec.TC, n int, fn func(*Worker)) {
 	if n <= 0 {
 		n = rt.opts.DefaultThreads
@@ -165,26 +176,14 @@ func (rt *Runtime) Parallel(tc exec.TC, n int, fn func(*Worker)) {
 		w.drainAllTasks()
 		return
 	}
-	p := rt.ensurePool(tc)
+	rt.ensurePool(tc)
 	team := newTeam(rt, n, fn)
-	c := tc.Costs()
-	// Fork: write each worker's descriptor and wake it (libomp's linear
-	// release).
-	for i := 1; i < n; i++ {
-		pw := p.workers[i-1]
-		if pw.dead.Load() == 1 || pw.doom.Load() == 1 {
-			// The slot's CPU is offline: fork nothing and shrink the
-			// team up front.
-			team.alive.Add(^uint32(0))
-			continue
-		}
-		pw.team = team
-		tc.Charge(rt.opts.ForkChargeNS + c.CacheLineXferNS)
-		pw.gate.Add(1)
-		tc.FutexWake(&pw.gate, 1)
-	}
 	master := team.workers[0]
 	master.tc = tc
+	// Tree fork: the master dispatches only its fanout children; woken
+	// workers forward the rest, so the serialized fork cost on the
+	// master is O(fanout · log n) instead of the linear wake loop.
+	master.forkChildren()
 	fn(master)
 	master.Barrier() // implicit join barrier
 }
@@ -195,9 +194,6 @@ func newTeam(rt *Runtime, n int, fn func(*Worker)) *Team {
 		n:        n,
 		fn:       fn,
 		workers:  make([]*Worker, n),
-		loops:    make(map[uint32]*loopDesc),
-		loopsMu:  make(chan struct{}, 1),
-		singles:  make(map[uint32]*exec.Word),
 		redSlots: make([]float64, n),
 		redMark:  make([]uint32, n),
 	}
@@ -206,12 +202,11 @@ func newTeam(rt *Runtime, n int, fn func(*Worker)) *Team {
 	for i := 0; i < n; i++ {
 		t.workers[i] = &Worker{team: t, id: i}
 	}
-	t.loopsMu <- struct{}{}
+	if n > 1 && rt.opts.BarrierAlgo == BarrierHier {
+		t.bar = newBarTree(n, rt.opts.BarrierFanout)
+	}
 	return t
 }
-
-func (t *Team) lock()   { <-t.loopsMu }
-func (t *Team) unlock() { t.loopsMu <- struct{}{} }
 
 // Worker is a thread's view of a parallel region: the receiver for every
 // OpenMP construct.
@@ -228,10 +223,79 @@ type Worker struct {
 	sectionSeen uint32
 	redSeen     uint32
 
+	// Published progress: the sequence tag (seq+1) of the latest loop /
+	// single construct this worker entered, and whether the worker has
+	// been removed from the team. Teammates read these to prove an old
+	// dispatch buffer quiescent before reclaiming it.
+	loopPos   exec.Word
+	singlePos exec.Word
+	gone      exec.Word
+
 	// Tasking.
 	deque   taskDeque
 	curTask *task
 	stealRR int
+}
+
+// forkChildren dispatches this worker's children in the fork tree — a
+// ForkFanout-ary heap over team slots 0..n-1 — writing each child's work
+// descriptor and waking it. The master seeds the tree and every woken
+// worker forwards its own children, replacing the master's linear wake
+// loop with an O(log n) critical path.
+func (w *Worker) forkChildren() {
+	t := w.team
+	k := t.rt.opts.ForkFanout
+	for j := 1; j <= k; j++ {
+		c := w.id*k + j
+		if c >= t.n {
+			return
+		}
+		w.dispatchSlot(c)
+	}
+}
+
+// dispatchSlot forks team slot c. A dead or doomed slot is removed from
+// the team here and its orphaned subtree adopted: this worker dispatches
+// the grandchildren itself, so a dead interior node never strands its
+// descendants.
+func (w *Worker) dispatchSlot(c int) {
+	t := w.team
+	pw := t.rt.pool.workers[c-1]
+	if pw.dead.Load() == 1 || pw.doom.Load() == 1 {
+		// The slot's CPU is offline: fork nothing and shrink the team.
+		w.removeWorker(c)
+		k := t.rt.opts.ForkFanout
+		for j := 1; j <= k; j++ {
+			gc := c*k + j
+			if gc >= t.n {
+				return
+			}
+			w.dispatchSlot(gc)
+		}
+		return
+	}
+	pw.team = t
+	w.tc.Charge(t.rt.opts.ForkChargeNS + w.tc.Costs().CacheLineXferNS)
+	pw.gate.Add(1)
+	w.tc.FutexWake(&pw.gate, 1)
+}
+
+// removeWorker takes team slot id (possibly this worker itself, on the
+// die path) out of the team: the live count shrinks, and if the removal
+// is what a barrier in flight was waiting on, the barrier is completed
+// on the removed worker's behalf — through the arrival tree under the
+// hierarchical algorithm, against the central counter otherwise.
+func (w *Worker) removeWorker(id int) {
+	t := w.team
+	t.workers[id].gone.Store(1)
+	alive := t.alive.Add(^uint32(0))
+	if t.bar != nil {
+		w.hierRemove(id)
+		return
+	}
+	if arrived := t.barArrived.Load(); alive > 0 && arrived > 0 && arrived >= alive {
+		w.finishBarrier(arrived)
+	}
 }
 
 // TC returns the worker's thread context.
@@ -265,114 +329,6 @@ func (w *Worker) Runtime() *Runtime { return w.team.rt }
 func (w *Worker) Master(fn func()) {
 	if w.id == 0 {
 		fn()
-	}
-}
-
-// Barrier executes a task-aware team barrier: it completes all pending
-// explicit tasks, then releases the team. The release path follows the
-// runtime's BarrierAlgo ICV: flat (the last arriver wakes everyone, a
-// serialized storm) or tree (released threads fan the wakes out, an
-// O(log n) release — the algorithm large machines want).
-func (w *Worker) Barrier() {
-	t := w.team
-	if t.n == 1 {
-		w.drainAllTasks()
-		return
-	}
-	if w.doomed() {
-		w.die() // safe point: the barrier arrival becomes a departure
-	}
-	tc := w.tc
-	c := tc.Costs()
-	// Arrival counter updates serialize on its cache line.
-	tc.Contend(&t.barLine, c.AtomicRMWNS+c.CacheLineXferNS)
-	gen := t.barGen.Load()
-	// Completion compares against the live size, not n: arrived == alive
-	// == n fault-free, while after a shrink the survivors alone complete
-	// the barrier.
-	if arrived := t.barArrived.Add(1); arrived >= t.alive.Load() {
-		w.finishBarrier(arrived - 1)
-		return
-	}
-	for t.barGen.Load() == gen {
-		// Help with tasks while waiting.
-		if t.pending.Load() > 0 && w.runOneTask() {
-			continue
-		}
-		tc.FutexWait(&t.barGen, gen)
-	}
-	if t.rt.opts.BarrierAlgo == BarrierTree {
-		w.treeRelease()
-	}
-}
-
-// finishBarrier performs the release half of the team barrier: drain the
-// task pool, reset the arrival counter, bump the generation and wake the
-// waiters (all of them flat, or seed the fanout budget for tree). It
-// runs on the last arriver — or on a dying worker whose departure is
-// what completes the barrier, in which case every arrived thread is a
-// waiter.
-func (w *Worker) finishBarrier(waiters uint32) {
-	t := w.team
-	tc := w.tc
-	for t.pending.Load() > 0 {
-		if !w.runOneTask() {
-			tc.Yield()
-		}
-	}
-	t.barArrived.Store(0)
-	if t.rt.opts.BarrierAlgo == BarrierTree {
-		t.relBudget.Store(waiters)
-		t.barGen.Add(1)
-		w.treeRelease()
-	} else {
-		t.barGen.Add(1)
-		tc.FutexWake(&t.barGen, -1)
-	}
-}
-
-// doomed reports whether this worker's CPU has been taken offline.
-func (w *Worker) doomed() bool {
-	return w.pw != nil && w.pw.doom.Load() == 1
-}
-
-// die removes the worker from the team at a safe point (a barrier
-// arrival or a loop chunk claim): the live count shrinks, the team
-// barrier is completed if this departure is what completes it, and
-// control unwinds to the worker loop, where the pool thread exits for
-// good. Safe points are placed so the worker never dies mid-construct:
-// claimed chunks have fully executed, held locks were released, and any
-// tasks it queued stay stealable by the survivors.
-func (w *Worker) die() {
-	t := w.team
-	alive := t.alive.Add(^uint32(0))
-	if arrived := t.barArrived.Load(); alive > 0 && arrived > 0 && arrived >= alive {
-		w.finishBarrier(arrived)
-	}
-	panic(offlineSignal{})
-}
-
-// releaseFanout is each thread's share of the tree release.
-const releaseFanout = 4
-
-// treeRelease forwards up to releaseFanout wakes from the team's release
-// budget. Every woken thread forwards more wakes, so release latency is
-// logarithmic in the team size instead of the flat barrier's linear
-// storm on the last arriver. Wakes are anonymous and value-checked, so a
-// wake "spent" on a thread that never slept is harmless.
-func (w *Worker) treeRelease() {
-	t := w.team
-	for k := 0; k < releaseFanout; k++ {
-		for {
-			v := t.relBudget.Load()
-			if v == 0 {
-				return
-			}
-			if t.relBudget.CompareAndSwap(v, v-1) {
-				break
-			}
-		}
-		w.tc.FutexWake(&t.barGen, 1)
 	}
 }
 

@@ -24,33 +24,23 @@ type loopDesc struct {
 	ordNext exec.Word
 }
 
-// getLoop returns this thread's next loop descriptor, creating it on
-// first arrival and garbage-collecting it after the last.
-func (w *Worker) getLoop(lo, hi int, opt ForOpt) *loopDesc {
-	t := w.team
+// getLoop returns this thread's next loop construct's dispatch buffer,
+// claiming a ring slot on first arrival — no lock, no allocation.
+func (w *Worker) getLoop(lo, hi int, opt ForOpt) *loopBuf {
 	id := w.loopSeen
 	w.loopSeen++
-	t.lock()
-	d, ok := t.loops[id]
-	if !ok {
-		chunk := opt.Chunk
-		if chunk <= 0 {
-			chunk = 1
-		}
-		d = &loopDesc{lo: lo, hi: hi, chunk: chunk, sched: opt.Sched}
-		d.ordNext.Store(uint32(0))
-		t.loops[id] = d
-	}
-	t.unlock()
-	return d
+	w.loopPos.Store(id + 1) // publish progress before touching the ring
+	return w.acquireLoop(id, lo, hi, opt)
 }
 
-func (w *Worker) putLoop(id uint32, d *loopDesc) {
-	if d.done.Add(1) == uint32(w.team.n) {
-		t := w.team
-		t.lock()
-		delete(t.loops, id)
-		t.unlock()
+// putLoop is a thread's last touch of a loop construct. The nth arrival
+// retires the buffer; under team shrink the count is unreachable and the
+// buffer is instead reclaimed by acquireLoop's quiescence rescue when
+// the ring wraps onto it.
+func (w *Worker) putLoop(id uint32, b *loopBuf) {
+	t := w.team
+	if b.d.done.Add(1) == uint32(t.n) {
+		t.freeLoop(b, id+1)
 	}
 }
 
@@ -111,7 +101,8 @@ func (w *Worker) For(lo, hi int, opt ForOpt, body func(lo, hi int)) {
 		}
 	case Dynamic:
 		id := w.loopSeen
-		d := w.getLoop(lo, hi, opt)
+		b := w.getLoop(lo, hi, opt)
+		d := &b.d
 		for {
 			if w.doomed() {
 				w.die() // safe point: unclaimed chunks go to survivors
@@ -130,10 +121,11 @@ func (w *Worker) For(lo, hi int, opt ForOpt, body func(lo, hi int)) {
 			}
 			body(s, e)
 		}
-		w.putLoop(id, d)
+		w.putLoop(id, b)
 	case Guided:
 		id := w.loopSeen
-		d := w.getLoop(lo, hi, opt)
+		b := w.getLoop(lo, hi, opt)
+		d := &b.d
 		total := hi - lo
 		for {
 			if w.doomed() {
@@ -166,7 +158,7 @@ func (w *Worker) For(lo, hi int, opt ForOpt, body func(lo, hi int)) {
 			}
 			body(s, e)
 		}
-		w.putLoop(id, d)
+		w.putLoop(id, b)
 	}
 	if !opt.NoWait {
 		w.Barrier()
@@ -194,14 +186,16 @@ func (w *Worker) ForOrdered(lo, hi int, opt ForOpt, body func(i int, ordered fun
 	inner := func(i int) {
 		body(i, func(fn func()) {
 			tc := w.tc
-			c := tc.Costs()
 			want := uint32(i - lo)
 			for {
 				cur := d.ordNext.Load()
 				if cur == want {
 					break
 				}
-				tc.Charge(c.AtomicRMWNS)
+				// Blocking on the cursor is a futex wait; FutexWait
+				// charges the wait-entry cost itself (including the
+				// re-check race where the value moved on), so the loop
+				// adds nothing.
 				tc.FutexWait(&d.ordNext, cur)
 			}
 			fn()
@@ -210,12 +204,13 @@ func (w *Worker) ForOrdered(lo, hi int, opt ForOpt, body func(i int, ordered fun
 		})
 	}
 	// Pre-create the descriptor so `d` is bound before iteration.
-	d = w.getLoop(lo, hi, opt)
+	b := w.getLoop(lo, hi, opt)
+	d = &b.d
 	w.loopSeen-- // getLoop in For will re-fetch the same id
 	w.ForEach(lo, hi, ForOpt{Sched: opt.Sched, Chunk: opt.Chunk, NoWait: true}, inner)
 	if w.loopSeen == id { // static path did not consume the descriptor
 		w.loopSeen++
-		w.putLoop(id, d)
+		w.putLoop(id, b)
 	}
 	if !opt.NoWait {
 		w.Barrier()
@@ -252,22 +247,17 @@ func (w *Worker) singleImpl(nowait bool, fn func()) {
 		fn()
 		return
 	}
-	t.lock()
-	claim, ok := t.singles[id]
-	if !ok {
-		claim = &exec.Word{}
-		t.singles[id] = claim
-	}
-	t.unlock()
-	tc.Charge(c.AtomicRMWNS + c.CacheLineXferNS)
-	if claim.CompareAndSwap(0, 1) {
+	w.singlePos.Store(id + 1) // publish progress before touching the ring
+	b := w.acquireSingle(id)
+	// The winner election bounces the slot's line across arrivals.
+	tc.Contend(&b.line, c.AtomicRMWNS+c.CacheLineXferNS)
+	if b.won.CompareAndSwap(0, 1) {
 		fn()
 	}
-	// Arrival accounting for descriptor GC.
-	if claim.Add(1) == uint32(t.n)+1 {
-		t.lock()
-		delete(t.singles, id)
-		t.unlock()
+	// Arrival accounting: the nth arrival retires the buffer (under team
+	// shrink the quiescence rescue in acquireSingle reclaims it instead).
+	if b.done.Add(1) == uint32(t.n) {
+		t.freeSingle(b, id+1)
 	}
 	if !nowait {
 		w.Barrier()
