@@ -2,7 +2,7 @@
 # packages that run real goroutines under the real execution layer.
 RACE_PKGS = ./internal/omp/ ./internal/exec/ ./internal/mpi/
 
-.PHONY: verify build test vet race figures bench-smoke
+.PHONY: verify build test vet race figures bench-smoke trace-smoke
 
 verify: build vet test race
 
@@ -21,18 +21,29 @@ race:
 figures:
 	go run ./cmd/kompbench -quick
 
-# bench-smoke runs the EPCC figures and the barrier-topology ablation
-# twice at -quick scale and diffs the outputs byte-for-byte: stdout must
-# be a pure function of the seed (simulator determinism). Not part of
-# `verify` (it costs a couple of builds) but documented next to it in
-# ROADMAP.md; run it when touching the runtime's synchronization paths.
+# bench-smoke runs the EPCC figures, the barrier-topology ablation, and
+# the per-construct profile twice at -quick scale and diffs the outputs
+# byte-for-byte: stdout must be a pure function of the seed (simulator
+# determinism). Not part of `verify` (it costs a couple of builds) but
+# documented next to it in ROADMAP.md; run it when touching the runtime's
+# synchronization paths or the instrumentation spine.
 bench-smoke:
 	@mkdir -p /tmp/komp-bench-smoke
 	@for run in 1 2; do \
 		( go run ./cmd/kompbench -quick -figure fig7 && \
 		  go run ./cmd/kompbench -quick -figure fig13 && \
-		  go run ./cmd/kompbench -quick -ablation barrier ) \
+		  go run ./cmd/kompbench -quick -ablation barrier && \
+		  go run ./cmd/kompbench -quick -profile ) \
 		  > /tmp/komp-bench-smoke/run$$run.txt 2>/dev/null || exit 1; \
 	done
 	@cmp /tmp/komp-bench-smoke/run1.txt /tmp/komp-bench-smoke/run2.txt && \
 		echo "bench-smoke: two runs byte-identical"
+
+# trace-smoke re-renders the synthetic spine stream through the Chrome
+# trace emitter and compares it byte-for-byte against the checked-in
+# golden file (internal/trace/testdata/chrome_trace.json). Regenerate the
+# golden after an intentional format change with:
+#   go test ./internal/trace/ -run Golden -update
+trace-smoke:
+	@go test ./internal/trace/ -run TestGoldenChromeTrace -count=1 && \
+		echo "trace-smoke: trace JSON matches golden file"

@@ -24,6 +24,7 @@ func main() {
 	figure := flag.String("figure", "", "figure id (fig6..fig15); empty = all")
 	ablation := flag.String("ablation", "", "ablation id (ab-firsttouch, ab-pthread, ab-chunk, ab-privatization); 'all' runs every ablation")
 	quick := flag.Bool("quick", false, "reduced scales and repetitions")
+	profile := flag.Bool("profile", false, "per-construct profile of every environment (instead of figures)")
 	seed := flag.Int64("seed", 42, "simulator seed")
 	benches := flag.String("bench", "", "comma-separated NAS subset (e.g. BT,EP)")
 	jsonPath := flag.String("json", "", "write machine-readable per-figure records to this file")
@@ -35,6 +36,16 @@ func main() {
 	}
 	if *jsonPath != "" {
 		opt.Recorder = &bench.Recorder{}
+	}
+
+	if *profile {
+		// The profile runs on the simulators: stdout is virtual-time only,
+		// a pure function of the seed (bench-smoke diffs two runs).
+		if err := bench.ProfileReport(os.Stdout, opt); err != nil {
+			fmt.Fprintf(os.Stderr, "kompbench: profile: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	var figs []bench.Figure

@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
+
+	"github.com/interweaving/komp/internal/ompt"
 )
 
 // Strategy is how a region executes after AutoMP.
@@ -85,6 +88,14 @@ type Compiled struct {
 	Prog *Program
 	Opt  Options
 	Fns  []*CompiledFn
+
+	// Spine, if non-nil, receives ParallelBegin/ParallelEnd events
+	// around every task-parallel region RunVirgil executes (sequential
+	// and serialized regions emit nothing, matching what the generated
+	// code actually does). Set it before RunVirgil.
+	Spine *ompt.Spine
+
+	regionSeq atomic.Uint64
 }
 
 // Compile runs the full middle-end: validation, PDG construction, loop

@@ -3,6 +3,7 @@ package cck
 import (
 	"github.com/interweaving/komp/internal/exec"
 	"github.com/interweaving/komp/internal/omp"
+	"github.com/interweaving/komp/internal/ompt"
 	"github.com/interweaving/komp/internal/virgil"
 )
 
@@ -44,14 +45,34 @@ func (c *Compiled) RunVirgil(tc exec.TC, rt virgil.Runtime, scale CostScale) {
 	}
 }
 
+// regionEvent emits a ParallelBegin or ParallelEnd for a task-parallel
+// region when a spine is attached. tasks is the region's task count
+// (chunks, pipeline stages, or HELIX workers), carried in Arg0.
+func (c *Compiled) regionEvent(tc exec.TC, k ompt.Kind, region uint64, tasks int) {
+	if sp := c.Spine; sp.Enabled(k) {
+		sp.Emit(ompt.Event{Kind: k, Thread: int32(tc.CPU()), CPU: int32(tc.CPU()),
+			TimeNS: tc.Now(), Region: region, Arg0: int64(tasks)})
+	}
+}
+
 func (c *Compiled) runLoopRegion(tc exec.TC, rt virgil.Runtime, r *Region, head *Loop, scale CostScale) {
 	loops := r.fusedLoops
 	if r.Strategy == StratPipeline {
+		region := c.regionSeq.Add(1)
+		c.regionEvent(tc, ompt.ParallelBegin, region, len(head.Stages))
 		runDSWP(tc, rt, head, scale)
+		c.regionEvent(tc, ompt.ParallelEnd, region, len(head.Stages))
 		return
 	}
 	if r.Strategy == StratHELIX {
+		workers := c.Opt.Workers
+		if workers > head.N {
+			workers = head.N
+		}
+		region := c.regionSeq.Add(1)
+		c.regionEvent(tc, ompt.ParallelBegin, region, workers)
 		runHELIX(tc, rt, head, c.Opt.Workers, scale)
+		c.regionEvent(tc, ompt.ParallelEnd, region, workers)
 		return
 	}
 	if r.Strategy == StratSequential {
@@ -67,6 +88,9 @@ func (c *Compiled) runLoopRegion(tc exec.TC, rt virgil.Runtime, r *Region, head 
 		}
 		return
 	}
+	region := c.regionSeq.Add(1)
+	c.regionEvent(tc, ompt.ParallelBegin, region, len(r.Chunks))
+	defer c.regionEvent(tc, ompt.ParallelEnd, region, len(r.Chunks))
 	g := virgil.NewGroup(len(r.Chunks))
 	fns := make([]func(exec.TC), len(r.Chunks))
 	for ci, ch := range r.Chunks {

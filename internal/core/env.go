@@ -22,6 +22,7 @@ import (
 	"github.com/interweaving/komp/internal/memsim"
 	"github.com/interweaving/komp/internal/nautilus"
 	"github.com/interweaving/komp/internal/omp"
+	"github.com/interweaving/komp/internal/ompt"
 	"github.com/interweaving/komp/internal/pthread"
 	"github.com/interweaving/komp/internal/virgil"
 )
@@ -90,6 +91,11 @@ type Config struct {
 	// Exposed for the barrier-topology ablation.
 	BarrierAlgo   omp.BarrierAlgo
 	BarrierFanout int
+	// Spine, if non-nil, is threaded through every layer the environment
+	// assembles — the exec layer (thread events), the OpenMP runtime or
+	// VIRGIL, and the kernel facilities — so one tool observes the whole
+	// stack.
+	Spine *ompt.Spine
 }
 
 // Env is a constructed execution environment.
@@ -114,7 +120,12 @@ type Env struct {
 	threads       int
 	barrierAlgo   omp.BarrierAlgo
 	barrierFanout int
+	spine         *ompt.Spine
 }
+
+// Spine returns the environment's instrumentation spine (nil when
+// disabled).
+func (e *Env) Spine() *ompt.Spine { return e.spine }
 
 // New constructs an environment.
 func New(cfg Config) *Env {
@@ -127,7 +138,7 @@ func New(cfg Config) *Env {
 		threads = m.NumCPUs()
 	}
 	e := &Env{Kind: cfg.Kind, Machine: m, tlb: memsim.TLBModel{Machine: m}, threads: threads,
-		barrierAlgo: cfg.BarrierAlgo, barrierFanout: cfg.BarrierFanout}
+		barrierAlgo: cfg.BarrierAlgo, barrierFanout: cfg.BarrierFanout, spine: cfg.Spine}
 
 	switch cfg.Kind {
 	case Linux, LinuxAutoMP:
@@ -181,6 +192,7 @@ func New(cfg Config) *Env {
 	default:
 		panic(fmt.Sprintf("core: unknown environment kind %d", cfg.Kind))
 	}
+	e.Layer.Spine = cfg.Spine
 	return e
 }
 
@@ -197,6 +209,7 @@ func (e *Env) OMPRuntime() *omp.Runtime {
 		PthreadImpl:   e.pthreadImpl,
 		BarrierAlgo:   e.barrierAlgo,
 		BarrierFanout: e.barrierFanout,
+		Spine:         e.spine,
 	}
 	return omp.New(e.Layer, opts)
 }
@@ -209,9 +222,17 @@ func (e *Env) Virgil() virgil.Runtime {
 		for i := range cpus {
 			cpus[i] = i
 		}
-		return virgil.NewKernel(e.Kernel, cpus)
+		v := virgil.NewKernel(e.Kernel, cpus)
+		if e.spine != nil {
+			v.SetSpine(e.spine)
+		}
+		return v
 	}
-	return virgil.NewUser(e.threads)
+	v := virgil.NewUser(e.threads)
+	if e.spine != nil {
+		v.SetSpine(e.spine)
+	}
+	return v
 }
 
 // Threads returns the environment's configured worker count.

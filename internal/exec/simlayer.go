@@ -1,6 +1,9 @@
 package exec
 
 import (
+	"sync/atomic"
+
+	"github.com/interweaving/komp/internal/ompt"
 	"github.com/interweaving/komp/internal/sim"
 )
 
@@ -16,6 +19,14 @@ type SimLayer struct {
 	// Spawn. The simulated kernels use it to add scheduler bookkeeping
 	// (e.g. a kernel thread object) or extra environment costs.
 	SpawnHook func(tc TC, cpu int)
+
+	// Spine, if set before Run, receives ThreadBegin/ThreadEnd for the
+	// main proc and every spawned proc, stamped with virtual time. Thread
+	// indices are assigned in spawn order, which the simulator makes
+	// deterministic.
+	Spine *ompt.Spine
+
+	tidSeq atomic.Int32
 }
 
 // NewSimLayer wraps a simulator with an environment cost table.
@@ -54,7 +65,16 @@ func (l *SimLayer) Costs() *Costs { return &l.costs }
 func (l *SimLayer) Run(main func(TC)) (int64, error) {
 	start := l.Sim.Now()
 	l.Sim.Go("main", 0, start, func(p *sim.Proc) {
-		main(&simTC{layer: l, proc: p})
+		tc := &simTC{layer: l, proc: p}
+		sp := l.Spine
+		tid := l.tidSeq.Add(1) - 1
+		if sp.Enabled(ompt.ThreadBegin) {
+			sp.Emit(ompt.Event{Kind: ompt.ThreadBegin, Thread: tid, TimeNS: tc.Now()})
+		}
+		main(tc)
+		if sp.Enabled(ompt.ThreadEnd) {
+			sp.Emit(ompt.Event{Kind: ompt.ThreadEnd, Thread: tid, TimeNS: tc.Now()})
+		}
 	})
 	if err := l.Sim.Run(); err != nil {
 		return l.Sim.Now() - start, err
@@ -150,7 +170,19 @@ func (t *simTC) Spawn(name string, cpu int, fn func(TC)) Handle {
 	h := &simHandle{layer: l}
 	l.Sim.Go(name, cpu, t.proc.Now(), func(p *sim.Proc) {
 		child := &simTC{layer: l, proc: p}
-		fn(child)
+		sp := l.Spine
+		if sp.Enabled(ompt.ThreadBegin) || sp.Enabled(ompt.ThreadEnd) {
+			tid := l.tidSeq.Add(1) - 1
+			if sp.Enabled(ompt.ThreadBegin) {
+				sp.Emit(ompt.Event{Kind: ompt.ThreadBegin, Thread: tid, CPU: int32(cpu), TimeNS: child.Now(), Obj: uint64(cpu)})
+			}
+			fn(child)
+			if sp.Enabled(ompt.ThreadEnd) {
+				sp.Emit(ompt.Event{Kind: ompt.ThreadEnd, Thread: tid, CPU: int32(cpu), TimeNS: child.Now(), Obj: uint64(cpu)})
+			}
+		} else {
+			fn(child)
+		}
 		child.Charge(l.costs.ThreadExitNS)
 		h.done.Store(1)
 		child.FutexWake(&h.done, -1)

@@ -106,17 +106,24 @@ func (ts *TaskSystem) SubmitBatch(tc exec.TC, tasks []*KTask) {
 		panic("nautilus: SubmitBatch before Start")
 	}
 	tc.Charge(int64(len(tasks)) * ts.SubmitNS)
-	touched := map[int]bool{}
+	// Wake order must be deterministic (map iteration is not): the wake
+	// sequence decides which workers run first, and on the simulator that
+	// ordering is part of the seed-pure virtual timeline.
+	seen := map[int]bool{}
+	var touched []int
 	for _, t := range tasks {
 		cpu := ts.cpus[ts.rr%len(ts.cpus)]
 		ts.rr++
 		q := ts.queues[cpu]
 		q.tasks = append(q.tasks, t)
 		q.word.Add(1)
-		touched[cpu] = true
+		if !seen[cpu] {
+			seen[cpu] = true
+			touched = append(touched, cpu)
+		}
 	}
 	ts.Submitted += int64(len(tasks))
-	for cpu := range touched {
+	for _, cpu := range touched {
 		tc.FutexWake(&ts.queues[cpu].word, 1)
 	}
 }

@@ -1,6 +1,9 @@
 package omp
 
-import "github.com/interweaving/komp/internal/exec"
+import (
+	"github.com/interweaving/komp/internal/exec"
+	"github.com/interweaving/komp/internal/ompt"
+)
 
 // This file is the team barrier: the hierarchical combining-tree arrival
 // (BarrierHier, the default), the flat central-counter arrival
@@ -97,30 +100,37 @@ func (w *Worker) Barrier() {
 	if w.doomed() {
 		w.die() // safe point: leave the team instead of arriving
 	}
+	// SyncAcquire marks the arrival, SyncAcquired the release — emitted
+	// on every exit path (completer and waiters alike), so per-thread
+	// event sequences are identical regardless of who completes.
+	w.emitSync(ompt.SyncAcquire, ompt.SyncBarrier, 0)
 	tc := w.tc
 	gen := t.barGen.Load()
+	completed := false
 	if t.bar != nil {
-		if w.hierArrive() {
-			return // this thread completed the barrier and released the team
-		}
+		// completed: this thread finished the root and released the team.
+		completed = w.hierArrive()
 	} else {
 		c := tc.Costs()
 		// Central arrival counter: every arrival bounces the same line.
 		tc.Contend(&t.barLine, c.AtomicRMWNS+c.CacheLineXferNS)
 		if arrived := t.barArrived.Add(1); arrived >= t.alive.Load() {
 			w.finishBarrier(arrived - 1)
-			return
+			completed = true
 		}
 	}
-	for t.barGen.Load() == gen {
-		if t.pending.Load() > 0 && w.runOneTask() {
-			continue
+	if !completed {
+		for t.barGen.Load() == gen {
+			if t.pending.Load() > 0 && w.runOneTask() {
+				continue
+			}
+			tc.FutexWait(&t.barGen, gen)
 		}
-		tc.FutexWait(&t.barGen, gen)
+		if t.rt.opts.BarrierAlgo != BarrierFlat {
+			w.treeRelease()
+		}
 	}
-	if t.rt.opts.BarrierAlgo != BarrierFlat {
-		w.treeRelease()
-	}
+	w.emitSync(ompt.SyncAcquired, ompt.SyncBarrier, 0)
 }
 
 // hierArrive walks this worker's arrival path up the tree. It returns

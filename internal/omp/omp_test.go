@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"github.com/interweaving/komp/internal/exec"
+	"github.com/interweaving/komp/internal/ompt"
 	"github.com/interweaving/komp/internal/sim"
 	"github.com/interweaving/komp/internal/trace"
 )
@@ -27,10 +28,17 @@ func testLayers() map[string]func() exec.Layer {
 }
 
 // run executes body inside a fresh runtime on the layer, closing the pool
-// afterwards.
+// afterwards. Every run carries the lock-discipline checker on the
+// runtime's spine: the whole suite doubles as its workload, so any test
+// that introduces a lock-order inversion, an unmatched release, or a
+// barrier divergence fails here even if its own assertions pass.
 func run(t *testing.T, mk func() exec.Layer, opts Options, body func(rt *Runtime, tc exec.TC)) {
 	t.Helper()
 	layer := mk()
+	if opts.Spine == nil {
+		opts.Spine = ompt.NewSpine()
+	}
+	check := ompt.NewLockCheck(opts.Spine)
 	rt := New(layer, opts)
 	_, err := layer.Run(func(tc exec.TC) {
 		body(rt, tc)
@@ -38,6 +46,9 @@ func run(t *testing.T, mk func() exec.Layer, opts Options, body func(rt *Runtime
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+	for _, v := range check.Violations() {
+		t.Errorf("lock discipline: %s", v)
 	}
 }
 
@@ -256,12 +267,12 @@ func TestCriticalMutualExclusion(t *testing.T) {
 func TestNamedCriticalsAreIndependentMutexes(t *testing.T) {
 	layer := exec.NewSimLayer(sim.New(2, 1), simCosts())
 	rt := New(layer, Options{MaxThreads: 2})
-	a := rt.criticalMutex("a")
-	b := rt.criticalMutex("b")
+	a := rt.criticalEntry("a")
+	b := rt.criticalEntry("b")
 	if a == b {
 		t.Fatal("different names must map to different mutexes")
 	}
-	if a != rt.criticalMutex("a") {
+	if a != rt.criticalEntry("a") {
 		t.Fatal("same name must map to the same mutex")
 	}
 }

@@ -1,0 +1,62 @@
+package omp
+
+import "github.com/interweaving/komp/internal/ompt"
+
+// Emit helpers: every runtime emit site funnels through these, so the
+// disabled-spine fast path is one nil check plus one mask test per site
+// and the Event literal is only constructed when a consumer listens —
+// the zero-alloc property the real-layer benchmark asserts.
+
+// workKind maps a loop schedule to its spine work-construct kind.
+func workKind(s Schedule) ompt.Work {
+	switch s {
+	case Dynamic:
+		return ompt.WorkLoopDynamic
+	case Guided:
+		return ompt.WorkLoopGuided
+	}
+	return ompt.WorkLoopStatic
+}
+
+// emitPlain emits a kind that needs no sync/work qualifier (implicit
+// task begin/end, parallel end, team shrink).
+func (w *Worker) emitPlain(k ompt.Kind, a0, a1 int64) {
+	sp := w.team.rt.spine
+	if !sp.Enabled(k) {
+		return
+	}
+	sp.Emit(ompt.Event{Kind: k, Thread: int32(w.id), CPU: int32(w.tc.CPU()),
+		TimeNS: w.tc.Now(), Region: w.team.region, Arg0: a0, Arg1: a1})
+}
+
+// emitSync emits a synchronization event against object obj.
+func (w *Worker) emitSync(k ompt.Kind, s ompt.Sync, obj uint64) {
+	sp := w.team.rt.spine
+	if !sp.Enabled(k) {
+		return
+	}
+	sp.Emit(ompt.Event{Kind: k, Sync: s, Thread: int32(w.id), CPU: int32(w.tc.CPU()),
+		TimeNS: w.tc.Now(), Region: w.team.region, Obj: obj})
+}
+
+// emitWork emits a worksharing event: wk is the construct kind, obj the
+// per-thread construct sequence, a0/a1 the bounds (or chunk bounds).
+func (w *Worker) emitWork(k ompt.Kind, wk ompt.Work, obj uint64, a0, a1 int64) {
+	sp := w.team.rt.spine
+	if !sp.Enabled(k) {
+		return
+	}
+	sp.Emit(ompt.Event{Kind: k, Work: wk, Thread: int32(w.id), CPU: int32(w.tc.CPU()),
+		TimeNS: w.tc.Now(), Region: w.team.region, Obj: obj, Arg0: a0, Arg1: a1})
+}
+
+// emitTask emits an explicit-task event against task id obj; a0 is
+// kind-specific (victim thread for TaskSteal).
+func (w *Worker) emitTask(k ompt.Kind, obj uint64, a0 int64) {
+	sp := w.team.rt.spine
+	if !sp.Enabled(k) {
+		return
+	}
+	sp.Emit(ompt.Event{Kind: k, Thread: int32(w.id), CPU: int32(w.tc.CPU()),
+		TimeNS: w.tc.Now(), Region: w.team.region, Obj: obj, Arg0: a0})
+}

@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 
 	"github.com/interweaving/komp/internal/exec"
+	"github.com/interweaving/komp/internal/ompt"
 	"github.com/interweaving/komp/internal/pthread"
 	"github.com/interweaving/komp/internal/trace"
 )
@@ -151,8 +152,13 @@ type Options struct {
 	// shared-counter chunk claiming so every iteration still runs exactly
 	// once. Requires Bind (offline is identified by CPU).
 	Resilient bool
+	// Spine, if non-nil, receives every instrumentation event the
+	// runtime emits (package ompt). Consumers must be registered before
+	// the first Parallel; a nil spine costs one mask test per emit site.
+	Spine *ompt.Spine
 	// Tracer, if non-nil, records parallel regions, worksharing loops
-	// and barriers as Chrome trace events.
+	// and barriers as Chrome trace events. It is implemented as a spine
+	// consumer: New attaches it to Spine (creating one if needed).
 	Tracer *trace.Tracer
 }
 
@@ -206,13 +212,26 @@ type Runtime struct {
 
 	pool *pool
 
+	spine *ompt.Spine
+
 	critMu   sync.Mutex
-	critical map[string]*pthread.Mutex
+	critical map[string]*critEntry
+
+	// lockSeq and taskSeq hand out lock and explicit-task ids for the
+	// spine's Obj field.
+	lockSeq atomic.Uint64
+	taskSeq atomic.Uint64
 
 	// Stats.
 	Regions    atomic.Int64
 	TasksRun   atomic.Int64
 	TaskSteals atomic.Int64
+}
+
+// critEntry pairs a named critical section's mutex with its spine id.
+type critEntry struct {
+	m  *pthread.Mutex
+	id uint64
 }
 
 // New creates a runtime over an execution layer.
@@ -232,13 +251,25 @@ func New(layer exec.Layer, opts Options) *Runtime {
 	if opts.ForkFanout < 1 {
 		opts.ForkFanout = 4
 	}
+	if opts.Tracer != nil {
+		// The tracer is just the first spine consumer: give it a spine
+		// to listen on if the caller did not provide one.
+		if opts.Spine == nil {
+			opts.Spine = ompt.NewSpine()
+		}
+		trace.Attach(opts.Tracer, opts.Spine)
+	}
 	return &Runtime{
 		layer:    layer,
 		lib:      pthread.New(layer, opts.PthreadImpl),
 		opts:     opts,
-		critical: make(map[string]*pthread.Mutex),
+		spine:    opts.Spine,
+		critical: make(map[string]*critEntry),
 	}
 }
+
+// Spine returns the runtime's instrumentation spine (nil when disabled).
+func (rt *Runtime) Spine() *ompt.Spine { return rt.spine }
 
 // Layer returns the runtime's execution layer.
 func (rt *Runtime) Layer() exec.Layer { return rt.layer }
@@ -288,14 +319,15 @@ func (rt *Runtime) OfflineCPU(cpu int) int {
 	return n
 }
 
-// criticalMutex returns the global mutex for a named critical section.
-func (rt *Runtime) criticalMutex(name string) *pthread.Mutex {
+// criticalEntry returns the global mutex (and spine id) for a named
+// critical section.
+func (rt *Runtime) criticalEntry(name string) *critEntry {
 	rt.critMu.Lock()
 	defer rt.critMu.Unlock()
-	m, ok := rt.critical[name]
+	e, ok := rt.critical[name]
 	if !ok {
-		m = rt.lib.NewMutex()
-		rt.critical[name] = m
+		e = &critEntry{m: rt.lib.NewMutex(), id: rt.lockSeq.Add(1)}
+		rt.critical[name] = e
 	}
-	return m
+	return e
 }

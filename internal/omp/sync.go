@@ -3,6 +3,7 @@ package omp
 import (
 	"sync"
 
+	"github.com/interweaving/komp/internal/ompt"
 	"github.com/interweaving/komp/internal/pthread"
 )
 
@@ -10,10 +11,13 @@ import (
 // section is the empty name; all unnamed criticals share one mutex,
 // exactly as in OpenMP.
 func (w *Worker) Critical(name string, fn func()) {
-	m := w.team.rt.criticalMutex(name)
-	m.Lock(w.tc)
+	e := w.team.rt.criticalEntry(name)
+	w.emitSync(ompt.SyncAcquire, ompt.SyncCritical, e.id)
+	e.m.Lock(w.tc)
+	w.emitSync(ompt.SyncAcquired, ompt.SyncCritical, e.id)
 	fn()
-	m.Unlock(w.tc)
+	e.m.Unlock(w.tc)
+	w.emitSync(ompt.SyncRelease, ompt.SyncCritical, e.id)
 }
 
 // Atomic executes fn as an atomic update; updates to the shared location
@@ -110,41 +114,62 @@ func (w *Worker) Reduce(op ReduceOp, val float64) float64 {
 
 // Lock is an OpenMP lock (omp_lock_t), a plain pthread mutex underneath.
 type Lock struct {
-	m *pthread.Mutex
+	m  *pthread.Mutex
+	id uint64 // spine lock id
 }
 
 // NewLock creates a lock (omp_init_lock).
-func (rt *Runtime) NewLock() *Lock { return &Lock{m: rt.lib.NewMutex()} }
+func (rt *Runtime) NewLock() *Lock {
+	return &Lock{m: rt.lib.NewMutex(), id: rt.lockSeq.Add(1)}
+}
 
 // Set acquires the lock (omp_set_lock).
-func (l *Lock) Set(w *Worker) { l.m.Lock(w.tc) }
+func (l *Lock) Set(w *Worker) {
+	w.emitSync(ompt.SyncAcquire, ompt.SyncLock, l.id)
+	l.m.Lock(w.tc)
+	w.emitSync(ompt.SyncAcquired, ompt.SyncLock, l.id)
+}
 
 // Unset releases the lock (omp_unset_lock).
-func (l *Lock) Unset(w *Worker) { l.m.Unlock(w.tc) }
+func (l *Lock) Unset(w *Worker) {
+	l.m.Unlock(w.tc)
+	w.emitSync(ompt.SyncRelease, ompt.SyncLock, l.id)
+}
 
 // Test attempts the lock without blocking (omp_test_lock).
-func (l *Lock) Test(w *Worker) bool { return l.m.TryLock(w.tc) }
+func (l *Lock) Test(w *Worker) bool {
+	if !l.m.TryLock(w.tc) {
+		return false
+	}
+	w.emitSync(ompt.SyncAcquired, ompt.SyncLock, l.id)
+	return true
+}
 
 // NestLock is an OpenMP nestable lock (omp_nest_lock_t).
 type NestLock struct {
 	m     *pthread.Mutex
+	id    uint64 // spine lock id
 	mu    sync.Mutex
 	owner *Worker
 	depth int
 }
 
 // NewNestLock creates a nestable lock.
-func (rt *Runtime) NewNestLock() *NestLock { return &NestLock{m: rt.lib.NewMutex()} }
+func (rt *Runtime) NewNestLock() *NestLock {
+	return &NestLock{m: rt.lib.NewMutex(), id: rt.lockSeq.Add(1)}
+}
 
 // Set acquires the nestable lock, incrementing the nesting depth when the
 // caller already owns it.
 func (l *NestLock) Set(w *Worker) int {
+	w.emitSync(ompt.SyncAcquire, ompt.SyncLock, l.id)
 	l.mu.Lock()
 	if l.owner == w {
 		l.depth++
 		d := l.depth
 		l.mu.Unlock()
 		w.tc.Charge(w.tc.Costs().AtomicRMWNS)
+		w.emitSync(ompt.SyncAcquired, ompt.SyncLock, l.id)
 		return d
 	}
 	l.mu.Unlock()
@@ -153,6 +178,7 @@ func (l *NestLock) Set(w *Worker) int {
 	l.owner = w
 	l.depth = 1
 	l.mu.Unlock()
+	w.emitSync(ompt.SyncAcquired, ompt.SyncLock, l.id)
 	return 1
 }
 
@@ -170,8 +196,10 @@ func (l *NestLock) Unset(w *Worker) int {
 		l.owner = nil
 		l.mu.Unlock()
 		l.m.Unlock(w.tc)
+		w.emitSync(ompt.SyncRelease, ompt.SyncLock, l.id)
 		return 0
 	}
 	l.mu.Unlock()
+	w.emitSync(ompt.SyncRelease, ompt.SyncLock, l.id)
 	return d
 }

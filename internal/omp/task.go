@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"github.com/interweaving/komp/internal/exec"
+	"github.com/interweaving/komp/internal/ompt"
 )
 
 // task is an explicit OpenMP task.
@@ -13,6 +14,7 @@ type task struct {
 	children exec.Word
 	waiting  exec.Word // parent is blocked in taskwait
 	team     *Team
+	id       uint64 // spine task id (0 for implicit tasks)
 }
 
 // taskDeque is a per-worker work-stealing deque: the owner pushes and
@@ -80,7 +82,8 @@ func (w *Worker) Task(fn func(*Worker)) {
 	c := tc.Costs()
 	tc.Charge(c.MallocNS + taskCreateNS)
 	parent := w.currentTask()
-	t := &task{fn: fn, parent: parent, team: w.team}
+	t := &task{fn: fn, parent: parent, team: w.team, id: w.team.rt.taskSeq.Add(1)}
+	w.emitTask(ompt.TaskCreate, t.id, 0)
 	parent.children.Add(1)
 	w.team.pending.Add(1)
 	w.deque.pushTail(t)
@@ -96,7 +99,9 @@ func (w *Worker) TaskIf(cond bool, fn func(*Worker)) {
 	}
 	// Undeferred task: still a task region, but executed at once.
 	w.tc.Charge(taskCreateNS)
-	w.runTaskBody(&task{fn: fn, parent: w.currentTask(), team: w.team})
+	t := &task{fn: fn, parent: w.currentTask(), team: w.team, id: w.team.rt.taskSeq.Add(1)}
+	w.emitTask(ompt.TaskCreate, t.id, 0)
+	w.runTaskBody(t)
 }
 
 // runTaskBody executes t on this worker, maintaining the current-task
@@ -104,7 +109,9 @@ func (w *Worker) TaskIf(cond bool, fn func(*Worker)) {
 func (w *Worker) runTaskBody(t *task) {
 	prev := w.curTask
 	w.curTask = t
+	w.emitTask(ompt.TaskSchedule, t.id, 0)
 	t.fn(w)
+	w.emitTask(ompt.TaskComplete, t.id, 0)
 	w.curTask = prev
 }
 
@@ -141,6 +148,7 @@ func (w *Worker) runOneTask() bool {
 			w.stealRR = (w.stealRR + k) % n
 			tc.Charge(taskDispatchNS + c.CacheLineXferNS)
 			w.team.rt.TaskSteals.Add(1)
+			w.emitTask(ompt.TaskSteal, t.id, int64(victim.id))
 			w.runTaskBody(t)
 			w.finishTask(t)
 			return true
@@ -154,10 +162,11 @@ func (w *Worker) runOneTask() bool {
 func (w *Worker) Taskwait() {
 	cur := w.currentTask()
 	tc := w.tc
+	w.emitSync(ompt.SyncAcquire, ompt.SyncTaskwait, cur.id)
 	for {
 		n := cur.children.Load()
 		if n == 0 {
-			return
+			break
 		}
 		if w.runOneTask() {
 			continue
@@ -166,6 +175,7 @@ func (w *Worker) Taskwait() {
 		tc.FutexWait(&cur.children, n)
 		cur.waiting.Store(0)
 	}
+	w.emitSync(ompt.SyncAcquired, ompt.SyncTaskwait, cur.id)
 }
 
 // drainAllTasks runs the team's tasks to exhaustion (used by serialized

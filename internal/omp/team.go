@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/interweaving/komp/internal/exec"
+	"github.com/interweaving/komp/internal/ompt"
 	"github.com/interweaving/komp/internal/pthread"
 )
 
@@ -78,8 +79,10 @@ func (p *pool) workerLoop(tc exec.TC, pw *poolWorker) {
 		if pw.doom.Load() == 1 {
 			w.die() // doomed between fork and the first instruction
 		}
+		w.emitPlain(ompt.ImplicitTaskBegin, 0, 0)
 		team.fn(w)
 		w.Barrier() // implicit join barrier of the parallel region
+		w.emitPlain(ompt.ImplicitTaskEnd, 0, 0)
 	}
 }
 
@@ -96,9 +99,10 @@ func (p *pool) shutdown(tc exec.TC) {
 
 // Team is the shared state of one parallel region.
 type Team struct {
-	rt *Runtime
-	n  int
-	fn func(*Worker)
+	rt     *Runtime
+	n      int
+	fn     func(*Worker)
+	region uint64 // spine region id
 
 	workers []*Worker
 
@@ -159,33 +163,41 @@ func (rt *Runtime) Parallel(tc exec.TC, n int, fn func(*Worker)) {
 	if n > rt.opts.MaxThreads {
 		n = rt.opts.MaxThreads
 	}
-	region := rt.Regions.Add(1)
-	t0 := tc.Now()
-	defer func() {
-		if rt.opts.Tracer != nil {
-			rt.opts.Tracer.Span(fmt.Sprintf("parallel#%d", region), "omp", 0,
-				t0, tc.Now()-t0, map[string]string{"threads": fmt.Sprint(n)})
-		}
-	}()
+	region := uint64(rt.Regions.Add(1))
+	sp := rt.spine
+	if sp.Enabled(ompt.ParallelBegin) {
+		sp.Emit(ompt.Event{Kind: ompt.ParallelBegin, CPU: int32(tc.CPU()),
+			TimeNS: tc.Now(), Region: region, Arg0: int64(n)})
+	}
 	if n == 1 {
 		// Serialized region: no team machinery.
 		team := newTeam(rt, 1, fn)
+		team.region = region
 		w := team.workers[0]
 		w.tc = tc
+		w.emitPlain(ompt.ImplicitTaskBegin, 0, 0)
 		fn(w)
 		w.drainAllTasks()
-		return
+		w.emitPlain(ompt.ImplicitTaskEnd, 0, 0)
+	} else {
+		rt.ensurePool(tc)
+		team := newTeam(rt, n, fn)
+		team.region = region
+		master := team.workers[0]
+		master.tc = tc
+		// Tree fork: the master dispatches only its fanout children; woken
+		// workers forward the rest, so the serialized fork cost on the
+		// master is O(fanout · log n) instead of the linear wake loop.
+		master.forkChildren()
+		master.emitPlain(ompt.ImplicitTaskBegin, 0, 0)
+		fn(master)
+		master.Barrier() // implicit join barrier
+		master.emitPlain(ompt.ImplicitTaskEnd, 0, 0)
 	}
-	rt.ensurePool(tc)
-	team := newTeam(rt, n, fn)
-	master := team.workers[0]
-	master.tc = tc
-	// Tree fork: the master dispatches only its fanout children; woken
-	// workers forward the rest, so the serialized fork cost on the
-	// master is O(fanout · log n) instead of the linear wake loop.
-	master.forkChildren()
-	fn(master)
-	master.Barrier() // implicit join barrier
+	if sp.Enabled(ompt.ParallelEnd) {
+		sp.Emit(ompt.Event{Kind: ompt.ParallelEnd, CPU: int32(tc.CPU()),
+			TimeNS: tc.Now(), Region: region, Arg0: int64(n)})
+	}
 }
 
 func newTeam(rt *Runtime, n int, fn func(*Worker)) *Team {
@@ -289,6 +301,7 @@ func (w *Worker) removeWorker(id int) {
 	t := w.team
 	t.workers[id].gone.Store(1)
 	alive := t.alive.Add(^uint32(0))
+	w.emitPlain(ompt.ShrinkTeam, int64(id), int64(alive))
 	if t.bar != nil {
 		w.hierRemove(id)
 		return

@@ -1,6 +1,9 @@
 package omp
 
-import "github.com/interweaving/komp/internal/exec"
+import (
+	"github.com/interweaving/komp/internal/exec"
+	"github.com/interweaving/komp/internal/ompt"
+)
 
 // ForOpt configures a worksharing loop.
 type ForOpt struct {
@@ -51,12 +54,12 @@ func (w *Worker) putLoop(id uint32, b *loopBuf) {
 func (w *Worker) For(lo, hi int, opt ForOpt, body func(lo, hi int)) {
 	c := w.tc.Costs()
 	n := w.team.n
-	if tr := w.team.rt.opts.Tracer; tr != nil {
-		t0 := w.tc.Now()
-		defer func() {
-			tr.Span("for/"+opt.Sched.String(), "omp", w.id, t0, w.tc.Now()-t0, nil)
-		}()
-	}
+	// The work events carry the declared schedule; the chunk events show
+	// what actually ran (a resiliently degraded static loop dispatches
+	// dynamic-style chunks under a loop-static work region).
+	wk := workKind(opt.Sched)
+	seq := uint64(w.loopSeen)
+	w.emitWork(ompt.WorkBegin, wk, seq, int64(lo), int64(hi))
 	sched := opt.Sched
 	if sched == Static && w.team.resilient {
 		// Under team shrink a block partition computed from the team
@@ -87,6 +90,7 @@ func (w *Worker) For(lo, hi int, opt ForOpt, body func(lo, hi int)) {
 				myHi++
 			}
 			if myLo < myHi {
+				w.emitWork(ompt.DispatchChunk, wk, seq, int64(myLo), int64(myHi))
 				body(myLo, myHi)
 			}
 		} else {
@@ -96,6 +100,7 @@ func (w *Worker) For(lo, hi int, opt ForOpt, body func(lo, hi int)) {
 				if e > hi {
 					e = hi
 				}
+				w.emitWork(ompt.DispatchChunk, wk, seq, int64(s), int64(e))
 				body(s, e)
 			}
 		}
@@ -119,6 +124,7 @@ func (w *Worker) For(lo, hi int, opt ForOpt, body func(lo, hi int)) {
 			if e > hi {
 				e = hi
 			}
+			w.emitWork(ompt.DispatchChunk, wk, seq, int64(s), int64(e))
 			body(s, e)
 		}
 		w.putLoop(id, b)
@@ -156,10 +162,12 @@ func (w *Worker) For(lo, hi int, opt ForOpt, body func(lo, hi int)) {
 			if s >= hi {
 				break
 			}
+			w.emitWork(ompt.DispatchChunk, wk, seq, int64(s), int64(e))
 			body(s, e)
 		}
 		w.putLoop(id, b)
 	}
+	w.emitWork(ompt.WorkEnd, wk, seq, int64(lo), int64(hi))
 	if !opt.NoWait {
 		w.Barrier()
 	}
@@ -187,6 +195,7 @@ func (w *Worker) ForOrdered(lo, hi int, opt ForOpt, body func(i int, ordered fun
 		body(i, func(fn func()) {
 			tc := w.tc
 			want := uint32(i - lo)
+			w.emitSync(ompt.SyncAcquire, ompt.SyncOrdered, uint64(id))
 			for {
 				cur := d.ordNext.Load()
 				if cur == want {
@@ -198,9 +207,11 @@ func (w *Worker) ForOrdered(lo, hi int, opt ForOpt, body func(i int, ordered fun
 				// adds nothing.
 				tc.FutexWait(&d.ordNext, cur)
 			}
+			w.emitSync(ompt.SyncAcquired, ompt.SyncOrdered, uint64(id))
 			fn()
 			d.ordNext.Add(1)
 			tc.FutexWake(&d.ordNext, -1)
+			w.emitSync(ompt.SyncRelease, ompt.SyncOrdered, uint64(id))
 		})
 	}
 	// Pre-create the descriptor so `d` is bound before iteration.
@@ -243,15 +254,19 @@ func (w *Worker) singleImpl(nowait bool, fn func()) {
 	c := tc.Costs()
 	id := w.singleSeen
 	w.singleSeen++
+	w.emitWork(ompt.WorkBegin, ompt.WorkSingle, uint64(id), 0, 0)
 	if t.n == 1 {
 		fn()
+		w.emitWork(ompt.WorkEnd, ompt.WorkSingle, uint64(id), 1, 0)
 		return
 	}
 	w.singlePos.Store(id + 1) // publish progress before touching the ring
 	b := w.acquireSingle(id)
 	// The winner election bounces the slot's line across arrivals.
 	tc.Contend(&b.line, c.AtomicRMWNS+c.CacheLineXferNS)
+	won := int64(0)
 	if b.won.CompareAndSwap(0, 1) {
+		won = 1
 		fn()
 	}
 	// Arrival accounting: the nth arrival retires the buffer (under team
@@ -259,6 +274,7 @@ func (w *Worker) singleImpl(nowait bool, fn func()) {
 	if b.done.Add(1) == uint32(t.n) {
 		t.freeSingle(b, id+1)
 	}
+	w.emitWork(ompt.WorkEnd, ompt.WorkSingle, uint64(id), won, 0)
 	if !nowait {
 		w.Barrier()
 	}
@@ -267,9 +283,13 @@ func (w *Worker) singleImpl(nowait bool, fn func()) {
 // Sections distributes the given section bodies over the team (dynamic,
 // one section per grab), with the implicit end barrier unless nowait.
 func (w *Worker) Sections(nowait bool, sections ...func()) {
+	seq := uint64(w.sectionSeen)
+	w.sectionSeen++
+	w.emitWork(ompt.WorkBegin, ompt.WorkSections, seq, 0, int64(len(sections)))
 	w.ForEach(0, len(sections), ForOpt{Sched: Dynamic, Chunk: 1, NoWait: true}, func(i int) {
 		sections[i]()
 	})
+	w.emitWork(ompt.WorkEnd, ompt.WorkSections, seq, 0, int64(len(sections)))
 	if !nowait {
 		w.Barrier()
 	}

@@ -1,0 +1,202 @@
+package ompt
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// LockCheck is the lock-discipline checker: a spine consumer that
+// asserts, over the observed event stream,
+//
+//   - lock-order consistency: the "held while acquiring" relation over
+//     locks and critical sections stays acyclic (a cycle is a potential
+//     deadlock even if this run did not hit it);
+//   - release sanity: a thread only releases objects it holds;
+//   - barrier convergence: within one parallel region every thread
+//     that was not removed by a team shrink passes the same number of
+//     barriers (an SPMD divergence is the classic OpenMP hang).
+//
+// It runs as a correctness tool in tests: attach it to the runtime's
+// spine, run the workload, then assert Violations() is empty.
+type LockCheck struct {
+	mu sync.Mutex
+
+	held  map[int32][]uint64        // per thread, in acquisition order
+	order map[uint64]map[uint64]bool // held -> acquired edges
+
+	regions map[uint64]*regionCheck
+
+	violations []string
+}
+
+type regionCheck struct {
+	barriers map[int32]int
+	removed  map[int32]bool
+}
+
+// lockKey folds the sync kind into the object id so critical sections
+// and locks with colliding ids stay distinct.
+func lockKey(s Sync, obj uint64) uint64 { return uint64(s)<<56 ^ obj }
+
+// NewLockCheck creates a checker and registers it on sp.
+func NewLockCheck(sp *Spine) *LockCheck {
+	c := &LockCheck{
+		held:    map[int32][]uint64{},
+		order:   map[uint64]map[uint64]bool{},
+		regions: map[uint64]*regionCheck{},
+	}
+	sp.On(c.consume,
+		ParallelBegin, ParallelEnd, ImplicitTaskBegin,
+		SyncAcquire, SyncAcquired, SyncRelease, ShrinkTeam)
+	return c
+}
+
+func (c *LockCheck) violatef(format string, args ...any) {
+	c.violations = append(c.violations, fmt.Sprintf(format, args...))
+}
+
+func (c *LockCheck) region(id uint64) *regionCheck {
+	r := c.regions[id]
+	if r == nil {
+		r = &regionCheck{barriers: map[int32]int{}, removed: map[int32]bool{}}
+		c.regions[id] = r
+	}
+	return r
+}
+
+func (c *LockCheck) consume(ev Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch ev.Kind {
+	case ParallelBegin:
+		c.region(ev.Region)
+	case ImplicitTaskBegin:
+		r := c.region(ev.Region)
+		if _, ok := r.barriers[ev.Thread]; !ok {
+			r.barriers[ev.Thread] = 0
+		}
+	case SyncAcquire:
+		// Barriers are counted at arrival, not release: every arrival
+		// happens-before the join barrier completes, so by the time
+		// ParallelEnd is emitted all counts are final — the release-side
+		// SyncAcquired may land after ParallelEnd on the real layer.
+		if ev.Sync == SyncBarrier {
+			if r := c.regions[ev.Region]; r != nil {
+				r.barriers[ev.Thread]++
+			}
+		}
+	case SyncAcquired:
+		switch ev.Sync {
+		case SyncLock, SyncCritical:
+			k := lockKey(ev.Sync, ev.Obj)
+			for _, h := range c.held[ev.Thread] {
+				if h == k {
+					continue // re-entry (nest lock): no self edge
+				}
+				if c.order[k][h] {
+					c.violatef("lock-order inversion: %s %#x acquired while holding %#x, elsewhere the reverse", ev.Sync, ev.Obj, h)
+				}
+				if c.order[h] == nil {
+					c.order[h] = map[uint64]bool{}
+				}
+				c.order[h][k] = true
+			}
+			c.held[ev.Thread] = append(c.held[ev.Thread], k)
+		}
+	case SyncRelease:
+		switch ev.Sync {
+		case SyncLock, SyncCritical:
+			k := lockKey(ev.Sync, ev.Obj)
+			held := c.held[ev.Thread]
+			for i := len(held) - 1; i >= 0; i-- {
+				if held[i] == k {
+					c.held[ev.Thread] = append(held[:i], held[i+1:]...)
+					return
+				}
+			}
+			c.violatef("thread %d released %s %#x it does not hold", ev.Thread, ev.Sync, ev.Obj)
+		}
+	case ShrinkTeam:
+		c.region(ev.Region).removed[int32(ev.Arg0)] = true
+	case ParallelEnd:
+		r := c.regions[ev.Region]
+		if r == nil {
+			return
+		}
+		delete(c.regions, ev.Region)
+		want, have := -1, false
+		var ids []int
+		for id := range r.barriers {
+			ids = append(ids, int(id))
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			if r.removed[int32(id)] {
+				continue // shrunk out mid-region: allowed to diverge
+			}
+			n := r.barriers[int32(id)]
+			if !have {
+				want, have = n, true
+				continue
+			}
+			if n != want {
+				c.violatef("barrier divergence in region %d: thread %d passed %d barriers, thread %d passed %d",
+					ev.Region, ids[0], want, id, n)
+			}
+		}
+	}
+}
+
+// Violations returns every recorded violation, including lock-order
+// cycles longer than two detected over the final held-while-acquiring
+// graph, sorted for determinism. Empty means the discipline held.
+func (c *LockCheck) Violations() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := append([]string(nil), c.violations...)
+	out = append(out, c.cyclesLocked()...)
+	sort.Strings(out)
+	return out
+}
+
+// cyclesLocked reports one violation per lock participating in a cycle
+// of the order graph (DFS three-color walk in sorted key order).
+func (c *LockCheck) cyclesLocked() []string {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := map[uint64]int{}
+	var out []string
+	var keys []uint64
+	for k := range c.order {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	var walk func(k uint64)
+	walk = func(k uint64) {
+		color[k] = grey
+		var next []uint64
+		for n := range c.order[k] {
+			next = append(next, n)
+		}
+		sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
+		for _, n := range next {
+			switch color[n] {
+			case grey:
+				out = append(out, fmt.Sprintf("lock-order cycle through %#x and %#x", k, n))
+			case white:
+				walk(n)
+			}
+		}
+		color[k] = black
+	}
+	for _, k := range keys {
+		if color[k] == white {
+			walk(k)
+		}
+	}
+	return out
+}

@@ -1,0 +1,226 @@
+// Package ompt is the runtime instrumentation spine of this repository,
+// modeled on the OpenMP Tools interface (OMPT, OpenMP 5.x chapter 4): a
+// single typed event taxonomy that every layer — the execution layers,
+// the OpenMP runtime, VIRGIL, and the RTK/PIK/CCK environments — emits
+// through, so one tool sees identical event streams whether the program
+// runs on real goroutines or on the deterministic simulator.
+//
+// The spine is deliberately passive: it owns no buffer and spawns
+// nothing. Consumers (the Chrome-trace emitter in internal/trace, the
+// per-construct Profile, the LockCheck discipline checker, the test
+// Recorder) register callbacks per event kind before the program runs;
+// an emitting layer pays one nil check and one mask test when the spine
+// is disabled, and never allocates. Callbacks run on the emitting
+// thread, so consumers must be safe for concurrent use on the real
+// layer; on the simulator only one proc runs at a time and every stream
+// is deterministic.
+package ompt
+
+// Kind is an instrumentation event kind. The taxonomy follows OMPT's
+// callback set: thread lifecycle, parallel regions, implicit and
+// explicit tasks, worksharing dispatch, and synchronization regions,
+// plus the two events this runtime adds for its resilience path (task
+// steal as a first-class event, and team shrink).
+type Kind uint8
+
+// Event kinds and the OMPT callbacks they correspond to.
+const (
+	// ThreadBegin / ThreadEnd: an execution-layer thread starts or
+	// exits (ompt_callback_thread_begin/end). Thread is the layer's
+	// thread index, Obj its bound CPU.
+	ThreadBegin Kind = iota
+	ThreadEnd
+	// ParallelBegin / ParallelEnd: a parallel region forks and joins
+	// (ompt_callback_parallel_begin/end). Emitted by the encountering
+	// thread; Region is the region id, Arg0 the requested team size.
+	ParallelBegin
+	ParallelEnd
+	// ImplicitTaskBegin / ImplicitTaskEnd: one thread's implicit task
+	// of a region (ompt_callback_implicit_task). Thread is the OpenMP
+	// thread number.
+	ImplicitTaskBegin
+	ImplicitTaskEnd
+	// TaskCreate: an explicit task is created
+	// (ompt_callback_task_create). Obj is the task id.
+	TaskCreate
+	// TaskSchedule: a task body begins executing on Thread
+	// (ompt_callback_task_schedule, prior_task_status=switch-in).
+	TaskSchedule
+	// TaskComplete: a task body finished (ompt_callback_task_schedule,
+	// ompt_task_complete).
+	TaskComplete
+	// TaskSteal: a task was taken from another thread's deque (no OMPT
+	// equivalent; Arg0 is the victim thread).
+	TaskSteal
+	// WorkBegin / WorkEnd: a worksharing construct — loop, sections,
+	// single — is entered and left by Thread (ompt_callback_work). Work
+	// carries the construct kind, Obj the per-thread construct
+	// sequence, Arg0/Arg1 the iteration bounds.
+	WorkBegin
+	WorkEnd
+	// DispatchChunk: one chunk of a worksharing loop is handed to
+	// Thread (ompt_callback_dispatch). Arg0/Arg1 are the chunk bounds.
+	DispatchChunk
+	// SyncAcquire: Thread starts waiting on a synchronization object —
+	// arrives at a barrier, requests a lock
+	// (ompt_callback_mutex_acquire / sync_region begin).
+	SyncAcquire
+	// SyncAcquired: the wait is over — barrier released, lock held
+	// (ompt_callback_mutex_acquired / sync_region end).
+	SyncAcquired
+	// SyncRelease: Thread releases the object
+	// (ompt_callback_mutex_released).
+	SyncRelease
+	// ShrinkTeam: a worker was removed from the team by a CPU-offline
+	// fault (this runtime's resilience extension; no OMPT equivalent).
+	// Arg0 is the removed thread, Arg1 the live count after removal.
+	ShrinkTeam
+
+	// KindCount is the number of event kinds.
+	KindCount
+)
+
+var kindNames = [KindCount]string{
+	"thread-begin", "thread-end",
+	"parallel-begin", "parallel-end",
+	"implicit-task-begin", "implicit-task-end",
+	"task-create", "task-schedule", "task-complete", "task-steal",
+	"work-begin", "work-end", "dispatch-chunk",
+	"sync-acquire", "sync-acquired", "sync-release",
+	"team-shrink",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "kind?"
+}
+
+// Sync identifies the synchronization construct of a Sync* event.
+type Sync uint8
+
+// Synchronization constructs.
+const (
+	SyncNone Sync = iota
+	// SyncBarrier is an explicit or implicit team barrier (including
+	// the barrier a reduction fuses its combine into).
+	SyncBarrier
+	// SyncCritical is a named critical section; Obj hashes the name.
+	SyncCritical
+	// SyncOrdered is the ordered construct's iteration turnstile.
+	SyncOrdered
+	// SyncLock is an omp_lock_t / omp_nest_lock_t; Obj is the lock id.
+	SyncLock
+	// SyncTaskwait is a taskwait region.
+	SyncTaskwait
+	// SyncFutex is a raw futex syscall (the PIK kernel-side view).
+	SyncFutex
+)
+
+var syncNames = []string{"none", "barrier", "critical", "ordered", "lock", "taskwait", "futex"}
+
+func (s Sync) String() string {
+	if int(s) < len(syncNames) {
+		return syncNames[s]
+	}
+	return "sync?"
+}
+
+// Work identifies the worksharing construct of a Work* event.
+type Work uint8
+
+// Worksharing constructs.
+const (
+	WorkNone Work = iota
+	WorkLoopStatic
+	WorkLoopDynamic
+	WorkLoopGuided
+	WorkSections
+	WorkSingle
+)
+
+var workNames = []string{"none", "loop-static", "loop-dynamic", "loop-guided", "sections", "single"}
+
+func (w Work) String() string {
+	if int(w) < len(workNames) {
+		return workNames[w]
+	}
+	return "work?"
+}
+
+// Event is one instrumentation record. It is passed to callbacks by
+// value and holds no pointers, so emitting never allocates and a
+// consumer may retain events freely.
+type Event struct {
+	Kind Kind
+	Sync Sync // meaningful on Sync* kinds
+	Work Work // meaningful on Work* kinds
+	// Thread is the emitting thread: the OpenMP thread number for
+	// runtime events, the layer thread index for Thread* events, the
+	// worker index for VIRGIL events.
+	Thread int32
+	// CPU is the thread's bound virtual CPU (-1 if unbound/unknown).
+	CPU int32
+	// TimeNS is the event time: virtual nanoseconds on the simulator,
+	// wall-clock nanoseconds on the real layer.
+	TimeNS int64
+	// Region identifies the enclosing parallel region (0 outside any).
+	Region uint64
+	// Obj identifies the construct instance: task id, lock id,
+	// construct sequence number — scoped by Kind.
+	Obj uint64
+	// Arg0, Arg1 are kind-specific (team size, chunk bounds, victim).
+	Arg0, Arg1 int64
+}
+
+// Callback receives one event on the emitting thread. It must not
+// block on runtime synchronization (it runs inside the runtime's hot
+// paths) and must be concurrency-safe on the real layer.
+type Callback func(Event)
+
+// Spine is a registry of callbacks per event kind. The zero value and
+// the nil pointer are both valid, disabled spines. Registration must
+// complete before the spine is handed to running threads; emission
+// itself takes no lock.
+type Spine struct {
+	mask uint32
+	cbs  [KindCount][]Callback
+}
+
+// NewSpine returns an empty spine.
+func NewSpine() *Spine { return &Spine{} }
+
+// On registers cb for the given kinds (all kinds when none given).
+func (s *Spine) On(cb Callback, kinds ...Kind) *Spine {
+	if len(kinds) == 0 {
+		for k := Kind(0); k < KindCount; k++ {
+			kinds = append(kinds, k)
+		}
+	}
+	for _, k := range kinds {
+		s.cbs[k] = append(s.cbs[k], cb)
+		s.mask |= 1 << k
+	}
+	return s
+}
+
+// Enabled reports whether any callback is registered for kind k. It is
+// the nil-safe fast-path guard every emit site uses: on a nil or empty
+// spine it is one comparison and never allocates.
+func (s *Spine) Enabled(k Kind) bool {
+	return s != nil && s.mask&(1<<k) != 0
+}
+
+// Emit delivers ev to every callback registered for its kind, in
+// registration order, on the calling thread. Callers normally guard
+// with Enabled so the Event literal is not even constructed when the
+// spine is disabled.
+func (s *Spine) Emit(ev Event) {
+	if s == nil {
+		return
+	}
+	for _, cb := range s.cbs[ev.Kind] {
+		cb(ev)
+	}
+}

@@ -1,0 +1,207 @@
+package ompt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNilSpineIsSafeAndDisabled(t *testing.T) {
+	var sp *Spine
+	for k := Kind(0); k < KindCount; k++ {
+		if sp.Enabled(k) {
+			t.Errorf("nil spine reports %v enabled", k)
+		}
+	}
+	sp.Emit(Event{Kind: ParallelBegin}) // must not panic
+}
+
+func TestSpineDispatchesOnlyRegisteredKinds(t *testing.T) {
+	sp := NewSpine()
+	var got []Kind
+	sp.On(func(ev Event) { got = append(got, ev.Kind) }, WorkBegin, WorkEnd)
+	if sp.Enabled(SyncAcquire) {
+		t.Error("SyncAcquire enabled without a consumer")
+	}
+	if !sp.Enabled(WorkBegin) || !sp.Enabled(WorkEnd) {
+		t.Error("registered kinds not enabled")
+	}
+	sp.Emit(Event{Kind: WorkBegin})
+	sp.Emit(Event{Kind: SyncAcquire}) // nobody listens: dropped
+	sp.Emit(Event{Kind: WorkEnd})
+	if len(got) != 2 || got[0] != WorkBegin || got[1] != WorkEnd {
+		t.Errorf("dispatched %v", got)
+	}
+}
+
+func TestSpineOnWithoutKindsRegistersAll(t *testing.T) {
+	sp := NewSpine()
+	n := 0
+	sp.On(func(Event) { n++ })
+	for k := Kind(0); k < KindCount; k++ {
+		if !sp.Enabled(k) {
+			t.Fatalf("%v not enabled after blanket On", k)
+		}
+		sp.Emit(Event{Kind: k})
+	}
+	if n != int(KindCount) {
+		t.Errorf("got %d events, want %d", n, KindCount)
+	}
+}
+
+func TestRecorderPerThread(t *testing.T) {
+	sp := NewSpine()
+	r := NewRecorder(sp, WorkBegin, WorkEnd)
+	sp.Emit(Event{Kind: WorkBegin, Thread: 0, TimeNS: 1})
+	sp.Emit(Event{Kind: WorkBegin, Thread: 1, TimeNS: 2})
+	sp.Emit(Event{Kind: WorkEnd, Thread: 0, TimeNS: 3})
+	sp.Emit(Event{Kind: SyncAcquire, Thread: 0, TimeNS: 4}) // unregistered
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	per := r.PerThread()
+	if len(per[0]) != 2 || len(per[1]) != 1 {
+		t.Errorf("per-thread split: %d/%d", len(per[0]), len(per[1]))
+	}
+}
+
+func TestProfileAttributesCategories(t *testing.T) {
+	sp := NewSpine()
+	p := NewProfile(sp)
+	// One region: begin at 100, thread 0 implicit task at 150 (fork 50),
+	// a barrier wait of 30 on thread 1, a static loop body of 200, end.
+	sp.Emit(Event{Kind: ParallelBegin, Thread: 0, TimeNS: 100, Region: 1})
+	sp.Emit(Event{Kind: ImplicitTaskBegin, Thread: 0, TimeNS: 150, Region: 1})
+	sp.Emit(Event{Kind: WorkBegin, Work: WorkLoopStatic, Thread: 0, TimeNS: 200})
+	sp.Emit(Event{Kind: WorkEnd, Work: WorkLoopStatic, Thread: 0, TimeNS: 400})
+	sp.Emit(Event{Kind: SyncAcquire, Sync: SyncBarrier, Thread: 1, TimeNS: 500, Region: 1})
+	sp.Emit(Event{Kind: SyncAcquired, Sync: SyncBarrier, Thread: 1, TimeNS: 530, Region: 1})
+	sp.Emit(Event{Kind: ImplicitTaskEnd, Thread: 0, TimeNS: 600, Region: 1})
+	sp.Emit(Event{Kind: ParallelEnd, Thread: 0, TimeNS: 700, Region: 1})
+
+	check := func(name string, count, total int64) {
+		t.Helper()
+		c, ns := p.Total(name)
+		if c != count || ns != total {
+			t.Errorf("%s = (%d, %d), want (%d, %d)", name, c, ns, count, total)
+		}
+	}
+	check("parallel-region", 1, 600)
+	check("fork-dispatch", 1, 50)
+	check("implicit-task", 1, 450)
+	check("loop-static", 1, 200)
+	check("barrier-wait", 1, 30)
+
+	var b strings.Builder
+	p.Report(&b)
+	out := b.String()
+	if !strings.Contains(out, "parallel-region") || !strings.Contains(out, "barrier-wait") {
+		t.Errorf("report missing rows:\n%s", out)
+	}
+	if strings.Contains(out, "task-steal") {
+		t.Errorf("report shows categories that never occurred:\n%s", out)
+	}
+}
+
+// lockEv builds the acquire/acquired/release triple a lock emits.
+func lockEv(k Kind, thread int32, obj uint64) Event {
+	return Event{Kind: k, Sync: SyncLock, Thread: thread, Obj: obj}
+}
+
+func TestLockCheckDetectsInversion(t *testing.T) {
+	sp := NewSpine()
+	c := NewLockCheck(sp)
+	// Thread 0: A then B. Thread 1: B then A.
+	sp.Emit(lockEv(SyncAcquired, 0, 0xA))
+	sp.Emit(lockEv(SyncAcquired, 0, 0xB))
+	sp.Emit(lockEv(SyncRelease, 0, 0xB))
+	sp.Emit(lockEv(SyncRelease, 0, 0xA))
+	sp.Emit(lockEv(SyncAcquired, 1, 0xB))
+	sp.Emit(lockEv(SyncAcquired, 1, 0xA))
+	sp.Emit(lockEv(SyncRelease, 1, 0xA))
+	sp.Emit(lockEv(SyncRelease, 1, 0xB))
+	v := c.Violations()
+	if len(v) == 0 {
+		t.Fatal("inversion not detected")
+	}
+	found := false
+	for _, s := range v {
+		if strings.Contains(s, "inversion") || strings.Contains(s, "cycle") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("violations lack inversion/cycle: %v", v)
+	}
+}
+
+func TestLockCheckCleanDiscipline(t *testing.T) {
+	sp := NewSpine()
+	c := NewLockCheck(sp)
+	// Both threads: A then B — consistent order; nested re-entry allowed.
+	for _, th := range []int32{0, 1} {
+		sp.Emit(lockEv(SyncAcquired, th, 0xA))
+		sp.Emit(lockEv(SyncAcquired, th, 0xB))
+		sp.Emit(lockEv(SyncAcquired, th, 0xB)) // nest-lock re-entry
+		sp.Emit(lockEv(SyncRelease, th, 0xB))
+		sp.Emit(lockEv(SyncRelease, th, 0xB))
+		sp.Emit(lockEv(SyncRelease, th, 0xA))
+	}
+	if v := c.Violations(); len(v) != 0 {
+		t.Errorf("clean discipline flagged: %v", v)
+	}
+}
+
+func TestLockCheckReleaseWithoutHold(t *testing.T) {
+	sp := NewSpine()
+	c := NewLockCheck(sp)
+	sp.Emit(lockEv(SyncRelease, 2, 0xC))
+	v := c.Violations()
+	if len(v) != 1 || !strings.Contains(v[0], "does not hold") {
+		t.Errorf("violations = %v", v)
+	}
+}
+
+func TestLockCheckBarrierDivergence(t *testing.T) {
+	sp := NewSpine()
+	c := NewLockCheck(sp)
+	barrier := func(th int32) {
+		sp.Emit(Event{Kind: SyncAcquire, Sync: SyncBarrier, Thread: th, Region: 7})
+		sp.Emit(Event{Kind: SyncAcquired, Sync: SyncBarrier, Thread: th, Region: 7})
+	}
+	sp.Emit(Event{Kind: ParallelBegin, Thread: 0, Region: 7})
+	sp.Emit(Event{Kind: ImplicitTaskBegin, Thread: 0, Region: 7})
+	sp.Emit(Event{Kind: ImplicitTaskBegin, Thread: 1, Region: 7})
+	barrier(0)
+	barrier(0) // thread 0 passes two barriers, thread 1 only one
+	barrier(1)
+	sp.Emit(Event{Kind: ParallelEnd, Thread: 0, Region: 7})
+	v := c.Violations()
+	if len(v) != 1 || !strings.Contains(v[0], "divergence") {
+		t.Errorf("violations = %v", v)
+	}
+}
+
+func TestLockCheckShrunkThreadMayDiverge(t *testing.T) {
+	sp := NewSpine()
+	c := NewLockCheck(sp)
+	sp.Emit(Event{Kind: ParallelBegin, Thread: 0, Region: 9})
+	sp.Emit(Event{Kind: ImplicitTaskBegin, Thread: 0, Region: 9})
+	sp.Emit(Event{Kind: ImplicitTaskBegin, Thread: 1, Region: 9})
+	sp.Emit(Event{Kind: SyncAcquire, Sync: SyncBarrier, Thread: 0, Region: 9})
+	sp.Emit(Event{Kind: SyncAcquire, Sync: SyncBarrier, Thread: 0, Region: 9})
+	// Thread 1 was shrunk out after zero barriers.
+	sp.Emit(Event{Kind: ShrinkTeam, Thread: 0, Region: 9, Arg0: 1})
+	sp.Emit(Event{Kind: ParallelEnd, Thread: 0, Region: 9})
+	if v := c.Violations(); len(v) != 0 {
+		t.Errorf("shrunk thread flagged: %v", v)
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if ParallelBegin.String() == "" || SyncBarrier.String() == "" || WorkLoopStatic.String() == "" {
+		t.Error("enum String() returned empty")
+	}
+	if s := SyncFutex.String(); s != "futex" {
+		t.Errorf("SyncFutex = %q", s)
+	}
+}

@@ -1,0 +1,239 @@
+package ompt
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Profile is the per-construct profiler: a spine consumer that
+// attributes time to fork/join, barriers, worksharing, locks, and
+// tasking, per construct category. On the simulator the attributed
+// times are virtual nanoseconds and the whole breakdown is a pure
+// function of the seed — `kompbench -profile` relies on that to diff
+// two runs byte-for-byte.
+type Profile struct {
+	mu sync.Mutex
+
+	cat [catCount]catAcc
+
+	// Per-thread open-interval state. A thread waits on at most one
+	// sync object at a time, so one open slot per (thread, sync kind)
+	// suffices; work and task bodies nest, so those are stacks.
+	threads map[int32]*threadProf
+	// regionBegin is ParallelBegin's time per live region, read by
+	// other threads' ImplicitTaskBegin to attribute fork latency.
+	regionBegin map[uint64]int64
+}
+
+type threadProf struct {
+	syncAt [8]int64 // SyncAcquire time, by Sync; -1 when closed
+	work   []workOpen
+	task   []int64
+	implAt int64 // ImplicitTaskBegin time; -1 when closed
+	born   int64 // ThreadBegin time
+}
+
+type workOpen struct {
+	kind Work
+	at   int64
+}
+
+// Category indices: fixed order, which is also the report order.
+const (
+	catRegion = iota
+	catFork
+	catImplicit
+	catBarrier
+	catLoopStatic
+	catLoopDynamic
+	catLoopGuided
+	catSections
+	catSingle
+	catChunk
+	catTaskCreate
+	catTaskExec
+	catTaskSteal
+	catCritical
+	catLock
+	catOrdered
+	catTaskwait
+	catFutex
+	catThread
+	catShrink
+	catCount
+)
+
+var catNames = [catCount]string{
+	"parallel-region", "fork-dispatch", "implicit-task", "barrier-wait",
+	"loop-static", "loop-dynamic", "loop-guided", "sections", "single",
+	"chunk-dispatch", "task-create", "task-exec", "task-steal",
+	"critical-wait", "lock-wait", "ordered-wait", "taskwait", "futex-wait",
+	"thread", "team-shrink",
+}
+
+type catAcc struct {
+	count   int64
+	totalNS int64
+}
+
+func syncCat(s Sync) int {
+	switch s {
+	case SyncBarrier:
+		return catBarrier
+	case SyncCritical:
+		return catCritical
+	case SyncLock:
+		return catLock
+	case SyncOrdered:
+		return catOrdered
+	case SyncTaskwait:
+		return catTaskwait
+	case SyncFutex:
+		return catFutex
+	}
+	return -1
+}
+
+func workCat(w Work) int {
+	switch w {
+	case WorkLoopStatic:
+		return catLoopStatic
+	case WorkLoopDynamic:
+		return catLoopDynamic
+	case WorkLoopGuided:
+		return catLoopGuided
+	case WorkSections:
+		return catSections
+	case WorkSingle:
+		return catSingle
+	}
+	return -1
+}
+
+// NewProfile creates a profiler and registers it on sp.
+func NewProfile(sp *Spine) *Profile {
+	p := &Profile{threads: map[int32]*threadProf{}, regionBegin: map[uint64]int64{}}
+	sp.On(p.consume,
+		ThreadBegin, ThreadEnd,
+		ParallelBegin, ParallelEnd,
+		ImplicitTaskBegin, ImplicitTaskEnd,
+		TaskCreate, TaskSchedule, TaskComplete, TaskSteal,
+		WorkBegin, WorkEnd, DispatchChunk,
+		SyncAcquire, SyncAcquired,
+		ShrinkTeam)
+	return p
+}
+
+func (p *Profile) thread(id int32) *threadProf {
+	tp := p.threads[id]
+	if tp == nil {
+		tp = &threadProf{implAt: -1}
+		for i := range tp.syncAt {
+			tp.syncAt[i] = -1
+		}
+		p.threads[id] = tp
+	}
+	return tp
+}
+
+func (p *Profile) add(cat int, ns int64) {
+	p.cat[cat].count++
+	p.cat[cat].totalNS += ns
+}
+
+func (p *Profile) consume(ev Event) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	tp := p.thread(ev.Thread)
+	switch ev.Kind {
+	case ThreadBegin:
+		tp.born = ev.TimeNS
+	case ThreadEnd:
+		p.add(catThread, ev.TimeNS-tp.born)
+	case ParallelBegin:
+		p.regionBegin[ev.Region] = ev.TimeNS
+	case ParallelEnd:
+		if t0, ok := p.regionBegin[ev.Region]; ok {
+			p.add(catRegion, ev.TimeNS-t0)
+			delete(p.regionBegin, ev.Region)
+		}
+	case ImplicitTaskBegin:
+		if t0, ok := p.regionBegin[ev.Region]; ok {
+			p.add(catFork, ev.TimeNS-t0)
+		}
+		tp.implAt = ev.TimeNS
+	case ImplicitTaskEnd:
+		if tp.implAt >= 0 {
+			p.add(catImplicit, ev.TimeNS-tp.implAt)
+			tp.implAt = -1
+		}
+	case TaskCreate:
+		p.add(catTaskCreate, 0)
+	case TaskSchedule:
+		tp.task = append(tp.task, ev.TimeNS)
+	case TaskComplete:
+		if n := len(tp.task); n > 0 {
+			p.add(catTaskExec, ev.TimeNS-tp.task[n-1])
+			tp.task = tp.task[:n-1]
+		}
+	case TaskSteal:
+		p.add(catTaskSteal, 0)
+	case WorkBegin:
+		tp.work = append(tp.work, workOpen{kind: ev.Work, at: ev.TimeNS})
+	case WorkEnd:
+		if n := len(tp.work); n > 0 {
+			o := tp.work[n-1]
+			tp.work = tp.work[:n-1]
+			if c := workCat(o.kind); c >= 0 {
+				p.add(c, ev.TimeNS-o.at)
+			}
+		}
+	case DispatchChunk:
+		p.add(catChunk, 0)
+	case SyncAcquire:
+		if int(ev.Sync) < len(tp.syncAt) {
+			tp.syncAt[ev.Sync] = ev.TimeNS
+		}
+	case SyncAcquired:
+		if int(ev.Sync) < len(tp.syncAt) && tp.syncAt[ev.Sync] >= 0 {
+			if c := syncCat(ev.Sync); c >= 0 {
+				p.add(c, ev.TimeNS-tp.syncAt[ev.Sync])
+			}
+			tp.syncAt[ev.Sync] = -1
+		}
+	case ShrinkTeam:
+		p.add(catShrink, 0)
+	}
+}
+
+// Report renders the breakdown: one row per construct category that
+// occurred, in a fixed order, with count, total attributed time, and
+// time per occurrence. The output is deterministic given a
+// deterministic event stream.
+func (p *Profile) Report(w io.Writer) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fmt.Fprintf(w, "%-16s %10s %14s %12s\n", "construct", "count", "total us", "us/op")
+	for c := 0; c < catCount; c++ {
+		a := p.cat[c]
+		if a.count == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%-16s %10d %14.3f %12.3f\n", catNames[c], a.count,
+			float64(a.totalNS)/1e3, float64(a.totalNS)/1e3/float64(a.count))
+	}
+}
+
+// Total returns the accumulated (count, total ns) of a category by its
+// report name, for tests.
+func (p *Profile) Total(name string) (int64, int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for c := 0; c < catCount; c++ {
+		if catNames[c] == name {
+			return p.cat[c].count, p.cat[c].totalNS
+		}
+	}
+	return 0, 0
+}

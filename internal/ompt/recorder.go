@@ -1,0 +1,54 @@
+package ompt
+
+import "sync"
+
+// Recorder is the simplest spine consumer: it appends every event it
+// sees to a buffer. Tests use it to compare event streams across
+// layers; it is safe for concurrent emission on the real layer.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewRecorder creates a recorder and registers it on sp for the given
+// kinds (all kinds when none given).
+func NewRecorder(sp *Spine, kinds ...Kind) *Recorder {
+	r := &Recorder{}
+	sp.On(r.record, kinds...)
+	return r
+}
+
+func (r *Recorder) record(ev Event) {
+	r.mu.Lock()
+	r.events = append(r.events, ev)
+	r.mu.Unlock()
+}
+
+// Events returns a copy of everything recorded so far.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// PerThread splits the recorded stream into per-thread subsequences,
+// preserving emission order within each thread. Emission order within
+// one thread is deterministic on both layers — that is the equivalence
+// tests' invariant — while cross-thread interleaving is only
+// deterministic on the simulator.
+func (r *Recorder) PerThread() map[int32][]Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := map[int32][]Event{}
+	for _, ev := range r.events {
+		out[ev.Thread] = append(out[ev.Thread], ev)
+	}
+	return out
+}

@@ -49,6 +49,10 @@ func Load(tc exec.TC, k *nautilus.Kernel, file []byte) (*Process, error) {
 
 	base := int64(0x100000) + int64(len(img.Name))*0x1000 // placement varies with prior allocations
 	p := newProcess(k, img, base)
+	// Inherit the kernel layer's instrumentation spine, so a process
+	// loaded into an instrumented environment emits futex events without
+	// per-call-site wiring (SetSpine overrides).
+	p.spine = k.Layer.Spine
 	// The process inherits the kernel environment (how OMP_NUM_THREADS
 	// reaches the emulated process).
 	for _, kv := range k.Environ() {

@@ -9,6 +9,7 @@ import (
 	"github.com/interweaving/komp/internal/exec"
 	"github.com/interweaving/komp/internal/memsim"
 	"github.com/interweaving/komp/internal/nautilus"
+	"github.com/interweaving/komp/internal/ompt"
 )
 
 // Linux x86-64 syscall numbers (the subset with stubs/implementations).
@@ -119,6 +120,10 @@ type Process struct {
 	futexMu sync.Mutex
 	futexes map[int64]*exec.Word
 
+	// spine, if set, receives the kernel-side view of the process's
+	// futex traffic (SyncFutex events keyed by emulated address).
+	spine *ompt.Spine
+
 	// Per-thread FSBASE (arch_prctl ARCH_SET_FS), keyed by TID.
 	fsbase map[int]int64
 	// affinity is the sched_setaffinity mask (CPU count granularity).
@@ -155,6 +160,12 @@ func newProcess(k *nautilus.Kernel, img *Image, base int64) *Process {
 		StubCalls:   map[int]int64{},
 	}
 }
+
+// SetSpine attaches an instrumentation spine: the futex syscalls emit
+// SyncFutex acquire/acquired/release events keyed by the emulated
+// address — the kernel-side observability the stub-counting design
+// gives per-call counts for, as a typed event stream.
+func (p *Process) SetSpine(sp *ompt.Spine) { p.spine = sp }
 
 // Setenv sets a process environment variable (the loader copies the
 // kernel environment in, mirroring how RTK reads kernel env vars).
@@ -418,12 +429,26 @@ func (p *Process) Clone(tc exec.TC, cpu int, fn func(tc exec.TC, tid int)) exec.
 // FutexWait emulates futex(FUTEX_WAIT) on an address in process memory.
 func (p *Process) FutexWait(tc exec.TC, addr int64, val uint32) bool {
 	p.syscallEnter(tc, SysFutex)
-	return tc.FutexWait(p.futexWord(addr), val)
+	sp := p.spine
+	if sp.Enabled(ompt.SyncAcquire) {
+		sp.Emit(ompt.Event{Kind: ompt.SyncAcquire, Sync: ompt.SyncFutex,
+			Thread: int32(tc.CPU()), CPU: int32(tc.CPU()), TimeNS: tc.Now(), Obj: uint64(addr)})
+	}
+	woke := tc.FutexWait(p.futexWord(addr), val)
+	if sp.Enabled(ompt.SyncAcquired) {
+		sp.Emit(ompt.Event{Kind: ompt.SyncAcquired, Sync: ompt.SyncFutex,
+			Thread: int32(tc.CPU()), CPU: int32(tc.CPU()), TimeNS: tc.Now(), Obj: uint64(addr)})
+	}
+	return woke
 }
 
 // FutexWake emulates futex(FUTEX_WAKE).
 func (p *Process) FutexWake(tc exec.TC, addr int64, n int) int {
 	p.syscallEnter(tc, SysFutex)
+	if sp := p.spine; sp.Enabled(ompt.SyncRelease) {
+		sp.Emit(ompt.Event{Kind: ompt.SyncRelease, Sync: ompt.SyncFutex,
+			Thread: int32(tc.CPU()), CPU: int32(tc.CPU()), TimeNS: tc.Now(), Obj: uint64(addr)})
+	}
 	return tc.FutexWake(p.futexWord(addr), n)
 }
 

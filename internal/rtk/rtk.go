@@ -13,6 +13,7 @@ import (
 	"github.com/interweaving/komp/internal/exec"
 	"github.com/interweaving/komp/internal/nautilus"
 	"github.com/interweaving/komp/internal/omp"
+	"github.com/interweaving/komp/internal/ompt"
 	"github.com/interweaving/komp/internal/pthread"
 )
 
@@ -63,6 +64,10 @@ type Options struct {
 	MaxThreads int
 	// Build is validated at port time.
 	Build *BuildConfig
+	// Spine, if non-nil, is handed to the in-kernel OpenMP runtime so
+	// the ported libomp emits the same instrumentation stream as the
+	// user-level one.
+	Spine *ompt.Spine
 }
 
 // Port is libomp ported into the kernel: an OpenMP runtime whose
@@ -93,6 +98,7 @@ func NewPort(k *nautilus.Kernel, opts Options) (*Port, error) {
 		MaxThreads:  opts.MaxThreads,
 		Bind:        true,
 		PthreadImpl: impl,
+		Spine:       opts.Spine,
 	}
 	// The in-kernel libomp reads kernel environment variables (§3.4).
 	if err := oopts.Env(k.Getenv); err != nil {

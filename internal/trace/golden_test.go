@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/interweaving/komp/internal/ompt"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenStream feeds a fixed synthetic event sequence covering every
+// span type the consumer reconstructs: thread lanes, a parallel region,
+// worksharing, sync waits, tasks (with the pending counter), and a
+// team-shrink marker.
+func goldenStream(sp *ompt.Spine) {
+	emit := func(ev ompt.Event) { sp.Emit(ev) }
+	emit(ompt.Event{Kind: ompt.ThreadBegin, Thread: 0, TimeNS: 0})
+	emit(ompt.Event{Kind: ompt.ThreadBegin, Thread: 1, TimeNS: 500})
+	emit(ompt.Event{Kind: ompt.ParallelBegin, Thread: 0, TimeNS: 1000, Region: 1, Arg0: 2})
+	emit(ompt.Event{Kind: ompt.WorkBegin, Work: ompt.WorkLoopStatic, Thread: 0, TimeNS: 1500})
+	emit(ompt.Event{Kind: ompt.WorkBegin, Work: ompt.WorkLoopDynamic, Thread: 1, TimeNS: 1600})
+	emit(ompt.Event{Kind: ompt.WorkEnd, Work: ompt.WorkLoopStatic, Thread: 0, TimeNS: 2500})
+	emit(ompt.Event{Kind: ompt.WorkEnd, Work: ompt.WorkLoopDynamic, Thread: 1, TimeNS: 2700})
+	emit(ompt.Event{Kind: ompt.SyncAcquire, Sync: ompt.SyncBarrier, Thread: 0, TimeNS: 2500, Region: 1})
+	emit(ompt.Event{Kind: ompt.SyncAcquire, Sync: ompt.SyncBarrier, Thread: 1, TimeNS: 2700, Region: 1})
+	emit(ompt.Event{Kind: ompt.SyncAcquired, Sync: ompt.SyncBarrier, Thread: 0, TimeNS: 3000, Region: 1})
+	emit(ompt.Event{Kind: ompt.SyncAcquired, Sync: ompt.SyncBarrier, Thread: 1, TimeNS: 3000, Region: 1})
+	emit(ompt.Event{Kind: ompt.TaskCreate, Thread: 0, TimeNS: 3100, Obj: 1})
+	emit(ompt.Event{Kind: ompt.TaskSchedule, Thread: 1, TimeNS: 3200, Obj: 1})
+	emit(ompt.Event{Kind: ompt.TaskComplete, Thread: 1, TimeNS: 3900, Obj: 1})
+	emit(ompt.Event{Kind: ompt.SyncAcquire, Sync: ompt.SyncCritical, Thread: 1, TimeNS: 4000, Obj: 7})
+	emit(ompt.Event{Kind: ompt.SyncAcquired, Sync: ompt.SyncCritical, Thread: 1, TimeNS: 4400, Obj: 7})
+	emit(ompt.Event{Kind: ompt.ShrinkTeam, Thread: 0, TimeNS: 4500, Region: 1, Arg0: 1})
+	emit(ompt.Event{Kind: ompt.ParallelEnd, Thread: 0, TimeNS: 5000, Region: 1, Arg0: 2})
+	emit(ompt.Event{Kind: ompt.ThreadEnd, Thread: 1, TimeNS: 5500})
+	emit(ompt.Event{Kind: ompt.ThreadEnd, Thread: 0, TimeNS: 6000})
+}
+
+// TestGoldenChromeTrace renders the synthetic stream through the spine
+// consumer and compares the Chrome trace JSON byte-for-byte against the
+// checked-in golden file (regenerate with `go test -run Golden -update`).
+func TestGoldenChromeTrace(t *testing.T) {
+	tr := New()
+	sp := ompt.NewSpine()
+	Attach(tr, sp)
+	goldenStream(sp)
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// The emitted bytes must be valid Chrome trace JSON regardless of
+	// the golden comparison.
+	var file struct {
+		TraceEvents []Event `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("emitted JSON does not parse: %v", err)
+	}
+	for _, ev := range file.TraceEvents {
+		if ev.Ph != "X" && ev.Ph != "C" {
+			t.Errorf("unexpected phase %q in event %q", ev.Ph, ev.Name)
+		}
+	}
+
+	path := filepath.Join("testdata", "chrome_trace.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	golden, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file: %v (run `go test ./internal/trace/ -run Golden -update`)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), golden) {
+		t.Errorf("trace JSON diverged from golden file %s\ngot:\n%s\nwant:\n%s", path, buf.Bytes(), golden)
+	}
+}

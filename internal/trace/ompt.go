@@ -1,0 +1,147 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/interweaving/komp/internal/ompt"
+)
+
+// Attach registers the tracer as a consumer on sp: from then on every
+// spine event stream — whichever layer or environment emits it — is
+// folded into Chrome trace spans. Must be called before the spine is
+// handed to running threads, like any consumer registration.
+func Attach(t *Tracer, sp *ompt.Spine) {
+	c := &consumer{
+		t:       t,
+		regions: map[uint64]regionOpen{},
+		threads: map[int32]*laneState{},
+	}
+	sp.On(c.consume,
+		ompt.ThreadBegin, ompt.ThreadEnd,
+		ompt.ParallelBegin, ompt.ParallelEnd,
+		ompt.WorkBegin, ompt.WorkEnd,
+		ompt.SyncAcquire, ompt.SyncAcquired,
+		ompt.TaskCreate, ompt.TaskSchedule, ompt.TaskComplete,
+		ompt.ShrinkTeam)
+}
+
+type regionOpen struct {
+	at   int64
+	args map[string]string // {"threads": n}, built once per region
+}
+
+// laneState is one thread lane's open-interval state.
+type laneState struct {
+	bornAt int64
+	born   bool
+	syncAt [8]int64 // SyncAcquire time by ompt.Sync; -1 when closed
+	work   []int64  // WorkBegin time stack
+	task   []int64  // TaskSchedule time stack
+}
+
+// consumer rebuilds spans from begin/end event pairs. One mutex guards
+// the interval state; on the simulator callbacks are serial anyway, on
+// the real layer the tracer was always lock-per-record.
+type consumer struct {
+	t  *Tracer
+	mu sync.Mutex
+
+	regions map[uint64]regionOpen
+	threads map[int32]*laneState
+	pending int64 // tasks created and not yet completed
+}
+
+func (c *consumer) lane(id int32) *laneState {
+	l := c.threads[id]
+	if l == nil {
+		l = &laneState{}
+		for i := range l.syncAt {
+			l.syncAt[i] = -1
+		}
+		c.threads[id] = l
+	}
+	return l
+}
+
+// workSpanName keeps the span names the tracer always used for loops.
+func workSpanName(w ompt.Work) string {
+	switch w {
+	case ompt.WorkLoopStatic:
+		return "for/static"
+	case ompt.WorkLoopDynamic:
+		return "for/dynamic"
+	case ompt.WorkLoopGuided:
+		return "for/guided"
+	case ompt.WorkSections:
+		return "sections"
+	case ompt.WorkSingle:
+		return "single"
+	}
+	return "work"
+}
+
+func (c *consumer) consume(ev ompt.Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tid := int(ev.Thread)
+	switch ev.Kind {
+	case ompt.ThreadBegin:
+		l := c.lane(ev.Thread)
+		l.bornAt, l.born = ev.TimeNS, true
+	case ompt.ThreadEnd:
+		if l := c.lane(ev.Thread); l.born {
+			c.t.Span("thread", "exec", tid, l.bornAt, ev.TimeNS-l.bornAt, nil)
+			l.born = false
+		}
+	case ompt.ParallelBegin:
+		c.regions[ev.Region] = regionOpen{
+			at:   ev.TimeNS,
+			args: map[string]string{"threads": fmt.Sprint(ev.Arg0)},
+		}
+	case ompt.ParallelEnd:
+		if r, ok := c.regions[ev.Region]; ok {
+			delete(c.regions, ev.Region)
+			c.t.Span(fmt.Sprintf("parallel#%d", ev.Region), "omp", tid,
+				r.at, ev.TimeNS-r.at, r.args)
+		}
+	case ompt.WorkBegin:
+		l := c.lane(ev.Thread)
+		l.work = append(l.work, ev.TimeNS)
+	case ompt.WorkEnd:
+		l := c.lane(ev.Thread)
+		if n := len(l.work); n > 0 {
+			at := l.work[n-1]
+			l.work = l.work[:n-1]
+			c.t.Span(workSpanName(ev.Work), "omp", tid, at, ev.TimeNS-at, nil)
+		}
+	case ompt.SyncAcquire:
+		if int(ev.Sync) < 8 {
+			c.lane(ev.Thread).syncAt[ev.Sync] = ev.TimeNS
+		}
+	case ompt.SyncAcquired:
+		l := c.lane(ev.Thread)
+		if int(ev.Sync) < 8 && l.syncAt[ev.Sync] >= 0 {
+			at := l.syncAt[ev.Sync]
+			l.syncAt[ev.Sync] = -1
+			c.t.Span("wait/"+ev.Sync.String(), "sync", tid, at, ev.TimeNS-at, nil)
+		}
+	case ompt.TaskCreate:
+		c.pending++
+		c.t.Counter("tasks-pending", tid, ev.TimeNS, c.pending)
+	case ompt.TaskSchedule:
+		l := c.lane(ev.Thread)
+		l.task = append(l.task, ev.TimeNS)
+	case ompt.TaskComplete:
+		l := c.lane(ev.Thread)
+		if n := len(l.task); n > 0 {
+			at := l.task[n-1]
+			l.task = l.task[:n-1]
+			c.t.Span("task", "omp", tid, at, ev.TimeNS-at, nil)
+		}
+		c.pending--
+		c.t.Counter("tasks-pending", tid, ev.TimeNS, c.pending)
+	case ompt.ShrinkTeam:
+		c.t.Span("team-shrink", "fault", tid, ev.TimeNS, 0, nil)
+	}
+}

@@ -1,9 +1,14 @@
 // Package trace records execution timelines in the Chrome trace-event
 // format (chrome://tracing, Perfetto): parallel regions, worksharing
-// loops and barriers from the OpenMP runtime, on either execution layer —
+// loops, barriers, locks, and tasks, on either execution layer —
 // wall-clock spans on real goroutines, virtual-time spans on the
 // simulator. Durations are emitted in microseconds as the format
 // requires.
+//
+// The tracer is the first consumer of the instrumentation spine
+// (package ompt): Attach registers it on a Spine and every span below
+// is reconstructed from the typed event stream, so the same trace falls
+// out of every layer and environment that emits through the spine.
 package trace
 
 import (
@@ -34,7 +39,10 @@ type Tracer struct {
 // New creates an empty tracer.
 func New() *Tracer { return &Tracer{} }
 
-// Span records a complete span on a thread lane.
+// Span records a complete span on a thread lane. The args map is
+// retained as-is, not copied: hot paths should pass nil or a pre-built
+// map shared across calls (and must not mutate it afterwards), so the
+// per-span cost stays one event append.
 func (t *Tracer) Span(name, cat string, tid int, startNS, durNS int64, args map[string]string) {
 	if t == nil {
 		return
@@ -48,14 +56,15 @@ func (t *Tracer) Span(name, cat string, tid int, startNS, durNS int64, args map[
 	t.mu.Unlock()
 }
 
-// Counter records a counter sample (e.g. pending tasks).
-func (t *Tracer) Counter(name string, tsNS int64, value int64) {
+// Counter records a counter sample (e.g. pending tasks) on a thread
+// lane.
+func (t *Tracer) Counter(name string, tid int, tsNS int64, value int64) {
 	if t == nil {
 		return
 	}
 	t.mu.Lock()
 	t.events = append(t.events, Event{
-		Name: name, Ph: "C", TS: float64(tsNS) / 1000, Pid: 1, Tid: 0,
+		Name: name, Ph: "C", TS: float64(tsNS) / 1000, Pid: 1, Tid: tid,
 		Args: map[string]string{"value": fmt.Sprint(value)},
 	})
 	t.mu.Unlock()

@@ -10,7 +10,7 @@ import (
 func TestSpanAndJSON(t *testing.T) {
 	tr := New()
 	tr.Span("parallel#1", "omp", 0, 1000, 5000, map[string]string{"threads": "4"})
-	tr.Counter("tasks", 2000, 7)
+	tr.Counter("tasks", 3, 2000, 7)
 	if tr.Len() != 2 {
 		t.Fatalf("len = %d", tr.Len())
 	}
@@ -39,7 +39,7 @@ func TestSpanAndJSON(t *testing.T) {
 func TestNilTracerSafe(t *testing.T) {
 	var tr *Tracer
 	tr.Span("x", "y", 0, 0, 1, nil) // must not panic
-	tr.Counter("c", 0, 0)
+	tr.Counter("c", 0, 0, 0)
 	if tr.Len() != 0 {
 		t.Fatal("nil tracer recorded something")
 	}

@@ -19,6 +19,7 @@ import (
 
 	"github.com/interweaving/komp/internal/exec"
 	"github.com/interweaving/komp/internal/nautilus"
+	"github.com/interweaving/komp/internal/ompt"
 )
 
 // Runtime is the minimal interface CCK-generated code needs.
@@ -40,19 +41,37 @@ type Runtime interface {
 
 // --- User-level VIRGIL ---
 
+// utask is one queued task: the body plus its spine task id.
+type utask struct {
+	fn func(exec.TC)
+	id uint64
+}
+
 // User is the user-level VIRGIL: n worker threads sharing one queue,
-// blocking on a futex word when idle.
+// blocking on a futex word when idle. The queue is a head-index ring:
+// pop advances head instead of shifting the slice (the shift made a
+// full drain O(n²)), and the enqueue path reclaims the popped prefix
+// before it would grow the backing array.
 type User struct {
 	n       int
-	queue   []func(exec.TC)
+	queue   []utask
+	head    int           // queue[head:] is live; the prefix is popped
 	qlock   chan struct{} // 1-token structural lock (layer-agnostic)
 	pending exec.Word
 	stop    exec.Word
 	workers []exec.Handle
 
+	spine   *ompt.Spine
+	taskSeq atomic.Uint64
+
 	// Executed counts completed tasks.
 	Executed atomic.Int64
 }
+
+// SetSpine attaches an instrumentation spine: Submit emits TaskCreate
+// and the workers emit TaskSchedule/TaskComplete around every body.
+// Must be called before Start.
+func (u *User) SetSpine(sp *ompt.Spine) { u.spine = sp }
 
 // NewUser creates a user-level VIRGIL with n workers.
 func NewUser(n int) *User {
@@ -68,17 +87,48 @@ func (u *User) Workers() int { return u.n }
 func (u *User) Start(tc exec.TC) {
 	ncpu := tc.NumCPUs()
 	for i := 0; i < u.n; i++ {
-		h := tc.Spawn("virgil-user", i%ncpu, u.workerLoop)
+		worker := i
+		h := tc.Spawn("virgil-user", i%ncpu, func(wtc exec.TC) {
+			u.workerLoop(wtc, worker)
+		})
 		u.workers = append(u.workers, h)
 	}
+}
+
+// newTask stamps a body with a task id and emits TaskCreate.
+func (u *User) newTask(tc exec.TC, fn func(exec.TC)) utask {
+	t := utask{fn: fn, id: u.taskSeq.Add(1)}
+	if sp := u.spine; sp.Enabled(ompt.TaskCreate) {
+		sp.Emit(ompt.Event{Kind: ompt.TaskCreate, Thread: int32(tc.CPU()),
+			CPU: int32(tc.CPU()), TimeNS: tc.Now(), Obj: t.id})
+	}
+	return t
+}
+
+// enqueue appends tasks at the ring's tail; the caller holds qlock.
+// When the append would grow the backing array while popped slots sit
+// before head, the live region is slid down first — so the ring reuses
+// its storage instead of leaking the drained prefix (Submit and
+// SubmitBatch share this path).
+func (u *User) enqueue(tasks ...utask) {
+	if u.head > 0 && len(u.queue)+len(tasks) > cap(u.queue) {
+		n := copy(u.queue, u.queue[u.head:])
+		for i := n; i < len(u.queue); i++ {
+			u.queue[i] = utask{}
+		}
+		u.queue = u.queue[:n]
+		u.head = 0
+	}
+	u.queue = append(u.queue, tasks...)
 }
 
 // Submit enqueues a ready task and wakes an idle worker.
 func (u *User) Submit(tc exec.TC, fn func(exec.TC)) {
 	c := tc.Costs()
 	tc.Charge(c.MallocNS/2 + c.AtomicRMWNS)
+	t := u.newTask(tc, fn)
 	<-u.qlock
-	u.queue = append(u.queue, fn)
+	u.enqueue(t)
 	u.qlock <- struct{}{}
 	u.pending.Add(1)
 	// Wake one worker per submission: with a shared queue, waking only on
@@ -95,8 +145,12 @@ func (u *User) SubmitBatch(tc exec.TC, fns []func(exec.TC)) {
 	}
 	c := tc.Costs()
 	tc.Charge(int64(len(fns)) * (c.MallocNS/2 + c.AtomicRMWNS))
+	tasks := make([]utask, len(fns))
+	for i, fn := range fns {
+		tasks[i] = u.newTask(tc, fn)
+	}
 	<-u.qlock
-	u.queue = append(u.queue, fns...)
+	u.enqueue(tasks...)
 	u.qlock <- struct{}{}
 	u.pending.Add(uint32(len(fns)))
 	n := len(fns)
@@ -106,18 +160,24 @@ func (u *User) SubmitBatch(tc exec.TC, fns []func(exec.TC)) {
 	tc.FutexWake(&u.pending, n)
 }
 
-func (u *User) pop() func(exec.TC) {
+// pop takes the task at head, advancing the index — O(1), where the old
+// copy-down shift made each pop O(n) and a full drain O(n²). A fully
+// drained ring resets to its base so head never outruns the storage.
+func (u *User) pop() (utask, bool) {
 	<-u.qlock
 	defer func() { u.qlock <- struct{}{} }()
-	if len(u.queue) == 0 {
-		return nil
+	if u.head == len(u.queue) {
+		return utask{}, false
 	}
-	fn := u.queue[0]
-	copy(u.queue, u.queue[1:])
-	u.queue[len(u.queue)-1] = nil
-	u.queue = u.queue[:len(u.queue)-1]
+	t := u.queue[u.head]
+	u.queue[u.head] = utask{}
+	u.head++
+	if u.head == len(u.queue) {
+		u.queue = u.queue[:0]
+		u.head = 0
+	}
 	u.pending.Add(^uint32(0))
-	return fn
+	return t, true
 }
 
 // stopBit is folded into the pending word so that a Stop between a
@@ -125,12 +185,21 @@ func (u *User) pop() func(exec.TC) {
 // defeats the lost-wakeup race.
 const stopBit = uint32(1) << 31
 
-func (u *User) workerLoop(tc exec.TC) {
+func (u *User) workerLoop(tc exec.TC, worker int) {
 	c := tc.Costs()
+	sp := u.spine
 	for {
-		if fn := u.pop(); fn != nil {
+		if t, ok := u.pop(); ok {
 			tc.Charge(c.AtomicRMWNS)
-			fn(tc)
+			if sp.Enabled(ompt.TaskSchedule) {
+				sp.Emit(ompt.Event{Kind: ompt.TaskSchedule, Thread: int32(worker),
+					CPU: int32(tc.CPU()), TimeNS: tc.Now(), Obj: t.id})
+			}
+			t.fn(tc)
+			if sp.Enabled(ompt.TaskComplete) {
+				sp.Emit(ompt.Event{Kind: ompt.TaskComplete, Thread: int32(worker),
+					CPU: int32(tc.CPU()), TimeNS: tc.Now(), Obj: t.id})
+			}
 			u.Executed.Add(1)
 			continue
 		}
@@ -163,6 +232,9 @@ func (u *User) Stop(tc exec.TC) {
 type Kernel struct {
 	k    *nautilus.Kernel
 	cpus []int
+
+	spine   *ompt.Spine
+	taskSeq atomic.Uint64
 }
 
 // NewKernel creates a kernel-level VIRGIL running on the given CPUs of a
@@ -171,15 +243,47 @@ func NewKernel(k *nautilus.Kernel, cpus []int) *Kernel {
 	return &Kernel{k: k, cpus: cpus}
 }
 
+// SetSpine attaches an instrumentation spine: submissions emit
+// TaskCreate, and every body is wrapped to emit TaskSchedule and
+// TaskComplete on the executing CPU. Must be called before Start.
+func (v *Kernel) SetSpine(sp *ompt.Spine) { v.spine = sp }
+
 // Workers returns the worker count.
 func (v *Kernel) Workers() int { return len(v.cpus) }
 
 // Start brings up the kernel task workers.
 func (v *Kernel) Start(tc exec.TC) { v.k.Tasks.Start(tc, v.cpus) }
 
+// newKTask builds the kernel task, emitting TaskCreate and wrapping the
+// body with schedule/complete events when a spine is attached. Per-CPU
+// kernel workers have no separate worker index; the bound CPU is the
+// thread identity, as in the per-CPU SoftIRQ model.
+func (v *Kernel) newKTask(tc exec.TC, fn func(exec.TC)) *nautilus.KTask {
+	sp := v.spine
+	if sp == nil {
+		return &nautilus.KTask{Fn: fn}
+	}
+	id := v.taskSeq.Add(1)
+	if sp.Enabled(ompt.TaskCreate) {
+		sp.Emit(ompt.Event{Kind: ompt.TaskCreate, Thread: int32(tc.CPU()),
+			CPU: int32(tc.CPU()), TimeNS: tc.Now(), Obj: id})
+	}
+	return &nautilus.KTask{Fn: func(wtc exec.TC) {
+		if sp.Enabled(ompt.TaskSchedule) {
+			sp.Emit(ompt.Event{Kind: ompt.TaskSchedule, Thread: int32(wtc.CPU()),
+				CPU: int32(wtc.CPU()), TimeNS: wtc.Now(), Obj: id})
+		}
+		fn(wtc)
+		if sp.Enabled(ompt.TaskComplete) {
+			sp.Emit(ompt.Event{Kind: ompt.TaskComplete, Thread: int32(wtc.CPU()),
+				CPU: int32(wtc.CPU()), TimeNS: wtc.Now(), Obj: id})
+		}
+	}}
+}
+
 // Submit hands a ready task to the kernel task system (round-robin CPU).
 func (v *Kernel) Submit(tc exec.TC, fn func(exec.TC)) {
-	v.k.Tasks.Submit(tc, -1, &nautilus.KTask{Fn: fn})
+	v.k.Tasks.Submit(tc, -1, v.newKTask(tc, fn))
 }
 
 // SubmitBatch spreads a group of ready tasks across the per-CPU queues
@@ -187,7 +291,7 @@ func (v *Kernel) Submit(tc exec.TC, fn func(exec.TC)) {
 func (v *Kernel) SubmitBatch(tc exec.TC, fns []func(exec.TC)) {
 	tasks := make([]*nautilus.KTask, len(fns))
 	for i, fn := range fns {
-		tasks[i] = &nautilus.KTask{Fn: fn}
+		tasks[i] = v.newKTask(tc, fn)
 	}
 	v.k.Tasks.SubmitBatch(tc, tasks)
 }
