@@ -65,3 +65,25 @@ func Example_tasks() {
 	fmt.Println(results[3], results[15])
 	// Output: 9 225
 }
+
+// Task dependences order sibling tasks by the locations they name, and
+// a taskgroup waits for all descendants — no manual taskwait chains.
+func Example_taskDependences() {
+	o := komp.New(4)
+	defer o.Close()
+
+	var x, sum int
+	o.Parallel(0, func(w *komp.Worker) {
+		w.Master(func() {
+			w.Taskgroup(func(gw *komp.Worker) {
+				gw.TaskWith(komp.TaskOpt{Depend: []komp.Dep{komp.Out(&x)}},
+					func(*komp.Worker) { x = 20 })
+				gw.TaskWith(komp.TaskOpt{Depend: []komp.Dep{komp.In(&x)}},
+					func(*komp.Worker) { sum = x + 1 })
+			}) // taskgroup end: both tasks (in dependence order) are done
+		})
+		w.Barrier()
+	})
+	fmt.Println(sum)
+	// Output: 21
+}

@@ -27,6 +27,7 @@ func Ablations() []Figure {
 		{"ab-privatization", "Ablation: exploiting privatization directives (the §6.2 future-work fix)", AblationPrivatization},
 		{"ab-boot", "Experiment: compartment reboot vs process creation (the §7 deployment argument)", AblationBootTime},
 		{"barrier", "Ablation: barrier arrival/release topology — flat vs tree vs hierarchical on 8XEON", AblationBarrier},
+		{"tasking", "Ablation: task deque algorithm (mutex vs Chase–Lev) x steal fanout x cutoff on 8XEON", AblationTasking},
 		{"faults", "Resilience study: seeded fault injection across the MPI, OpenMP, and multikernel recovery paths", AblationFaults},
 	}
 }

@@ -7,10 +7,10 @@ import (
 
 func TestAblationRegistry(t *testing.T) {
 	abs := Ablations()
-	if len(abs) != 7 {
+	if len(abs) != 8 {
 		t.Fatalf("ablations = %d", len(abs))
 	}
-	for _, id := range []string{"ab-firsttouch", "ab-pthread", "ab-chunk", "ab-privatization", "barrier", "faults"} {
+	for _, id := range []string{"ab-firsttouch", "ab-pthread", "ab-chunk", "ab-privatization", "barrier", "tasking", "faults"} {
 		if _, ok := AblationByID(id); !ok {
 			t.Fatalf("missing %s", id)
 		}
@@ -63,6 +63,22 @@ func TestAblationBarrierShape(t *testing.T) {
 	}
 	out := b.String()
 	for _, want := range []string{"flat", "tree", "hier", "fused Reduce", "2 flat barriers"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ablation output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAblationTaskingShape(t *testing.T) {
+	// AblationTasking itself errors when Chase–Lev fails to beat the
+	// mutex deque at the top scale or the steal distribution collapses,
+	// so a clean return is most of the assertion.
+	var b strings.Builder
+	if err := AblationTasking(&b, Options{Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"chase-lev", "mutex", "spread OK", "nk-automp"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("ablation output missing %q:\n%s", want, out)
 		}

@@ -30,6 +30,17 @@ type Record struct {
 	SDNS     float64 `json:"sd_ns,omitempty"`
 	// Seconds is the modeled whole-benchmark time (NAS rows).
 	Seconds float64 `json:"seconds,omitempty"`
+	// Deque, StealFanout and Cutoff identify a tasking-ablation cell:
+	// the deque algorithm (chase-lev, mutex), the per-sweep steal fanout
+	// (0 = all teammates) and the queue-depth cutoff (0 = off).
+	Deque       string `json:"deque,omitempty"`
+	StealFanout int    `json:"steal_fanout,omitempty"`
+	Cutoff      int    `json:"cutoff,omitempty"`
+	// TasksPerMS is the tasking-ablation throughput; Steals and Cutoffs
+	// are the run's total steal and cutoff-serialization counts.
+	TasksPerMS float64 `json:"tasks_per_ms,omitempty"`
+	Steals     int64   `json:"steals,omitempty"`
+	Cutoffs    int64   `json:"cutoffs,omitempty"`
 }
 
 // Recorder accumulates Records alongside a figure run. All methods are

@@ -91,6 +91,13 @@ type Config struct {
 	// Exposed for the barrier-topology ablation.
 	BarrierAlgo   omp.BarrierAlgo
 	BarrierFanout int
+	// TaskDeque selects the task deque algorithm (zero value:
+	// Chase–Lev), TaskCutoff the queue-depth serialization threshold
+	// (0 = off), TaskStealTries the steal fanout (0 = all teammates).
+	// Exposed for the tasking ablation.
+	TaskDeque      omp.TaskDequeAlgo
+	TaskCutoff     int
+	TaskStealTries int
 	// Spine, if non-nil, is threaded through every layer the environment
 	// assembles — the exec layer (thread events), the OpenMP runtime or
 	// VIRGIL, and the kernel facilities — so one tool observes the whole
@@ -115,12 +122,15 @@ type Env struct {
 	// FirstTouch reports the active NUMA placement policy.
 	FirstTouch bool
 
-	tlb           memsim.TLBModel
-	pthreadImpl   pthread.Impl
-	threads       int
-	barrierAlgo   omp.BarrierAlgo
-	barrierFanout int
-	spine         *ompt.Spine
+	tlb            memsim.TLBModel
+	pthreadImpl    pthread.Impl
+	threads        int
+	barrierAlgo    omp.BarrierAlgo
+	barrierFanout  int
+	taskDeque      omp.TaskDequeAlgo
+	taskCutoff     int
+	taskStealTries int
+	spine          *ompt.Spine
 }
 
 // Spine returns the environment's instrumentation spine (nil when
@@ -138,7 +148,9 @@ func New(cfg Config) *Env {
 		threads = m.NumCPUs()
 	}
 	e := &Env{Kind: cfg.Kind, Machine: m, tlb: memsim.TLBModel{Machine: m}, threads: threads,
-		barrierAlgo: cfg.BarrierAlgo, barrierFanout: cfg.BarrierFanout, spine: cfg.Spine}
+		barrierAlgo: cfg.BarrierAlgo, barrierFanout: cfg.BarrierFanout,
+		taskDeque: cfg.TaskDeque, taskCutoff: cfg.TaskCutoff, taskStealTries: cfg.TaskStealTries,
+		spine: cfg.Spine}
 
 	switch cfg.Kind {
 	case Linux, LinuxAutoMP:
@@ -204,12 +216,15 @@ func (e *Env) OMPRuntime() *omp.Runtime {
 		panic("core: CCK has no OpenMP runtime to instantiate")
 	}
 	opts := omp.Options{
-		MaxThreads:    e.threads,
-		Bind:          true,
-		PthreadImpl:   e.pthreadImpl,
-		BarrierAlgo:   e.barrierAlgo,
-		BarrierFanout: e.barrierFanout,
-		Spine:         e.spine,
+		MaxThreads:     e.threads,
+		Bind:           true,
+		PthreadImpl:    e.pthreadImpl,
+		BarrierAlgo:    e.barrierAlgo,
+		BarrierFanout:  e.barrierFanout,
+		TaskDeque:      e.taskDeque,
+		TaskCutoff:     e.taskCutoff,
+		TaskStealTries: e.taskStealTries,
+		Spine:          e.spine,
 	}
 	return omp.New(e.Layer, opts)
 }

@@ -121,10 +121,23 @@ func (w *Worker) Barrier() {
 	}
 	if !completed {
 		for t.barGen.Load() == gen {
-			if t.pending.Load() > 0 && w.runOneTask() {
+			if t.pending.Load() > 0 {
+				// The barrier is a task scheduling point: while the pool
+				// is non-empty, waiters drain it instead of sleeping.
+				if !w.runOneTask() {
+					tc.Yield()
+				}
 				continue
 			}
-			tc.FutexWait(&t.barGen, gen)
+			t.sleepers.Add(1)
+			if t.pending.Load() == 0 {
+				// Re-checked after publishing sleepers so a racing task
+				// producer either sees this sleeper or this sleeper sees
+				// its task (the wake itself can still slip between the
+				// check and the wait; the completer's wake-all recovers).
+				tc.FutexWait(&t.barGen, gen)
+			}
+			t.sleepers.Add(^uint32(0))
 		}
 		if t.rt.opts.BarrierAlgo != BarrierFlat {
 			w.treeRelease()
@@ -243,6 +256,12 @@ func (w *Worker) combineNode(ni int) {
 func (w *Worker) finishHier(waiters uint32) {
 	t := w.team
 	tc := w.tc
+	if t.pending.Load() > 0 {
+		// Recruit the parked team: woken waiters see the unchanged
+		// generation and spin-drain alongside the completer instead of
+		// sleeping through a serial drain.
+		tc.FutexWake(&t.barGen, -1)
+	}
 	for t.pending.Load() > 0 {
 		if !w.runOneTask() {
 			tc.Yield()
@@ -267,6 +286,9 @@ func (w *Worker) finishHier(waiters uint32) {
 func (w *Worker) finishBarrier(waiters uint32) {
 	t := w.team
 	tc := w.tc
+	if t.pending.Load() > 0 {
+		tc.FutexWake(&t.barGen, -1) // recruit parked waiters as thieves
+	}
 	for t.pending.Load() > 0 {
 		if !w.runOneTask() {
 			tc.Yield()

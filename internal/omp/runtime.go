@@ -146,6 +146,17 @@ type Options struct {
 	// its ForkFanout children in Parallel and woken workers forward the
 	// remaining dispatches (KOMP_FORK_FANOUT; default 4).
 	ForkFanout int
+	// TaskDeque selects the per-worker task deque algorithm
+	// (KOMP_TASK_DEQUE; default Chase–Lev).
+	TaskDeque TaskDequeAlgo
+	// TaskCutoff is the queue-depth cutoff: a thread whose own deque
+	// already holds this many ready tasks executes further tasks
+	// undeferred instead of deferring them (KOMP_TASK_CUTOFF; 0, the
+	// default, disables the throttle).
+	TaskCutoff int
+	// TaskStealTries bounds how many victims one steal sweep probes
+	// (the steal fanout). 0, the default, probes every teammate.
+	TaskStealTries int
 	// Resilient enables team shrink: when a CPU is taken offline
 	// (OfflineCPU), its worker leaves the team at the next safe point and
 	// the region completes on the survivors. Static loops degrade to
@@ -201,6 +212,27 @@ func (o *Options) Env(lookup func(string) (string, bool)) error {
 		}
 		o.ForkFanout = n
 	}
+	if v, ok := lookup("KOMP_TASK_DEQUE"); ok {
+		algo, ok := ParseTaskDequeAlgo(strings.TrimSpace(strings.ToLower(v)))
+		if !ok {
+			return fmt.Errorf("omp: KOMP_TASK_DEQUE=%q: want chase-lev or mutex", v)
+		}
+		o.TaskDeque = algo
+	}
+	if v, ok := lookup("KOMP_TASK_CUTOFF"); ok {
+		n, err := strconv.Atoi(strings.TrimSpace(v))
+		if err != nil || n < 0 {
+			return fmt.Errorf("omp: KOMP_TASK_CUTOFF=%q: want a non-negative integer", v)
+		}
+		o.TaskCutoff = n
+	}
+	if v, ok := lookup("KOMP_TASK_STEAL_TRIES"); ok {
+		n, err := strconv.Atoi(strings.TrimSpace(v))
+		if err != nil || n < 0 {
+			return fmt.Errorf("omp: KOMP_TASK_STEAL_TRIES=%q: want a non-negative integer", v)
+		}
+		o.TaskStealTries = n
+	}
 	return nil
 }
 
@@ -217,15 +249,18 @@ type Runtime struct {
 	critMu   sync.Mutex
 	critical map[string]*critEntry
 
-	// lockSeq and taskSeq hand out lock and explicit-task ids for the
-	// spine's Obj field.
-	lockSeq atomic.Uint64
-	taskSeq atomic.Uint64
+	// lockSeq, taskSeq and groupSeq hand out lock, explicit-task and
+	// taskgroup ids for the spine's Obj field.
+	lockSeq  atomic.Uint64
+	taskSeq  atomic.Uint64
+	groupSeq atomic.Uint64
 
 	// Stats.
-	Regions    atomic.Int64
-	TasksRun   atomic.Int64
-	TaskSteals atomic.Int64
+	Regions      atomic.Int64
+	TasksRun     atomic.Int64
+	TaskSteals   atomic.Int64
+	TaskDepEdges atomic.Int64
+	TaskCutoffs  atomic.Int64
 }
 
 // critEntry pairs a named critical section's mutex with its spine id.

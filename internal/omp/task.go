@@ -15,46 +15,23 @@ type task struct {
 	waiting  exec.Word // parent is blocked in taskwait
 	team     *Team
 	id       uint64 // spine task id (0 for implicit tasks)
-}
 
-// taskDeque is a per-worker work-stealing deque: the owner pushes and
-// pops at the tail (LIFO, for locality); thieves steal from the head
-// (FIFO, for oldest-first stealing), the classic Cilk/libomp discipline.
-type taskDeque struct {
-	mu    sync.Mutex
-	items []*task
-}
+	// group is the taskgroup the task belongs to (nil outside any);
+	// inherited from the encountering thread's current group.
+	group *taskgroup
+	// final marks a final task: it and every descendant execute
+	// undeferred (included tasks).
+	final bool
 
-func (d *taskDeque) pushTail(t *task) {
-	d.mu.Lock()
-	d.items = append(d.items, t)
-	d.mu.Unlock()
-}
-
-func (d *taskDeque) popTail() *task {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	n := len(d.items)
-	if n == 0 {
-		return nil
-	}
-	t := d.items[n-1]
-	d.items[n-1] = nil
-	d.items = d.items[:n-1]
-	return t
-}
-
-func (d *taskDeque) stealHead() *task {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if len(d.items) == 0 {
-		return nil
-	}
-	t := d.items[0]
-	copy(d.items, d.items[1:])
-	d.items[len(d.items)-1] = nil
-	d.items = d.items[:len(d.items)-1]
-	return t
+	// Dependence state. deps is the address → last-accessor map this
+	// task's *children* resolve their depend clauses against; npred is
+	// this task's own count of unfinished predecessors; succs/depDone
+	// (under depMu) are the successors waiting on this task.
+	deps    *depTracker
+	npred   exec.Word
+	depMu   sync.Mutex
+	depDone bool
+	succs   []*task
 }
 
 // currentTask returns the task whose body the worker is executing (the
@@ -74,79 +51,161 @@ const taskCreateNS = 55
 // taskDispatchNS is the dequeue-and-invoke cost.
 const taskDispatchNS = 40
 
+// TaskOpt carries the clauses of a task construct.
+type TaskOpt struct {
+	// Depend lists the task's depend clauses; the task runs only after
+	// every sibling predecessor named by the clauses has finished.
+	Depend []Dep
+	// Final marks the task final (final clause with a true expression):
+	// it and all tasks it creates execute undeferred.
+	Final bool
+	// Undeferred executes the task immediately on the encountering
+	// thread (the if clause with a false expression). A task with
+	// unfinished predecessors is still held until they complete.
+	Undeferred bool
+}
+
 // Task creates an explicit task (#pragma omp task). The task may execute
 // on any thread of the team, at task scheduling points (barriers,
 // taskwait, task creation under load).
 func (w *Worker) Task(fn func(*Worker)) {
-	tc := w.tc
-	c := tc.Costs()
-	tc.Charge(c.MallocNS + taskCreateNS)
-	parent := w.currentTask()
-	t := &task{fn: fn, parent: parent, team: w.team, id: w.team.rt.taskSeq.Add(1)}
-	w.emitTask(ompt.TaskCreate, t.id, 0)
-	parent.children.Add(1)
-	w.team.pending.Add(1)
-	w.deque.pushTail(t)
+	w.TaskWith(TaskOpt{}, fn)
 }
 
 // TaskIf creates a task when cond is true, otherwise executes fn
 // immediately (the if clause of #pragma omp task; EPCC CONDITIONAL_TASK
-// measures exactly this with cond false).
+// measures exactly this with cond false). Both paths run the same
+// completion accounting, so TasksRun and the OMPT stream see deferred
+// and undeferred tasks symmetrically.
 func (w *Worker) TaskIf(cond bool, fn func(*Worker)) {
-	if cond {
-		w.Task(fn)
+	w.TaskWith(TaskOpt{Undeferred: !cond}, fn)
+}
+
+// TaskWith creates an explicit task with clauses. Every task — deferred,
+// undeferred, final, throttled by the cutoff — flows through the same
+// creation and completion accounting; only where the body runs differs.
+func (w *Worker) TaskWith(opt TaskOpt, fn func(*Worker)) {
+	tc := w.tc
+	c := tc.Costs()
+	parent := w.currentTask()
+	final := opt.Final || parent.final
+	undeferred := opt.Undeferred || final
+	if undeferred {
+		// Undeferred: the descriptor lives on the encountering thread's
+		// stack — no malloc, no deque traffic.
+		tc.Charge(taskCreateNS)
+	} else {
+		tc.Charge(c.MallocNS + taskCreateNS)
+	}
+	t := &task{fn: fn, parent: parent, team: w.team, final: final,
+		group: w.curGroup, id: w.team.rt.taskSeq.Add(1)}
+	w.emitTask(ompt.TaskCreate, t.id, 0)
+	parent.children.Add(1)
+	w.team.pending.Add(1)
+	if g := t.group; g != nil {
+		g.count.Add(1)
+	}
+	if len(opt.Depend) > 0 {
+		// Seed one phantom predecessor so the task cannot be released
+		// (by a predecessor finishing mid-registration) before the edge
+		// set is complete.
+		t.npred.Store(1)
+		w.registerDeps(t, opt.Depend)
+		if t.npred.Add(^uint32(0)) != 0 {
+			// Held: the last predecessor's completion queues it.
+			return
+		}
+	}
+	if !undeferred && w.cutoffHit() {
+		undeferred = true
+		w.team.rt.TaskCutoffs.Add(1)
+	}
+	if undeferred {
+		w.runTaskBody(t)
+		w.finishTask(t)
 		return
 	}
-	// Undeferred task: still a task region, but executed at once.
-	w.tc.Charge(taskCreateNS)
-	t := &task{fn: fn, parent: w.currentTask(), team: w.team, id: w.team.rt.taskSeq.Add(1)}
-	w.emitTask(ompt.TaskCreate, t.id, 0)
-	w.runTaskBody(t)
+	w.deque.push(tc, t)
+	w.wakeThief()
+}
+
+// wakeThief recruits one teammate parked at a barrier when a task
+// becomes ready: the woken waiter re-checks the barrier generation,
+// finds the pool non-empty, and steals instead of going back to sleep.
+func (w *Worker) wakeThief() {
+	t := w.team
+	if t.sleepers.Load() > 0 {
+		w.tc.FutexWake(&t.barGen, 1)
+	}
+}
+
+// cutoffHit reports whether the cutoff throttle should serialize the
+// next task: the worker's own deque already holds TaskCutoff ready
+// tasks, so deferring more only grows queues (0 disables the throttle).
+func (w *Worker) cutoffHit() bool {
+	cut := w.team.rt.opts.TaskCutoff
+	return cut > 0 && w.deque.size() >= cut
 }
 
 // runTaskBody executes t on this worker, maintaining the current-task
-// chain and completion accounting.
+// and current-taskgroup chains: tasks a body creates become children of
+// t and members of t's group, wherever the body was stolen to.
 func (w *Worker) runTaskBody(t *task) {
-	prev := w.curTask
-	w.curTask = t
+	prevT, prevG := w.curTask, w.curGroup
+	w.curTask, w.curGroup = t, t.group
 	w.emitTask(ompt.TaskSchedule, t.id, 0)
 	t.fn(w)
 	w.emitTask(ompt.TaskComplete, t.id, 0)
-	w.curTask = prev
+	w.curTask, w.curGroup = prevT, prevG
 }
 
-// finishTask propagates completion to the parent and the team.
+// finishTask propagates completion: dependent successors are released
+// first (so they are findable before any waiter is woken), then the
+// parent, the taskgroup, and the team are notified.
 func (w *Worker) finishTask(t *task) {
+	w.releaseDeps(t)
 	if p := t.parent; p != nil {
 		p.children.Add(^uint32(0))
 		if p.waiting.Load() == 1 {
 			w.tc.FutexWake(&p.children, -1)
 		}
 	}
+	if g := t.group; g != nil {
+		if g.count.Add(^uint32(0)) == 0 && g.waiting.Load() == 1 {
+			w.tc.FutexWake(&g.count, -1)
+		}
+	}
 	w.team.pending.Add(^uint32(0))
 	w.team.rt.TasksRun.Add(1)
 }
 
-// runOneTask executes one ready task: own deque first (tail), then steals
-// round-robin from teammates (head). It reports whether a task ran.
+// runOneTask executes one ready task: own deque first (bottom), then
+// steals from teammates (top). A sweep probes at most TaskStealTries
+// victims round-robin; the start point rotates even when the sweep
+// fails, so retries do not rescan the same victims in the same order.
+// It reports whether a task ran.
 func (w *Worker) runOneTask() bool {
 	tc := w.tc
-	c := tc.Costs()
-	if t := w.deque.popTail(); t != nil {
+	if t := w.deque.pop(tc); t != nil {
 		tc.Charge(taskDispatchNS)
 		w.runTaskBody(t)
 		w.finishTask(t)
 		return true
 	}
 	n := w.team.n
-	for k := 1; k < n; k++ {
-		victim := w.team.workers[(w.id+w.stealRR+k)%n]
+	tries := w.team.rt.opts.TaskStealTries
+	if tries <= 0 || tries > n-1 {
+		tries = n - 1
+	}
+	start := w.stealRR
+	for k := 1; k <= tries; k++ {
+		victim := w.team.workers[(w.id+start+k)%n]
 		if victim == nil || victim == w {
 			continue
 		}
-		if t := victim.deque.stealHead(); t != nil {
-			w.stealRR = (w.stealRR + k) % n
-			tc.Charge(taskDispatchNS + c.CacheLineXferNS)
+		if t := victim.deque.steal(tc); t != nil {
+			w.stealRR = (start + k) % n
+			tc.Charge(taskDispatchNS)
 			w.team.rt.TaskSteals.Add(1)
 			w.emitTask(ompt.TaskSteal, t.id, int64(victim.id))
 			w.runTaskBody(t)
@@ -154,6 +213,7 @@ func (w *Worker) runOneTask() bool {
 			return true
 		}
 	}
+	w.stealRR = (start + 1) % n
 	return false
 }
 

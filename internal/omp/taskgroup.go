@@ -1,0 +1,48 @@
+package omp
+
+import (
+	"github.com/interweaving/komp/internal/exec"
+	"github.com/interweaving/komp/internal/ompt"
+)
+
+// taskgroup is one #pragma omp taskgroup region's state: a count of
+// unfinished member tasks and a futex for the wait at the region's end.
+// Membership is inherited: a task created while a group is current joins
+// it, and so do the tasks that task creates wherever its body runs — so
+// the end-of-group wait covers all descendants, which is exactly how
+// taskgroup differs from taskwait (children only).
+type taskgroup struct {
+	parent  *taskgroup // lexically enclosing group, restored on exit
+	count   exec.Word  // unfinished member tasks, descendants included
+	waiting exec.Word  // a thread is blocked in the end-of-group wait
+	id      uint64     // spine group id
+}
+
+// Taskgroup runs fn with a taskgroup current, then waits until every
+// task generated inside — and every descendant of those tasks — has
+// completed (#pragma omp taskgroup). Unlike Taskwait it does not wait
+// on sibling tasks created before the construct, and unlike Taskwait it
+// does wait on deeper descendants. The waiting thread executes ready
+// tasks while it waits.
+func (w *Worker) Taskgroup(fn func(*Worker)) {
+	g := &taskgroup{parent: w.curGroup, id: w.team.rt.groupSeq.Add(1)}
+	w.emitTask(ompt.TaskgroupBegin, g.id, 0)
+	w.curGroup = g
+	fn(w)
+	w.curGroup = g.parent
+	w.emitSync(ompt.SyncAcquire, ompt.SyncTaskgroup, g.id)
+	for {
+		n := g.count.Load()
+		if n == 0 {
+			break
+		}
+		if w.runOneTask() {
+			continue
+		}
+		g.waiting.Store(1)
+		w.tc.FutexWait(&g.count, n)
+		g.waiting.Store(0)
+	}
+	w.emitSync(ompt.SyncAcquired, ompt.SyncTaskgroup, g.id)
+	w.emitTask(ompt.TaskgroupEnd, g.id, 0)
+}

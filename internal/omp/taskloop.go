@@ -20,13 +20,25 @@ type TaskloopOpt struct {
 // subsystem. Unlike a worksharing For, a single thread encounters the
 // construct and generates the tasks; the team executes them at task
 // scheduling points. The body receives the *executing* worker (tasks
-// migrate across threads). It ends with a taskwait unless NoGroup.
+// migrate across threads). Unless NoGroup, generation runs inside an
+// implicit Taskgroup, so the construct waits on exactly the tasks it
+// generated (and their descendants) — not on unrelated sibling tasks
+// the encountering thread created earlier, which a trailing Taskwait
+// would also block on.
 func (w *Worker) Taskloop(lo, hi int, opt TaskloopOpt, body func(w *Worker, i int)) {
+	if opt.NoGroup {
+		w.taskloopGen(lo, hi, opt, body)
+		return
+	}
+	w.Taskgroup(func(gw *Worker) {
+		gw.taskloopGen(lo, hi, opt, body)
+	})
+}
+
+// taskloopGen generates the taskloop's tasks into the current group.
+func (w *Worker) taskloopGen(lo, hi int, opt TaskloopOpt, body func(w *Worker, i int)) {
 	n := hi - lo
 	if n <= 0 {
-		if !opt.NoGroup {
-			w.Taskwait()
-		}
 		return
 	}
 	tasks := opt.NumTasks
@@ -48,9 +60,6 @@ func (w *Worker) Taskloop(lo, hi int, opt TaskloopOpt, body func(w *Worker, i in
 				body(tw, i)
 			}
 		})
-	}
-	if !opt.NoGroup {
-		w.Taskwait()
 	}
 }
 

@@ -131,6 +131,11 @@ type Team struct {
 
 	// Tasking.
 	pending exec.Word // tasks created and not yet finished
+	// sleepers counts threads parked in a barrier's futex wait. A task
+	// producer wakes one per ready task (and the barrier completer wakes
+	// all before draining), so a parked team turns into thieves instead
+	// of sleeping through the drain.
+	sleepers exec.Word
 
 	// Reduction state: per-thread contribution slots plus the fused
 	// combine-at-barrier protocol. redMark[i] is the reduction round
@@ -212,7 +217,7 @@ func newTeam(rt *Runtime, n int, fn func(*Worker)) *Team {
 	t.alive.Store(uint32(n))
 	t.resilient = rt.opts.Resilient
 	for i := 0; i < n; i++ {
-		t.workers[i] = &Worker{team: t, id: i}
+		t.workers[i] = &Worker{team: t, id: i, deque: newTaskDeque(rt.opts.TaskDeque)}
 	}
 	if n > 1 && rt.opts.BarrierAlgo == BarrierHier {
 		t.bar = newBarTree(n, rt.opts.BarrierFanout)
@@ -244,9 +249,10 @@ type Worker struct {
 	gone      exec.Word
 
 	// Tasking.
-	deque   taskDeque
-	curTask *task
-	stealRR int
+	deque    taskDeque
+	curTask  *task
+	curGroup *taskgroup
+	stealRR  int
 }
 
 // forkChildren dispatches this worker's children in the fork tree — a

@@ -75,6 +75,17 @@ const (
 	// fault (this runtime's resilience extension; no OMPT equivalent).
 	// Arg0 is the removed thread, Arg1 the live count after removal.
 	ShrinkTeam
+	// TaskDependence: a depend clause created an edge between two
+	// sibling tasks (ompt_callback_task_dependence). Obj is the sink
+	// (newly created) task id, Arg0 the source (predecessor) task id.
+	TaskDependence
+	// TaskgroupBegin / TaskgroupEnd: a taskgroup region opens and
+	// closes (ompt_callback_sync_region with
+	// ompt_sync_region_taskgroup). Obj is the group id; the wait at the
+	// end additionally emits SyncAcquire/SyncAcquired with
+	// SyncTaskgroup.
+	TaskgroupBegin
+	TaskgroupEnd
 
 	// KindCount is the number of event kinds.
 	KindCount
@@ -88,6 +99,7 @@ var kindNames = [KindCount]string{
 	"work-begin", "work-end", "dispatch-chunk",
 	"sync-acquire", "sync-acquired", "sync-release",
 	"team-shrink",
+	"task-dependence", "taskgroup-begin", "taskgroup-end",
 }
 
 func (k Kind) String() string {
@@ -116,9 +128,11 @@ const (
 	SyncTaskwait
 	// SyncFutex is a raw futex syscall (the PIK kernel-side view).
 	SyncFutex
+	// SyncTaskgroup is the wait at the end of a taskgroup region.
+	SyncTaskgroup
 )
 
-var syncNames = []string{"none", "barrier", "critical", "ordered", "lock", "taskwait", "futex"}
+var syncNames = []string{"none", "barrier", "critical", "ordered", "lock", "taskwait", "futex", "taskgroup"}
 
 func (s Sync) String() string {
 	if int(s) < len(syncNames) {

@@ -59,6 +59,8 @@ const (
 	catOrdered
 	catTaskwait
 	catFutex
+	catTaskDep
+	catTaskgroup
 	catThread
 	catShrink
 	catCount
@@ -69,6 +71,7 @@ var catNames = [catCount]string{
 	"loop-static", "loop-dynamic", "loop-guided", "sections", "single",
 	"chunk-dispatch", "task-create", "task-exec", "task-steal",
 	"critical-wait", "lock-wait", "ordered-wait", "taskwait", "futex-wait",
+	"task-dependence", "taskgroup-wait",
 	"thread", "team-shrink",
 }
 
@@ -91,6 +94,8 @@ func syncCat(s Sync) int {
 		return catTaskwait
 	case SyncFutex:
 		return catFutex
+	case SyncTaskgroup:
+		return catTaskgroup
 	}
 	return -1
 }
@@ -118,7 +123,7 @@ func NewProfile(sp *Spine) *Profile {
 		ThreadBegin, ThreadEnd,
 		ParallelBegin, ParallelEnd,
 		ImplicitTaskBegin, ImplicitTaskEnd,
-		TaskCreate, TaskSchedule, TaskComplete, TaskSteal,
+		TaskCreate, TaskSchedule, TaskComplete, TaskSteal, TaskDependence,
 		WorkBegin, WorkEnd, DispatchChunk,
 		SyncAcquire, SyncAcquired,
 		ShrinkTeam)
@@ -179,6 +184,8 @@ func (p *Profile) consume(ev Event) {
 		}
 	case TaskSteal:
 		p.add(catTaskSteal, 0)
+	case TaskDependence:
+		p.add(catTaskDep, 0)
 	case WorkBegin:
 		tp.work = append(tp.work, workOpen{kind: ev.Work, at: ev.TimeNS})
 	case WorkEnd:

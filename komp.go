@@ -43,6 +43,22 @@ type ForOpt = omp.ForOpt
 // TaskloopOpt configures a task-generating loop (Worker.Taskloop).
 type TaskloopOpt = omp.TaskloopOpt
 
+// TaskOpt carries the clauses of a task construct (Worker.TaskWith):
+// depend, final, and the if clause's undeferred path.
+type TaskOpt = omp.TaskOpt
+
+// Dep is one depend clause item; build them with In, Out and InOut.
+type Dep = omp.Dep
+
+// In returns a depend(in: *addr) clause item.
+func In(addr any) Dep { return omp.In(addr) }
+
+// Out returns a depend(out: *addr) clause item.
+func Out(addr any) Dep { return omp.Out(addr) }
+
+// InOut returns a depend(inout: *addr) clause item.
+func InOut(addr any) Dep { return omp.InOut(addr) }
+
 // Schedule kinds for worksharing loops.
 const (
 	Static  = omp.Static
