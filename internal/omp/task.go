@@ -22,6 +22,11 @@ type task struct {
 	// final marks a final task: it and every descendant execute
 	// undeferred (included tasks).
 	final bool
+	// undeferred marks a task the encountering thread runs inline
+	// (if(false) or final). When such a task is held on dependences the
+	// encountering thread waits in waitDeps; the releasing predecessor
+	// must wake that waiter instead of queueing the task.
+	undeferred bool
 
 	// Dependence state. deps is the address → last-accessor map this
 	// task's *children* resolve their depend clauses against; npred is
@@ -98,7 +103,7 @@ func (w *Worker) TaskWith(opt TaskOpt, fn func(*Worker)) {
 		tc.Charge(c.MallocNS + taskCreateNS)
 	}
 	t := &task{fn: fn, parent: parent, team: w.team, final: final,
-		group: w.curGroup, id: w.team.rt.taskSeq.Add(1)}
+		undeferred: undeferred, group: w.curGroup, id: w.team.rt.taskSeq.Add(1)}
 	w.emitTask(ompt.TaskCreate, t.id, 0)
 	parent.children.Add(1)
 	w.team.pending.Add(1)
@@ -112,8 +117,15 @@ func (w *Worker) TaskWith(opt TaskOpt, fn func(*Worker)) {
 		t.npred.Store(1)
 		w.registerDeps(t, opt.Depend)
 		if t.npred.Add(^uint32(0)) != 0 {
-			// Held: the last predecessor's completion queues it.
-			return
+			if !undeferred {
+				// Held: the last predecessor's completion queues it.
+				return
+			}
+			// An undeferred task must complete before the encountering
+			// thread passes the construct: wait out the predecessors
+			// (helping with ready tasks), then fall through to run the
+			// body inline.
+			w.waitDeps(t)
 		}
 	}
 	if !undeferred && w.cutoffHit() {
@@ -139,6 +151,24 @@ func (w *Worker) wakeThief() {
 	}
 }
 
+// waitDeps blocks the encountering thread until t's predecessors have
+// all finished (npred drained to zero), executing ready tasks while it
+// waits. Used for undeferred tasks held on dependences: the thread may
+// not proceed past the construct, so it helps until t becomes runnable
+// and then runs the body itself.
+func (w *Worker) waitDeps(t *task) {
+	for {
+		n := t.npred.Load()
+		if n == 0 {
+			return
+		}
+		if w.runOneTask() {
+			continue
+		}
+		w.tc.FutexWait(&t.npred, n)
+	}
+}
+
 // cutoffHit reports whether the cutoff throttle should serialize the
 // next task: the worker's own deque already holds TaskCutoff ready
 // tasks, so deferring more only grows queues (0 disables the throttle).
@@ -149,14 +179,17 @@ func (w *Worker) cutoffHit() bool {
 
 // runTaskBody executes t on this worker, maintaining the current-task
 // and current-taskgroup chains: tasks a body creates become children of
-// t and members of t's group, wherever the body was stolen to.
+// t and members of t's group, wherever the body was stolen to. The
+// restore is deferred so a panic unwinding out of the body (to a recover
+// in the region) cannot leave the worker parenting new tasks under a
+// dead task or group; completion accounting is still skipped on panic.
 func (w *Worker) runTaskBody(t *task) {
 	prevT, prevG := w.curTask, w.curGroup
 	w.curTask, w.curGroup = t, t.group
+	defer func() { w.curTask, w.curGroup = prevT, prevG }()
 	w.emitTask(ompt.TaskSchedule, t.id, 0)
 	t.fn(w)
 	w.emitTask(ompt.TaskComplete, t.id, 0)
-	w.curTask, w.curGroup = prevT, prevG
 }
 
 // finishTask propagates completion: dependent successors are released

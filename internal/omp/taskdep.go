@@ -107,7 +107,10 @@ func (w *Worker) registerDeps(t *task, deps []Dep) {
 }
 
 // addDepEdge makes succ wait on pred unless pred already finished (or
-// is succ itself, via a duplicate clause address).
+// is succ itself, via a duplicate clause address). npred is incremented
+// before the edge is published in pred.succs: once pred's completion can
+// see succ, the count already reflects the edge, so the release-side
+// decrement cannot collide with the creator's phantom removal.
 func (w *Worker) addDepEdge(pred, succ *task) {
 	if pred == nil || pred == succ {
 		return
@@ -117,9 +120,9 @@ func (w *Worker) addDepEdge(pred, succ *task) {
 		pred.depMu.Unlock()
 		return
 	}
+	succ.npred.Add(1)
 	pred.succs = append(pred.succs, succ)
 	pred.depMu.Unlock()
-	succ.npred.Add(1)
 	w.team.rt.TaskDepEdges.Add(1)
 	w.emitTask(ompt.TaskDependence, succ.id, int64(pred.id))
 }
@@ -139,8 +142,14 @@ func (w *Worker) releaseDeps(t *task) {
 func (w *Worker) releaseSuccs(succs []*task) {
 	for _, s := range succs {
 		if s.npred.Add(^uint32(0)) == 0 {
-			w.deque.push(w.tc, s)
-			w.wakeThief()
+			if s.undeferred {
+				// The encountering thread is in waitDeps, blocked on
+				// npred or busy helping; it runs the body inline.
+				w.tc.FutexWake(&s.npred, -1)
+			} else {
+				w.deque.push(w.tc, s)
+				w.wakeThief()
+			}
 		}
 	}
 }

@@ -326,6 +326,103 @@ func TestTaskloopNotBlockedByPriorSibling(t *testing.T) {
 	})
 }
 
+func TestTaskDependExactlyOnceUnderChurn(t *testing.T) {
+	// Regression for the registration/release race: a predecessor that
+	// finishes (on a thief) while the encountering thread is still
+	// registering a successor's edges must release the successor exactly
+	// once. Near-empty predecessor bodies maximize the window; a double
+	// release runs the successor twice and underflows the pending
+	// counters. The real-layer run doubles as the -race workload.
+	forBothLayers(t, Options{MaxThreads: 8, Bind: true}, func(rt *Runtime, tc exec.TC) {
+		const rounds = 300
+		runs := make([]atomic.Int64, rounds)
+		rt.Parallel(tc, 8, func(w *Worker) {
+			w.Master(func() {
+				var x int
+				for i := 0; i < rounds; i++ {
+					i := i
+					w.TaskWith(TaskOpt{Depend: []Dep{Out(&x)}}, func(*Worker) {})
+					w.TaskWith(TaskOpt{Depend: []Dep{InOut(&x)}}, func(*Worker) { runs[i].Add(1) })
+				}
+			})
+			w.Barrier()
+		})
+		for i := range runs {
+			if n := runs[i].Load(); n != 1 {
+				t.Fatalf("round %d successor ran %d times, want 1", i, n)
+			}
+		}
+	})
+}
+
+func TestUndeferredTaskWithDepsCompletesBeforeReturn(t *testing.T) {
+	// An undeferred task (if(false)) held on dependences must still
+	// complete before the encountering thread passes the construct, and
+	// must run on the encountering thread — not migrate to whichever
+	// worker releases it.
+	forBothLayers(t, Options{MaxThreads: 8, Bind: true}, func(rt *Runtime, tc exec.TC) {
+		var violated atomic.Int64
+		rt.Parallel(tc, 8, func(w *Worker) {
+			w.Master(func() {
+				var x int
+				var predDone, ran atomic.Int64
+				w.TaskWith(TaskOpt{Depend: []Dep{Out(&x)}}, func(tw *Worker) {
+					tw.TC().Charge(100_000)
+					predDone.Store(1)
+				})
+				w.TaskWith(TaskOpt{Undeferred: true, Depend: []Dep{In(&x)}}, func(tw *Worker) {
+					if predDone.Load() != 1 {
+						violated.Store(1) // ran before its predecessor finished
+					}
+					if tw != w {
+						violated.Store(2) // migrated off the encountering thread
+					}
+					ran.Store(1)
+				})
+				if ran.Load() != 1 {
+					violated.Store(3) // construct returned before the body ran
+				}
+			})
+			w.Barrier()
+		})
+		if v := violated.Load(); v != 0 {
+			t.Errorf("undeferred-with-deps semantics violated (code %d)", v)
+		}
+	})
+}
+
+func TestTaskgroupPanicRestoresCurrentGroup(t *testing.T) {
+	// A panic unwinding out of a taskgroup body to a recover in the
+	// region must not leave curGroup pointing at the dead group, which
+	// would silently enroll every later task in a group nobody waits on.
+	forBothLayers(t, Options{MaxThreads: 4, Bind: true}, func(rt *Runtime, tc exec.TC) {
+		var after atomic.Int64
+		var dangles atomic.Int64
+		rt.Parallel(tc, 4, func(w *Worker) {
+			w.Master(func() {
+				func() {
+					defer func() { _ = recover() }()
+					w.Taskgroup(func(*Worker) {
+						panic("taskgroup body panics")
+					})
+				}()
+				if w.curGroup != nil {
+					dangles.Store(1)
+				}
+				w.Task(func(*Worker) { after.Add(1) })
+				w.Taskwait()
+			})
+			w.Barrier()
+		})
+		if dangles.Load() != 0 {
+			t.Error("curGroup still points at the dead group after a recovered panic")
+		}
+		if after.Load() != 1 {
+			t.Errorf("post-panic task ran %d times, want 1", after.Load())
+		}
+	})
+}
+
 func TestTaskFinalRunsDescendantsUndeferred(t *testing.T) {
 	// final propagates: tasks created inside a final task are included
 	// tasks — they execute immediately on the encountering thread.

@@ -27,9 +27,7 @@ type taskgroup struct {
 func (w *Worker) Taskgroup(fn func(*Worker)) {
 	g := &taskgroup{parent: w.curGroup, id: w.team.rt.groupSeq.Add(1)}
 	w.emitTask(ompt.TaskgroupBegin, g.id, 0)
-	w.curGroup = g
-	fn(w)
-	w.curGroup = g.parent
+	w.runGroupBody(g, fn)
 	w.emitSync(ompt.SyncAcquire, ompt.SyncTaskgroup, g.id)
 	for {
 		n := g.count.Load()
@@ -45,4 +43,14 @@ func (w *Worker) Taskgroup(fn func(*Worker)) {
 	}
 	w.emitSync(ompt.SyncAcquired, ompt.SyncTaskgroup, g.id)
 	w.emitTask(ompt.TaskgroupEnd, g.id, 0)
+}
+
+// runGroupBody runs fn with g as the current group. The restore is
+// deferred so a panic unwinding out of fn (to a recover in the region
+// body) cannot leave curGroup pointing at a dead group that silently
+// enrolls later tasks; the end-of-group wait is still skipped on panic.
+func (w *Worker) runGroupBody(g *taskgroup, fn func(*Worker)) {
+	w.curGroup = g
+	defer func() { w.curGroup = g.parent }()
+	fn(w)
 }
