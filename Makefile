@@ -21,8 +21,8 @@ race:
 figures:
 	go run ./cmd/kompbench -quick
 
-# bench-smoke runs the EPCC figures, the barrier-topology and tasking
-# ablations, and the per-construct profile twice at -quick scale and
+# bench-smoke runs the EPCC figures, the barrier-topology, tasking and
+# affinity ablations, and the per-construct profile twice at -quick scale and
 # diffs the outputs byte-for-byte: stdout must be a pure function of the
 # seed (simulator determinism). Not part of `verify` (it costs a couple
 # of builds) but documented next to it in ROADMAP.md; run it when
@@ -35,6 +35,7 @@ bench-smoke:
 		  go run ./cmd/kompbench -quick -figure fig13 && \
 		  go run ./cmd/kompbench -quick -ablation barrier && \
 		  go run ./cmd/kompbench -quick -ablation tasking && \
+		  go run ./cmd/kompbench -quick -ablation affinity && \
 		  go run ./cmd/kompbench -quick -profile ) \
 		  > /tmp/komp-bench-smoke/run$$run.txt 2>/dev/null || exit 1; \
 	done

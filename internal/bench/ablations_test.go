@@ -7,10 +7,10 @@ import (
 
 func TestAblationRegistry(t *testing.T) {
 	abs := Ablations()
-	if len(abs) != 8 {
+	if len(abs) != 9 {
 		t.Fatalf("ablations = %d", len(abs))
 	}
-	for _, id := range []string{"ab-firsttouch", "ab-pthread", "ab-chunk", "ab-privatization", "barrier", "tasking", "faults"} {
+	for _, id := range []string{"ab-firsttouch", "ab-pthread", "ab-chunk", "ab-privatization", "barrier", "tasking", "affinity", "faults"} {
 		if _, ok := AblationByID(id); !ok {
 			t.Fatalf("missing %s", id)
 		}
@@ -79,6 +79,22 @@ func TestAblationTaskingShape(t *testing.T) {
 	}
 	out := b.String()
 	for _, want := range []string{"chase-lev", "mutex", "spread OK", "nk-automp"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ablation output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAblationAffinityShape(t *testing.T) {
+	// AblationAffinity itself errors when a close-bound team on the
+	// affinity schedule fails to measurably beat the unbound baseline
+	// under a roving master, so a clean return is most of the assertion.
+	var b strings.Builder
+	if err := AblationAffinity(&b, Options{Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"close", "spread", "affinity", "faster", "locality immaterial", "near", "rr"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("ablation output missing %q:\n%s", want, out)
 		}

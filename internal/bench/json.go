@@ -41,6 +41,17 @@ type Record struct {
 	TasksPerMS float64 `json:"tasks_per_ms,omitempty"`
 	Steals     int64   `json:"steals,omitempty"`
 	Cutoffs    int64   `json:"cutoffs,omitempty"`
+	// Bind and Places identify an affinity-ablation cell: the
+	// OMP_PROC_BIND policy and the OMP_PLACES spec the team ran under.
+	Bind   string `json:"bind,omitempty"`
+	Places string `json:"places,omitempty"`
+	// LocalFrac is the fraction of an affinity-ablation run's memory
+	// accesses (or steals) that stayed NUMA-local; LocalSteals and
+	// RemoteSteals split the run's task steals by whether thief and
+	// victim shared a socket.
+	LocalFrac    float64 `json:"local_frac,omitempty"`
+	LocalSteals  int64   `json:"local_steals,omitempty"`
+	RemoteSteals int64   `json:"remote_steals,omitempty"`
 }
 
 // Recorder accumulates Records alongside a figure run. All methods are

@@ -23,6 +23,7 @@ import (
 	"github.com/interweaving/komp/internal/nautilus"
 	"github.com/interweaving/komp/internal/omp"
 	"github.com/interweaving/komp/internal/ompt"
+	"github.com/interweaving/komp/internal/places"
 	"github.com/interweaving/komp/internal/pthread"
 	"github.com/interweaving/komp/internal/virgil"
 )
@@ -98,6 +99,14 @@ type Config struct {
 	TaskDeque      omp.TaskDequeAlgo
 	TaskCutoff     int
 	TaskStealTries int
+	// Places is an OMP_PLACES-style specification parsed over the
+	// machine's topology (empty = one place per core); ProcBind the
+	// OMP_PROC_BIND policy (zero value defers to the legacy close-over-
+	// cores placement); StealOrder the task-steal victim sweep order.
+	// Exposed for the affinity ablation.
+	Places     string
+	ProcBind   places.Bind
+	StealOrder omp.StealOrder
 	// Spine, if non-nil, is threaded through every layer the environment
 	// assembles — the exec layer (thread events), the OpenMP runtime or
 	// VIRGIL, and the kernel facilities — so one tool observes the whole
@@ -130,6 +139,9 @@ type Env struct {
 	taskDeque      omp.TaskDequeAlgo
 	taskCutoff     int
 	taskStealTries int
+	placesSpec     string
+	procBind       places.Bind
+	stealOrder     omp.StealOrder
 	spine          *ompt.Spine
 }
 
@@ -150,6 +162,7 @@ func New(cfg Config) *Env {
 	e := &Env{Kind: cfg.Kind, Machine: m, tlb: memsim.TLBModel{Machine: m}, threads: threads,
 		barrierAlgo: cfg.BarrierAlgo, barrierFanout: cfg.BarrierFanout,
 		taskDeque: cfg.TaskDeque, taskCutoff: cfg.TaskCutoff, taskStealTries: cfg.TaskStealTries,
+		placesSpec: cfg.Places, procBind: cfg.ProcBind, stealOrder: cfg.StealOrder,
 		spine: cfg.Spine}
 
 	switch cfg.Kind {
@@ -215,9 +228,18 @@ func (e *Env) OMPRuntime() *omp.Runtime {
 	if e.Kind == CCK {
 		panic("core: CCK has no OpenMP runtime to instantiate")
 	}
+	part, err := places.Parse(e.placesSpec, places.ForMachine(e.Machine))
+	if err != nil {
+		// Config.Places is programmatic, not user environment: a spec the
+		// machine cannot satisfy is a configuration bug.
+		panic(fmt.Sprintf("core: %v", err))
+	}
 	opts := omp.Options{
 		MaxThreads:     e.threads,
 		Bind:           true,
+		Places:         part,
+		ProcBind:       e.procBind,
+		StealOrder:     e.stealOrder,
 		PthreadImpl:    e.pthreadImpl,
 		BarrierAlgo:    e.barrierAlgo,
 		BarrierFanout:  e.barrierFanout,

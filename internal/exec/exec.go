@@ -117,6 +117,17 @@ type TC interface {
 	RandIntn(n int) int
 }
 
+// Mover is implemented by thread contexts whose CPU binding can change
+// after spawn. The OpenMP affinity subsystem uses it to re-place pooled
+// workers per parallel region (proc_bind) without recreating threads: on
+// the simulator the proc really migrates (subsequent Compute runs on the
+// new virtual CPU), on the real layer the hint feeds CPU-tagged
+// accounting and instrumentation. MoveCPU must only be called by the
+// thread that owns the context.
+type Mover interface {
+	MoveCPU(cpu int)
+}
+
 // Layer is an execution substrate.
 type Layer interface {
 	// NumCPUs returns the number of CPUs.

@@ -92,6 +92,7 @@ func (t *realTC) CPU() int                  { return t.cpu }
 func (t *realTC) NumCPUs() int              { return t.layer.ncpu }
 func (t *realTC) Costs() *Costs             { return &t.layer.costs }
 func (t *realTC) Charge(ns int64)           {}
+func (t *realTC) MoveCPU(cpu int)           { t.cpu = cpu }
 func (t *realTC) Contend(l *Line, ns int64) {}
 func (t *realTC) Now() int64                { return time.Since(t.layer.start).Nanoseconds() }
 func (t *realTC) Yield()                    { runtime.Gosched() }

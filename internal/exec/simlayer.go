@@ -102,7 +102,12 @@ func (t *simTC) Proc() *sim.Proc { return t.proc }
 // the thread-spawn path.
 func (l *SimLayer) AdoptProc(p *sim.Proc) TC { return &simTC{layer: l, proc: p} }
 
-func (t *simTC) CPU() int      { return t.proc.CPUID() }
+func (t *simTC) CPU() int { return t.proc.CPUID() }
+
+// MoveCPU rebinds the proc; the move takes effect at the next compute
+// segment (sim.Proc.SetCPU).
+func (t *simTC) MoveCPU(cpu int) { t.proc.SetCPU(cpu) }
+
 func (t *simTC) NumCPUs() int  { return t.layer.Sim.NumCPU() }
 func (t *simTC) Costs() *Costs { return &t.layer.costs }
 

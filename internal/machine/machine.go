@@ -48,6 +48,11 @@ type Machine struct {
 	Name           string
 	Sockets        int
 	CoresPerSocket int
+	// ThreadsPerCore is the SMT width (hardware threads per core).
+	// 0 means 1 — hyperthreading off, as both paper machines are
+	// configured. CPU ids enumerate hardware threads: the threads of one
+	// core are consecutive, cores of one socket are consecutive.
+	ThreadsPerCore int
 	GHz            float64
 
 	Zones []Zone
@@ -66,15 +71,37 @@ type Machine struct {
 	Scales []int
 }
 
-// NumCPUs returns the total hardware thread count with hyperthreading off,
-// as configured in the paper.
-func (m *Machine) NumCPUs() int { return m.Sockets * m.CoresPerSocket }
+// SMT returns the effective SMT width (ThreadsPerCore, never below 1).
+func (m *Machine) SMT() int {
+	if m.ThreadsPerCore > 1 {
+		return m.ThreadsPerCore
+	}
+	return 1
+}
+
+// NumCPUs returns the total hardware thread count (both paper machines
+// run with hyperthreading off, so it equals the core count there).
+func (m *Machine) NumCPUs() int { return m.Sockets * m.CoresPerSocket * m.SMT() }
 
 // CycleNS converts cycles to nanoseconds on this machine.
 func (m *Machine) CycleNS(cycles float64) float64 { return cycles / m.GHz }
 
 // SocketOf returns the socket that owns the given CPU.
-func (m *Machine) SocketOf(cpu int) int { return cpu / m.CoresPerSocket }
+func (m *Machine) SocketOf(cpu int) int { return cpu / (m.CoresPerSocket * m.SMT()) }
+
+// CoreOf returns the physical core that owns the given CPU (equal to the
+// CPU id when hyperthreading is off).
+func (m *Machine) CoreOf(cpu int) int { return cpu / m.SMT() }
+
+// Dist returns the relative NUMA distance between the zones of two CPUs,
+// in the ACPI SLIT convention the Distance matrix uses (10 = local).
+func (m *Machine) Dist(a, b int) int {
+	za, zb := m.ZoneOf(a), m.ZoneOf(b)
+	if za == zb {
+		return 10
+	}
+	return m.Distance[za][zb]
+}
 
 // ZoneOf returns the id of the DRAM zone local to the given CPU.
 func (m *Machine) ZoneOf(cpu int) int {

@@ -14,6 +14,8 @@ func workKind(s Schedule) ompt.Work {
 		return ompt.WorkLoopDynamic
 	case Guided:
 		return ompt.WorkLoopGuided
+	case Affinity:
+		return ompt.WorkLoopAffinity
 	}
 	return ompt.WorkLoopStatic
 }
@@ -48,6 +50,29 @@ func (w *Worker) emitWork(k ompt.Kind, wk ompt.Work, obj uint64, a0, a1 int64) {
 	}
 	sp.Emit(ompt.Event{Kind: k, Work: wk, Thread: int32(w.id), CPU: int32(w.tc.CPU()),
 		TimeNS: w.tc.Now(), Region: w.team.region, Obj: obj, Arg0: a0, Arg1: a1})
+}
+
+// emitBind publishes a worker's placement for the region: Obj is the
+// assigned CPU, Arg0 the place index (-1 for a proc_bind(false)
+// migration, which lands on CPUs, not places), and Arg1 the number of
+// lower-numbered teammates bound to the same CPU — nonzero Arg1 is the
+// oversubscription signal.
+func (w *Worker) emitBind(cpu int) {
+	sp := w.team.rt.spine
+	if !sp.Enabled(ompt.ThreadBind) {
+		return
+	}
+	place, occ := int64(-1), int64(0)
+	if cpus := w.team.cpus; cpus != nil {
+		place = int64(w.team.rt.opts.Places.PlaceOf(cpu))
+		for j := 0; j < w.id; j++ {
+			if cpus[j] == cpu {
+				occ++
+			}
+		}
+	}
+	sp.Emit(ompt.Event{Kind: ompt.ThreadBind, Thread: int32(w.id), CPU: int32(cpu),
+		TimeNS: w.tc.Now(), Region: w.team.region, Obj: uint64(cpu), Arg0: place, Arg1: occ})
 }
 
 // emitTask emits an explicit-task event against task id obj; a0 is

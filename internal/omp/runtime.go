@@ -21,6 +21,7 @@ import (
 
 	"github.com/interweaving/komp/internal/exec"
 	"github.com/interweaving/komp/internal/ompt"
+	"github.com/interweaving/komp/internal/places"
 	"github.com/interweaving/komp/internal/pthread"
 	"github.com/interweaving/komp/internal/trace"
 )
@@ -33,6 +34,13 @@ const (
 	Static Schedule = iota
 	Dynamic
 	Guided
+	// Affinity is the locality-aware static schedule: the block partition
+	// is keyed on each worker's rank in place (CPU) order rather than its
+	// thread id, so repeated loops over the same range keep the same
+	// chunk→CPU mapping whatever permutation the binding policy dealt the
+	// thread numbers — first-touched pages stay local on later passes.
+	// Without a managed binding it degenerates to plain static.
+	Affinity
 )
 
 func (s Schedule) String() string {
@@ -41,6 +49,8 @@ func (s Schedule) String() string {
 		return "dynamic"
 	case Guided:
 		return "guided"
+	case Affinity:
+		return "affinity"
 	default:
 		return "static"
 	}
@@ -57,6 +67,8 @@ func ParseSchedule(s string) (Schedule, int, error) {
 		kind = Dynamic
 	case "guided":
 		kind = Guided
+	case "affinity":
+		kind = Affinity
 	default:
 		return 0, 0, fmt.Errorf("omp: unknown schedule %q", parts[0])
 	}
@@ -117,6 +129,46 @@ func ParseBarrierAlgo(s string) (BarrierAlgo, error) {
 	return 0, fmt.Errorf("omp: unknown barrier algorithm %q", s)
 }
 
+// StealOrder selects the order a thief sweeps victims in.
+type StealOrder int
+
+// Steal sweep orders.
+const (
+	// StealAuto (the default): nearest-first when the team has a managed
+	// placement, round-robin otherwise.
+	StealAuto StealOrder = iota
+	// StealNear probes victims nearest-socket-first — same place, then
+	// same socket, then remote by increasing NUMA distance — rotating
+	// within each ring, so steals stay local while local work exists.
+	StealNear
+	// StealRR is the flat round-robin sweep (the pre-places behavior).
+	StealRR
+)
+
+func (s StealOrder) String() string {
+	switch s {
+	case StealNear:
+		return "near"
+	case StealRR:
+		return "rr"
+	default:
+		return "auto"
+	}
+}
+
+// ParseStealOrder parses a KOMP_STEAL_ORDER-style string.
+func ParseStealOrder(s string) (StealOrder, error) {
+	switch strings.TrimSpace(strings.ToLower(s)) {
+	case "auto":
+		return StealAuto, nil
+	case "near", "nearest":
+		return StealNear, nil
+	case "rr", "round-robin":
+		return StealRR, nil
+	}
+	return 0, fmt.Errorf("omp: unknown steal order %q", s)
+}
+
 // Options configures the runtime (the internal control variables).
 type Options struct {
 	// MaxThreads caps the pool; 0 means the layer's CPU count.
@@ -128,8 +180,35 @@ type Options struct {
 	// (OMP_SCHEDULE).
 	Schedule Schedule
 	Chunk    int
-	// Bind pins worker i to CPU i (OMP_PROC_BIND=true). HPC runs bind.
+	// Bind pins workers to CPUs (the legacy flag; OMP_PROC_BIND=true).
+	// When ProcBind is BindDefault it maps to close binding over the
+	// Places partition, which reproduces the historic worker-i-on-CPU-i
+	// placement while the team fits the machine; when the team does not
+	// fit, workers pack ceil(threads/places) per place and each stacked
+	// worker is surfaced with a ThreadBind event whose Arg1 > 0 (the
+	// oversubscription signal — the old modulo wrap stacked silently).
+	// HPC runs bind.
 	Bind bool
+	// Places is the place partition binding resolves against. nil means
+	// PlacesSpec (or its default, one place per core) parsed over a flat
+	// view of the layer's CPUs; environments with a machine model pass a
+	// topology-aware partition instead.
+	Places *places.Partition
+	// PlacesSpec is an OMP_PLACES-style specification — abstract names
+	// threads|cores|sockets with an optional (n) count, or explicit
+	// {lo[:len[:stride]]} interval lists — parsed by New when Places is
+	// nil. Invalid specs panic at New; Env pre-validates the grammar so
+	// environment-driven configs fail with an error instead.
+	PlacesSpec string
+	// ProcBind is the OMP_PROC_BIND policy: master, close or spread place
+	// the team's workers; false leaves them unmanaged and (on the
+	// simulated layer) deterministically migrating between regions the
+	// way unbound threads drift under a general-purpose scheduler.
+	// BindDefault defers to the legacy Bind flag.
+	ProcBind places.Bind
+	// StealOrder selects the task-steal victim sweep order
+	// (KOMP_STEAL_ORDER; default nearest-first when placed).
+	StealOrder StealOrder
 	// PthreadImpl selects the pthread layer variant beneath the runtime
 	// (NPTL for Linux/PIK, PTE or Custom for RTK).
 	PthreadImpl pthread.Impl
@@ -233,6 +312,32 @@ func (o *Options) Env(lookup func(string) (string, bool)) error {
 		}
 		o.TaskStealTries = n
 	}
+	if v, ok := lookup("OMP_PLACES"); ok {
+		// The real topology is not known until New; validate the grammar
+		// here against an effectively unbounded flat topology so spec
+		// errors surface as errors, not as a panic later.
+		if _, err := places.Parse(v, places.Flat(1<<20)); err != nil {
+			return fmt.Errorf("omp: OMP_PLACES=%q: %v", v, err)
+		}
+		o.PlacesSpec = v
+	}
+	if v, ok := lookup("OMP_PROC_BIND"); ok {
+		b, err := places.ParseBind(v)
+		if err != nil {
+			return fmt.Errorf("omp: OMP_PROC_BIND=%q: %v", v, err)
+		}
+		o.ProcBind = b
+		if b != places.BindFalse {
+			o.Bind = true
+		}
+	}
+	if v, ok := lookup("KOMP_STEAL_ORDER"); ok {
+		so, err := ParseStealOrder(v)
+		if err != nil {
+			return fmt.Errorf("omp: KOMP_STEAL_ORDER=%q: %v", v, err)
+		}
+		o.StealOrder = so
+	}
 	return nil
 }
 
@@ -261,6 +366,11 @@ type Runtime struct {
 	TaskSteals   atomic.Int64
 	TaskDepEdges atomic.Int64
 	TaskCutoffs  atomic.Int64
+	// LocalSteals / RemoteSteals split TaskSteals by whether thief and
+	// victim sat on the same socket (only counted when the team has a
+	// managed placement).
+	LocalSteals  atomic.Int64
+	RemoteSteals atomic.Int64
 }
 
 // critEntry pairs a named critical section's mutex with its spine id.
@@ -286,6 +396,16 @@ func New(layer exec.Layer, opts Options) *Runtime {
 	if opts.ForkFanout < 1 {
 		opts.ForkFanout = 4
 	}
+	if opts.Places == nil {
+		p, err := places.Parse(opts.PlacesSpec, places.Flat(layer.NumCPUs()))
+		if err != nil {
+			// Env pre-validates the grammar; only a spec naming CPUs the
+			// layer does not have reaches here, which is a configuration
+			// bug, not a runtime condition.
+			panic(fmt.Sprintf("omp: invalid places spec: %v", err))
+		}
+		opts.Places = p
+	}
 	if opts.Tracer != nil {
 		// The tracer is just the first spine consumer: give it a spine
 		// to listen on if the caller did not provide one.
@@ -305,6 +425,36 @@ func New(layer exec.Layer, opts Options) *Runtime {
 
 // Spine returns the runtime's instrumentation spine (nil when disabled).
 func (rt *Runtime) Spine() *ompt.Spine { return rt.spine }
+
+// Places returns the runtime's place partition.
+func (rt *Runtime) Places() *places.Partition { return rt.opts.Places }
+
+// procBind resolves the effective binding policy: an explicit ProcBind
+// wins; BindDefault maps the legacy Bind flag to close binding (which
+// reproduces the historic worker-i-on-CPU-i placement while the team
+// fits) or to fully unmanaged workers.
+func (rt *Runtime) procBind() places.Bind {
+	if b := rt.opts.ProcBind; b != places.BindDefault {
+		return b
+	}
+	if rt.opts.Bind {
+		return places.BindClose
+	}
+	return places.BindDefault // unmanaged: the legacy unbound path
+}
+
+// stealNear reports whether thieves should sweep victims nearest-first
+// for a team with placement cpus (nil means unplaced).
+func (rt *Runtime) stealNear(cpus []int) bool {
+	switch rt.opts.StealOrder {
+	case StealNear:
+		return cpus != nil
+	case StealRR:
+		return false
+	default:
+		return cpus != nil
+	}
+}
 
 // Layer returns the runtime's execution layer.
 func (rt *Runtime) Layer() exec.Layer { return rt.layer }

@@ -213,10 +213,11 @@ func (w *Worker) finishTask(t *task) {
 }
 
 // runOneTask executes one ready task: own deque first (bottom), then
-// steals from teammates (top). A sweep probes at most TaskStealTries
-// victims round-robin; the start point rotates even when the sweep
-// fails, so retries do not rescan the same victims in the same order.
-// It reports whether a task ran.
+// steals from teammates (top). Placed teams sweep victims nearest-first
+// (stealNearest); unplaced teams — and KOMP_STEAL_ORDER=rr — probe at
+// most TaskStealTries victims round-robin, with the start point rotating
+// even when the sweep fails so retries do not rescan the same victims in
+// the same order. It reports whether a task ran.
 func (w *Worker) runOneTask() bool {
 	tc := w.tc
 	if t := w.deque.pop(tc); t != nil {
@@ -224,6 +225,9 @@ func (w *Worker) runOneTask() bool {
 		w.runTaskBody(t)
 		w.finishTask(t)
 		return true
+	}
+	if w.team.rt.stealNear(w.team.cpus) {
+		return w.stealNearest()
 	}
 	n := w.team.n
 	tries := w.team.rt.opts.TaskStealTries
@@ -238,16 +242,74 @@ func (w *Worker) runOneTask() bool {
 		}
 		if t := victim.deque.steal(tc); t != nil {
 			w.stealRR = (start + k) % n
-			tc.Charge(taskDispatchNS)
-			w.team.rt.TaskSteals.Add(1)
-			w.emitTask(ompt.TaskSteal, t.id, int64(victim.id))
-			w.runTaskBody(t)
-			w.finishTask(t)
+			w.finishSteal(tc, victim, t)
 			return true
 		}
 	}
 	w.stealRR = (start + 1) % n
 	return false
+}
+
+// stealNearest sweeps victims in NUMA order: the same-place ring, then
+// the same-socket ring, then remote victims by increasing distance —
+// rotating within each ring independently, so repeated sweeps spread
+// load across equally-near victims before ever going remote. The
+// TaskStealTries budget bounds total probes, spent near-to-far.
+func (w *Worker) stealNearest() bool {
+	if w.stealOrder == nil {
+		w.stealOrder, w.stealRings = w.team.rt.opts.Places.StealOrder(w.id, w.team.cpus)
+	}
+	order := w.stealOrder
+	tc := w.tc
+	tries := w.team.rt.opts.TaskStealTries
+	if tries <= 0 || tries > len(order) {
+		tries = len(order)
+	}
+	probed, lo := 0, 0
+	for r := 0; r < 3 && probed < tries; r++ {
+		hi := len(order)
+		if r < 2 {
+			hi = w.stealRings[r]
+		}
+		size := hi - lo
+		if size <= 0 {
+			lo = hi
+			continue
+		}
+		cur := w.stealCur[r] % size
+		for k := 0; k < size && probed < tries; k++ {
+			victim := w.team.workers[order[lo+(cur+k)%size]]
+			probed++
+			if t := victim.deque.steal(tc); t != nil {
+				// The next sweep starts at this victim again: it had work.
+				w.stealCur[r] = (cur + k) % size
+				w.finishSteal(tc, victim, t)
+				return true
+			}
+		}
+		w.stealCur[r] = (cur + 1) % size
+		lo = hi
+	}
+	return false
+}
+
+// finishSteal accounts for and runs a stolen task, splitting the steal
+// counter by thief/victim socket locality when the team is placed.
+func (w *Worker) finishSteal(tc exec.TC, victim *Worker, t *task) {
+	tc.Charge(taskDispatchNS)
+	rt := w.team.rt
+	rt.TaskSteals.Add(1)
+	if cpus := w.team.cpus; cpus != nil {
+		p := rt.opts.Places
+		if p.SocketOf(cpus[w.id]) == p.SocketOf(cpus[victim.id]) {
+			rt.LocalSteals.Add(1)
+		} else {
+			rt.RemoteSteals.Add(1)
+		}
+	}
+	w.emitTask(ompt.TaskSteal, t.id, int64(victim.id))
+	w.runTaskBody(t)
+	w.finishTask(t)
 }
 
 // Taskwait blocks until all child tasks of the current task complete,

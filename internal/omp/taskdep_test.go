@@ -488,7 +488,9 @@ func TestTaskCutoffThrottles(t *testing.T) {
 func TestStealRotatesOnFailedSweep(t *testing.T) {
 	// A failed sweep must still advance the rotation start so the next
 	// sweep probes a shifted victim window (the stealRR regression).
-	run(t, testLayers()["sim"], Options{MaxThreads: 4, Bind: true}, func(rt *Runtime, tc exec.TC) {
+	// Pins the round-robin sweep: placed teams default to nearest-first,
+	// which rotates per-ring cursors instead (TestStealNearestRotates).
+	run(t, testLayers()["sim"], Options{MaxThreads: 4, Bind: true, StealOrder: StealRR}, func(rt *Runtime, tc exec.TC) {
 		var violated atomic.Int64
 		rt.Parallel(tc, 4, func(w *Worker) {
 			before := w.stealRR

@@ -5,6 +5,7 @@ import (
 
 	"github.com/interweaving/komp/internal/exec"
 	"github.com/interweaving/komp/internal/ompt"
+	"github.com/interweaving/komp/internal/places"
 	"github.com/interweaving/komp/internal/pthread"
 )
 
@@ -32,10 +33,20 @@ func (rt *Runtime) ensurePool(tc exec.TC) *pool {
 		return rt.pool
 	}
 	p := &pool{rt: rt}
+	// Pool-level placement: under a managed binding the affinity
+	// subsystem assigns each slot a CPU of its place (close over the
+	// default per-core partition reproduces the historic worker-i-on-
+	// CPU-i pinning while the pool fits the machine). Per-region
+	// placement in workerLoop re-pins workers when a region's policy
+	// assignment differs.
+	var cpus []int
+	if bind := rt.procBind(); bind != places.BindDefault && bind != places.BindFalse {
+		cpus = rt.opts.Places.Assign(rt.opts.MaxThreads, bind, tc.CPU())
+	}
 	for i := 1; i < rt.opts.MaxThreads; i++ {
 		pw := &poolWorker{id: i, cpu: -1}
-		if rt.opts.Bind {
-			pw.cpu = i % rt.layer.NumCPUs()
+		if cpus != nil {
+			pw.cpu = cpus[i]
 		}
 		pw.th = rt.lib.Create(tc, pthread.Attr{CPU: pw.cpu}, func(wtc exec.TC) {
 			p.workerLoop(wtc, pw)
@@ -60,6 +71,7 @@ func (p *pool) workerLoop(tc exec.TC, pw *poolWorker) {
 		}
 	}()
 	gen := uint32(0)
+	cpu := pw.cpu // current binding; pw.cpu stays the pool-level one
 	for {
 		for pw.gate.Load() == gen {
 			tc.FutexWait(&pw.gate, gen)
@@ -72,6 +84,18 @@ func (p *pool) workerLoop(tc exec.TC, pw *poolWorker) {
 		w := team.workers[pw.id]
 		w.tc = tc
 		w.pw = pw
+		// Region placement: re-pin to this region's assigned CPU (the
+		// binding policy may place a small team differently than the
+		// pool), or migrate deterministically under proc_bind(false).
+		if want, ok := team.slotCPU(pw.id, gen); ok {
+			if want != cpu {
+				if mv, ok := tc.(exec.Mover); ok {
+					mv.MoveCPU(want)
+				}
+				cpu = want
+			}
+			w.emitBind(cpu)
+		}
 		// Forward the fork tree before anything else — even a doomed
 		// worker must dispatch its subtree, or the descendants would
 		// never wake.
@@ -105,6 +129,16 @@ type Team struct {
 	region uint64 // spine region id
 
 	workers []*Worker
+
+	// cpus is the region's placement: cpus[i] is the CPU the binding
+	// policy assigned to team slot i (nil when workers are unmanaged).
+	// The worksharing Affinity schedule and the nearest-first steal
+	// order key on it.
+	cpus []int
+	// migrate marks a proc_bind(false) team: workers are re-bound to a
+	// deterministic per-region rotation, modeling unbound threads
+	// drifting under a general-purpose scheduler.
+	migrate bool
 
 	// alive is the live team size: n minus workers lost to CPU-offline
 	// faults. On a fault-free run it stays n, and every comparison
@@ -188,8 +222,12 @@ func (rt *Runtime) Parallel(tc exec.TC, n int, fn func(*Worker)) {
 		rt.ensurePool(tc)
 		team := newTeam(rt, n, fn)
 		team.region = region
+		rt.placeTeam(team, tc.CPU())
 		master := team.workers[0]
 		master.tc = tc
+		if team.cpus != nil {
+			master.emitBind(team.cpus[0])
+		}
 		// Tree fork: the master dispatches only its fanout children; woken
 		// workers forward the rest, so the serialized fork cost on the
 		// master is O(fanout · log n) instead of the linear wake loop.
@@ -225,6 +263,34 @@ func newTeam(rt *Runtime, n int, fn func(*Worker)) *Team {
 	return t
 }
 
+// placeTeam computes the region's worker placement from the binding
+// policy: master/close/spread assign each slot a CPU of its place,
+// proc_bind(false) arms per-region migration, and the legacy unmanaged
+// mode (no ProcBind, Bind off) leaves the team placement-free.
+func (rt *Runtime) placeTeam(t *Team, masterCPU int) {
+	switch bind := rt.procBind(); bind {
+	case places.BindDefault:
+	case places.BindFalse:
+		t.migrate = true
+	default:
+		t.cpus = rt.opts.Places.Assign(t.n, bind, masterCPU)
+	}
+}
+
+// slotCPU returns the CPU team slot id runs the region on: its assigned
+// place CPU under a managed binding, or — under proc_bind(false) — a
+// deterministic per-generation rotation that models unbound threads
+// drifting across the machine. ok is false for unmanaged teams.
+func (t *Team) slotCPU(id int, gen uint32) (cpu int, ok bool) {
+	if t.cpus != nil {
+		return t.cpus[id], true
+	}
+	if t.migrate {
+		return (id + int(gen)*7) % t.rt.layer.NumCPUs(), true
+	}
+	return 0, false
+}
+
 // Worker is a thread's view of a parallel region: the receiver for every
 // OpenMP construct.
 type Worker struct {
@@ -253,6 +319,31 @@ type Worker struct {
 	curTask  *task
 	curGroup *taskgroup
 	stealRR  int
+	// stealOrder/stealRings are the nearest-first victim sweep — teammate
+	// slots ordered same place, same socket, then remote by distance —
+	// built lazily at this worker's first steal of a placed team;
+	// stealCur rotates each ring independently.
+	stealOrder []int
+	stealRings []int
+	stealCur   [3]int
+}
+
+// placeRank returns this worker's rank in the team's CPU order (ties by
+// thread id) — the key the Affinity schedule partitions by — or the
+// thread id itself when the team has no placement.
+func (w *Worker) placeRank() int {
+	cpus := w.team.cpus
+	if cpus == nil {
+		return w.id
+	}
+	my := cpus[w.id]
+	r := 0
+	for j, c := range cpus {
+		if c < my || (c == my && j < w.id) {
+			r++
+		}
+	}
+	return r
 }
 
 // forkChildren dispatches this worker's children in the fork tree — a

@@ -61,7 +61,7 @@ func (w *Worker) For(lo, hi int, opt ForOpt, body func(lo, hi int)) {
 	seq := uint64(w.loopSeen)
 	w.emitWork(ompt.WorkBegin, wk, seq, int64(lo), int64(hi))
 	sched := opt.Sched
-	if sched == Static && w.team.resilient {
+	if (sched == Static || sched == Affinity) && w.team.resilient {
 		// Under team shrink a block partition computed from the team
 		// size would silently lose a dead worker's block; degrade to
 		// shared-counter chunk claiming so every iteration is claimed
@@ -79,31 +79,16 @@ func (w *Worker) For(lo, hi int, opt ForOpt, body func(lo, hi int)) {
 	switch sched {
 	case Static:
 		w.tc.Charge(staticSetupNS)
-		if opt.Chunk <= 0 {
-			// Block partition.
-			total := hi - lo
-			base := total / n
-			rem := total % n
-			myLo := lo + w.id*base + min(w.id, rem)
-			myHi := myLo + base
-			if w.id < rem {
-				myHi++
-			}
-			if myLo < myHi {
-				w.emitWork(ompt.DispatchChunk, wk, seq, int64(myLo), int64(myHi))
-				body(myLo, myHi)
-			}
-		} else {
-			// Round-robin chunks.
-			for s := lo + w.id*opt.Chunk; s < hi; s += n * opt.Chunk {
-				e := s + opt.Chunk
-				if e > hi {
-					e = hi
-				}
-				w.emitWork(ompt.DispatchChunk, wk, seq, int64(s), int64(e))
-				body(s, e)
-			}
-		}
+		w.staticChunks(w.id, lo, hi, opt.Chunk, wk, seq, body)
+	case Affinity:
+		// Identical block math to static, but blocks are dealt by the
+		// worker's rank in place (CPU) order instead of its thread id, so
+		// the chunk→CPU mapping survives whatever thread-number
+		// permutation the binding policy dealt — repeated passes over the
+		// same range touch the same memory from the same place, and
+		// first-touched pages stay local.
+		w.tc.Charge(staticSetupNS + int64(n)) // + the O(team) rank scan
+		w.staticChunks(w.placeRank(), lo, hi, opt.Chunk, wk, seq, body)
 	case Dynamic:
 		id := w.loopSeen
 		b := w.getLoop(lo, hi, opt)
@@ -175,6 +160,38 @@ func (w *Worker) For(lo, hi int, opt ForOpt, body func(lo, hi int)) {
 
 // staticSetupNS is the cost of computing a static partition.
 const staticSetupNS = 25
+
+// staticChunks executes the static partition of [lo, hi) owned by rank:
+// the block partition when chunk <= 0, round-robin chunks otherwise.
+// Static passes the thread id as rank; Affinity passes the place rank.
+func (w *Worker) staticChunks(rank, lo, hi, chunk int, wk ompt.Work, seq uint64, body func(lo, hi int)) {
+	n := w.team.n
+	if chunk <= 0 {
+		// Block partition.
+		total := hi - lo
+		base := total / n
+		rem := total % n
+		myLo := lo + rank*base + min(rank, rem)
+		myHi := myLo + base
+		if rank < rem {
+			myHi++
+		}
+		if myLo < myHi {
+			w.emitWork(ompt.DispatchChunk, wk, seq, int64(myLo), int64(myHi))
+			body(myLo, myHi)
+		}
+		return
+	}
+	// Round-robin chunks.
+	for s := lo + rank*chunk; s < hi; s += n * chunk {
+		e := s + chunk
+		if e > hi {
+			e = hi
+		}
+		w.emitWork(ompt.DispatchChunk, wk, seq, int64(s), int64(e))
+		body(s, e)
+	}
+}
 
 // ForEach is For with a per-iteration body.
 func (w *Worker) ForEach(lo, hi int, opt ForOpt, body func(i int)) {

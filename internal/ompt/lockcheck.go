@@ -22,7 +22,7 @@ import (
 type LockCheck struct {
 	mu sync.Mutex
 
-	held  map[int32][]uint64        // per thread, in acquisition order
+	held  map[int32][]uint64         // per thread, in acquisition order
 	order map[uint64]map[uint64]bool // held -> acquired edges
 
 	regions map[uint64]*regionCheck

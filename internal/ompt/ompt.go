@@ -86,6 +86,15 @@ const (
 	// SyncTaskgroup.
 	TaskgroupBegin
 	TaskgroupEnd
+	// ThreadBind: the affinity subsystem bound a team worker to a CPU of
+	// its assigned place (OMP_PLACES / OMP_PROC_BIND; the closest OMPT
+	// analogue is the place info of ompt_callback_implicit_task). Thread
+	// is the OpenMP thread number, Obj the assigned CPU, Arg0 the place
+	// index (-1 when unplaced, e.g. proc_bind(false) migration), and
+	// Arg1 the number of lower-numbered teammates already bound to the
+	// same CPU — nonzero Arg1 is the oversubscription signal (more
+	// threads than the binding's CPUs can hold one-per-CPU).
+	ThreadBind
 
 	// KindCount is the number of event kinds.
 	KindCount
@@ -100,6 +109,7 @@ var kindNames = [KindCount]string{
 	"sync-acquire", "sync-acquired", "sync-release",
 	"team-shrink",
 	"task-dependence", "taskgroup-begin", "taskgroup-end",
+	"thread-bind",
 }
 
 func (k Kind) String() string {
@@ -152,9 +162,14 @@ const (
 	WorkLoopGuided
 	WorkSections
 	WorkSingle
+	// WorkLoopAffinity is the affinity-aware static loop schedule: chunks
+	// are assigned by the worker's rank in place (CPU) order, so the
+	// chunk→CPU mapping is stable across repeated loops over the same
+	// range whatever permutation the binding policy dealt the thread ids.
+	WorkLoopAffinity
 )
 
-var workNames = []string{"none", "loop-static", "loop-dynamic", "loop-guided", "sections", "single"}
+var workNames = []string{"none", "loop-static", "loop-dynamic", "loop-guided", "sections", "single", "loop-affinity"}
 
 func (w Work) String() string {
 	if int(w) < len(workNames) {

@@ -29,6 +29,7 @@ import (
 	"github.com/interweaving/komp/internal/machine"
 	"github.com/interweaving/komp/internal/nas"
 	"github.com/interweaving/komp/internal/omp"
+	"github.com/interweaving/komp/internal/places"
 )
 
 // --- The real-execution OpenMP API ---
@@ -59,11 +60,31 @@ func Out(addr any) Dep { return omp.Out(addr) }
 // InOut returns a depend(inout: *addr) clause item.
 func InOut(addr any) Dep { return omp.InOut(addr) }
 
-// Schedule kinds for worksharing loops.
+// Schedule kinds for worksharing loops. Affinity is the locality-aware
+// static schedule: the same block math as Static, but blocks are dealt
+// by each worker's rank in place (CPU) order, so the chunk-to-CPU
+// mapping survives thread-number permutations across regions and
+// first-touched pages stay local.
 const (
-	Static  = omp.Static
-	Dynamic = omp.Dynamic
-	Guided  = omp.Guided
+	Static   = omp.Static
+	Dynamic  = omp.Dynamic
+	Guided   = omp.Guided
+	Affinity = omp.Affinity
+)
+
+// ProcBind is an OMP_PROC_BIND-style thread binding policy.
+type ProcBind = places.Bind
+
+// Binding policies for WithProcBind.
+const (
+	// BindFalse leaves workers unmanaged (free to migrate).
+	BindFalse = places.BindFalse
+	// BindMaster packs the team onto the master's place.
+	BindMaster = places.BindMaster
+	// BindClose places workers on consecutive places from the master's.
+	BindClose = places.BindClose
+	// BindSpread spaces workers evenly across the place partition.
+	BindSpread = places.BindSpread
 )
 
 // Reduction operators.
@@ -81,14 +102,40 @@ type OMP struct {
 	tc    exec.TC
 }
 
+// Option configures New.
+type Option func(*omp.Options)
+
+// WithPlaces sets the OMP_PLACES-style place partition the binding
+// policy resolves against: an abstract name (threads, cores, sockets)
+// with an optional (n) count, or an explicit interval list such as
+// "{0:4},{4:4}". New panics on a spec the pool's CPUs cannot satisfy.
+func WithPlaces(spec string) Option {
+	return func(o *omp.Options) { o.PlacesSpec = spec }
+}
+
+// WithProcBind sets the OMP_PROC_BIND policy used to place each team's
+// workers over the place partition.
+func WithProcBind(policy ProcBind) Option {
+	return func(o *omp.Options) {
+		o.ProcBind = policy
+		if policy != places.BindFalse {
+			o.Bind = true
+		}
+	}
+}
+
 // New creates a runtime with the given pool size (0 means GOMAXPROCS).
 // Close it when done.
-func New(threads int) *OMP {
+func New(threads int, opts ...Option) *OMP {
 	if threads <= 0 {
 		threads = runtime.GOMAXPROCS(0)
 	}
 	layer := exec.NewRealLayer(threads)
-	rt := omp.New(layer, omp.Options{MaxThreads: threads, Bind: true})
+	oo := omp.Options{MaxThreads: threads, Bind: true}
+	for _, apply := range opts {
+		apply(&oo)
+	}
+	rt := omp.New(layer, oo)
 	return &OMP{layer: layer, rt: rt, tc: layer.TC()}
 }
 

@@ -40,6 +40,21 @@ func TestRealOMPReduceAndCritical(t *testing.T) {
 	}
 }
 
+func TestRealOMPPlacesOptions(t *testing.T) {
+	// Spread over two 2-CPU places: a 2-thread team must land one worker
+	// per place, and the Affinity schedule must deal blocks in CPU order.
+	o := New(4, WithPlaces("{0:2},{2:2}"), WithProcBind(BindSpread))
+	defer o.Close()
+	cpus := make([]int64, 2)
+	o.Parallel(2, func(w *Worker) {
+		atomic.StoreInt64(&cpus[w.ThreadNum()], int64(w.TC().CPU()))
+		w.For(0, 2, ForOpt{Sched: Affinity}, func(lo, hi int) {})
+	})
+	if cpus[0] != 0 || cpus[1] != 2 {
+		t.Fatalf("spread over {0:2},{2:2} placed workers on CPUs %v, want [0 2]", cpus)
+	}
+}
+
 func TestRealOMPTasks(t *testing.T) {
 	o := New(4)
 	defer o.Close()
