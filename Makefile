@@ -2,15 +2,24 @@
 # packages that run real goroutines under the real execution layer.
 RACE_PKGS = ./internal/omp/ ./internal/exec/ ./internal/mpi/
 
-.PHONY: verify build test vet race figures bench-smoke trace-smoke
+.PHONY: verify build test vet staticcheck race figures bench-smoke trace-smoke
 
-verify: build vet test race
+verify: build vet staticcheck test race
 
 build:
 	go build ./...
 
 vet:
 	go vet ./...
+
+# staticcheck runs when the tool is on PATH (CI installs it; a local
+# checkout without it still gets the full verify, minus this pass).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck: not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 test:
 	go test ./...
@@ -36,6 +45,7 @@ bench-smoke:
 		  go run ./cmd/kompbench -quick -ablation barrier && \
 		  go run ./cmd/kompbench -quick -ablation tasking && \
 		  go run ./cmd/kompbench -quick -ablation affinity && \
+		  go run ./cmd/kompbench -quick -ablation cancel && \
 		  go run ./cmd/kompbench -quick -profile ) \
 		  > /tmp/komp-bench-smoke/run$$run.txt 2>/dev/null || exit 1; \
 	done

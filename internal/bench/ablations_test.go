@@ -7,10 +7,10 @@ import (
 
 func TestAblationRegistry(t *testing.T) {
 	abs := Ablations()
-	if len(abs) != 9 {
+	if len(abs) != 10 {
 		t.Fatalf("ablations = %d", len(abs))
 	}
-	for _, id := range []string{"ab-firsttouch", "ab-pthread", "ab-chunk", "ab-privatization", "barrier", "tasking", "affinity", "faults"} {
+	for _, id := range []string{"ab-firsttouch", "ab-pthread", "ab-chunk", "ab-privatization", "barrier", "tasking", "affinity", "faults", "cancel"} {
 		if _, ok := AblationByID(id); !ok {
 			t.Fatalf("missing %s", id)
 		}
@@ -98,6 +98,25 @@ func TestAblationAffinityShape(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("ablation output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestAblationCancelShape(t *testing.T) {
+	// AblationCancel itself errors when tree propagation fails to beat
+	// flat polling at the top scale or a fault-composed run double-counts
+	// a chunk, so a clean return is most of the assertion.
+	var b strings.Builder
+	if err := AblationCancel(&b, Options{Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"cancel-flat", "cancel-tree", "deadline+off", "deadline+storm", "yes"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ablation output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "NO (chunk ran twice)") {
+		t.Fatalf("fault-composed abort double-counted a chunk:\n%s", out)
 	}
 }
 

@@ -52,6 +52,14 @@ type Record struct {
 	LocalFrac    float64 `json:"local_frac,omitempty"`
 	LocalSteals  int64   `json:"local_steals,omitempty"`
 	RemoteSteals int64   `json:"remote_steals,omitempty"`
+	// CancelLatencyNS is the cancel-ablation propagation latency: virtual
+	// ns from the Cancel call until the last teammate observed it at a
+	// cancellation point. Cancelled marks a fault-composed row whose
+	// region was cut short (by the deadline or an explicit cancel), and
+	// DeadlineNS is the KOMP_REGION_DEADLINE armed for that row (0 = none).
+	CancelLatencyNS int64 `json:"cancel_latency_ns,omitempty"`
+	Cancelled       bool  `json:"cancelled,omitempty"`
+	DeadlineNS      int64 `json:"deadline_ns,omitempty"`
 }
 
 // Recorder accumulates Records alongside a figure run. All methods are

@@ -107,6 +107,13 @@ type Config struct {
 	Places     string
 	ProcBind   places.Bind
 	StealOrder omp.StealOrder
+	// Cancellation enables the cancel constructs (the OMP_CANCELLATION
+	// ICV); CancelProp selects flat vs tree cancel-bit propagation;
+	// RegionDeadlineNS arms a deadline on every parallel region
+	// (KOMP_REGION_DEADLINE; 0 = off). Exposed for the cancel ablation.
+	Cancellation     bool
+	CancelProp       omp.CancelProp
+	RegionDeadlineNS int64
 	// Spine, if non-nil, is threaded through every layer the environment
 	// assembles — the exec layer (thread events), the OpenMP runtime or
 	// VIRGIL, and the kernel facilities — so one tool observes the whole
@@ -142,6 +149,9 @@ type Env struct {
 	placesSpec     string
 	procBind       places.Bind
 	stealOrder     omp.StealOrder
+	cancellation   bool
+	cancelProp     omp.CancelProp
+	regionDeadline int64
 	spine          *ompt.Spine
 }
 
@@ -163,7 +173,9 @@ func New(cfg Config) *Env {
 		barrierAlgo: cfg.BarrierAlgo, barrierFanout: cfg.BarrierFanout,
 		taskDeque: cfg.TaskDeque, taskCutoff: cfg.TaskCutoff, taskStealTries: cfg.TaskStealTries,
 		placesSpec: cfg.Places, procBind: cfg.ProcBind, stealOrder: cfg.StealOrder,
-		spine: cfg.Spine}
+		cancellation: cfg.Cancellation, cancelProp: cfg.CancelProp,
+		regionDeadline: cfg.RegionDeadlineNS,
+		spine:          cfg.Spine}
 
 	switch cfg.Kind {
 	case Linux, LinuxAutoMP:
@@ -243,10 +255,13 @@ func (e *Env) OMPRuntime() *omp.Runtime {
 		PthreadImpl:    e.pthreadImpl,
 		BarrierAlgo:    e.barrierAlgo,
 		BarrierFanout:  e.barrierFanout,
-		TaskDeque:      e.taskDeque,
-		TaskCutoff:     e.taskCutoff,
-		TaskStealTries: e.taskStealTries,
-		Spine:          e.spine,
+		TaskDeque:        e.taskDeque,
+		TaskCutoff:       e.taskCutoff,
+		TaskStealTries:   e.taskStealTries,
+		Cancellation:     e.cancellation,
+		CancelProp:       e.cancelProp,
+		RegionDeadlineNS: e.regionDeadline,
+		Spine:            e.spine,
 	}
 	return omp.New(e.Layer, opts)
 }

@@ -128,6 +128,18 @@ type Mover interface {
 	MoveCPU(cpu int)
 }
 
+// Alarmer is implemented by thread contexts that can arm a one-shot
+// timer: fn runs ns nanoseconds from now on a context of its own — a
+// timer proc on the simulator's virtual clock, the timer goroutine on
+// the real layer's wall clock. The returned stop disarms an unfired
+// alarm (on the simulator a stopped alarm leaves no trace on virtual
+// time; on the real layer a concurrent firing may still be in flight,
+// as with time.Timer.Stop). The OpenMP region-deadline ICV is built on
+// it.
+type Alarmer interface {
+	Alarm(ns int64, fn func(TC)) (stop func())
+}
+
 // Layer is an execution substrate.
 type Layer interface {
 	// NumCPUs returns the number of CPUs.

@@ -33,6 +33,13 @@ type RealLayer struct {
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
+
+	// Stall watchdog (SetWatchdog): progress counts layer-level events
+	// (spawns and futex wakes); the monitor goroutine fires when the
+	// counter stops moving for a full period.
+	watchdogD  time.Duration
+	watchdogFn func(stacks string)
+	progress   atomic.Uint64
 }
 
 // NewRealLayer creates a real layer that reports ncpu CPUs (typically
@@ -54,10 +61,64 @@ func (l *RealLayer) NumCPUs() int { return l.ncpu }
 // Costs returns the (all-zero) cost table; real time is measured instead.
 func (l *RealLayer) Costs() *Costs { return &l.costs }
 
+// SetWatchdog arms an opt-in stall watchdog mirroring the simulator's
+// deadlock detector (sim.SetWatchdog): if no layer-level progress — a
+// thread spawn or a futex wake — happens for a full period d while Run
+// is active, report is called once with a dump of every goroutine's
+// stack, so a hung real-layer test fails immediately with the blocked
+// stacks instead of waiting out the 10-minute go test timeout. A nil
+// report panics with the dump. Call before Run; the watchdog stops when
+// Run returns. Periods of genuine quiet compute (no synchronization at
+// all) also count as stalls — pick d well above the workload's longest
+// synchronization-free stretch.
+func (l *RealLayer) SetWatchdog(d time.Duration, report func(stacks string)) {
+	l.watchdogD = d
+	l.watchdogFn = report
+}
+
+// startWatchdog launches the monitor goroutine; the returned stop
+// terminates it (Run defers it).
+func (l *RealLayer) startWatchdog() (stop func()) {
+	if l.watchdogD <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	go func() {
+		tick := time.NewTicker(l.watchdogD)
+		defer tick.Stop()
+		last := l.progress.Load()
+		fresh := true // the first period after any progress gets grace
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				cur := l.progress.Load()
+				if cur != last || fresh {
+					fresh = cur != last
+					last = cur
+					continue
+				}
+				buf := make([]byte, 1<<20)
+				n := runtime.Stack(buf, true)
+				dump := string(buf[:n])
+				if l.watchdogFn != nil {
+					l.watchdogFn(dump)
+					return
+				}
+				panic("exec: real-layer watchdog: no progress for " +
+					l.watchdogD.String() + "\n" + dump)
+			}
+		}
+	}()
+	return func() { close(done) }
+}
+
 // Run executes main on the calling goroutine and waits for all spawned
 // threads to finish. It returns the elapsed wall-clock nanoseconds.
 func (l *RealLayer) Run(main func(TC)) (int64, error) {
 	l.start = time.Now()
+	defer l.startWatchdog()()
 	tc := &realTC{layer: l, cpu: 0}
 	sp := l.Spine
 	tid := l.tidSeq.Add(1) - 1
@@ -109,9 +170,21 @@ type realHandle struct{ done chan struct{} }
 
 func (h *realHandle) Join(TC) { <-h.done }
 
+// Alarm arms a one-shot wall-clock timer: fn runs on the timer
+// goroutine with a context of its own. stop is time.Timer.Stop — a
+// firing already in flight may still run concurrently with it.
+func (t *realTC) Alarm(ns int64, fn func(TC)) (stop func()) {
+	l := t.layer
+	timer := time.AfterFunc(time.Duration(ns), func() {
+		fn(&realTC{layer: l, cpu: -1})
+	})
+	return func() { timer.Stop() }
+}
+
 func (t *realTC) Spawn(name string, cpu int, fn func(TC)) Handle {
 	h := &realHandle{done: make(chan struct{})}
 	l := t.layer
+	l.progress.Add(1)
 	l.wg.Add(1)
 	go func() {
 		defer l.wg.Done()
@@ -150,6 +223,7 @@ func (t *realTC) FutexWait(w *Word, val uint32) bool {
 
 func (t *realTC) FutexWake(w *Word, n int) int {
 	l := t.layer
+	l.progress.Add(1)
 	l.futexMu.Lock()
 	q := l.futexQ[w]
 	if n < 0 || n > len(q) {

@@ -199,6 +199,21 @@ func (t *simTC) Spawn(name string, cpu int, fn func(TC)) Handle {
 // *uint32. Word's single field makes the conversion stable.
 func futexKey(w *Word) *uint32 { return &w.v }
 
+// Alarm arms a one-shot timer ns virtual nanoseconds from now: fn runs
+// on a fresh unbound proc spawned at the fire time, so it may charge
+// costs and issue futex wakes like any thread. Cancelled alarm events
+// are discarded before the simulator's clock reaches them, so a stopped
+// alarm leaves no trace on virtual time — fault-free runs with a
+// deadline armed are byte-identical to runs without one.
+func (t *simTC) Alarm(ns int64, fn func(TC)) (stop func()) {
+	l := t.layer
+	return l.Sim.AfterCancel(ns, func() {
+		l.Sim.Go("alarm", -1, l.Sim.Now(), func(p *sim.Proc) {
+			fn(&simTC{layer: l, proc: p})
+		})
+	})
+}
+
 func (t *simTC) FutexWait(w *Word, val uint32) bool {
 	return t.layer.ft.Wait(t.proc, futexKey(w), val, t.layer.costs.FutexWaitEntryNS)
 }

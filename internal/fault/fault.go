@@ -148,26 +148,39 @@ func fmtDur(t sim.Time) string {
 // scheduled fault `kind@time:arg` with time suffixed ns/us/ms/s —
 // e.g. `cpu-offline@2ms:3`, `crash@1ms:1`, `irq-storm@500us:0+2ms`
 // (the `+dur` suffix gives the storm length).
+//
+// A malformed plan fails with an error naming the offending term and
+// its byte offset in the input, so a long plan assembled by tooling
+// pinpoints the bad directive instead of just rejecting the string.
 func Parse(s string) (Plan, error) {
 	var p Plan
-	s = strings.TrimSpace(s)
-	if s == "" || s == "none" {
+	if t := strings.TrimSpace(s); t == "" || t == "none" {
 		return p, nil
 	}
-	for _, term := range strings.Split(s, ";") {
-		term = strings.TrimSpace(term)
+	pos := 0
+	for termNo := 1; pos <= len(s); termNo++ {
+		raw := s[pos:]
+		if i := strings.IndexByte(raw, ';'); i >= 0 {
+			raw = raw[:i]
+		}
+		off := pos + leadingSpace(raw)
+		pos += len(raw) + 1
+		term := strings.TrimSpace(raw)
 		if term == "" {
 			continue
 		}
+		fail := func(err error) (Plan, error) {
+			return Plan{}, fmt.Errorf("fault: term %d (%q, at offset %d): %w", termNo, term, off, err)
+		}
 		if k, v, ok := strings.Cut(term, "="); ok && !strings.Contains(k, "@") {
 			if err := p.setRate(k, v); err != nil {
-				return Plan{}, err
+				return fail(err)
 			}
 			continue
 		}
 		ev, err := parseEvent(term)
 		if err != nil {
-			return Plan{}, err
+			return fail(err)
 		}
 		p.Events = append(p.Events, ev)
 	}
@@ -175,18 +188,25 @@ func Parse(s string) (Plan, error) {
 	return p, nil
 }
 
+// leadingSpace counts the whitespace bytes a term's offset skips over.
+func leadingSpace(s string) int {
+	return len(s) - len(strings.TrimLeft(s, " \t"))
+}
+
+// setRate and the parse helpers below return bare messages naming the
+// offending token; Parse wraps them with the term's index and offset.
 func (p *Plan) setRate(k, v string) error {
 	if k == "seed" {
 		n, err := strconv.ParseInt(v, 10, 64)
 		if err != nil {
-			return fmt.Errorf("fault: bad seed %q", v)
+			return fmt.Errorf("bad seed value %q (want an integer)", v)
 		}
 		p.Seed = n
 		return nil
 	}
 	f, err := strconv.ParseFloat(v, 64)
 	if err != nil || f < 0 || f > 1 {
-		return fmt.Errorf("fault: bad rate %s=%q (want [0,1])", k, v)
+		return fmt.Errorf("bad rate value %q for %q (want a number in [0,1])", v, k)
 	}
 	switch k {
 	case "drop":
@@ -198,7 +218,7 @@ func (p *Plan) setRate(k, v string) error {
 	case "allocfail":
 		p.AllocFailRate = f
 	default:
-		return fmt.Errorf("fault: unknown rate %q", k)
+		return fmt.Errorf("unknown rate name %q (want drop, corrupt, lostwake, allocfail or seed)", k)
 	}
 	return nil
 }
@@ -206,7 +226,7 @@ func (p *Plan) setRate(k, v string) error {
 func parseEvent(term string) (Event, error) {
 	kindStr, rest, ok := strings.Cut(term, "@")
 	if !ok {
-		return Event{}, fmt.Errorf("fault: bad term %q (want kind@time:arg or rate=x)", term)
+		return Event{}, fmt.Errorf("malformed term (want kind@time:arg or rate=x)")
 	}
 	var kind Kind
 	switch kindStr {
@@ -217,11 +237,11 @@ func parseEvent(term string) (Event, error) {
 	case "irq-storm":
 		kind = IRQStorm
 	default:
-		return Event{}, fmt.Errorf("fault: unknown scheduled fault %q", kindStr)
+		return Event{}, fmt.Errorf("unknown scheduled fault %q (want cpu-offline, crash or irq-storm)", kindStr)
 	}
 	timeStr, argStr, ok := strings.Cut(rest, ":")
 	if !ok {
-		return Event{}, fmt.Errorf("fault: %q missing :arg", term)
+		return Event{}, fmt.Errorf("missing :arg after time %q", rest)
 	}
 	at, err := parseDur(timeStr)
 	if err != nil {
@@ -241,26 +261,27 @@ func parseEvent(term string) (Event, error) {
 	}
 	ev.Arg, err = strconv.Atoi(argStr)
 	if err != nil {
-		return Event{}, fmt.Errorf("fault: bad arg in %q", term)
+		return Event{}, fmt.Errorf("bad arg %q (want an integer CPU or compartment id)", argStr)
 	}
 	return ev, nil
 }
 
 func parseDur(s string) (sim.Time, error) {
+	digits := s
 	unit := sim.Nanosecond
 	switch {
 	case strings.HasSuffix(s, "ns"):
-		s = s[:len(s)-2]
+		digits = s[:len(s)-2]
 	case strings.HasSuffix(s, "us"):
-		s, unit = s[:len(s)-2], sim.Microsecond
+		digits, unit = s[:len(s)-2], sim.Microsecond
 	case strings.HasSuffix(s, "ms"):
-		s, unit = s[:len(s)-2], sim.Millisecond
+		digits, unit = s[:len(s)-2], sim.Millisecond
 	case strings.HasSuffix(s, "s"):
-		s, unit = s[:len(s)-1], sim.Second
+		digits, unit = s[:len(s)-1], sim.Second
 	}
-	n, err := strconv.ParseInt(s, 10, 64)
+	n, err := strconv.ParseInt(digits, 10, 64)
 	if err != nil || n < 0 {
-		return 0, fmt.Errorf("fault: bad duration %q", s)
+		return 0, fmt.Errorf("bad duration %q (want a non-negative integer with an ns/us/ms/s suffix)", s)
 	}
 	return n * unit, nil
 }

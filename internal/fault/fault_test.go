@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"strings"
 	"testing"
 
 	"github.com/interweaving/komp/internal/sim"
@@ -48,6 +49,38 @@ func TestParseEmptyAndErrors(t *testing.T) {
 	for _, src := range []string{"drop=1.5", "bogus=0.1", "cpu-offline@2ms", "frob@1ms:0", "drop=x", "cpu-offline@2ms:zz"} {
 		if _, err := Parse(src); err == nil {
 			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+// TestParseErrorsNameTokenAndPosition: a malformed plan's error must
+// carry the offending token verbatim plus its term index and byte
+// offset, so a bad directive in a long tool-assembled plan is
+// pinpointed rather than the whole string rejected opaquely.
+func TestParseErrorsNameTokenAndPosition(t *testing.T) {
+	cases := []struct {
+		src  string
+		want []string // substrings the error must contain
+	}{
+		{"drop=1.5", []string{`term 1`, `"drop=1.5"`, `offset 0`, `"1.5"`, `[0,1]`}},
+		{"drop=0.1;bogus=0.2", []string{`term 2`, `"bogus=0.2"`, `offset 9`, `"bogus"`, `allocfail`}},
+		{"drop=0.1; cpu-offline@2ms", []string{`term 2`, `"cpu-offline@2ms"`, `offset 10`, `missing :arg`}},
+		{"frob@1ms:0", []string{`term 1`, `"frob"`, `cpu-offline, crash or irq-storm`}},
+		{"cpu-offline@2xs:3", []string{`term 1`, `duration "2xs"`, `ns/us/ms/s`}},
+		{"cpu-offline@2ms:zz", []string{`term 1`, `arg "zz"`, `integer`}},
+		{"seed=abc", []string{`term 1`, `seed value "abc"`, `integer`}},
+		{"irq-storm@1ms:0+9qs", []string{`term 1`, `duration "9qs"`}},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse(%q): expected error", c.src)
+			continue
+		}
+		for _, sub := range c.want {
+			if !strings.Contains(err.Error(), sub) {
+				t.Errorf("Parse(%q) error %q: missing %q", c.src, err, sub)
+			}
 		}
 	}
 }

@@ -28,10 +28,16 @@ type barNode struct {
 	alive     exec.Word // live members (workers or child subtrees)
 	mark      exec.Word // reduction round `partial` was combined for
 	partial   float64   // combined contribution of this subtree
-	parent    int       // node index; -1 at the root
-	first     int       // first worker id (leaf) or first child node index
-	count     int       // member count
-	leaf      bool
+	// cancel is this subtree's copy of the team cancel bits under tree
+	// propagation (cancel.go): pollers read their own leaf's copy — a
+	// line shared by at most fanout siblings — instead of all missing on
+	// one central line. cancelLine is the line those polls contend on.
+	cancel     exec.Word
+	cancelLine exec.Line
+	parent     int // node index; -1 at the root
+	first      int // first worker id (leaf) or first child node index
+	count      int // member count
+	leaf       bool
 }
 
 // barTree is a team's arrival tree. Nodes are stored level by level,
@@ -100,6 +106,13 @@ func (w *Worker) Barrier() {
 	if w.doomed() {
 		w.die() // safe point: leave the team instead of arriving
 	}
+	if t.parCancelled() {
+		// The region is cancelled: this barrier is abandoned — arriving
+		// could wait forever on threads that already skipped their
+		// constructs. Every thread converges at the dedicated join
+		// barrier instead (cancel.go).
+		return
+	}
 	// SyncAcquire marks the arrival, SyncAcquired the release — emitted
 	// on every exit path (completer and waiters alike), so per-thread
 	// event sequences are identical regardless of who completes.
@@ -121,6 +134,14 @@ func (w *Worker) Barrier() {
 	}
 	if !completed {
 		for t.barGen.Load() == gen {
+			if t.parCancelled() {
+				// Cancelled while waiting (publishCancel wakes parked
+				// waiters): leave without release — the generation never
+				// completes, and nothing downstream relies on it. The
+				// arrival is balanced so per-thread event pairing holds.
+				w.emitSync(ompt.SyncAcquired, ompt.SyncBarrier, 0)
+				return
+			}
 			if t.pending.Load() > 0 {
 				// The barrier is a task scheduling point: while the pool
 				// is non-empty, waiters drain it instead of sleeping.
@@ -142,6 +163,13 @@ func (w *Worker) Barrier() {
 		if t.rt.opts.BarrierAlgo != BarrierFlat {
 			w.treeRelease()
 		}
+	}
+	if t.cancellable {
+		// A worksharing cancellation retires at its construct's closing
+		// barrier: the completer cleared the loop/sections bits, and
+		// every thread re-bases its poll cache here so the next
+		// construct starts clean.
+		w.cancelSeen = t.cancelFlags.Load()
 	}
 	w.emitSync(ompt.SyncAcquired, ompt.SyncBarrier, 0)
 }
@@ -271,6 +299,9 @@ func (w *Worker) finishHier(waiters uint32) {
 		t.redResult = t.bar.nodes[t.bar.root].partial
 		t.redDone.Store(round)
 	}
+	if t.cancellable {
+		t.clearWSCancel()
+	}
 	for i := range t.bar.nodes {
 		nd := &t.bar.nodes[i]
 		nd.remaining.Store(nd.alive.Load())
@@ -307,6 +338,9 @@ func (w *Worker) finishBarrier(waiters uint32) {
 		tc.Charge(int64(t.n) * tc.Costs().CacheLineXferNS / 4)
 		t.redResult = acc
 		t.redDone.Store(round)
+	}
+	if t.cancellable {
+		t.clearWSCancel()
 	}
 	t.barArrived.Store(0)
 	if t.rt.opts.BarrierAlgo == BarrierFlat {

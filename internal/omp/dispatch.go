@@ -73,6 +73,12 @@ func (w *Worker) acquireLoop(id uint32, lo, hi int, opt ForOpt) *loopBuf {
 		if w.doomed() {
 			w.die() // safe point: nothing claimed from this construct yet
 		}
+		if t.parCancelled() {
+			// Cancelled region: teammates may never prove the old slot
+			// quiescent (they are en route to the join); the construct
+			// is skipped. Callers treat nil as "construct cancelled".
+			return nil
+		}
 		w.tc.Yield()
 	}
 }
@@ -98,6 +104,9 @@ func (w *Worker) acquireSingle(id uint32) *singleBuf {
 		}
 		if w.doomed() {
 			w.die()
+		}
+		if t.parCancelled() {
+			return nil // cancelled: see acquireLoop
 		}
 		w.tc.Yield()
 	}

@@ -75,6 +75,19 @@ func (w *Worker) emitBind(cpu int) {
 		TimeNS: w.tc.Now(), Region: w.team.region, Obj: uint64(cpu), Arg0: place, Arg1: occ})
 }
 
+// emitCancel emits a cancellation event: Arg0 is the CancelKind, obj
+// the taskgroup or task id (0 for team-level kinds), a1 distinguishes
+// activation from a discarded task body (cancel.go's Arg1 constants).
+func (w *Worker) emitCancel(kind CancelKind, obj uint64, a1 int64) {
+	sp := w.team.rt.spine
+	if !sp.Enabled(ompt.Cancel) {
+		return
+	}
+	sp.Emit(ompt.Event{Kind: ompt.Cancel, Thread: int32(w.id), CPU: int32(w.tc.CPU()),
+		TimeNS: w.tc.Now(), Region: w.team.region, Obj: obj,
+		Arg0: int64(kind), Arg1: a1})
+}
+
 // emitTask emits an explicit-task event against task id obj; a0 is
 // kind-specific (victim thread for TaskSteal).
 func (w *Worker) emitTask(k ompt.Kind, obj uint64, a0 int64) {

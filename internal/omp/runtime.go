@@ -18,6 +18,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/interweaving/komp/internal/exec"
 	"github.com/interweaving/komp/internal/ompt"
@@ -242,6 +243,25 @@ type Options struct {
 	// shared-counter chunk claiming so every iteration still runs exactly
 	// once. Requires Bind (offline is identified by CPU).
 	Resilient bool
+	// Cancellation enables the cancel constructs (the OMP_CANCELLATION
+	// ICV): Cancel/CancellationPoint become operative and every
+	// scheduling point checks the team's cancel flags. Off (the
+	// default), Cancel returns false, CancellationPoint costs one
+	// branch, and the runtime is bit-identical to one built without the
+	// subsystem.
+	Cancellation bool
+	// CancelProp selects how cancel bits reach polling workers
+	// (KOMP_CANCEL_PROP): flat — one central word all n observers miss
+	// on, O(n) to the last observer — or tree, riding the fanout-k
+	// barrier tree for O(fanout·log n). Auto (default) picks tree
+	// whenever the hierarchical barrier is in use.
+	CancelProp CancelProp
+	// RegionDeadlineNS arms a deadline on every parallel region
+	// (KOMP_REGION_DEADLINE): a region still running that many
+	// nanoseconds after its fork is cancelled as if a thread executed
+	// Cancel(CancelParallel). Virtual time on the simulator, wall clock
+	// on the real layer; 0 disables. Requires Cancellation.
+	RegionDeadlineNS int64
 	// Spine, if non-nil, receives every instrumentation event the
 	// runtime emits (package ompt). Consumers must be registered before
 	// the first Parallel; a nil spine costs one mask test per emit site.
@@ -337,6 +357,27 @@ func (o *Options) Env(lookup func(string) (string, bool)) error {
 			return fmt.Errorf("omp: KOMP_STEAL_ORDER=%q: %v", v, err)
 		}
 		o.StealOrder = so
+	}
+	if v, ok := lookup("OMP_CANCELLATION"); ok {
+		b, err := strconv.ParseBool(strings.TrimSpace(strings.ToLower(v)))
+		if err != nil {
+			return fmt.Errorf("omp: OMP_CANCELLATION=%q: want true or false", v)
+		}
+		o.Cancellation = b
+	}
+	if v, ok := lookup("KOMP_CANCEL_PROP"); ok {
+		cp, err := ParseCancelProp(v)
+		if err != nil {
+			return err
+		}
+		o.CancelProp = cp
+	}
+	if v, ok := lookup("KOMP_REGION_DEADLINE"); ok {
+		d, err := time.ParseDuration(strings.TrimSpace(v))
+		if err != nil || d < 0 {
+			return fmt.Errorf("omp: KOMP_REGION_DEADLINE=%q: want a non-negative duration (e.g. 50ms)", v)
+		}
+		o.RegionDeadlineNS = int64(d)
 	}
 	return nil
 }

@@ -94,6 +94,12 @@ func (w *Worker) Reduce(op ReduceOp, val float64) float64 {
 	if w.doomed() {
 		w.die() // safe point: die before contributing, as at a barrier
 	}
+	if t.parCancelled() {
+		// Cancelled region: the barrier this reduction would fuse into
+		// is abandoned, so arming a round could never complete. The
+		// local value stands in for the unreduced result.
+		return val
+	}
 	round := w.redSeen + 1
 	w.redSeen = round
 	t.redSlots[w.id] = val

@@ -148,6 +148,11 @@ func (w *Worker) wakeThief() {
 	t := w.team
 	if t.sleepers.Load() > 0 {
 		w.tc.FutexWake(&t.barGen, 1)
+		if t.cancellable {
+			// Sleepers of a cancellable region may be parked at the
+			// dedicated join barrier instead (cancel.go).
+			w.tc.FutexWake(&t.joinGen, 1)
+		}
 	}
 }
 
@@ -184,6 +189,51 @@ func (w *Worker) cutoffHit() bool {
 // in the region) cannot leave the worker parenting new tasks under a
 // dead task or group; completion accounting is still skipped on panic.
 func (w *Worker) runTaskBody(t *task) {
+	if w.team.cancellable {
+		if w.taskCancelled(t) {
+			// Discarded: the body never runs, but the caller still runs
+			// finishTask, so dependence release (releaseSuccs), parent,
+			// taskgroup and team accounting all fire exactly once —
+			// cancelled tasks are drained, not dropped.
+			kind := CancelTaskgroup
+			if w.team.cancelFlags.Load()&cancelBitParallel != 0 {
+				kind = CancelParallel
+			}
+			w.emitCancel(kind, t.id, cancelDiscardedTask)
+			return
+		}
+		if t.group != nil {
+			w.runTaskBodyCaught(t)
+			return
+		}
+	}
+	prevT, prevG := w.curTask, w.curGroup
+	w.curTask, w.curGroup = t, t.group
+	defer func() { w.curTask, w.curGroup = prevT, prevG }()
+	w.emitTask(ompt.TaskSchedule, t.id, 0)
+	t.fn(w)
+	w.emitTask(ompt.TaskComplete, t.id, 0)
+}
+
+// runTaskBodyCaught runs a taskgroup member's body with panic
+// containment (cancellation ICV on): a panic cancels the group —
+// discarding its not-yet-started members — and is recorded for re-raise
+// at the end of the taskgroup construct, instead of unwinding through
+// whichever pool worker happened to steal the task and aborting the
+// process. The recover runs after the current-task restore but before
+// the caller's finishTask, so completion accounting stays exactly-once
+// and the end-of-group wait converges. CPU-offline unwinds
+// (offlineSignal) are re-raised — they must reach the worker loop.
+func (w *Worker) runTaskBodyCaught(t *task) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(offlineSignal); ok {
+				panic(r)
+			}
+			t.group.recordPanic(r)
+			w.cancelGroup(t.group)
+		}
+	}()
 	prevT, prevG := w.curTask, w.curGroup
 	w.curTask, w.curGroup = t, t.group
 	defer func() { w.curTask, w.curGroup = prevT, prevG }()

@@ -1,6 +1,8 @@
 package omp
 
 import (
+	"sync"
+
 	"github.com/interweaving/komp/internal/exec"
 	"github.com/interweaving/komp/internal/ompt"
 )
@@ -16,6 +18,31 @@ type taskgroup struct {
 	count   exec.Word  // unfinished member tasks, descendants included
 	waiting exec.Word  // a thread is blocked in the end-of-group wait
 	id      uint64     // spine group id
+
+	// cancelled is the group's cancel flag (omp cancel taskgroup, or a
+	// panic in a member task): bodies of member tasks not yet started
+	// are discarded — with full accounting, so the end-of-group wait
+	// still converges (cancel.go).
+	cancelled exec.Word
+	// A panic in a member task cancels the group and is re-raised on
+	// the thread executing the taskgroup construct once the wait
+	// completes, instead of killing whichever pool worker ran the task.
+	// First panic wins; the happens-before to the re-raise is the
+	// count word reaching zero.
+	panicMu  sync.Mutex
+	panicVal any
+	panicked bool
+}
+
+// recordPanic captures the first panic of a member task (cancellation
+// ICV on) for re-raise at the end of the taskgroup construct.
+func (g *taskgroup) recordPanic(r any) {
+	g.panicMu.Lock()
+	if !g.panicked {
+		g.panicked = true
+		g.panicVal = r
+	}
+	g.panicMu.Unlock()
 }
 
 // Taskgroup runs fn with a taskgroup current, then waits until every
@@ -43,6 +70,12 @@ func (w *Worker) Taskgroup(fn func(*Worker)) {
 	}
 	w.emitSync(ompt.SyncAcquired, ompt.SyncTaskgroup, g.id)
 	w.emitTask(ompt.TaskgroupEnd, g.id, 0)
+	if g.panicked {
+		// A member task panicked: the group was cancelled, every member
+		// drained, and the panic surfaces here — on the thread that owns
+		// the construct — instead of aborting a pool worker.
+		panic(g.panicVal)
+	}
 }
 
 // runGroupBody runs fn with g as the current group. The restore is

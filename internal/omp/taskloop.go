@@ -53,6 +53,12 @@ func (w *Worker) taskloopGen(lo, hi int, opt TaskloopOpt, body func(w *Worker, i
 		tasks = n
 	}
 	for t := 0; t < tasks; t++ {
+		if w.team.cancellable &&
+			(w.team.parCancelled() || w.groupCancelled(w.curGroup)) {
+			// Cancelled: stop generating. Already-created members are
+			// drained (bodies discarded) by the group's end wait.
+			break
+		}
 		tlo := lo + t*n/tasks
 		thi := lo + (t+1)*n/tasks
 		w.Task(func(tw *Worker) {

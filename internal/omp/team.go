@@ -105,7 +105,7 @@ func (p *pool) workerLoop(tc exec.TC, pw *poolWorker) {
 		}
 		w.emitPlain(ompt.ImplicitTaskBegin, 0, 0)
 		team.fn(w)
-		w.Barrier() // implicit join barrier of the parallel region
+		w.join() // implicit join barrier of the parallel region
 		w.emitPlain(ompt.ImplicitTaskEnd, 0, 0)
 	}
 }
@@ -155,6 +155,24 @@ type Team struct {
 	barArrived exec.Word
 	barLine    exec.Line
 	relBudget  exec.Word // tree-release wake budget
+
+	// Cancellation (cancel.go). cancellable mirrors the OMP_CANCELLATION
+	// ICV; with it off none of the fields below are ever touched and
+	// every cancellation check in the runtime is one branch on the bool.
+	// cancelFlags is the authoritative cancel-bit word; cancelLine is
+	// the one hot line all pollers miss on under flat propagation (under
+	// tree propagation the bits ride the barrier tree's per-node lines
+	// instead). joinGen/joinArrived/joinLine are the dedicated join
+	// barrier of a cancellable region: inner barriers may be abandoned
+	// by a cancel, so the region's join must not share their generation
+	// counter (libomp's plain vs fork-join barrier split).
+	cancellable bool
+	cancelTree  bool // propagate cancel bits down the barrier tree
+	cancelFlags exec.Word
+	cancelLine  exec.Line
+	joinGen     exec.Word
+	joinArrived exec.Word
+	joinLine    exec.Line
 
 	// Worksharing state: fixed rings of pre-allocated construct
 	// descriptors indexed by construct sequence (libomp's dispatch
@@ -209,20 +227,26 @@ func (rt *Runtime) Parallel(tc exec.TC, n int, fn func(*Worker)) {
 			TimeNS: tc.Now(), Region: region, Arg0: int64(n)})
 	}
 	if n == 1 {
-		// Serialized region: no team machinery.
+		// Serialized region: no team machinery (but a deadline still
+		// arms — a serialized region can cancel its own loops/tasks).
 		team := newTeam(rt, 1, fn)
 		team.region = region
+		stop := rt.armDeadline(tc, team)
 		w := team.workers[0]
 		w.tc = tc
 		w.emitPlain(ompt.ImplicitTaskBegin, 0, 0)
 		fn(w)
 		w.drainAllTasks()
 		w.emitPlain(ompt.ImplicitTaskEnd, 0, 0)
+		if stop != nil {
+			stop()
+		}
 	} else {
 		rt.ensurePool(tc)
 		team := newTeam(rt, n, fn)
 		team.region = region
 		rt.placeTeam(team, tc.CPU())
+		stop := rt.armDeadline(tc, team)
 		master := team.workers[0]
 		master.tc = tc
 		if team.cpus != nil {
@@ -234,8 +258,11 @@ func (rt *Runtime) Parallel(tc exec.TC, n int, fn func(*Worker)) {
 		master.forkChildren()
 		master.emitPlain(ompt.ImplicitTaskBegin, 0, 0)
 		fn(master)
-		master.Barrier() // implicit join barrier
+		master.join() // implicit join barrier
 		master.emitPlain(ompt.ImplicitTaskEnd, 0, 0)
+		if stop != nil {
+			stop()
+		}
 	}
 	if sp.Enabled(ompt.ParallelEnd) {
 		sp.Emit(ompt.Event{Kind: ompt.ParallelEnd, CPU: int32(tc.CPU()),
@@ -260,6 +287,9 @@ func newTeam(rt *Runtime, n int, fn func(*Worker)) *Team {
 	if n > 1 && rt.opts.BarrierAlgo == BarrierHier {
 		t.bar = newBarTree(n, rt.opts.BarrierFanout)
 	}
+	t.cancellable = rt.opts.Cancellation
+	t.cancelTree = t.cancellable && t.bar != nil &&
+		rt.opts.CancelProp != CancelPropFlat
 	return t
 }
 
@@ -313,6 +343,12 @@ type Worker struct {
 	loopPos   exec.Word
 	singlePos exec.Word
 	gone      exec.Word
+
+	// cancelSeen is this worker's private copy of the team cancel bits
+	// it has already observed (and paid the coherence miss for): a poll
+	// that reads a value equal to cancelSeen is a shared-state cache hit
+	// and costs nothing.
+	cancelSeen uint32
 
 	// Tasking.
 	deque    taskDeque
@@ -399,6 +435,14 @@ func (w *Worker) removeWorker(id int) {
 	t.workers[id].gone.Store(1)
 	alive := t.alive.Add(^uint32(0))
 	w.emitPlain(ompt.ShrinkTeam, int64(id), int64(alive))
+	if t.cancellable {
+		// The removed worker may have been the arrival the dedicated
+		// join barrier was waiting on — a team that shrinks and cancels
+		// at the same barrier still converges at the join.
+		if ja := t.joinArrived.Load(); alive > 0 && ja > 0 && ja >= alive {
+			w.finishJoin()
+		}
+	}
 	if t.bar != nil {
 		w.hierRemove(id)
 		return

@@ -76,6 +76,21 @@ func (w *Worker) For(lo, hi int, opt ForOpt, body func(lo, hi int)) {
 			}
 		}
 	}
+	if w.team.cancellable && w.pollCancel()&cancelBitParallel != 0 {
+		// The region is cancelled: skip the construct, keeping sequence
+		// counters and published progress in step with teammates that
+		// consumed it, so ring quiescence proofs and per-thread event
+		// pairing stay valid. The closing barrier is a no-op too.
+		if sched == Dynamic || sched == Guided {
+			w.loopSeen++
+			w.loopPos.Store(w.loopSeen)
+		}
+		w.emitWork(ompt.WorkEnd, wk, seq, int64(lo), int64(hi))
+		if !opt.NoWait {
+			w.Barrier()
+		}
+		return
+	}
 	switch sched {
 	case Static:
 		w.tc.Charge(staticSetupNS)
@@ -92,10 +107,19 @@ func (w *Worker) For(lo, hi int, opt ForOpt, body func(lo, hi int)) {
 	case Dynamic:
 		id := w.loopSeen
 		b := w.getLoop(lo, hi, opt)
+		if b == nil {
+			break // cancelled while acquiring the dispatch buffer
+		}
 		d := &b.d
 		for {
 			if w.doomed() {
 				w.die() // safe point: unclaimed chunks go to survivors
+			}
+			if w.team.cancellable && w.pollCancel() != 0 {
+				// Cancelled (the construct or the whole region): stop
+				// claiming; remaining chunks are abandoned. Arrival
+				// accounting below still runs, so retirement is intact.
+				break
 			}
 			// The shared chunk counter is one cache line: grabs
 			// serialize across the team (the real cost of dynamic,1).
@@ -116,11 +140,17 @@ func (w *Worker) For(lo, hi int, opt ForOpt, body func(lo, hi int)) {
 	case Guided:
 		id := w.loopSeen
 		b := w.getLoop(lo, hi, opt)
+		if b == nil {
+			break // cancelled while acquiring the dispatch buffer
+		}
 		d := &b.d
 		total := hi - lo
 		for {
 			if w.doomed() {
 				w.die() // safe point: unclaimed chunks go to survivors
+			}
+			if w.team.cancellable && w.pollCancel() != 0 {
+				break // cancelled: remaining chunks are abandoned
 			}
 			w.tc.Contend(&d.line, c.AtomicRMWNS+c.CacheLineXferNS)
 			var s, e int
@@ -177,6 +207,9 @@ func (w *Worker) staticChunks(rank, lo, hi, chunk int, wk ompt.Work, seq uint64,
 			myHi++
 		}
 		if myLo < myHi {
+			if w.team.cancellable && w.pollCancel() != 0 {
+				return // cancelled: the block is abandoned
+			}
 			w.emitWork(ompt.DispatchChunk, wk, seq, int64(myLo), int64(myHi))
 			body(myLo, myHi)
 		}
@@ -184,6 +217,9 @@ func (w *Worker) staticChunks(rank, lo, hi, chunk int, wk ompt.Work, seq uint64,
 	}
 	// Round-robin chunks.
 	for s := lo + rank*chunk; s < hi; s += n * chunk {
+		if w.team.cancellable && w.pollCancel() != 0 {
+			return // cancelled: remaining chunks are abandoned
+		}
 		e := s + chunk
 		if e > hi {
 			e = hi
@@ -233,6 +269,14 @@ func (w *Worker) ForOrdered(lo, hi int, opt ForOpt, body func(i int, ordered fun
 	}
 	// Pre-create the descriptor so `d` is bound before iteration.
 	b := w.getLoop(lo, hi, opt)
+	if b == nil {
+		// Cancelled while acquiring the dispatch buffer: the whole
+		// construct is skipped (its closing barrier is a no-op).
+		if !opt.NoWait {
+			w.Barrier()
+		}
+		return
+	}
 	d = &b.d
 	w.loopSeen-- // getLoop in For will re-fetch the same id
 	w.ForEach(lo, hi, ForOpt{Sched: opt.Sched, Chunk: opt.Chunk, NoWait: true}, inner)
@@ -277,8 +321,26 @@ func (w *Worker) singleImpl(nowait bool, fn func()) {
 		w.emitWork(ompt.WorkEnd, ompt.WorkSingle, uint64(id), 1, 0)
 		return
 	}
+	if t.cancellable && w.pollCancel()&cancelBitParallel != 0 {
+		// Cancelled region: skip the construct (nobody runs the body),
+		// keeping published progress in step for ring quiescence.
+		w.singlePos.Store(id + 1)
+		w.emitWork(ompt.WorkEnd, ompt.WorkSingle, uint64(id), 0, 0)
+		if !nowait {
+			w.Barrier()
+		}
+		return
+	}
 	w.singlePos.Store(id + 1) // publish progress before touching the ring
 	b := w.acquireSingle(id)
+	if b == nil {
+		// Cancelled while acquiring the dispatch buffer.
+		w.emitWork(ompt.WorkEnd, ompt.WorkSingle, uint64(id), 0, 0)
+		if !nowait {
+			w.Barrier()
+		}
+		return
+	}
 	// The winner election bounces the slot's line across arrivals.
 	tc.Contend(&b.line, c.AtomicRMWNS+c.CacheLineXferNS)
 	won := int64(0)

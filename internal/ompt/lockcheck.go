@@ -31,8 +31,9 @@ type LockCheck struct {
 }
 
 type regionCheck struct {
-	barriers map[int32]int
-	removed  map[int32]bool
+	barriers  map[int32]int
+	removed   map[int32]bool
+	cancelled bool
 }
 
 // lockKey folds the sync kind into the object id so critical sections
@@ -48,7 +49,7 @@ func NewLockCheck(sp *Spine) *LockCheck {
 	}
 	sp.On(c.consume,
 		ParallelBegin, ParallelEnd, ImplicitTaskBegin,
-		SyncAcquire, SyncAcquired, SyncRelease, ShrinkTeam)
+		SyncAcquire, SyncAcquired, SyncRelease, ShrinkTeam, Cancel)
 	return c
 }
 
@@ -119,6 +120,13 @@ func (c *LockCheck) consume(ev Event) {
 		}
 	case ShrinkTeam:
 		c.region(ev.Region).removed[int32(ev.Arg0)] = true
+	case Cancel:
+		// A region may be cancelled by a deadline alarm racing the join
+		// on the real layer: the event can land after ParallelEnd ended
+		// the region, so an unknown region is ignored, not an error.
+		if r := c.regions[ev.Region]; r != nil {
+			r.cancelled = true
+		}
 	case ParallelEnd:
 		r := c.regions[ev.Region]
 		if r == nil {
@@ -131,6 +139,21 @@ func (c *LockCheck) consume(ev Event) {
 			ids = append(ids, int(id))
 		}
 		sort.Ints(ids)
+		if r.cancelled {
+			// A cancelled region legitimately diverges: a thread that
+			// observes the cancel early skips barriers teammates had
+			// already arrived at. Convergence reduces to every surviving
+			// thread reaching the region's join — at least one arrival.
+			for _, id := range ids {
+				if r.removed[int32(id)] {
+					continue
+				}
+				if r.barriers[int32(id)] == 0 {
+					c.violatef("cancelled region %d: thread %d never reached the join barrier", ev.Region, id)
+				}
+			}
+			return
+		}
 		for _, id := range ids {
 			if r.removed[int32(id)] {
 				continue // shrunk out mid-region: allowed to diverge

@@ -95,6 +95,12 @@ const (
 	// same CPU — nonzero Arg1 is the oversubscription signal (more
 	// threads than the binding's CPUs can hold one-per-CPU).
 	ThreadBind
+	// Cancel: a cancellation event (ompt_callback_cancel). Arg0 is the
+	// construct kind cancelled (omp.CancelKind: parallel, for, sections,
+	// taskgroup); Arg1 distinguishes the activation (0, emitted by the
+	// thread that executed the cancel — Thread -1 when a region deadline
+	// fired) from a discarded task body (1, Obj is the task id).
+	Cancel
 
 	// KindCount is the number of event kinds.
 	KindCount
@@ -109,7 +115,7 @@ var kindNames = [KindCount]string{
 	"sync-acquire", "sync-acquired", "sync-release",
 	"team-shrink",
 	"task-dependence", "taskgroup-begin", "taskgroup-end",
-	"thread-bind",
+	"thread-bind", "cancel",
 }
 
 func (k Kind) String() string {

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"time"
 
 	"github.com/interweaving/komp/internal/bench"
 	"github.com/interweaving/komp/internal/core"
@@ -95,6 +96,18 @@ const (
 	ReduceMin  = omp.ReduceMin
 )
 
+// CancelKind names the construct a cancellation request applies to
+// (Worker.Cancel / Worker.CancellationPoint).
+type CancelKind = omp.CancelKind
+
+// Cancellable construct kinds.
+const (
+	CancelParallel  = omp.CancelParallel
+	CancelFor       = omp.CancelFor
+	CancelSections  = omp.CancelSections
+	CancelTaskgroup = omp.CancelTaskgroup
+)
+
 // OMP is an OpenMP-style runtime running on real goroutines.
 type OMP struct {
 	layer *exec.RealLayer
@@ -121,6 +134,27 @@ func WithProcBind(policy ProcBind) Option {
 		if policy != places.BindFalse {
 			o.Bind = true
 		}
+	}
+}
+
+// WithCancellation enables the cancel constructs (the OMP_CANCELLATION
+// ICV): Worker.Cancel and Worker.CancellationPoint become operative and
+// every scheduling point — barriers, loop chunk claims, task execution —
+// checks for an active cancellation. Off by default; when off, Cancel
+// returns false and the runtime's fast paths are unchanged.
+func WithCancellation() Option {
+	return func(o *omp.Options) { o.Cancellation = true }
+}
+
+// WithDeadline arms a deadline on every parallel region
+// (KOMP_REGION_DEADLINE): a region still running after d is cancelled
+// exactly as if a thread had executed Cancel(CancelParallel), so the
+// region joins with a partial result instead of running (or hanging)
+// on. Implies WithCancellation.
+func WithDeadline(d time.Duration) Option {
+	return func(o *omp.Options) {
+		o.Cancellation = true
+		o.RegionDeadlineNS = int64(d)
 	}
 }
 
