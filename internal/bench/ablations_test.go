@@ -7,10 +7,10 @@ import (
 
 func TestAblationRegistry(t *testing.T) {
 	abs := Ablations()
-	if len(abs) != 10 {
+	if len(abs) != 11 {
 		t.Fatalf("ablations = %d", len(abs))
 	}
-	for _, id := range []string{"ab-firsttouch", "ab-pthread", "ab-chunk", "ab-privatization", "barrier", "tasking", "affinity", "faults", "cancel"} {
+	for _, id := range []string{"ab-firsttouch", "ab-pthread", "ab-chunk", "ab-privatization", "barrier", "tasking", "affinity", "faults", "cancel", "simcore"} {
 		if _, ok := AblationByID(id); !ok {
 			t.Fatalf("missing %s", id)
 		}
@@ -117,6 +117,26 @@ func TestAblationCancelShape(t *testing.T) {
 	}
 	if strings.Contains(out, "NO (chunk ran twice)") {
 		t.Fatalf("fault-composed abort double-counted a chunk:\n%s", out)
+	}
+}
+
+func TestAblationSimcoreShape(t *testing.T) {
+	// AblationSimcore itself errors when heap and wheel disagree on any
+	// virtual result or when the wheel fails to beat the heap's
+	// events/sec at 192 cores, so a clean return is most of the
+	// assertion.
+	var b strings.Builder
+	if err := AblationSimcore(&b, Options{Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"heap", "wheel", "Event storm", "vus/barrier", "true"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ablation output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "false") {
+		t.Fatalf("heap/wheel disagreement in ablation output:\n%s", out)
 	}
 }
 

@@ -60,6 +60,12 @@ type Record struct {
 	CancelLatencyNS int64 `json:"cancel_latency_ns,omitempty"`
 	Cancelled       bool  `json:"cancelled,omitempty"`
 	DeadlineNS      int64 `json:"deadline_ns,omitempty"`
+	// EQAlgo identifies a simcore-ablation cell's event-queue algorithm
+	// (wheel, heap); EventsPerSec is that run's wall-clock DES
+	// throughput (simulator events fired per second of host time —
+	// machine-dependent, so excluded from determinism diffs).
+	EQAlgo       string  `json:"eq_algo,omitempty"`
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
 }
 
 // Recorder accumulates Records alongside a figure run. All methods are

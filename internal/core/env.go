@@ -25,6 +25,7 @@ import (
 	"github.com/interweaving/komp/internal/ompt"
 	"github.com/interweaving/komp/internal/places"
 	"github.com/interweaving/komp/internal/pthread"
+	"github.com/interweaving/komp/internal/sim"
 	"github.com/interweaving/komp/internal/virgil"
 )
 
@@ -114,6 +115,10 @@ type Config struct {
 	Cancellation     bool
 	CancelProp       omp.CancelProp
 	RegionDeadlineNS int64
+	// SimEQ selects the simulator's event-queue algorithm (the
+	// KOMP_SIM_EQ ICV; zero value resolves the environment variable,
+	// wheel when unset, heap as the differential-testing baseline).
+	SimEQ sim.EQAlgo
 	// Spine, if non-nil, is threaded through every layer the environment
 	// assembles — the exec layer (thread events), the OpenMP runtime or
 	// VIRGIL, and the kernel facilities — so one tool observes the whole
@@ -179,7 +184,7 @@ func New(cfg Config) *Env {
 
 	switch cfg.Kind {
 	case Linux, LinuxAutoMP:
-		e.Layer = exec.NewSimLayer(linuxsim.NewSim(m, cfg.Seed), linuxsim.Costs(m))
+		e.Layer = exec.NewSimLayer(linuxsim.NewSimEQ(m, cfg.Seed, cfg.SimEQ), linuxsim.Costs(m))
 		e.AS = linuxsim.NewAddressSpace(m)
 		e.PageSize = 4 << 10
 		e.FirstTouch = true
@@ -196,6 +201,7 @@ func New(cfg Config) *Env {
 		k := nautilus.Boot(nautilus.Config{
 			Machine:        m,
 			Seed:           cfg.Seed,
+			EQ:             cfg.SimEQ,
 			Costs:          kernelCosts(cfg.Kind, m),
 			FirstTouch:     firstTouch,
 			BootImageBytes: boot,
@@ -247,14 +253,14 @@ func (e *Env) OMPRuntime() *omp.Runtime {
 		panic(fmt.Sprintf("core: %v", err))
 	}
 	opts := omp.Options{
-		MaxThreads:     e.threads,
-		Bind:           true,
-		Places:         part,
-		ProcBind:       e.procBind,
-		StealOrder:     e.stealOrder,
-		PthreadImpl:    e.pthreadImpl,
-		BarrierAlgo:    e.barrierAlgo,
-		BarrierFanout:  e.barrierFanout,
+		MaxThreads:       e.threads,
+		Bind:             true,
+		Places:           part,
+		ProcBind:         e.procBind,
+		StealOrder:       e.stealOrder,
+		PthreadImpl:      e.pthreadImpl,
+		BarrierAlgo:      e.barrierAlgo,
+		BarrierFanout:    e.barrierFanout,
 		TaskDeque:        e.taskDeque,
 		TaskCutoff:       e.taskCutoff,
 		TaskStealTries:   e.taskStealTries,

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/interweaving/komp/internal/exec"
+	"github.com/interweaving/komp/internal/machine"
+	"github.com/interweaving/komp/internal/omp"
+	"github.com/interweaving/komp/internal/sim"
+)
+
+// runOMPWorkload runs a parallel/barrier/task workload on the given
+// environment kind and event-queue algorithm and returns the elapsed
+// virtual nanoseconds.
+func runOMPWorkload(t *testing.T, kind Kind, eq sim.EQAlgo) int64 {
+	t.Helper()
+	env := New(Config{
+		Machine: machine.XEON8(),
+		Kind:    kind,
+		Seed:    42,
+		Threads: 24,
+		SimEQ:   eq,
+	})
+	rt := env.OMPRuntime()
+	elapsed, err := env.Layer.Run(func(tc exec.TC) {
+		rt.Parallel(tc, 24, func(wk *omp.Worker) {
+			for round := 0; round < 3; round++ {
+				wk.TC().Charge(int64(1000 * (wk.ThreadNum() + 1)))
+				wk.Barrier()
+			}
+			if wk.ThreadNum() == 0 {
+				for i := 0; i < 32; i++ {
+					i := i
+					wk.Task(func(tw *omp.Worker) {
+						tw.TC().Charge(int64(500 + i*37))
+					})
+				}
+			}
+			wk.Barrier()
+		})
+		rt.Close(tc)
+	})
+	if err != nil {
+		t.Fatalf("%v/%v: %v", kind, eq, err)
+	}
+	return elapsed
+}
+
+// TestCoreEQEquivalence: the SimEQ config knob must be behaviorally
+// invisible — an OpenMP parallel/barrier/task workload takes the exact
+// same virtual time on the wheel and the heap, on both exec layers (the
+// Linux user-level SimLayer and the Nautilus in-kernel RTK path).
+func TestCoreEQEquivalence(t *testing.T) {
+	for _, kind := range []Kind{Linux, RTK} {
+		wheel := runOMPWorkload(t, kind, sim.EQWheel)
+		heap := runOMPWorkload(t, kind, sim.EQHeap)
+		if wheel != heap {
+			t.Errorf("%v: elapsed wheel=%d heap=%d (must be identical)", kind, wheel, heap)
+		}
+		if wheel <= 0 {
+			t.Errorf("%v: elapsed = %d, want > 0", kind, wheel)
+		}
+	}
+}
+
+// TestCoreSimEQPlumbing pins that the SimEQ knob actually reaches the
+// simulator on both construction paths.
+func TestCoreSimEQPlumbing(t *testing.T) {
+	for _, kind := range []Kind{Linux, RTK} {
+		env := New(Config{Machine: machine.PHI(), Kind: kind, SimEQ: sim.EQHeap})
+		if got := env.Layer.Sim.EQ(); got != sim.EQHeap {
+			t.Errorf("%v: SimEQ=heap reached sim as %v", kind, got)
+		}
+		env = New(Config{Machine: machine.PHI(), Kind: kind})
+		if got := env.Layer.Sim.EQ(); got != sim.EQWheel {
+			t.Errorf("%v: default EQ resolved to %v, want wheel", kind, got)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/interweaving/komp/internal/sim"
+)
+
+// runEQWorkload drives a randomized thread/futex/alarm workload on a
+// SimLayer backed by the given event-queue algorithm and returns the
+// step trace (virtual time + tag for every observable step) plus the
+// elapsed virtual time. The workload is a pure function of the seed.
+func runEQWorkload(t *testing.T, algo sim.EQAlgo, seed int64) ([]string, int64) {
+	t.Helper()
+	s := sim.NewEQ(8, 42, algo)
+	l := NewSimLayer(s, Costs{
+		ThreadSpawnNS:      18_000,
+		ThreadExitNS:       2_000,
+		ThreadJoinNS:       900,
+		FutexWaitEntryNS:   420,
+		FutexWakeEntryNS:   380,
+		FutexWakeLatencyNS: 2_600,
+		FutexWakeStaggerNS: 140,
+		AtomicRMWNS:        22,
+		YieldNS:            650,
+	})
+	var trace []string
+	rng := rand.New(rand.NewSource(seed))
+	nworkers := 4 + rng.Intn(4)
+	plans := make([][]int, nworkers)
+	for i := range plans {
+		steps := 3 + rng.Intn(5)
+		plans[i] = make([]int, steps)
+		for j := range plans[i] {
+			plans[i][j] = rng.Intn(4)
+		}
+	}
+	elapsed, err := l.Run(func(tc TC) {
+		var gate Word
+		handles := make([]Handle, nworkers)
+		for i := range handles {
+			i := i
+			handles[i] = tc.Spawn(fmt.Sprintf("w%d", i), i%tc.NumCPUs(), func(w TC) {
+				for j, kind := range plans[i] {
+					switch kind {
+					case 0:
+						w.Charge(int64(1000 + 100*j))
+					case 1:
+						w.Yield()
+					case 2:
+						// Futex-recheck pattern: arm an alarm, wait on
+						// the gate, cancel the alarm on wakeup. The
+						// alarm's only job is to be cancelled — usually
+						// before firing, sometimes after.
+						stop := w.(Alarmer).Alarm(int64(500+j*977), func(TC) {})
+						w.Sleep(int64(300 + j*211))
+						stop()
+						stop()
+					case 3:
+						gate.Store(1)
+						w.FutexWake(&gate, 2)
+						w.Sleep(50)
+					}
+					trace = append(trace, fmt.Sprintf("%d:w%d.%d", w.Now(), i, j))
+				}
+			})
+		}
+		// Two waiters blocked on the gate until some worker opens it.
+		waiters := make([]Handle, 2)
+		for i := range waiters {
+			i := i
+			waiters[i] = tc.Spawn(fmt.Sprintf("waiter%d", i), (i+3)%tc.NumCPUs(), func(w TC) {
+				for gate.Load() == 0 {
+					w.FutexWait(&gate, 0)
+				}
+				trace = append(trace, fmt.Sprintf("%d:waiter%d", w.Now(), i))
+			})
+		}
+		// Make sure the gate opens even if no worker drew case 3.
+		tc.(Alarmer).Alarm(5_000_000, func(a TC) {
+			gate.Store(1)
+			a.FutexWake(&gate, -1)
+		})
+		for _, h := range handles {
+			h.Join(tc)
+		}
+		for _, h := range waiters {
+			h.Join(tc)
+		}
+		trace = append(trace, fmt.Sprintf("%d:joined", tc.Now()))
+	})
+	if err != nil {
+		t.Fatalf("%s seed %d: %v", algo, seed, err)
+	}
+	return trace, elapsed
+}
+
+// TestExecLayerEQEquivalence: the full exec layer — spawn, futex
+// wait/wake, alarms armed and cancelled — must produce the identical
+// step trace and elapsed virtual time on the wheel and the heap.
+func TestExecLayerEQEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		wheelTrace, wheelNS := runEQWorkload(t, sim.EQWheel, seed)
+		heapTrace, heapNS := runEQWorkload(t, sim.EQHeap, seed)
+		if wheelNS != heapNS {
+			t.Fatalf("seed %d: elapsed wheel=%d heap=%d", seed, wheelNS, heapNS)
+		}
+		if len(wheelTrace) != len(heapTrace) {
+			t.Fatalf("seed %d: trace lengths wheel=%d heap=%d", seed, len(wheelTrace), len(heapTrace))
+		}
+		for i := range wheelTrace {
+			if wheelTrace[i] != heapTrace[i] {
+				t.Fatalf("seed %d: trace[%d] wheel=%q heap=%q", seed, i, wheelTrace[i], heapTrace[i])
+			}
+		}
+	}
+}
+
+// TestAlarmStopAfterFire: stopping an alarm that already fired (and
+// whose event node may since have been recycled) must not cancel an
+// unrelated later event — the generation-counter contract surfaced at
+// the exec layer.
+func TestAlarmStopAfterFire(t *testing.T) {
+	s := sim.NewEQ(2, 7, sim.EQWheel)
+	l := NewSimLayer(s, Costs{ThreadSpawnNS: 100, FutexWakeLatencyNS: 100})
+	firedFirst, firedSecond := false, false
+	_, err := l.Run(func(tc TC) {
+		stop := tc.(Alarmer).Alarm(100, func(TC) { firedFirst = true })
+		tc.Sleep(500) // alarm fires and its node is recycled
+		tc.(Alarmer).Alarm(100, func(TC) { firedSecond = true })
+		stop() // stale
+		tc.Sleep(500)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !firedFirst || !firedSecond {
+		t.Fatalf("firedFirst=%v firedSecond=%v, want true/true", firedFirst, firedSecond)
+	}
+}

@@ -116,7 +116,13 @@ func NewAddressSpace(m *machine.Machine) *memsim.AddressSpace {
 
 // NewSim builds the simulator for a Linux run: machine CPUs, Linux noise.
 func NewSim(m *machine.Machine, seed int64) *sim.Sim {
-	s := sim.New(m.NumCPUs(), seed)
+	return NewSimEQ(m, seed, sim.EQDefault)
+}
+
+// NewSimEQ is NewSim with an explicit event-queue algorithm (the
+// KOMP_SIM_EQ ICV, plumbed down from core.Config).
+func NewSimEQ(m *machine.Machine, seed int64, eq sim.EQAlgo) *sim.Sim {
+	s := sim.NewEQ(m.NumCPUs(), seed, eq)
 	s.SetNoise(NewNoise(m))
 	return s
 }

@@ -44,6 +44,10 @@ type Config struct {
 	// with another kernel). The kernel then only applies its noise model
 	// to its own CPU set.
 	Sim *sim.Sim
+	// EQ selects the simulator event-queue algorithm when Boot creates
+	// a fresh simulator (EQDefault: the KOMP_SIM_EQ ICV, wheel when
+	// unset). Ignored when Sim is supplied.
+	EQ sim.EQAlgo
 	// CPUs restricts the kernel to a CPU subset (nil: all CPUs). The
 	// scheduler, task system, and noise model honor it.
 	CPUs []int
@@ -150,7 +154,7 @@ func Boot(cfg Config) *Kernel {
 	s := cfg.Sim
 	fresh := s == nil
 	if fresh {
-		s = sim.New(cfg.Machine.NumCPUs(), cfg.Seed)
+		s = sim.NewEQ(cfg.Machine.NumCPUs(), cfg.Seed, cfg.EQ)
 	}
 	noise := cfg.Noise
 	if noise == nil {

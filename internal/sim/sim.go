@@ -10,11 +10,18 @@
 // Time is virtual and measured in nanoseconds (the Time alias). A proc
 // advances time only through explicit operations: Compute (occupies its
 // CPU), Sleep (does not occupy a CPU), Park/Unpark, and wait queues.
+//
+// The event queue is a timer-wheel/spill hybrid by default (see
+// queue.go); the KOMP_SIM_EQ ICV or NewEQ selects the binary-heap
+// baseline for differential testing. Both orders events identically by
+// (timestamp, seq), so every trace is byte-identical across algorithms.
+// Event nodes are recycled through a per-Sim free list, keeping the
+// schedule/fire hot path allocation-free.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"math"
 	"math/rand"
 	"runtime"
 	"sort"
@@ -151,41 +158,14 @@ func (p *Proc) Now() Time { return p.now }
 // Sim returns the owning simulator.
 func (p *Proc) Sim() *Sim { return p.sim }
 
-type event struct {
-	at        Time
-	seq       uint64 // FIFO tiebreak for equal times
-	proc      *Proc  // proc to resume, or nil if fn-only
-	fn        func() // optional callback run on the scheduler goroutine
-	cancelled bool   // discarded on pop without advancing the clock
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
-func (h eventHeap) Peek() *event { return h[0] }
-func (h eventHeap) Empty() bool  { return len(h) == 0 }
-
 // Sim is a deterministic discrete-event simulator.
 type Sim struct {
 	now    Time
-	eq     eventHeap
+	eq     eventQueue
+	algo   EQAlgo
+	free   *eventNode // recycled event nodes (alloc-free hot path)
 	seq    uint64
+	fired  int64 // events popped and acted on (cancelled pops excluded)
 	rng    *rand.Rand
 	cpus   []*CPU
 	nextID int
@@ -201,23 +181,95 @@ type Sim struct {
 	// a StallError carrying a full diagnostic dump.
 	watchdogNS Time
 	wdNext     Time
+	// noEvent counts procs blocked with no pending wake-up event — the
+	// only procs a watchdog or deadlock report can name. The check scans
+	// the blocked set only when this is non-zero (the queue-quiescence
+	// fast path) and the conservative earliest block time is old enough
+	// to possibly have breached the deadline.
+	noEvent int
+	// wdEarliest is a lower bound on the earliest blockedSince among
+	// no-event blocked procs (never raised on unblock, so it may go
+	// stale-low; a full scan refreshes it). Stale-low only costs an
+	// unnecessary scan, never a missed stall.
+	wdEarliest Time
+	// wdScratch is the pooled diagnostic buffer for watchdog scans.
+	wdScratch []ProcStall
 }
 
-// New creates a simulator with ncpu CPUs and the given RNG seed.
-func New(ncpu int, seed int64) *Sim {
+// New creates a simulator with ncpu CPUs and the given RNG seed, using
+// the event-queue algorithm named by KOMP_SIM_EQ (wheel by default).
+func New(ncpu int, seed int64) *Sim { return NewEQ(ncpu, seed, EQDefault) }
+
+// NewEQ creates a simulator with an explicit event-queue algorithm
+// (EQDefault defers to KOMP_SIM_EQ). Both algorithms fire events in the
+// exact same order; EQHeap exists as the differential-testing baseline.
+func NewEQ(ncpu int, seed int64, algo EQAlgo) *Sim {
 	if ncpu < 1 {
 		panic("sim: need at least one CPU")
 	}
+	if algo == EQDefault {
+		algo = EQFromEnv()
+	}
 	s := &Sim{
-		rng:     rand.New(rand.NewSource(seed)),
-		yield:   make(chan struct{}),
-		blocked: make(map[int]*Proc),
-		procs:   make(map[int]*Proc),
+		algo:       algo,
+		rng:        rand.New(rand.NewSource(seed)),
+		yield:      make(chan struct{}),
+		blocked:    make(map[int]*Proc),
+		procs:      make(map[int]*Proc),
+		wdEarliest: math.MaxInt64,
+	}
+	if algo == EQHeap {
+		s.eq = &heapQueue{}
+	} else {
+		s.eq = newWheelQueue()
 	}
 	for i := 0; i < ncpu; i++ {
 		s.cpus = append(s.cpus, &CPU{ID: i, Noise: NoNoise{}})
 	}
 	return s
+}
+
+// EQ reports the event-queue algorithm in use.
+func (s *Sim) EQ() EQAlgo { return s.algo }
+
+// EventsFired returns the number of events processed so far (cancelled
+// events, which are discarded without advancing the clock, do not
+// count). It is the numerator of the simcore ablation's events/sec.
+func (s *Sim) EventsFired() int64 { return s.fired }
+
+// EventsSpilled returns how many events took the far-future spill path
+// instead of a wheel bucket (always 0 on the heap baseline). Like every
+// queue property, it is a pure function of the seed.
+func (s *Sim) EventsSpilled() int64 {
+	if w, ok := s.eq.(*wheelQueue); ok {
+		return w.spilled
+	}
+	return 0
+}
+
+// newNode takes an event node from the free list (or allocates one),
+// stamping it with the next seq.
+func (s *Sim) newNode(at Time, p *Proc, fn func()) *eventNode {
+	n := s.free
+	if n != nil {
+		s.free = n.next
+		n.next = nil
+	} else {
+		n = &eventNode{}
+	}
+	s.seq++
+	n.at, n.seq, n.proc, n.fn, n.cancelled = at, s.seq, p, fn, false
+	return n
+}
+
+// freeNode recycles a node. The generation bump invalidates any
+// outstanding cancel handle, so a stale cancel after the event fired
+// (or after the node was reused) is a safe no-op.
+func (s *Sim) freeNode(n *eventNode) {
+	n.gen++
+	n.proc, n.fn = nil, nil
+	n.next = s.free
+	s.free = n
 }
 
 // Now returns the current global virtual time.
@@ -247,8 +299,7 @@ func (s *Sim) schedule(at Time, p *Proc, fn func()) {
 	if p != nil {
 		p.hasEvent = true
 	}
-	s.seq++
-	heap.Push(&s.eq, &event{at: at, seq: s.seq, proc: p, fn: fn})
+	s.eq.push(s.newNode(at, p, fn))
 }
 
 // At schedules fn to run on the scheduler at virtual time at (clamped to
@@ -261,18 +312,49 @@ func (s *Sim) After(d Time, fn func()) { s.schedule(s.now+d, nil, fn) }
 // AfterCancel schedules fn like After and returns a cancel function. A
 // cancelled event is discarded on pop without advancing the clock, so an
 // armed-but-unneeded timer (e.g. a futex recheck) leaves no trace on
-// fault-free timings.
+// fault-free timings. Cancellation is lazy (the node stays queued until
+// its timestamp) and generation-counted: calling cancel after the event
+// fired — even after its node was recycled into a new event — is a
+// no-op.
 func (s *Sim) AfterCancel(d Time, fn func()) (cancel func()) {
 	at := s.now + d
 	if at < s.now {
 		at = s.now
 	}
-	s.seq++
-	e := &event{at: at, seq: s.seq, fn: fn}
-	heap.Push(&s.eq, e)
+	n := s.newNode(at, nil, fn)
+	s.eq.push(n)
+	return s.cancelFunc(n)
+}
+
+// cancelFunc returns the lazy-deletion cancel handle for a queued node.
+// The captured generation makes a stale handle inert; a live cancel of a
+// proc-carrying event also clears the proc's hasEvent flag (and folds it
+// into the watchdog's no-event accounting), so the proc is correctly
+// reported as having no way forward instead of carrying a stale flag.
+func (s *Sim) cancelFunc(n *eventNode) func() {
+	gen := n.gen
 	return func() {
-		e.cancelled = true
-		e.fn = nil
+		if n.gen != gen || n.cancelled {
+			return
+		}
+		n.cancelled = true
+		n.fn = nil
+		if p := n.proc; p != nil {
+			n.proc = nil
+			p.hasEvent = false
+			if p.state == StateBlocked {
+				s.countBlockedNoEvent(p)
+			}
+		}
+	}
+}
+
+// countBlockedNoEvent folds a proc that is blocked with no pending event
+// into the watchdog fast-path accounting.
+func (s *Sim) countBlockedNoEvent(p *Proc) {
+	s.noEvent++
+	if p.blockedSince < s.wdEarliest {
+		s.wdEarliest = p.blockedSince
 	}
 }
 
@@ -345,25 +427,33 @@ func (s *Sim) dispatch(p *Proc) {
 // procs remain blocked with an empty event queue (deadlock), or — when a
 // watchdog is set — if a proc misses its progress deadline (stall).
 func (s *Sim) Run() error {
-	for !s.eq.Empty() {
-		e := heap.Pop(&s.eq).(*event)
-		if e.cancelled {
+	for {
+		n := s.eq.pop()
+		if n == nil {
+			break
+		}
+		if n.cancelled {
+			s.freeNode(n)
 			continue
 		}
-		s.now = e.at
+		s.now = n.at
+		s.fired++
 		if s.watchdogNS > 0 && s.now >= s.wdNext {
 			if err := s.watchdogCheck(); err != nil {
+				s.freeNode(n)
 				return err
 			}
 		}
-		if e.fn != nil {
-			e.fn()
+		fn, p := n.fn, n.proc
+		s.freeNode(n)
+		if fn != nil {
+			fn()
 			continue
 		}
-		if e.proc != nil {
-			delete(s.blocked, e.proc.ID)
-			e.proc.hasEvent = false
-			s.dispatch(e.proc)
+		if p != nil {
+			delete(s.blocked, p.ID)
+			p.hasEvent = false
+			s.dispatch(p)
 		}
 	}
 	if s.live > 0 {
@@ -375,20 +465,28 @@ func (s *Sim) Run() error {
 // RunUntil processes events with time ≤ t, then returns. The clock is
 // advanced to t.
 func (s *Sim) RunUntil(t Time) {
-	for !s.eq.Empty() && s.eq.Peek().at <= t {
-		e := heap.Pop(&s.eq).(*event)
-		if e.cancelled {
+	for {
+		at, ok := s.eq.peekTime()
+		if !ok || at > t {
+			break
+		}
+		n := s.eq.pop()
+		if n.cancelled {
+			s.freeNode(n)
 			continue
 		}
-		s.now = e.at
-		if e.fn != nil {
-			e.fn()
+		s.now = n.at
+		s.fired++
+		fn, p := n.fn, n.proc
+		s.freeNode(n)
+		if fn != nil {
+			fn()
 			continue
 		}
-		if e.proc != nil {
-			delete(s.blocked, e.proc.ID)
-			e.proc.hasEvent = false
-			s.dispatch(e.proc)
+		if p != nil {
+			delete(s.blocked, p.ID)
+			p.hasEvent = false
+			s.dispatch(p)
 		}
 	}
 	if s.now < t {
@@ -407,24 +505,40 @@ func (s *Sim) SetWatchdog(limit Time) {
 }
 
 func (s *Sim) watchdogCheck() error {
-	var stalled []ProcStall
-	for _, p := range s.blocked {
-		if p.hasEvent || p.state != StateBlocked {
-			continue
-		}
-		if s.now-p.blockedSince > s.watchdogNS {
-			stalled = append(stalled, p.stall(s.now))
-		}
-	}
-	if len(stalled) > 0 {
-		sortStalls(stalled)
-		return &StallError{Kind: "watchdog", Now: s.now, Limit: s.watchdogNS, Stalled: stalled}
-	}
 	// Re-check one quarter-deadline later: granular enough to catch a
 	// stall promptly, coarse enough to stay off the hot path.
 	step := s.watchdogNS / 4
 	if step < 1 {
 		step = 1
+	}
+	// Fast path: scan the blocked set only when some proc is truly
+	// quiescent (blocked with no pending event) AND the conservative
+	// earliest block time is old enough that the deadline could have
+	// been breached. Runs with every proc reachable from the queue —
+	// the common case — never pay the O(nprocs) sweep.
+	if s.noEvent == 0 || s.now-s.wdEarliest <= s.watchdogNS {
+		s.wdNext = s.now + step
+		return nil
+	}
+	s.wdScratch = s.wdScratch[:0]
+	earliest := Time(math.MaxInt64)
+	for _, p := range s.blocked {
+		if p.hasEvent || p.state != StateBlocked {
+			continue
+		}
+		if p.blockedSince < earliest {
+			earliest = p.blockedSince
+		}
+		if s.now-p.blockedSince > s.watchdogNS {
+			s.wdScratch = append(s.wdScratch, p.stall(s.now))
+		}
+	}
+	s.wdEarliest = earliest
+	if len(s.wdScratch) > 0 {
+		stalled := make([]ProcStall, len(s.wdScratch))
+		copy(stalled, s.wdScratch)
+		sortStalls(stalled)
+		return &StallError{Kind: "watchdog", Now: s.now, Limit: s.watchdogNS, Stalled: stalled}
 	}
 	s.wdNext = s.now + step
 	return nil
@@ -533,6 +647,9 @@ func (p *Proc) block(reason string) {
 	p.waitReason = reason
 	p.blockedSince = p.now
 	p.sim.blocked[p.ID] = p
+	if !p.hasEvent {
+		p.sim.countBlockedNoEvent(p)
+	}
 	p.sim.yield <- struct{}{}
 	<-p.resume
 	if p.killed {
@@ -618,6 +735,11 @@ func (s *Sim) Unpark(p *Proc, at Time) {
 	}
 	if at < s.now {
 		at = s.now
+	}
+	if !p.hasEvent {
+		// The proc leaves the quiescent-blocked set (wdEarliest may go
+		// stale-low; the next full scan refreshes it).
+		s.noEvent--
 	}
 	p.state = StateRunnable
 	s.schedule(at, p, nil)
