@@ -47,6 +47,7 @@ bench-smoke:
 		  go run ./cmd/kompbench -quick -ablation affinity && \
 		  go run ./cmd/kompbench -quick -ablation cancel && \
 		  go run ./cmd/kompbench -quick -ablation simcore && \
+		  go run ./cmd/kompbench -quick -ablation nested && \
 		  go run ./cmd/kompbench -quick -profile ) \
 		  > /tmp/komp-bench-smoke/run$$run.txt 2>/dev/null || exit 1; \
 	done

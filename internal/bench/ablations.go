@@ -32,6 +32,7 @@ func Ablations() []Figure {
 		{"faults", "Resilience study: seeded fault injection across the MPI, OpenMP, and multikernel recovery paths", AblationFaults},
 		{"cancel", "Ablation: cancellation propagation latency (flat vs tree) and fault-composed graceful abort", AblationCancel},
 		{"simcore", "Ablation: DES event-queue algorithm (heap vs timer wheel) — events/sec and trace equality up to 1024 cores", AblationSimcore},
+		{"nested", "Ablation: nested parallelism — inner fork/join cost x lease policy, and a two-level plane sweep vs the serialized baseline", AblationNested},
 	}
 }
 

@@ -7,10 +7,10 @@ import (
 
 func TestAblationRegistry(t *testing.T) {
 	abs := Ablations()
-	if len(abs) != 11 {
+	if len(abs) != 12 {
 		t.Fatalf("ablations = %d", len(abs))
 	}
-	for _, id := range []string{"ab-firsttouch", "ab-pthread", "ab-chunk", "ab-privatization", "barrier", "tasking", "affinity", "faults", "cancel", "simcore"} {
+	for _, id := range []string{"ab-firsttouch", "ab-pthread", "ab-chunk", "ab-privatization", "barrier", "tasking", "affinity", "faults", "cancel", "simcore", "nested"} {
 		if _, ok := AblationByID(id); !ok {
 			t.Fatalf("missing %s", id)
 		}
@@ -137,6 +137,22 @@ func TestAblationSimcoreShape(t *testing.T) {
 	}
 	if strings.Contains(out, "false") {
 		t.Fatalf("heap/wheel disagreement in ablation output:\n%s", out)
+	}
+}
+
+func TestAblationNestedShape(t *testing.T) {
+	// AblationNested itself errors when the nested plane sweep fails to
+	// beat the serialized baseline at the top scale, so a clean return
+	// is most of the assertion.
+	var b strings.Builder
+	if err := AblationNested(&b, Options{Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"hold", "return", "serialized", "nested", "plane sweep"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ablation output missing %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -60,6 +60,14 @@ type Record struct {
 	CancelLatencyNS int64 `json:"cancel_latency_ns,omitempty"`
 	Cancelled       bool  `json:"cancelled,omitempty"`
 	DeadlineNS      int64 `json:"deadline_ns,omitempty"`
+	// MaxActiveLevels, OuterTeam and InnerTeam identify a
+	// nested-ablation cell: the OMP_MAX_ACTIVE_LEVELS cap (1 =
+	// serialized baseline) and the two team widths; NestedPool is the
+	// KOMP_NESTED_POOL lease policy (hold, return) of fork/join rows.
+	MaxActiveLevels int    `json:"max_active_levels,omitempty"`
+	OuterTeam       int    `json:"outer_team,omitempty"`
+	InnerTeam       int    `json:"inner_team,omitempty"`
+	NestedPool      string `json:"nested_pool,omitempty"`
 	// EQAlgo identifies a simcore-ablation cell's event-queue algorithm
 	// (wheel, heap); EventsPerSec is that run's wall-clock DES
 	// throughput (simulator events fired per second of host time —

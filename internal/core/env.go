@@ -115,6 +115,17 @@ type Config struct {
 	Cancellation     bool
 	CancelProp       omp.CancelProp
 	RegionDeadlineNS int64
+	// MaxActiveLevels caps how many nested parallel regions may be
+	// active at once (the OMP_MAX_ACTIVE_LEVELS ICV; 0 = 1, nested
+	// regions serialize); NumThreadsList is the per-level team-size
+	// list of a comma-list OMP_NUM_THREADS; ProcBindList the per-level
+	// binding list of a comma-nested OMP_PROC_BIND; NestedPool the
+	// inner-team lease policy (KOMP_NESTED_POOL). Exposed for the
+	// nested-parallelism ablation.
+	MaxActiveLevels int
+	NumThreadsList  []int
+	ProcBindList    []places.Bind
+	NestedPool      omp.NestedPoolPolicy
 	// SimEQ selects the simulator's event-queue algorithm (the
 	// KOMP_SIM_EQ ICV; zero value resolves the environment variable,
 	// wheel when unset, heap as the differential-testing baseline).
@@ -157,6 +168,10 @@ type Env struct {
 	cancellation   bool
 	cancelProp     omp.CancelProp
 	regionDeadline int64
+	maxActive      int
+	numThreadsList []int
+	procBindList   []places.Bind
+	nestedPool     omp.NestedPoolPolicy
 	spine          *ompt.Spine
 }
 
@@ -180,6 +195,10 @@ func New(cfg Config) *Env {
 		placesSpec: cfg.Places, procBind: cfg.ProcBind, stealOrder: cfg.StealOrder,
 		cancellation: cfg.Cancellation, cancelProp: cfg.CancelProp,
 		regionDeadline: cfg.RegionDeadlineNS,
+		maxActive:      cfg.MaxActiveLevels,
+		numThreadsList: cfg.NumThreadsList,
+		procBindList:   cfg.ProcBindList,
+		nestedPool:     cfg.NestedPool,
 		spine:          cfg.Spine}
 
 	switch cfg.Kind {
@@ -267,6 +286,10 @@ func (e *Env) OMPRuntime() *omp.Runtime {
 		Cancellation:     e.cancellation,
 		CancelProp:       e.cancelProp,
 		RegionDeadlineNS: e.regionDeadline,
+		MaxActiveLevels:  e.maxActive,
+		NumThreadsList:   e.numThreadsList,
+		ProcBindList:     e.procBindList,
+		NestedPool:       e.nestedPool,
 		Spine:            e.spine,
 	}
 	return omp.New(e.Layer, opts)

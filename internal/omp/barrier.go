@@ -82,9 +82,14 @@ func newBarTree(n, fanout int) *barTree {
 	return bt
 }
 
-// doomed reports whether this worker's CPU has been taken offline.
+// doomed reports whether this worker's CPU has been taken offline. The
+// pw.team check scopes the doom to the worker's own dispatch: a pool
+// worker acting as the master of an inner team runs that team on a
+// Worker whose pw is nil, so the inner region always completes — and
+// shrink drains inner teams — before the worker dies at an outer safe
+// point.
 func (w *Worker) doomed() bool {
-	return w.pw != nil && w.pw.doom.Load() == 1
+	return w.pw != nil && w.pw.doom.Load() == 1 && w.pw.team == w.team
 }
 
 // die removes this worker from the team at a safe point and unwinds it
@@ -142,23 +147,25 @@ func (w *Worker) Barrier() {
 				w.emitSync(ompt.SyncAcquired, ompt.SyncBarrier, 0)
 				return
 			}
-			if t.pending.Load() > 0 {
+			if t.pendingWork() {
 				// The barrier is a task scheduling point: while the pool
-				// is non-empty, waiters drain it instead of sleeping.
+				// is non-empty — own team first, then (once teams nest)
+				// enclosing and sibling teams — waiters drain it instead
+				// of sleeping.
 				if !w.runOneTask() {
 					tc.Yield()
 				}
 				continue
 			}
-			t.sleepers.Add(1)
-			if t.pending.Load() == 0 {
+			tag := t.addSleeper()
+			if !t.pendingWork() {
 				// Re-checked after publishing sleepers so a racing task
 				// producer either sees this sleeper or this sleeper sees
 				// its task (the wake itself can still slip between the
 				// check and the wait; the completer's wake-all recovers).
 				tc.FutexWait(&t.barGen, gen)
 			}
-			t.sleepers.Add(^uint32(0))
+			t.removeSleeper(tag)
 		}
 		if t.rt.opts.BarrierAlgo != BarrierFlat {
 			w.treeRelease()

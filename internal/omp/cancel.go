@@ -199,8 +199,7 @@ func (w *Worker) CancellationPoint(kind CancelKind) bool {
 		return false
 	}
 	if kind == CancelTaskgroup {
-		return w.groupCancelled(w.curGroup) ||
-			t.cancelFlags.Load()&cancelBitParallel != 0
+		return w.groupCancelled(w.curGroup) || t.parCancelled()
 	}
 	mask := cancelBitParallel
 	switch kind {
@@ -209,7 +208,14 @@ func (w *Worker) CancellationPoint(kind CancelKind) bool {
 	case CancelSections:
 		mask |= cancelBitSections
 	}
-	return w.pollCancel()&mask != 0
+	if w.pollCancel()&mask != 0 {
+		return true
+	}
+	// A cancelled enclosing region cancels everything forked inside it.
+	// publishCancel pushes the bit into registered sub-teams, so this
+	// walk only fires in the window before the push lands (or for a
+	// region forked concurrently with the publish).
+	return t.parent != nil && t.ancestorCancelled()
 }
 
 // cancelGroup cancels taskgroup g: bodies of member tasks that have not
@@ -231,11 +237,12 @@ func (w *Worker) groupCancelled(g *taskgroup) bool {
 	return false
 }
 
-// taskCancelled reports whether t's body must be discarded: the whole
-// parallel construct is cancelled, or t's taskgroup (or an ancestor
-// group) is.
+// taskCancelled reports whether t's body must be discarded: the task's
+// own parallel construct (not necessarily the executing thread's — a
+// cross-team thief may be running it) is cancelled, or t's taskgroup
+// (or an ancestor group) is.
 func (w *Worker) taskCancelled(t *task) bool {
-	if w.team.cancelFlags.Load()&cancelBitParallel != 0 {
+	if t.team.parCancelled() {
 		return true
 	}
 	return t.group != nil && w.groupCancelled(t.group)
@@ -264,6 +271,28 @@ func (t *Team) publishCancel(tc exec.TC, bits uint32) bool {
 	if bits&cancelBitParallel != 0 {
 		tc.FutexWake(&t.barGen, -1)
 		tc.FutexWake(&t.joinGen, -1)
+		if t.subActive.Load() != 0 {
+			// Cancellation propagates down the team hierarchy: every
+			// active inner team inherits the parallel bit on its own
+			// cancel word (and barrier tree), recursively, so inner
+			// pollers observe the outer cancel at their usual cost. The
+			// reverse never happens — an inner cancel stays scoped to the
+			// inner team.
+			for _, iw := range t.workers {
+				st := iw.sub.Load()
+				if st == nil || !st.cancellable {
+					continue
+				}
+				if st.publishCancel(tc, cancelBitParallel) && st.n > 1 {
+					if sp := t.rt.spine; sp.Enabled(ompt.Cancel) {
+						sp.Emit(ompt.Event{Kind: ompt.Cancel, Thread: -1,
+							CPU: int32(tc.CPU()), TimeNS: tc.Now(),
+							Region: st.region, Level: int32(st.level),
+							Arg0: int64(CancelParallel), Arg1: cancelActivated})
+					}
+				}
+			}
+		}
 	}
 	return true
 }
@@ -331,9 +360,29 @@ func (w *Worker) pollCancelTree() uint32 {
 
 // parCancelled is the cheap unmodeled check used where a poll's
 // coherence cost is already paid by surrounding traffic (barrier
-// arrival, task dispatch, ring-acquire spins).
+// arrival, task dispatch, ring-acquire spins). For a non-nested team
+// the ancestor walk is one nil check.
 func (t *Team) parCancelled() bool {
-	return t.cancellable && t.cancelFlags.Load()&cancelBitParallel != 0
+	if !t.cancellable {
+		return false
+	}
+	if t.cancelFlags.Load()&cancelBitParallel != 0 {
+		return true
+	}
+	return t.parent != nil && t.ancestorCancelled()
+}
+
+// ancestorCancelled walks the enclosing-team chain for an active
+// parallel cancellation. It closes the race window between an outer
+// publish and its push into this team's own cancel word (and covers
+// teams forked concurrently with the publish).
+func (t *Team) ancestorCancelled() bool {
+	for p := t.parent; p != nil; p = p.parent {
+		if p.cancellable && p.cancelFlags.Load()&cancelBitParallel != 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // clearWSCancel ends a worksharing cancellation at the barrier closing
@@ -381,7 +430,7 @@ func (w *Worker) join() {
 		w.finishJoin()
 	} else {
 		for t.joinGen.Load() == gen {
-			if t.pending.Load() > 0 {
+			if t.pendingWork() {
 				// A task scheduling point like any barrier: cancelled
 				// task bodies are discarded with full accounting.
 				if !w.runOneTask() {
@@ -389,11 +438,11 @@ func (w *Worker) join() {
 				}
 				continue
 			}
-			t.sleepers.Add(1)
-			if t.pending.Load() == 0 {
+			tag := t.addSleeper()
+			if !t.pendingWork() {
 				tc.FutexWait(&t.joinGen, gen)
 			}
-			t.sleepers.Add(^uint32(0))
+			t.removeSleeper(tag)
 		}
 	}
 	w.emitSync(ompt.SyncAcquired, ompt.SyncBarrier, 0)
@@ -441,7 +490,7 @@ func (rt *Runtime) armDeadline(tc exec.TC, t *Team) func() {
 			sp := rt.spine
 			if sp.Enabled(ompt.Cancel) {
 				sp.Emit(ompt.Event{Kind: ompt.Cancel, Thread: -1, CPU: int32(atc.CPU()),
-					TimeNS: atc.Now(), Region: t.region,
+					TimeNS: atc.Now(), Region: t.region, Level: int32(t.level),
 					Arg0: int64(CancelParallel), Arg1: cancelActivated})
 			}
 		}

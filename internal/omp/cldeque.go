@@ -60,6 +60,13 @@ type taskDeque interface {
 	pop(tc exec.TC) *task
 	steal(tc exec.TC) *task
 	size() int
+	// reset restores the just-constructed state — empty, initial
+	// capacity, cold cache-line history — between regions of a reused
+	// hot team, so deque traffic prices exactly like on a fresh team
+	// (ring growth is re-charged per region, the top line starts
+	// unowned). Called only at fork, never concurrently with the
+	// region's own operations.
+	reset()
 }
 
 func newTaskDeque(algo TaskDequeAlgo) taskDeque {
@@ -152,6 +159,31 @@ func (d *clDeque) grow(tc exec.TC, old *clRing, b, top int64) *clRing {
 	return r
 }
 
+// reset is called on a drained deque (top == bottom). The indices are
+// deliberately NOT rewound: keeping them monotonic means a stale
+// cross-team thief — one that read the previous region's indices and
+// stalled — can never win a top CAS against a recycled index (the
+// classic ABA), only observe the deque empty or steal a genuinely new
+// task. Shrinking the ring back to the initial capacity and cooling the
+// top line is what restores fresh-team pricing: growth is re-charged
+// per region and the first contention starts from an unowned line.
+func (d *clDeque) reset() {
+	r := d.ring.Load()
+	if r.capacity() != clInitialCap {
+		// The live window is empty, so there is nothing to copy and old
+		// generations stay valid for any in-flight thief, exactly as in
+		// grow.
+		d.ring.Store(newCLRing(clInitialCap))
+	} else {
+		// Drop stale task pointers so a drained region's tasks are
+		// collectable (a fresh ring starts nil-slotted too).
+		for i := range r.slot {
+			r.slot[i].Store(nil)
+		}
+	}
+	d.topLine = exec.Line{}
+}
+
 // pop removes from the bottom (owner only). The common path is
 // lock-free and CAS-free; only when the last element is in play does
 // the owner CAS the top against racing thieves.
@@ -224,6 +256,16 @@ type mutexDeque struct {
 // lockNS is the modeled hold time of one lock/unlock pair on the
 // deque's lock line.
 func lockNS(c *exec.Costs) int64 { return 2*c.AtomicRMWNS + c.CacheLineXferNS }
+
+func (d *mutexDeque) reset() {
+	d.mu.Lock()
+	for i := range d.items {
+		d.items[i] = nil
+	}
+	d.items = d.items[:0]
+	d.mu.Unlock()
+	d.line = exec.Line{}
+}
 
 func (d *mutexDeque) size() int {
 	d.mu.Lock()

@@ -27,8 +27,8 @@ func (w *Worker) emitPlain(k ompt.Kind, a0, a1 int64) {
 	if !sp.Enabled(k) {
 		return
 	}
-	sp.Emit(ompt.Event{Kind: k, Thread: int32(w.id), CPU: int32(w.tc.CPU()),
-		TimeNS: w.tc.Now(), Region: w.team.region, Arg0: a0, Arg1: a1})
+	sp.Emit(ompt.Event{Kind: k, Thread: int32(w.id), Gid: w.gid, CPU: int32(w.tc.CPU()),
+		TimeNS: w.tc.Now(), Region: w.team.region, Level: int32(w.team.level), Arg0: a0, Arg1: a1})
 }
 
 // emitSync emits a synchronization event against object obj.
@@ -37,8 +37,8 @@ func (w *Worker) emitSync(k ompt.Kind, s ompt.Sync, obj uint64) {
 	if !sp.Enabled(k) {
 		return
 	}
-	sp.Emit(ompt.Event{Kind: k, Sync: s, Thread: int32(w.id), CPU: int32(w.tc.CPU()),
-		TimeNS: w.tc.Now(), Region: w.team.region, Obj: obj})
+	sp.Emit(ompt.Event{Kind: k, Sync: s, Thread: int32(w.id), Gid: w.gid, CPU: int32(w.tc.CPU()),
+		TimeNS: w.tc.Now(), Region: w.team.region, Level: int32(w.team.level), Obj: obj})
 }
 
 // emitWork emits a worksharing event: wk is the construct kind, obj the
@@ -48,8 +48,8 @@ func (w *Worker) emitWork(k ompt.Kind, wk ompt.Work, obj uint64, a0, a1 int64) {
 	if !sp.Enabled(k) {
 		return
 	}
-	sp.Emit(ompt.Event{Kind: k, Work: wk, Thread: int32(w.id), CPU: int32(w.tc.CPU()),
-		TimeNS: w.tc.Now(), Region: w.team.region, Obj: obj, Arg0: a0, Arg1: a1})
+	sp.Emit(ompt.Event{Kind: k, Work: wk, Thread: int32(w.id), Gid: w.gid, CPU: int32(w.tc.CPU()),
+		TimeNS: w.tc.Now(), Region: w.team.region, Level: int32(w.team.level), Obj: obj, Arg0: a0, Arg1: a1})
 }
 
 // emitBind publishes a worker's placement for the region: Obj is the
@@ -71,8 +71,8 @@ func (w *Worker) emitBind(cpu int) {
 			}
 		}
 	}
-	sp.Emit(ompt.Event{Kind: ompt.ThreadBind, Thread: int32(w.id), CPU: int32(cpu),
-		TimeNS: w.tc.Now(), Region: w.team.region, Obj: uint64(cpu), Arg0: place, Arg1: occ})
+	sp.Emit(ompt.Event{Kind: ompt.ThreadBind, Thread: int32(w.id), Gid: w.gid, CPU: int32(cpu),
+		TimeNS: w.tc.Now(), Region: w.team.region, Level: int32(w.team.level), Obj: uint64(cpu), Arg0: place, Arg1: occ})
 }
 
 // emitCancel emits a cancellation event: Arg0 is the CancelKind, obj
@@ -83,8 +83,8 @@ func (w *Worker) emitCancel(kind CancelKind, obj uint64, a1 int64) {
 	if !sp.Enabled(ompt.Cancel) {
 		return
 	}
-	sp.Emit(ompt.Event{Kind: ompt.Cancel, Thread: int32(w.id), CPU: int32(w.tc.CPU()),
-		TimeNS: w.tc.Now(), Region: w.team.region, Obj: obj,
+	sp.Emit(ompt.Event{Kind: ompt.Cancel, Thread: int32(w.id), Gid: w.gid, CPU: int32(w.tc.CPU()),
+		TimeNS: w.tc.Now(), Region: w.team.region, Level: int32(w.team.level), Obj: obj,
 		Arg0: int64(kind), Arg1: a1})
 }
 
@@ -95,6 +95,6 @@ func (w *Worker) emitTask(k ompt.Kind, obj uint64, a0 int64) {
 	if !sp.Enabled(k) {
 		return
 	}
-	sp.Emit(ompt.Event{Kind: k, Thread: int32(w.id), CPU: int32(w.tc.CPU()),
-		TimeNS: w.tc.Now(), Region: w.team.region, Obj: obj, Arg0: a0})
+	sp.Emit(ompt.Event{Kind: k, Thread: int32(w.id), Gid: w.gid, CPU: int32(w.tc.CPU()),
+		TimeNS: w.tc.Now(), Region: w.team.region, Level: int32(w.team.level), Obj: obj, Arg0: a0})
 }

@@ -170,6 +170,43 @@ func ParseStealOrder(s string) (StealOrder, error) {
 	return 0, fmt.Errorf("omp: unknown steal order %q", s)
 }
 
+// NestedPoolPolicy selects what an inner team does with its worker
+// lease at the join (KOMP_NESTED_POOL).
+type NestedPoolPolicy int
+
+// Nested lease policies.
+const (
+	// NestedPoolHold (the default): the forking worker keeps its inner
+	// team hot across regions — the nested analogue of the top-level hot
+	// team. Repeated inner regions of the same size fork with zero
+	// construction cost; the lease returns when the enclosing team is
+	// released.
+	NestedPoolHold NestedPoolPolicy = iota
+	// NestedPoolReturn: the lease goes back to the pool at every inner
+	// join and no inner team is cached. Repeated inner regions pay
+	// reconstruction, but siblings forked at different times can share
+	// the same pool workers.
+	NestedPoolReturn
+)
+
+func (p NestedPoolPolicy) String() string {
+	if p == NestedPoolReturn {
+		return "return"
+	}
+	return "hold"
+}
+
+// ParseNestedPool parses a KOMP_NESTED_POOL-style string.
+func ParseNestedPool(s string) (NestedPoolPolicy, error) {
+	switch strings.TrimSpace(strings.ToLower(s)) {
+	case "", "hold":
+		return NestedPoolHold, nil
+	case "return":
+		return NestedPoolReturn, nil
+	}
+	return 0, fmt.Errorf("omp: unknown nested pool policy %q (want hold or return)", s)
+}
+
 // Options configures the runtime (the internal control variables).
 type Options struct {
 	// MaxThreads caps the pool; 0 means the layer's CPU count.
@@ -177,6 +214,19 @@ type Options struct {
 	// DefaultThreads is the team size when Parallel is called with 0;
 	// 0 means MaxThreads (OMP_NUM_THREADS).
 	DefaultThreads int
+	// NumThreadsList is the per-level team-size list of a comma-list
+	// OMP_NUM_THREADS ("8,4"): entry i sizes regions at nesting level
+	// i+1, the last entry covering all deeper levels. Empty means
+	// DefaultThreads at every level.
+	NumThreadsList []int
+	// MaxActiveLevels caps how many nested parallel regions may be
+	// active (team size > 1) at once — OMP_MAX_ACTIVE_LEVELS. Regions
+	// forked past the cap serialize. 0 means 1: nested regions
+	// serialize, the OpenMP 5.x default and this runtime's historic
+	// behavior.
+	MaxActiveLevels int
+	// NestedPool is the inner-team lease policy (KOMP_NESTED_POOL).
+	NestedPool NestedPoolPolicy
 	// Schedule and Chunk are the defaults for runtime-scheduled loops
 	// (OMP_SCHEDULE).
 	Schedule Schedule
@@ -207,6 +257,12 @@ type Options struct {
 	// way unbound threads drift under a general-purpose scheduler.
 	// BindDefault defers to the legacy Bind flag.
 	ProcBind places.Bind
+	// ProcBindList is the per-level binding list of a comma-nested
+	// OMP_PROC_BIND ("spread,close"): entry i binds teams at nesting
+	// level i+1, the last entry covering all deeper levels (an inner
+	// team subpartitions its master's place). Empty means ProcBind at
+	// every level.
+	ProcBindList []places.Bind
 	// StealOrder selects the task-steal victim sweep order
 	// (KOMP_STEAL_ORDER; default nearest-first when placed).
 	StealOrder StealOrder
@@ -270,6 +326,11 @@ type Options struct {
 	// and barriers as Chrome trace events. It is implemented as a spine
 	// consumer: New attaches it to Spine (creating one if needed).
 	Tracer *trace.Tracer
+	// Warnings collects non-fatal configuration diagnostics Env found —
+	// e.g. an OMP_PROC_BIND list with more levels than
+	// OMP_MAX_ACTIVE_LEVELS allows to ever apply. Callers surface them
+	// however their environment reports (stderr, kernel log).
+	Warnings []string
 }
 
 // Env reads OpenMP environment variables ("OMP_NUM_THREADS",
@@ -277,11 +338,42 @@ type Options struct {
 // emulated process environment in PIK) into Options.
 func (o *Options) Env(lookup func(string) (string, bool)) error {
 	if v, ok := lookup("OMP_NUM_THREADS"); ok {
-		n, err := strconv.Atoi(strings.TrimSpace(v))
-		if err != nil {
-			return fmt.Errorf("omp: OMP_NUM_THREADS=%q: %v", v, err)
+		parts := strings.Split(v, ",")
+		if len(parts) == 1 {
+			// Single value: historic semantics (any integer accepted;
+			// New clamps non-positive values to the default).
+			n, err := strconv.Atoi(strings.TrimSpace(v))
+			if err != nil {
+				return fmt.Errorf("omp: OMP_NUM_THREADS=%q: %v", v, err)
+			}
+			o.DefaultThreads = n
+		} else {
+			// Comma list: per-nesting-level team sizes, every entry a
+			// positive integer (OpenMP 5.x nesting form).
+			list := make([]int, len(parts))
+			for i, p := range parts {
+				n, err := strconv.Atoi(strings.TrimSpace(p))
+				if err != nil || n < 1 {
+					return fmt.Errorf("omp: OMP_NUM_THREADS=%q: entry %d: want a positive integer", v, i+1)
+				}
+				list[i] = n
+			}
+			o.DefaultThreads, o.NumThreadsList = list[0], list
 		}
-		o.DefaultThreads = n
+	}
+	if v, ok := lookup("OMP_MAX_ACTIVE_LEVELS"); ok {
+		n, err := strconv.Atoi(strings.TrimSpace(v))
+		if err != nil || n < 1 {
+			return fmt.Errorf("omp: OMP_MAX_ACTIVE_LEVELS=%q: want a positive integer", v)
+		}
+		o.MaxActiveLevels = n
+	}
+	if v, ok := lookup("KOMP_NESTED_POOL"); ok {
+		p, err := ParseNestedPool(v)
+		if err != nil {
+			return err
+		}
+		o.NestedPool = p
 	}
 	if v, ok := lookup("OMP_SCHEDULE"); ok {
 		kind, chunk, err := ParseSchedule(v)
@@ -342,12 +434,15 @@ func (o *Options) Env(lookup func(string) (string, bool)) error {
 		o.PlacesSpec = v
 	}
 	if v, ok := lookup("OMP_PROC_BIND"); ok {
-		b, err := places.ParseBind(v)
+		list, err := places.ParseBindList(v)
 		if err != nil {
 			return fmt.Errorf("omp: OMP_PROC_BIND=%q: %v", v, err)
 		}
-		o.ProcBind = b
-		if b != places.BindFalse {
+		o.ProcBind = list[0]
+		if len(list) > 1 {
+			o.ProcBindList = list
+		}
+		if list[0] != places.BindFalse {
 			o.Bind = true
 		}
 	}
@@ -379,6 +474,17 @@ func (o *Options) Env(lookup func(string) (string, bool)) error {
 		}
 		o.RegionDeadlineNS = int64(d)
 	}
+	// Cross-variable diagnostic: a per-level OMP_PROC_BIND list reaching
+	// past the active-level cap used to be silently ignored — surface it.
+	maxLvl := o.MaxActiveLevels
+	if maxLvl <= 0 {
+		maxLvl = 1
+	}
+	if len(o.ProcBindList) > maxLvl {
+		o.Warnings = append(o.Warnings, fmt.Sprintf(
+			"omp: OMP_PROC_BIND lists %d levels but OMP_MAX_ACTIVE_LEVELS=%d: entries past level %d will never apply",
+			len(o.ProcBindList), maxLvl, maxLvl))
+	}
 	return nil
 }
 
@@ -389,6 +495,14 @@ type Runtime struct {
 	opts  Options
 
 	pool *pool
+
+	// hot and serial are the top-level hot-team caches: the teams the
+	// last non-nested Parallel ran on, reused when the next region is
+	// compatible (nested regions cache theirs on the forking Worker —
+	// hotChild/serialChild). Reuse keeps the repeated-region fork path
+	// allocation-free.
+	hot    *Team
+	serial *Team
 
 	spine *ompt.Spine
 
@@ -427,6 +541,9 @@ func New(layer exec.Layer, opts Options) *Runtime {
 	}
 	if opts.DefaultThreads <= 0 || opts.DefaultThreads > opts.MaxThreads {
 		opts.DefaultThreads = opts.MaxThreads
+	}
+	if opts.MaxActiveLevels < 1 {
+		opts.MaxActiveLevels = 1 // nested regions serialize by default
 	}
 	if opts.ForkChargeNS == 0 {
 		opts.ForkChargeNS = 120
@@ -484,6 +601,42 @@ func (rt *Runtime) procBind() places.Bind {
 	return places.BindDefault // unmanaged: the legacy unbound path
 }
 
+// threadsAt resolves the team-size ICV for a region at nesting level
+// level (1-based): the matching OMP_NUM_THREADS list entry — the last
+// entry covering all deeper levels — or DefaultThreads without a list.
+func (rt *Runtime) threadsAt(level int) int {
+	if list := rt.opts.NumThreadsList; len(list) > 0 {
+		i := level - 1
+		if i >= len(list) {
+			i = len(list) - 1
+		}
+		if n := list[i]; n > 0 {
+			if n > rt.opts.MaxThreads {
+				return rt.opts.MaxThreads
+			}
+			return n
+		}
+	}
+	return rt.opts.DefaultThreads
+}
+
+// procBindAt resolves the binding policy for a team at nesting level
+// level (1-based): the matching OMP_PROC_BIND list entry — the last
+// entry covering all deeper levels — falling back to the flat policy
+// without a list (or where the list says default).
+func (rt *Runtime) procBindAt(level int) places.Bind {
+	if list := rt.opts.ProcBindList; len(list) > 0 {
+		i := level - 1
+		if i >= len(list) {
+			i = len(list) - 1
+		}
+		if b := list[i]; b != places.BindDefault {
+			return b
+		}
+	}
+	return rt.procBind()
+}
+
 // stealNear reports whether thieves should sweep victims nearest-first
 // for a team with placement cpus (nil means unplaced).
 func (rt *Runtime) stealNear(cpus []int) bool {
@@ -519,6 +672,7 @@ func (rt *Runtime) Close(tc exec.TC) {
 		rt.pool.shutdown(tc)
 		rt.pool = nil
 	}
+	rt.hot, rt.serial = nil, nil
 }
 
 // OfflineCPU models CPU cpu going away mid-run: every pool worker bound

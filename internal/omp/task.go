@@ -146,7 +146,7 @@ func (w *Worker) TaskWith(opt TaskOpt, fn func(*Worker)) {
 // finds the pool non-empty, and steals instead of going back to sleep.
 func (w *Worker) wakeThief() {
 	t := w.team
-	if t.sleepers.Load() > 0 {
+	if t.parkedSleepers() > 0 {
 		w.tc.FutexWake(&t.barGen, 1)
 		if t.cancellable {
 			// Sleepers of a cancellable region may be parked at the
@@ -189,14 +189,17 @@ func (w *Worker) cutoffHit() bool {
 // in the region) cannot leave the worker parenting new tasks under a
 // dead task or group; completion accounting is still skipped on panic.
 func (w *Worker) runTaskBody(t *task) {
-	if w.team.cancellable {
+	if t.team.cancellable {
 		if w.taskCancelled(t) {
 			// Discarded: the body never runs, but the caller still runs
 			// finishTask, so dependence release (releaseSuccs), parent,
 			// taskgroup and team accounting all fire exactly once —
-			// cancelled tasks are drained, not dropped.
+			// cancelled tasks are drained, not dropped. Cancellation is
+			// judged against the task's own team: a cross-team thief must
+			// not discard a live inner team's task because its own region
+			// was cancelled (or vice versa).
 			kind := CancelTaskgroup
-			if w.team.cancelFlags.Load()&cancelBitParallel != 0 {
+			if t.team.parCancelled() {
 				kind = CancelParallel
 			}
 			w.emitCancel(kind, t.id, cancelDiscardedTask)
@@ -258,8 +261,10 @@ func (w *Worker) finishTask(t *task) {
 			w.tc.FutexWake(&g.count, -1)
 		}
 	}
-	w.team.pending.Add(^uint32(0))
-	w.team.rt.TasksRun.Add(1)
+	// The task's own team is credited — a cross-team thief must drain
+	// the victim team's pending count, not its own.
+	t.team.pending.Add(^uint32(0))
+	t.team.rt.TasksRun.Add(1)
 }
 
 // runOneTask executes one ready task: own deque first (bottom), then
@@ -277,26 +282,119 @@ func (w *Worker) runOneTask() bool {
 		return true
 	}
 	if w.team.rt.stealNear(w.team.cpus) {
-		return w.stealNearest()
+		if w.stealNearest() {
+			return true
+		}
+	} else {
+		n := w.team.n
+		tries := w.team.rt.opts.TaskStealTries
+		if tries <= 0 || tries > n-1 {
+			tries = n - 1
+		}
+		start := w.stealRR
+		for k := 1; k <= tries; k++ {
+			victim := w.team.workers[(w.id+start+k)%n]
+			if victim == nil || victim == w {
+				continue
+			}
+			if t := victim.deque.steal(tc); t != nil {
+				w.stealRR = (start + k) % n
+				w.finishSteal(tc, victim, t)
+				return true
+			}
+		}
+		w.stealRR = (start + 1) % n
 	}
-	n := w.team.n
-	tries := w.team.rt.opts.TaskStealTries
-	if tries <= 0 || tries > n-1 {
-		tries = n - 1
+	// The own team is dry. Once teams nest, help across team boundaries
+	// — enclosing team first, then sibling sub-teams; a flat team pays
+	// one nil check and one load to skip this.
+	if w.team.parent == nil && w.team.subActive.Load() == 0 {
+		return false
 	}
-	start := w.stealRR
-	for k := 1; k <= tries; k++ {
-		victim := w.team.workers[(w.id+start+k)%n]
+	return w.stealCrossTeam()
+}
+
+// sweepTeam probes every worker of team vt (skipping this worker) for a
+// stealable task. Cross-team sweeps are the cold path — entered only
+// when the thief's own team is dry — so a flat front-to-back probe
+// suffices; the vt.pending gate keeps a sweep of an idle team to one
+// shared-counter load.
+func (w *Worker) sweepTeam(vt *Team) bool {
+	if vt == nil || vt.pending.Load() == 0 {
+		return false
+	}
+	for _, victim := range vt.workers {
 		if victim == nil || victim == w {
 			continue
 		}
-		if t := victim.deque.steal(tc); t != nil {
-			w.stealRR = (start + k) % n
-			w.finishSteal(tc, victim, t)
+		if t := victim.deque.steal(w.tc); t != nil {
+			w.finishSteal(w.tc, victim, t)
 			return true
 		}
 	}
-	w.stealRR = (start + 1) % n
+	return false
+}
+
+// stealCrossTeam is the nested-team help path, preferring the enclosing
+// hierarchy near-to-far: first down into teammates' active sub-teams,
+// then up the ancestor chain — each ancestor's own deques, then sibling
+// sub-teams hanging off that ancestor's other workers (the chain this
+// worker came from is skipped; its work was already swept).
+func (w *Worker) stealCrossTeam() bool {
+	t := w.team
+	if t.subActive.Load() != 0 {
+		for _, tw := range t.workers {
+			if st := tw.sub.Load(); st != nil && w.sweepTeam(st) {
+				return true
+			}
+		}
+	}
+	child := t
+	for p := t.parent; p != nil; p = p.parent {
+		if w.sweepTeam(p) {
+			return true
+		}
+		if p.subActive.Load() != 0 {
+			for _, pw := range p.workers {
+				st := pw.sub.Load()
+				if st == nil || st == child {
+					continue
+				}
+				if w.sweepTeam(st) {
+					return true
+				}
+			}
+		}
+		child = p
+	}
+	return false
+}
+
+// pendingWork reports whether a waiter could find a task to help with:
+// in the own team's pool, an enclosing team's, or a teammate's active
+// sub-team's. It gates the help-vs-sleep decision in barrier and join
+// wait loops ONLY — completion and drain conditions always use the own
+// pending count, or an outer barrier would block on inner-team work it
+// does not own. For a flat team it is one load plus one nil check.
+func (t *Team) pendingWork() bool {
+	if t.pending.Load() > 0 {
+		return true
+	}
+	if t.parent == nil && t.subActive.Load() == 0 {
+		return false
+	}
+	for p := t.parent; p != nil; p = p.parent {
+		if p.pending.Load() > 0 {
+			return true
+		}
+	}
+	if t.subActive.Load() != 0 {
+		for _, tw := range t.workers {
+			if st := tw.sub.Load(); st != nil && st.pending.Load() > 0 {
+				return true
+			}
+		}
+	}
 	return false
 }
 
@@ -349,9 +447,11 @@ func (w *Worker) finishSteal(tc exec.TC, victim *Worker, t *task) {
 	tc.Charge(taskDispatchNS)
 	rt := w.team.rt
 	rt.TaskSteals.Add(1)
-	if cpus := w.team.cpus; cpus != nil {
+	// The victim may sit in another team (cross-team help): its CPU
+	// comes from its own team's placement, not the thief's.
+	if cpus, vcpus := w.team.cpus, victim.team.cpus; cpus != nil && vcpus != nil {
 		p := rt.opts.Places
-		if p.SocketOf(cpus[w.id]) == p.SocketOf(cpus[victim.id]) {
+		if p.SocketOf(cpus[w.id]) == p.SocketOf(vcpus[victim.id]) {
 			rt.LocalSteals.Add(1)
 		} else {
 			rt.RemoteSteals.Add(1)

@@ -2,6 +2,9 @@ package omp
 
 import (
 	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"github.com/interweaving/komp/internal/exec"
 	"github.com/interweaving/komp/internal/ompt"
@@ -9,16 +12,28 @@ import (
 	"github.com/interweaving/komp/internal/pthread"
 )
 
-// pool is the persistent worker pool ("hot team"): workers are created
-// once and sleep on per-worker futex words between parallel regions, the
-// way libomp keeps its team threads parked.
+// pool is the persistent worker pool: workers are created once and sleep
+// on per-worker futex words between parallel regions, the way libomp
+// keeps its team threads parked. Teams do not own the pool — they lease
+// workers from it (lease/release), so several teams of a nesting
+// hierarchy can hold disjoint worker sets at once.
 type pool struct {
 	rt      *Runtime
-	workers []*poolWorker // index 1..MaxThreads-1; slot 0 is the master
+	workers []*poolWorker // by creation order; worker i has id i+1
+
+	// free is the lease allocator's free list, kept sorted by id so a
+	// lease hands out the lowest ids first — for a full-size top-level
+	// team this reproduces the historic slot-i ↔ pool-worker-(i-1)
+	// mapping exactly. The mutex is uncontended on the simulator (one
+	// proc runs at a time) and cheap on the real layer (leases happen at
+	// team construction, never per region on the hot path).
+	mu   sync.Mutex
+	free []*poolWorker
 }
 
 type poolWorker struct {
 	id   int
+	slot int       // team slot for the current lease (id when unleased)
 	cpu  int       // bound CPU (-1 when unbound)
 	gate exec.Word // generation gate; master bumps it to dispatch
 	team *Team     // assignment for the new generation
@@ -44,7 +59,7 @@ func (rt *Runtime) ensurePool(tc exec.TC) *pool {
 		cpus = rt.opts.Places.Assign(rt.opts.MaxThreads, bind, tc.CPU())
 	}
 	for i := 1; i < rt.opts.MaxThreads; i++ {
-		pw := &poolWorker{id: i, cpu: -1}
+		pw := &poolWorker{id: i, slot: i, cpu: -1}
 		if cpus != nil {
 			pw.cpu = cpus[i]
 		}
@@ -53,8 +68,42 @@ func (rt *Runtime) ensurePool(tc exec.TC) *pool {
 		})
 		p.workers = append(p.workers, pw)
 	}
+	p.free = append([]*poolWorker(nil), p.workers...)
 	rt.pool = p
 	return p
+}
+
+// lease takes up to k workers off the free list, lowest ids first. Dead
+// and doomed workers are leased like live ones: dispatchSlot removes
+// them from the team at fork, which is the same per-region re-shrink the
+// flat pool performed. A shortfall returns fewer than k — the caller
+// builds a smaller team.
+func (p *pool) lease(k int) []*poolWorker {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if k > len(p.free) {
+		k = len(p.free)
+	}
+	if k <= 0 {
+		return nil
+	}
+	out := make([]*poolWorker, k)
+	copy(out, p.free)
+	p.free = append(p.free[:0], p.free[k:]...)
+	return out
+}
+
+// release returns leased workers to the free list, restoring the sorted
+// order lease depends on.
+func (p *pool) release(pws []*poolWorker) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, pw := range pws {
+		if pw != nil {
+			p.free = append(p.free, pw)
+		}
+	}
+	sort.Slice(p.free, func(i, j int) bool { return p.free[i].id < p.free[j].id })
 }
 
 // offlineSignal unwinds a doomed worker out of the region body back to
@@ -81,13 +130,14 @@ func (p *pool) workerLoop(tc exec.TC, pw *poolWorker) {
 			return
 		}
 		team := pw.team
-		w := team.workers[pw.id]
+		w := team.workers[pw.slot]
 		w.tc = tc
 		w.pw = pw
+		w.gid = int32(pw.id)
 		// Region placement: re-pin to this region's assigned CPU (the
 		// binding policy may place a small team differently than the
 		// pool), or migrate deterministically under proc_bind(false).
-		if want, ok := team.slotCPU(pw.id, gen); ok {
+		if want, ok := team.slotCPU(pw.slot, gen); ok {
 			if want != cpu {
 				if mv, ok := tc.(exec.Mover); ok {
 					mv.MoveCPU(want)
@@ -128,13 +178,30 @@ type Team struct {
 	fn     func(*Worker)
 	region uint64 // spine region id
 
+	// Nesting chain: parent is the enclosing team, parentW the worker of
+	// it that forked this team (both nil at top level). level counts
+	// every enclosing region including serialized ones (omp_get_level);
+	// activeLevel counts only teams of size > 1 (omp_get_active_level).
+	parent      *Team
+	parentW     *Worker
+	level       int
+	activeLevel int
+
 	workers []*Worker
+
+	// pws is the team's worker lease: pws[i] is the pool worker bound to
+	// team slot i (pws[0] is nil — slot 0 is the encountering thread).
+	// Held until the team is released back to the pool.
+	pws []*poolWorker
 
 	// cpus is the region's placement: cpus[i] is the CPU the binding
 	// policy assigned to team slot i (nil when workers are unmanaged).
 	// The worksharing Affinity schedule and the nearest-first steal
-	// order key on it.
-	cpus []int
+	// order key on it. placedCPU is the master CPU cpus was computed
+	// for, so a reused hot team only recomputes placement when the
+	// encountering thread moved.
+	cpus      []int
+	placedCPU int
 	// migrate marks a proc_bind(false) team: workers are re-bound to a
 	// deterministic per-region rotation, modeling unbound threads
 	// drifting under a general-purpose scheduler.
@@ -146,6 +213,12 @@ type Team struct {
 	alive exec.Word
 	// resilient mirrors Options.Resilient for the region.
 	resilient bool
+
+	// subActive is a set-once flag: some worker of this team has forked
+	// an inner team at least once. Barrier and join wait loops only look
+	// across team boundaries for stealable work when it is set, so flat
+	// (non-nesting) regions pay nothing for the nested-steal path.
+	subActive exec.Word
 
 	// Join/explicit barrier state. bar is the hierarchical arrival tree
 	// (BarrierHier, the default); barArrived/barLine are the central
@@ -183,10 +256,16 @@ type Team struct {
 
 	// Tasking.
 	pending exec.Word // tasks created and not yet finished
-	// sleepers counts threads parked in a barrier's futex wait. A task
+	// sleepers counts threads parked in a barrier's futex wait — a task
 	// producer wakes one per ready task (and the barrier completer wakes
 	// all before draining), so a parked team turns into thieves instead
-	// of sleeping through the drain.
+	// of sleeping through the drain. The word is epoch-tagged (high half
+	// a region epoch, low half the count; see addSleeper/removeSleeper):
+	// a join's released waiters decrement only after they resume, which
+	// on a reused hot team can be after the master has already forked
+	// the next region, and those stragglers are awake — counting them
+	// would make the next region's producers pay futex wakes for
+	// sleepers that do not exist.
 	sleepers exec.Word
 
 	// Reduction state: per-thread contribution slots plus the fused
@@ -210,45 +289,105 @@ type Team struct {
 }
 
 // Parallel runs fn on a team of n threads (0 means the default ICV). The
-// calling thread becomes thread 0 of the team; pool workers 1..n-1 are
-// dispatched through the fork tree. Parallel returns after the implicit
-// join barrier.
+// calling thread becomes thread 0 of the team; pool workers are leased
+// and dispatched through the fork tree. Parallel returns after the
+// implicit join barrier.
 func (rt *Runtime) Parallel(tc exec.TC, n int, fn func(*Worker)) {
+	rt.parallel(tc, nil, n, fn)
+}
+
+// Parallel forks a nested parallel region from inside an enclosing one:
+// this worker becomes thread 0 of a real inner team leased from the
+// shared pool (serialized instead when OMP_MAX_ACTIVE_LEVELS is reached
+// or no pool workers are free). It returns after the inner join.
+func (w *Worker) Parallel(n int, fn func(*Worker)) {
+	w.team.rt.parallel(w.tc, w, n, fn)
+}
+
+// masterGid is the physical identity a team's slot-0 worker inherits:
+// forking never migrates the encountering thread, so the master of an
+// inner team carries its parent worker's gid; the top-level encountering
+// thread is -1 (it is not a pool worker).
+func masterGid(parent *Worker) int32 {
+	if parent == nil {
+		return -1
+	}
+	return parent.gid
+}
+
+func (rt *Runtime) parallel(tc exec.TC, parent *Worker, n int, fn func(*Worker)) {
+	level, active := 1, 0
+	var parentRegion uint64
+	if parent != nil {
+		level = parent.team.level + 1
+		active = parent.team.activeLevel
+		parentRegion = parent.team.region
+	}
 	if n <= 0 {
-		n = rt.opts.DefaultThreads
+		n = rt.threadsAt(level)
 	}
 	if n > rt.opts.MaxThreads {
 		n = rt.opts.MaxThreads
+	}
+	if active >= rt.opts.MaxActiveLevels && n > 1 {
+		n = 1 // OMP_MAX_ACTIVE_LEVELS reached: serialize this region
 	}
 	region := uint64(rt.Regions.Add(1))
 	sp := rt.spine
 	if sp.Enabled(ompt.ParallelBegin) {
 		sp.Emit(ompt.Event{Kind: ompt.ParallelBegin, CPU: int32(tc.CPU()),
-			TimeNS: tc.Now(), Region: region, Arg0: int64(n)})
+			TimeNS: tc.Now(), Region: region, Level: int32(level),
+			Obj: parentRegion, Arg0: int64(n)})
 	}
 	if n == 1 {
 		// Serialized region: no team machinery (but a deadline still
 		// arms — a serialized region can cancel its own loops/tasks).
-		team := newTeam(rt, 1, fn)
+		team := rt.serialTeam(parent, fn)
 		team.region = region
 		stop := rt.armDeadline(tc, team)
 		w := team.workers[0]
 		w.tc = tc
+		w.gid = masterGid(parent)
+		if parent != nil {
+			// Register as the parent's sub-team so an outer cancel
+			// reaches this region's loops and tasks.
+			parent.sub.Store(team)
+			parent.team.subActive.Store(1)
+		}
 		w.emitPlain(ompt.ImplicitTaskBegin, 0, 0)
 		fn(w)
 		w.drainAllTasks()
 		w.emitPlain(ompt.ImplicitTaskEnd, 0, 0)
+		if parent != nil {
+			parent.sub.Store(nil)
+		}
 		if stop != nil {
 			stop()
 		}
 	} else {
 		rt.ensurePool(tc)
-		team := newTeam(rt, n, fn)
+		team := rt.hotTeam(parent, n, fn)
+		n = team.n // a lease shortfall builds a smaller team
 		team.region = region
 		rt.placeTeam(team, tc.CPU())
 		stop := rt.armDeadline(tc, team)
 		master := team.workers[0]
 		master.tc = tc
+		master.gid = masterGid(parent)
+		if parent != nil {
+			parent.sub.Store(team)
+			parent.team.subActive.Store(1)
+			if team.cancellable && team.ancestorCancelled() {
+				// Forked under an already-cancelled ancestor: cancel this
+				// region up front so it converges straight at its join.
+				if team.publishCancel(tc, cancelBitParallel) && sp.Enabled(ompt.Cancel) {
+					sp.Emit(ompt.Event{Kind: ompt.Cancel, Thread: -1,
+						CPU: int32(tc.CPU()), TimeNS: tc.Now(), Region: region,
+						Level: int32(level), Arg0: int64(CancelParallel),
+						Arg1: cancelActivated})
+				}
+			}
+		}
 		if team.cpus != nil {
 			master.emitBind(team.cpus[0])
 		}
@@ -260,24 +399,201 @@ func (rt *Runtime) Parallel(tc exec.TC, n int, fn func(*Worker)) {
 		fn(master)
 		master.join() // implicit join barrier
 		master.emitPlain(ompt.ImplicitTaskEnd, 0, 0)
+		if parent != nil {
+			parent.sub.Store(nil)
+			if rt.opts.NestedPool == NestedPoolReturn {
+				// Lease policy "return": give the workers back at every
+				// join instead of keeping the inner team hot.
+				rt.releaseTeam(team)
+				parent.hotChild = nil
+			}
+		}
 		if stop != nil {
 			stop()
 		}
 	}
 	if sp.Enabled(ompt.ParallelEnd) {
 		sp.Emit(ompt.Event{Kind: ompt.ParallelEnd, CPU: int32(tc.CPU()),
-			TimeNS: tc.Now(), Region: region, Arg0: int64(n)})
+			TimeNS: tc.Now(), Region: region, Level: int32(level),
+			Obj: parentRegion, Arg0: int64(n)})
 	}
 }
 
-func newTeam(rt *Runtime, n int, fn func(*Worker)) *Team {
+// hotTeam returns the cached hot team for (parent, n) — the top-level
+// slot rt.hot when parent is nil, the forking worker's hotChild
+// otherwise — or builds a fresh team over a new lease when the cache
+// misses. A reused team costs nothing to "construct": the non-nested
+// repeated-region path stays allocation-free.
+func (rt *Runtime) hotTeam(parent *Worker, n int, fn func(*Worker)) *Team {
+	var cached *Team
+	if parent == nil {
+		cached = rt.hot
+	} else {
+		cached = parent.hotChild
+	}
+	if cached != nil && rt.reusable(cached, n) {
+		cached.fn = fn
+		cached.resetRegionState()
+		return cached
+	}
+	if cached != nil {
+		rt.releaseTeam(cached)
+		if parent == nil {
+			rt.hot = nil
+		} else {
+			parent.hotChild = nil
+		}
+	}
+	leased := rt.pool.lease(n - 1)
+	n = 1 + len(leased)
+	t := newTeam(rt, parent, n, fn)
+	t.pws = make([]*poolWorker, n)
+	for i, pw := range leased {
+		t.pws[i+1] = pw
+		pw.slot = i + 1
+	}
+	if parent == nil {
+		rt.hot = t
+	} else {
+		parent.hotChild = t
+	}
+	return t
+}
+
+// resetRegionState restores per-region scheduler state on a reused hot
+// team so the region is indistinguishable — in scheduling decisions and
+// in the simulated timeline — from one running on a freshly built team:
+// steal cursors start their victim rotation cold, and each deque is
+// back at initial capacity with a cold top line (growth is re-charged
+// per region, as a fresh team would). Cache state proper (the worker
+// lease, the barrier tree, placement) is exactly what hot reuse keeps.
+func (t *Team) resetRegionState() {
+	for _, w := range t.workers {
+		w.stealRR = 0
+		w.stealCur = [3]int{}
+		w.deque.reset()
+	}
+	// New sleeper epoch: stragglers still draining out of the previous
+	// region's join no longer count as parked (they are awake).
+	t.sleepers.Store(((t.sleepers.Load() >> sleepEpochShift) + 1) << sleepEpochShift)
+}
+
+// sleepEpochShift splits the sleepers word: the high half is the region
+// epoch, the low half the count of threads currently parked in a futex
+// wait on this team's barriers.
+const sleepEpochShift = 16
+
+// addSleeper publishes this thread as parked and returns the tag its
+// matching removeSleeper must present.
+func (t *Team) addSleeper() uint32 { return t.sleepers.Add(1) }
+
+// removeSleeper withdraws a sleeper published under tag. If the region
+// epoch has moved on — the team was reused while this thread was still
+// resuming from the old region's release — the count was already reset
+// and there is nothing to withdraw.
+func (t *Team) removeSleeper(tag uint32) {
+	for {
+		cur := t.sleepers.Load()
+		if cur>>sleepEpochShift != tag>>sleepEpochShift {
+			return
+		}
+		if t.sleepers.CompareAndSwap(cur, cur-1) {
+			return
+		}
+	}
+}
+
+// parkedSleepers returns the current epoch's parked-thread count.
+func (t *Team) parkedSleepers() uint32 {
+	return t.sleepers.Load() & (1<<sleepEpochShift - 1)
+}
+
+// reusable reports whether a cached hot team can serve another region of
+// the requested size unchanged: same size, nobody lost to faults, no
+// leased worker doomed or dead, and — for cancellable teams — no cancel
+// bits or deadline in flight (a cancelled region's barrier trees hold
+// half-completed generations, and on the real layer a deadline alarm can
+// race the join; both rebuild instead of reusing).
+func (rt *Runtime) reusable(t *Team, n int) bool {
+	if t.n != n || int(t.alive.Load()) != n {
+		return false
+	}
+	for _, pw := range t.pws[1:] {
+		if pw == nil || pw.dead.Load() == 1 || pw.doom.Load() == 1 {
+			return false
+		}
+	}
+	if t.cancellable && (t.cancelFlags.Load() != 0 || rt.opts.RegionDeadlineNS != 0) {
+		return false
+	}
+	return true
+}
+
+// releaseTeam returns a team's lease (and, recursively, the leases of
+// any inner hot teams its workers cached) to the pool.
+func (rt *Runtime) releaseTeam(t *Team) {
+	for _, w := range t.workers {
+		if w.hotChild != nil {
+			rt.releaseTeam(w.hotChild)
+			w.hotChild = nil
+		}
+		if w.serialChild != nil {
+			rt.releaseTeam(w.serialChild)
+			w.serialChild = nil
+		}
+	}
+	if len(t.pws) > 1 && rt.pool != nil {
+		rt.pool.release(t.pws[1:])
+	}
+	t.pws = nil
+}
+
+// serialTeam returns the cached single-thread team for serialized
+// regions (top-level slot rt.serial, or the forking worker's
+// serialChild), rebuilding only when cancellation state could have
+// leaked from a previous region.
+func (rt *Runtime) serialTeam(parent *Worker, fn func(*Worker)) *Team {
+	var cached *Team
+	if parent == nil {
+		cached = rt.serial
+	} else {
+		cached = parent.serialChild
+	}
+	if cached != nil &&
+		(!cached.cancellable ||
+			(cached.cancelFlags.Load() == 0 && rt.opts.RegionDeadlineNS == 0)) {
+		cached.fn = fn
+		cached.resetRegionState()
+		return cached
+	}
+	t := newTeam(rt, parent, 1, fn)
+	if parent == nil {
+		rt.serial = t
+	} else {
+		parent.serialChild = t
+	}
+	return t
+}
+
+func newTeam(rt *Runtime, parent *Worker, n int, fn func(*Worker)) *Team {
 	t := &Team{
-		rt:       rt,
-		n:        n,
-		fn:       fn,
-		workers:  make([]*Worker, n),
-		redSlots: make([]float64, n),
-		redMark:  make([]uint32, n),
+		rt:        rt,
+		n:         n,
+		fn:        fn,
+		workers:   make([]*Worker, n),
+		redSlots:  make([]float64, n),
+		redMark:   make([]uint32, n),
+		parentW:   parent,
+		level:     1,
+		placedCPU: -1,
+	}
+	if parent != nil {
+		t.parent = parent.team
+		t.level = parent.team.level + 1
+		t.activeLevel = parent.team.activeLevel
+	}
+	if n > 1 {
+		t.activeLevel++
 	}
 	t.alive.Store(uint32(n))
 	t.resilient = rt.opts.Resilient
@@ -294,16 +610,32 @@ func newTeam(rt *Runtime, n int, fn func(*Worker)) *Team {
 }
 
 // placeTeam computes the region's worker placement from the binding
-// policy: master/close/spread assign each slot a CPU of its place,
-// proc_bind(false) arms per-region migration, and the legacy unmanaged
-// mode (no ProcBind, Bind off) leaves the team placement-free.
+// policy at the team's nesting level: master/close/spread assign each
+// slot a CPU of its place (an inner team subpartitions its master's
+// place), proc_bind(false) arms per-region migration, and the legacy
+// unmanaged mode (no ProcBind, Bind off) leaves the team placement-free.
+// A reused hot team keeps its placement while the encountering thread
+// stays put.
 func (rt *Runtime) placeTeam(t *Team, masterCPU int) {
-	switch bind := rt.procBind(); bind {
+	switch bind := rt.procBindAt(t.level); bind {
 	case places.BindDefault:
 	case places.BindFalse:
 		t.migrate = true
 	default:
-		t.cpus = rt.opts.Places.Assign(t.n, bind, masterCPU)
+		if t.cpus != nil && t.placedCPU == masterCPU {
+			return
+		}
+		if t.level > 1 {
+			t.cpus = rt.opts.Places.AssignNested(t.n, bind, masterCPU)
+		} else {
+			t.cpus = rt.opts.Places.Assign(t.n, bind, masterCPU)
+		}
+		t.placedCPU = masterCPU
+		for _, w := range t.workers {
+			// The nearest-first steal order is keyed on cpus: recompute
+			// lazily against the new placement.
+			w.stealOrder, w.stealRings = nil, nil
+		}
 	}
 }
 
@@ -327,7 +659,24 @@ type Worker struct {
 	tc   exec.TC
 	team *Team
 	id   int
-	pw   *poolWorker // nil for the master and serialized regions
+	pw   *poolWorker // nil for team masters and serialized regions
+	// gid is the stable physical-worker identity carried on every
+	// emitted event (ompt.Event.Gid): the pool-worker id for leased
+	// slots, -1 for the encountering thread and the masters of every
+	// team it forks down the nesting chain.
+	gid int32
+
+	// sub is the inner team this worker is currently master of (set for
+	// the duration of a nested Parallel, nil otherwise): cancel
+	// publication descends through it, and teammates waiting at barriers
+	// steal from it.
+	sub atomic.Pointer[Team]
+	// hotChild / serialChild cache this worker's inner team between
+	// nested regions — the per-(parent, size) hot-team cache. The leases
+	// they hold are returned when the enclosing team is released (or at
+	// every inner join under KOMP_NESTED_POOL=return).
+	hotChild    *Team
+	serialChild *Team
 
 	// Per-thread construct sequence counters (each thread encounters the
 	// same constructs in the same order — the SPMD contract).
@@ -405,7 +754,7 @@ func (w *Worker) forkChildren() {
 // descendants.
 func (w *Worker) dispatchSlot(c int) {
 	t := w.team
-	pw := t.rt.pool.workers[c-1]
+	pw := t.pws[c]
 	if pw.dead.Load() == 1 || pw.doom.Load() == 1 {
 		// The slot's CPU is offline: fork nothing and shrink the team.
 		w.removeWorker(c)
@@ -459,9 +808,56 @@ func (w *Worker) TC() exec.TC { return w.tc }
 // (wall-clock on real goroutines, virtual time on the simulator).
 func (w *Worker) Wtime() float64 { return float64(w.tc.Now()) / 1e9 }
 
-// InParallel reports whether the worker is in an active (non-serialized)
-// region — omp_in_parallel.
-func (w *Worker) InParallel() bool { return w.team.n > 1 }
+// InParallel reports whether any enclosing parallel region is active
+// (team size > 1) — omp_in_parallel. A serialized region nested inside
+// an active one still reports true; a top-level serialized region
+// reports false.
+func (w *Worker) InParallel() bool { return w.team.activeLevel > 0 }
+
+// Level returns the nesting level of the enclosing parallel region —
+// omp_get_level. Serialized regions count: 1 inside any top-level
+// region, 2 inside a region forked from it, 0 never (a Worker only
+// exists inside a region).
+func (w *Worker) Level() int { return w.team.level }
+
+// ActiveLevel returns the number of enclosing active (team size > 1)
+// parallel regions — omp_get_active_level.
+func (w *Worker) ActiveLevel() int { return w.team.activeLevel }
+
+// AncestorThreadNum returns the thread number of this thread's ancestor
+// at nesting level level — omp_get_ancestor_thread_num. Level 0 is the
+// initial thread (always 0), level Level() the thread itself; out of
+// range returns -1.
+func (w *Worker) AncestorThreadNum(level int) int {
+	if level < 0 || level > w.team.level {
+		return -1
+	}
+	if level == 0 {
+		return 0
+	}
+	x := w
+	for x.team.level > level {
+		x = x.team.parentW
+	}
+	return x.id
+}
+
+// TeamSize returns the size of the team at nesting level level —
+// omp_get_team_size. Level 0 is the implicit initial team of size 1;
+// out of range returns -1.
+func (w *Worker) TeamSize(level int) int {
+	if level < 0 || level > w.team.level {
+		return -1
+	}
+	if level == 0 {
+		return 1
+	}
+	x := w
+	for x.team.level > level {
+		x = x.team.parentW
+	}
+	return x.team.n
+}
 
 // MaxThreads returns the pool capacity — omp_get_max_threads.
 func (w *Worker) MaxThreads() int { return w.team.rt.opts.MaxThreads }
@@ -488,5 +884,5 @@ func (w *Worker) Master(fn func()) {
 
 // String aids debugging.
 func (w *Worker) String() string {
-	return fmt.Sprintf("omp-worker(%d/%d)", w.id, w.team.n)
+	return fmt.Sprintf("omp-worker(%d/%d@L%d)", w.id, w.team.n, w.team.level)
 }

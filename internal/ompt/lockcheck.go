@@ -22,12 +22,23 @@ import (
 type LockCheck struct {
 	mu sync.Mutex
 
-	held  map[int32][]uint64         // per thread, in acquisition order
+	// held is keyed by (region, thread), not thread alone: with nested
+	// parallelism two sibling inner teams each have a "thread 0", and
+	// distinct (region, thread) pairs are distinct executing workers.
+	// The order graph stays global — a potential deadlock spans teams.
+	held  map[holder][]uint64        // per worker, in acquisition order
 	order map[uint64]map[uint64]bool // held -> acquired edges
 
 	regions map[uint64]*regionCheck
 
 	violations []string
+}
+
+// holder identifies one executing worker: the OpenMP thread number is
+// only unique within its region once teams nest.
+type holder struct {
+	region uint64
+	thread int32
 }
 
 type regionCheck struct {
@@ -43,7 +54,7 @@ func lockKey(s Sync, obj uint64) uint64 { return uint64(s)<<56 ^ obj }
 // NewLockCheck creates a checker and registers it on sp.
 func NewLockCheck(sp *Spine) *LockCheck {
 	c := &LockCheck{
-		held:    map[int32][]uint64{},
+		held:    map[holder][]uint64{},
 		order:   map[uint64]map[uint64]bool{},
 		regions: map[uint64]*regionCheck{},
 	}
@@ -91,7 +102,8 @@ func (c *LockCheck) consume(ev Event) {
 		switch ev.Sync {
 		case SyncLock, SyncCritical:
 			k := lockKey(ev.Sync, ev.Obj)
-			for _, h := range c.held[ev.Thread] {
+			who := holder{ev.Region, ev.Thread}
+			for _, h := range c.held[who] {
 				if h == k {
 					continue // re-entry (nest lock): no self edge
 				}
@@ -103,16 +115,17 @@ func (c *LockCheck) consume(ev Event) {
 				}
 				c.order[h][k] = true
 			}
-			c.held[ev.Thread] = append(c.held[ev.Thread], k)
+			c.held[who] = append(c.held[who], k)
 		}
 	case SyncRelease:
 		switch ev.Sync {
 		case SyncLock, SyncCritical:
 			k := lockKey(ev.Sync, ev.Obj)
-			held := c.held[ev.Thread]
+			who := holder{ev.Region, ev.Thread}
+			held := c.held[who]
 			for i := len(held) - 1; i >= 0; i-- {
 				if held[i] == k {
-					c.held[ev.Thread] = append(held[:i], held[i+1:]...)
+					c.held[who] = append(held[:i], held[i+1:]...)
 					return
 				}
 			}

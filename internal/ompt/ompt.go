@@ -202,6 +202,22 @@ type Event struct {
 	TimeNS int64
 	// Region identifies the enclosing parallel region (0 outside any).
 	Region uint64
+	// Level is the nesting level of the emitting team (1 for a
+	// top-level region, 2 for a region forked inside it, ...; 0 for
+	// events outside any region, e.g. thread lifecycle). On
+	// ParallelBegin/ParallelEnd, Obj additionally carries the enclosing
+	// (ancestor) region id, 0 at top level.
+	Level int32
+	// Gid identifies the physical executing worker across regions and
+	// nesting levels: the pool-worker id (>= 1) for leased workers, -1
+	// for the encountering thread (which masters every team it forks,
+	// at any level), 0 for emitters outside the OpenMP runtime. Unlike
+	// (Region, Thread) it is stable across a region boundary, so
+	// consumers pairing begin/end spans that straddle a join — a pool
+	// worker emits its implicit-task end after the join barrier, by
+	// which time the master may have re-forked the team under a new
+	// region id — key on it.
+	Gid int32
 	// Obj identifies the construct instance: task id, lock id,
 	// construct sequence number — scoped by Kind.
 	Obj uint64

@@ -17,14 +17,31 @@ type Profile struct {
 
 	cat [catCount]catAcc
 
-	// Per-thread open-interval state. A thread waits on at most one
-	// sync object at a time, so one open slot per (thread, sync kind)
-	// suffices; work and task bodies nest, so those are stacks.
-	threads map[int32]*threadProf
+	// Per-worker open-interval state, keyed by (gid, thread): once
+	// teams nest, the OpenMP thread number alone aliases across sibling
+	// inner teams (each has a "thread 0"), and the region id alone is
+	// not stable across a span — a pool worker's implicit-task end is
+	// emitted after the join barrier, by which time a reused hot team
+	// may already carry the next region's id. The physical-worker gid
+	// is both unique and stable, so spans pair correctly. A worker
+	// waits on at most one sync object at a time, so one open slot per
+	// (worker, sync kind) suffices; work and task bodies nest, so
+	// those are stacks.
+	threads map[profKey]*threadProf
 	// regionBegin is ParallelBegin's time per live region, read by
 	// other threads' ImplicitTaskBegin to attribute fork latency.
 	regionBegin map[uint64]int64
+	// regionLevel records each live region's nesting level so
+	// ParallelEnd can attribute inner regions to catNested.
+	regionLevel map[uint64]int32
 }
+
+// profKey identifies one physical executing worker: Event.Gid when the
+// emitter carries one (all OpenMP runtime events; unique per physical
+// worker, stable across regions and levels), the bare thread id
+// otherwise (gid 0: thread lifecycle, VIRGIL, CCK — emitters with no
+// cross-region spans).
+type profKey struct{ gid, thread int32 }
 
 type threadProf struct {
 	syncAt [8]int64 // SyncAcquire time, by Sync; -1 when closed
@@ -63,6 +80,10 @@ const (
 	catTaskgroup
 	catThread
 	catShrink
+	// catNested double-counts regions at level >= 2 (their time is also
+	// in catRegion); the row only appears once a run actually nests, so
+	// non-nested reports are unchanged.
+	catNested
 	catCount
 )
 
@@ -73,6 +94,7 @@ var catNames = [catCount]string{
 	"critical-wait", "lock-wait", "ordered-wait", "taskwait", "futex-wait",
 	"task-dependence", "taskgroup-wait",
 	"thread", "team-shrink",
+	"nested-region",
 }
 
 type catAcc struct {
@@ -118,7 +140,8 @@ func workCat(w Work) int {
 
 // NewProfile creates a profiler and registers it on sp.
 func NewProfile(sp *Spine) *Profile {
-	p := &Profile{threads: map[int32]*threadProf{}, regionBegin: map[uint64]int64{}}
+	p := &Profile{threads: map[profKey]*threadProf{},
+		regionBegin: map[uint64]int64{}, regionLevel: map[uint64]int32{}}
 	sp.On(p.consume,
 		ThreadBegin, ThreadEnd,
 		ParallelBegin, ParallelEnd,
@@ -130,14 +153,14 @@ func NewProfile(sp *Spine) *Profile {
 	return p
 }
 
-func (p *Profile) thread(id int32) *threadProf {
-	tp := p.threads[id]
+func (p *Profile) thread(who profKey) *threadProf {
+	tp := p.threads[who]
 	if tp == nil {
 		tp = &threadProf{implAt: -1}
 		for i := range tp.syncAt {
 			tp.syncAt[i] = -1
 		}
-		p.threads[id] = tp
+		p.threads[who] = tp
 	}
 	return tp
 }
@@ -150,7 +173,7 @@ func (p *Profile) add(cat int, ns int64) {
 func (p *Profile) consume(ev Event) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	tp := p.thread(ev.Thread)
+	tp := p.thread(profKey{ev.Gid, ev.Thread})
 	switch ev.Kind {
 	case ThreadBegin:
 		tp.born = ev.TimeNS
@@ -158,10 +181,15 @@ func (p *Profile) consume(ev Event) {
 		p.add(catThread, ev.TimeNS-tp.born)
 	case ParallelBegin:
 		p.regionBegin[ev.Region] = ev.TimeNS
+		p.regionLevel[ev.Region] = ev.Level
 	case ParallelEnd:
 		if t0, ok := p.regionBegin[ev.Region]; ok {
 			p.add(catRegion, ev.TimeNS-t0)
+			if p.regionLevel[ev.Region] > 1 {
+				p.add(catNested, ev.TimeNS-t0)
+			}
 			delete(p.regionBegin, ev.Region)
+			delete(p.regionLevel, ev.Region)
 		}
 	case ImplicitTaskBegin:
 		if t0, ok := p.regionBegin[ev.Region]; ok {

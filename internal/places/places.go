@@ -104,13 +104,24 @@ func (b Bind) String() string {
 	}
 }
 
-// ParseBind parses an OMP_PROC_BIND-style value. The spec allows a
-// comma-separated list (one policy per nesting level); this runtime has a
-// single level of parallelism, so the first entry is the effective policy
-// and the rest are validated and recorded only.
+// ParseBind parses an OMP_PROC_BIND-style value and returns the level-0
+// policy. The spec allows a comma-separated list (one policy per nesting
+// level); callers that consume the whole list use ParseBindList.
 func ParseBind(s string) (Bind, error) {
-	first := Bind(0)
-	for i, part := range strings.Split(s, ",") {
+	list, err := ParseBindList(s)
+	if err != nil {
+		return 0, err
+	}
+	return list[0], nil
+}
+
+// ParseBindList parses the full comma-separated OMP_PROC_BIND list, one
+// policy per nesting level (list[0] governs top-level teams, list[1]
+// teams forked inside them, ...). Teams deeper than the list inherit its
+// last entry, per the spec's "remaining levels use the last value" rule.
+func ParseBindList(s string) ([]Bind, error) {
+	var list []Bind
+	for _, part := range strings.Split(s, ",") {
 		var b Bind
 		switch strings.TrimSpace(strings.ToLower(part)) {
 		case "false":
@@ -122,13 +133,11 @@ func ParseBind(s string) (Bind, error) {
 		case "spread":
 			b = BindSpread
 		default:
-			return 0, fmt.Errorf("places: unknown proc_bind policy %q in %q", part, s)
+			return nil, fmt.Errorf("places: unknown proc_bind policy %q in %q", part, s)
 		}
-		if i == 0 {
-			first = b
-		}
+		list = append(list, b)
 	}
-	return first, nil
+	return list, nil
 }
 
 // Partition is a parsed OMP_PLACES specification: an ordered list of
@@ -385,11 +394,47 @@ func (p *Partition) Assign(teamSize int, policy Bind, masterCPU int) []int {
 	if teamSize < 1 || policy == BindDefault || policy == BindFalse {
 		return nil
 	}
-	P := len(p.places)
 	master := p.PlaceOf(masterCPU)
 	if master < 0 {
 		master = 0
 	}
+	return assignOver(p.places, master, teamSize, policy, masterCPU)
+}
+
+// AssignNested computes CPUs for an inner team by subpartitioning the
+// forking worker's place: each CPU of that place becomes a single-CPU
+// sub-place, and the same assignment walk Assign uses runs over those —
+// the recursive step of the bubble hierarchy (spread the outer team
+// across places, keep each inner team inside its worker's place). An
+// inner team larger than its place oversubscribes (stacks workers per
+// CPU), exactly like an overfull place at the top level. A master CPU in
+// no place falls back to the whole partition.
+func (p *Partition) AssignNested(teamSize int, policy Bind, masterCPU int) []int {
+	if teamSize < 1 || policy == BindDefault || policy == BindFalse {
+		return nil
+	}
+	pi := p.PlaceOf(masterCPU)
+	if pi < 0 {
+		return p.Assign(teamSize, policy, masterCPU)
+	}
+	pl := p.places[pi]
+	sub := make([][]int, len(pl))
+	master := 0
+	for i, cpu := range pl {
+		sub[i] = pl[i : i+1]
+		if cpu == masterCPU {
+			master = i
+		}
+	}
+	return assignOver(sub, master, teamSize, policy, masterCPU)
+}
+
+// assignOver is the policy walk shared by Assign (over the partition's
+// places) and AssignNested (over one place's CPUs as sub-places): slot 0
+// keeps masterCPU, slots 1..teamSize-1 receive place-derived CPUs with a
+// per-place round-robin fill cursor.
+func assignOver(places [][]int, master, teamSize int, policy Bind, masterCPU int) []int {
+	P := len(places)
 	cpus := make([]int, teamSize)
 	cpus[0] = masterCPU
 	fill := make([]int, P) // per-place next-CPU cursor
@@ -415,7 +460,7 @@ func (p *Partition) Assign(teamSize int, policy Bind, masterCPU int) []int {
 			// sits at its first place.
 			pi = (master + i*P/teamSize) % P
 		}
-		pl := p.places[pi]
+		pl := places[pi]
 		cpus[i] = pl[fill[pi]%len(pl)]
 		fill[pi]++
 	}

@@ -136,6 +136,76 @@ func TestParseBind(t *testing.T) {
 // TestAssignCloseMatchesLegacy pins the compatibility contract: close
 // binding over the default cores partition with master on CPU 0
 // reproduces the historic worker-i-on-CPU-i modulo placement.
+func TestParseBindList(t *testing.T) {
+	got, err := ParseBindList("spread, close,master")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []Bind{BindSpread, BindClose, BindMaster}; !reflect.DeepEqual(got, want) {
+		t.Errorf("ParseBindList(spread, close,master) = %v, want %v", got, want)
+	}
+	got, err = ParseBindList("false")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []Bind{BindFalse}; !reflect.DeepEqual(got, want) {
+		t.Errorf("ParseBindList(false) = %v, want %v", got, want)
+	}
+	if _, err := ParseBindList("spread,,close"); err == nil {
+		t.Error("ParseBindList(spread,,close): want error for empty level")
+	}
+}
+
+// TestAssignNested pins the recursive bubble step: an inner team stays
+// inside its forking worker's place, subpartitioned per-CPU.
+func TestAssignNested(t *testing.T) {
+	topo := ForMachine(machine.XEON8())
+	p, err := Parse("sockets", topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	masterCPU := 30 // socket 1
+	for _, policy := range []Bind{BindClose, BindSpread, BindMaster} {
+		cpus := p.AssignNested(4, policy, masterCPU)
+		if cpus[0] != masterCPU {
+			t.Fatalf("%v: slot 0 = %d, want master CPU %d", policy, cpus[0], masterCPU)
+		}
+		for i, c := range cpus {
+			if p.SocketOf(c) != 1 {
+				t.Fatalf("%v: nested slot %d escaped to socket %d (cpu %d)", policy, i, p.SocketOf(c), c)
+			}
+		}
+		if policy == BindMaster {
+			// The master's sub-place is a single CPU: everyone packs on it.
+			for i, c := range cpus {
+				if c != masterCPU {
+					t.Fatalf("master: nested slot %d on cpu %d, want %d", i, c, masterCPU)
+				}
+			}
+			continue
+		}
+		// close/spread: sub-places are single CPUs, so workers land on
+		// distinct CPUs of the place while any remain.
+		seen := map[int]bool{}
+		for _, c := range cpus {
+			if seen[c] {
+				t.Fatalf("%v: nested team stacked CPUs early: %v", policy, cpus)
+			}
+			seen[c] = true
+		}
+	}
+	// Oversubscribed inner team: a flat-8 default partition has
+	// one-CPU places, so every inner worker stacks on the master CPU.
+	flat := Default(Flat(8))
+	if got, want := flat.AssignNested(3, BindClose, 5), []int{5, 5, 5}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("nested close over one-CPU place = %v, want %v", got, want)
+	}
+	// Unbound policies stay unbound.
+	if got := flat.AssignNested(3, BindFalse, 0); got != nil {
+		t.Fatalf("nested BindFalse: got %v, want nil", got)
+	}
+}
+
 func TestAssignCloseMatchesLegacy(t *testing.T) {
 	topo := Flat(8)
 	p := Default(topo)

@@ -1,7 +1,5 @@
 package sim
 
-import "fmt"
-
 // FutexTable implements futex-style wait/wake keyed on word addresses.
 // It is the primitive beneath the simulated pthread and OpenMP layers,
 // mirroring how libomp on Linux ultimately blocks in futex(2).
@@ -20,6 +18,12 @@ import "fmt"
 type FutexTable struct {
 	sim    *Sim
 	queues map[*uint32]*WaitQueue
+
+	// free recycles emptied wait queues: a futex sleep/wake cycle on the
+	// OpenMP fork/barrier fast path must not allocate, so Wake parks the
+	// drained queue here instead of dropping it (keeping the map entry
+	// itself would pin dead words forever; the free list pins nothing).
+	free []*WaitQueue
 
 	// LoseWake, if set, is asked before each individual wake delivery;
 	// returning true drops that wake. It must be deterministic (driven by
@@ -70,7 +74,11 @@ func (t *FutexTable) Wait(p *Proc, addr *uint32, val uint32, entryCost Time) boo
 	}
 	q := t.queues[addr]
 	if q == nil {
-		q = NewWaitQueue(t.sim).SetLabel(fmt.Sprintf("futex %p", addr))
+		if n := len(t.free); n > 0 {
+			q, t.free[n-1], t.free = t.free[n-1], nil, t.free[:n-1]
+		} else {
+			q = NewWaitQueue(t.sim).SetLabel("futex")
+		}
 		t.queues[addr] = q
 	}
 	if t.recheckNS > 0 {
@@ -107,7 +115,7 @@ func (t *FutexTable) armRecheck(p *Proc, q *WaitQueue, addr *uint32, val uint32,
 		if *addr != val {
 			q.Remove(p)
 			if q.Len() == 0 && t.queues[addr] == q {
-				delete(t.queues, addr)
+				t.retire(addr, q)
 			}
 			t.Recovered++
 			t.sim.Unpark(p, t.sim.now)
@@ -148,9 +156,16 @@ func (t *FutexTable) Wake(p *Proc, addr *uint32, n int, entryCost, wakeLatency, 
 		woken++
 	}
 	if q.Len() == 0 {
-		delete(t.queues, addr)
+		t.retire(addr, q)
 	}
 	return woken
+}
+
+// retire drops an emptied queue's map entry and recycles the queue
+// object for the next Wait on any address.
+func (t *FutexTable) retire(addr *uint32, q *WaitQueue) {
+	delete(t.queues, addr)
+	t.free = append(t.free, q)
 }
 
 // Waiters returns the number of procs currently blocked on addr.

@@ -773,9 +773,10 @@ func (s *Sim) Utilization() Utilization {
 
 // WaitQueue is a FIFO queue of blocked procs.
 type WaitQueue struct {
-	sim   *Sim
-	label string
-	procs []*Proc
+	sim    *Sim
+	label  string
+	reason string // "waitqueue <label>", precomputed so Wait never allocates
+	procs  []*Proc
 }
 
 // NewWaitQueue creates a wait queue on s.
@@ -785,6 +786,7 @@ func NewWaitQueue(s *Sim) *WaitQueue { return &WaitQueue{sim: s} }
 // on it report "waitqueue <label>" as their wait reason.
 func (q *WaitQueue) SetLabel(label string) *WaitQueue {
 	q.label = label
+	q.reason = "waitqueue " + label
 	return q
 }
 
@@ -796,9 +798,9 @@ func (q *WaitQueue) Wait(p *Proc) {
 	p.mustBeRunning()
 	q.procs = append(q.procs, p)
 	p.wq = q
-	reason := "waitqueue"
-	if q.label != "" {
-		reason = "waitqueue " + q.label
+	reason := q.reason
+	if reason == "" {
+		reason = "waitqueue"
 	}
 	p.block(reason)
 }

@@ -137,6 +137,28 @@ func WithProcBind(policy ProcBind) Option {
 	}
 }
 
+// WithMaxActiveLevels sets the OMP_MAX_ACTIVE_LEVELS ICV: how many
+// nested parallel regions may be active (team size > 1) at once. The
+// default is 1 — an inner Worker.Parallel serializes. With n >= 2 an
+// inner region forks a real inner team leased from the shared pool;
+// Worker.Level, Worker.AncestorThreadNum and Worker.TeamSize expose the
+// resulting hierarchy.
+func WithMaxActiveLevels(n int) Option {
+	return func(o *omp.Options) { o.MaxActiveLevels = n }
+}
+
+// WithNumThreadsList sets per-nesting-level team sizes, the comma-list
+// form of OMP_NUM_THREADS ("8,4"): entry i sizes regions at nesting
+// level i+1, the last entry covering all deeper levels.
+func WithNumThreadsList(sizes ...int) Option {
+	return func(o *omp.Options) {
+		if len(sizes) > 0 {
+			o.DefaultThreads = sizes[0]
+			o.NumThreadsList = append([]int(nil), sizes...)
+		}
+	}
+}
+
 // WithCancellation enables the cancel constructs (the OMP_CANCELLATION
 // ICV): Worker.Cancel and Worker.CancellationPoint become operative and
 // every scheduling point — barriers, loop chunk claims, task execution —
