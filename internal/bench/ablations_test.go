@@ -7,10 +7,10 @@ import (
 
 func TestAblationRegistry(t *testing.T) {
 	abs := Ablations()
-	if len(abs) != 12 {
+	if len(abs) != 13 {
 		t.Fatalf("ablations = %d", len(abs))
 	}
-	for _, id := range []string{"ab-firsttouch", "ab-pthread", "ab-chunk", "ab-privatization", "barrier", "tasking", "affinity", "faults", "cancel", "simcore", "nested"} {
+	for _, id := range []string{"ab-firsttouch", "ab-pthread", "ab-chunk", "ab-privatization", "barrier", "tasking", "affinity", "faults", "cancel", "simcore", "nested", "tenancy"} {
 		if _, ok := AblationByID(id); !ok {
 			t.Fatalf("missing %s", id)
 		}
@@ -153,6 +153,48 @@ func TestAblationNestedShape(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("ablation output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestAblationTenancyShape: AblationTenancy itself errors when any of
+// its acceptance gates fail — sharded p99 not beating interleaved,
+// shallow queues shedding nothing (or the roomy one shedding), no
+// rebalance after the transient departs, or the post-rebalance region
+// time drifting more than 5% off the single-tenant baseline — so a
+// clean return is most of the assertion.
+func TestAblationTenancyShape(t *testing.T) {
+	rec := &Recorder{}
+	var b strings.Builder
+	if err := AblationTenancy(&b, Options{Quick: true, Recorder: rec}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"interleaved", "sharded", "2,reject", "rebalance", "p99"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ablation output missing %q:\n%s", want, out)
+		}
+	}
+	// The JSON rows must carry the tenancy schema fields.
+	var openLoop, admission int
+	for _, r := range rec.Records {
+		if r.Figure != "tenancy" {
+			t.Fatalf("record figure = %q", r.Figure)
+		}
+		switch {
+		case r.Construct == "OPEN-LOOP":
+			openLoop++
+			if r.Tenants != 8 || r.P50NS <= 0 || r.P99NS <= 0 {
+				t.Fatalf("open-loop record incomplete: %+v", r)
+			}
+		case strings.HasPrefix(r.Construct, "ADMISSION-"):
+			admission++
+			if r.QDepth < 0 || r.P99NS <= 0 {
+				t.Fatalf("admission record incomplete: %+v", r)
+			}
+		}
+	}
+	if openLoop != 2 || admission != 3 {
+		t.Fatalf("records = %d open-loop, %d admission; want 2 and 3", openLoop, admission)
 	}
 }
 

@@ -68,6 +68,16 @@ type Record struct {
 	OuterTeam       int    `json:"outer_team,omitempty"`
 	InnerTeam       int    `json:"inner_team,omitempty"`
 	NestedPool      string `json:"nested_pool,omitempty"`
+	// Tenants, QDepth, P50NS, P99NS and Rejected describe a
+	// tenancy-ablation cell: the concurrent tenant count, the admission
+	// queue depth (KOMP_TENANCY_QUEUE), the open-loop region-latency
+	// percentiles (virtual ns from scheduled arrival to join), and the
+	// submissions shed by backpressure.
+	Tenants  int   `json:"tenants,omitempty"`
+	QDepth   int   `json:"qdepth,omitempty"`
+	P50NS    int64 `json:"p50_ns,omitempty"`
+	P99NS    int64 `json:"p99_ns,omitempty"`
+	Rejected int64 `json:"rejected,omitempty"`
 	// EQAlgo identifies a simcore-ablation cell's event-queue algorithm
 	// (wheel, heap); EventsPerSec is that run's wall-clock DES
 	// throughput (simulator events fired per second of host time —

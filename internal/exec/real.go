@@ -34,12 +34,54 @@ type RealLayer struct {
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
+	// startMu guards the lazy start-epoch init in TC: with several
+	// session handles created concurrently (multi-tenant drivers), the
+	// first two TC calls would otherwise race on l.start.
+	startMu sync.Mutex
+
 	// Stall watchdog (SetWatchdog): progress counts layer-level events
 	// (spawns and futex wakes); the monitor goroutine fires when the
-	// counter stops moving for a full period.
+	// counter stops moving for a full period. idleParked counts threads
+	// deliberately parked for an unbounded time (IdlePark) — an
+	// admission queue's waiters are idle, not stuck — and suppresses the
+	// dump while nonzero.
 	watchdogD  time.Duration
 	watchdogFn func(stacks string)
 	progress   atomic.Uint64
+	idleParked atomic.Int32
+}
+
+// IdleParker is implemented by layers whose stall watchdog must be told
+// about intentional, unbounded parks. A thread about to block with no
+// bounded wake guarantee — e.g. in a tenancy admission queue behind a
+// saturated pool — calls IdlePark before blocking and the returned done
+// after waking, so the watchdog can tell "parked idle awaiting
+// admission" from "stalled in FutexWait".
+type IdleParker interface {
+	IdlePark() (done func())
+}
+
+// IdlePark marks the calling thread as deliberately parked until the
+// returned done is called. While any thread is idle-parked the stall
+// watchdog does not dump: a saturated admission queue can legitimately
+// sit still for a whole period with every non-parked thread busy in
+// long uninstrumented compute, which is indistinguishable from a hang
+// by the progress counter alone. The tradeoff is documented at
+// SetWatchdog: a genuine deadlock that includes an idle-parked thread
+// is only caught once the parker's wake source fails AND the park
+// exits, so parkers should pair IdlePark with their own timeouts when
+// that matters. Both the park and the unpark count as progress, so the
+// period after a park transition always gets grace.
+func (l *RealLayer) IdlePark() (done func()) {
+	l.idleParked.Add(1)
+	l.progress.Add(1)
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			l.idleParked.Add(-1)
+			l.progress.Add(1)
+		})
+	}
 }
 
 // NewRealLayer creates a real layer that reports ncpu CPUs (typically
@@ -70,7 +112,11 @@ func (l *RealLayer) Costs() *Costs { return &l.costs }
 // report panics with the dump. Call before Run; the watchdog stops when
 // Run returns. Periods of genuine quiet compute (no synchronization at
 // all) also count as stalls — pick d well above the workload's longest
-// synchronization-free stretch.
+// synchronization-free stretch. Stall periods are not reported while any
+// thread is idle-parked (IdlePark): waiters of a saturated admission
+// queue are idle, not stuck, and must not trigger a goroutine dump — at
+// the cost that a real deadlock is only reported once no intentional
+// park remains.
 func (l *RealLayer) SetWatchdog(d time.Duration, report func(stacks string)) {
 	l.watchdogD = d
 	l.watchdogFn = report
@@ -97,6 +143,13 @@ func (l *RealLayer) startWatchdog() (stop func()) {
 				if cur != last || fresh {
 					fresh = cur != last
 					last = cur
+					continue
+				}
+				if l.idleParked.Load() > 0 {
+					// Threads are deliberately parked (IdlePark): a quiet
+					// period is expected, not a stall. Keep watching — the
+					// unpark bumps progress, so the first period after the
+					// queue drains gets grace again.
 					continue
 				}
 				buf := make([]byte, 1<<20)
@@ -138,9 +191,11 @@ func (l *RealLayer) Run(main func(TC)) (int64, error) {
 // use of the layer without Run (the public API's session mode). Spawned
 // threads must be joined by the caller.
 func (l *RealLayer) TC() TC {
+	l.startMu.Lock()
 	if l.start.IsZero() {
 		l.start = time.Now()
 	}
+	l.startMu.Unlock()
 	return &realTC{layer: l, cpu: 0}
 }
 

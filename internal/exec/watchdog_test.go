@@ -1,0 +1,64 @@
+package exec
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestWatchdogIgnoresIdleParked is the regression test for the stall
+// watchdog's false positive on admission parking: a thread deliberately
+// parked for an unbounded time (IdlePark — e.g. a tenancy submitter
+// behind a saturated queue) makes no layer-level progress for several
+// watchdog periods, and before the idle-park distinction the monitor
+// dumped every goroutine's stack as a stall.
+func TestWatchdogIgnoresIdleParked(t *testing.T) {
+	l := NewRealLayer(2)
+	var fired atomic.Int32
+	l.SetWatchdog(20*time.Millisecond, func(string) { fired.Add(1) })
+	if _, err := l.Run(func(tc TC) {
+		done := l.IdlePark()
+		time.Sleep(150 * time.Millisecond) // many quiet periods while parked
+		done()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n := fired.Load(); n != 0 {
+		t.Fatalf("watchdog fired %d times while a thread was idle-parked, want 0", n)
+	}
+}
+
+// TestWatchdogStillFiresWithoutPark: the control — the same quiet
+// stretch with no idle-park must still be reported, so the suppression
+// does not blind the watchdog to genuine stalls.
+func TestWatchdogStillFiresWithoutPark(t *testing.T) {
+	l := NewRealLayer(2)
+	var fired atomic.Int32
+	l.SetWatchdog(20*time.Millisecond, func(string) { fired.Add(1) })
+	if _, err := l.Run(func(tc TC) {
+		time.Sleep(150 * time.Millisecond)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if fired.Load() == 0 {
+		t.Fatal("watchdog never fired on a genuinely quiet run")
+	}
+}
+
+// TestIdleParkDoneIsIdempotent: a parker's done must be safe to call
+// twice (wake paths often race a timeout path) without underflowing the
+// parked count and re-enabling dumps for other parkers.
+func TestIdleParkDoneIsIdempotent(t *testing.T) {
+	l := NewRealLayer(1)
+	done := l.IdlePark()
+	done()
+	done()
+	done2 := l.IdlePark()
+	if got := l.idleParked.Load(); got != 1 {
+		t.Fatalf("idleParked = %d after double done and a fresh park, want 1", got)
+	}
+	done2()
+	if got := l.idleParked.Load(); got != 0 {
+		t.Fatalf("idleParked = %d after all parks ended, want 0", got)
+	}
+}

@@ -288,7 +288,8 @@ func (t *Team) publishCancel(tc exec.TC, bits uint32) bool {
 						sp.Emit(ompt.Event{Kind: ompt.Cancel, Thread: -1,
 							CPU: int32(tc.CPU()), TimeNS: tc.Now(),
 							Region: st.region, Level: int32(st.level),
-							Arg0: int64(CancelParallel), Arg1: cancelActivated})
+							Tenant: t.rt.opts.Tenant,
+							Arg0:   int64(CancelParallel), Arg1: cancelActivated})
 					}
 				}
 			}
@@ -491,7 +492,8 @@ func (rt *Runtime) armDeadline(tc exec.TC, t *Team) func() {
 			if sp.Enabled(ompt.Cancel) {
 				sp.Emit(ompt.Event{Kind: ompt.Cancel, Thread: -1, CPU: int32(atc.CPU()),
 					TimeNS: atc.Now(), Region: t.region, Level: int32(t.level),
-					Arg0: int64(CancelParallel), Arg1: cancelActivated})
+					Tenant: rt.opts.Tenant,
+					Arg0:   int64(CancelParallel), Arg1: cancelActivated})
 			}
 		}
 	})

@@ -1,0 +1,123 @@
+package omp
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/interweaving/komp/internal/exec"
+)
+
+// claimTracker asserts that no pool worker is ever inside two team
+// bodies at once — the over-lease failure mode the per-worker CAS claim
+// guard exists to prevent.
+type claimTracker struct {
+	t     *testing.T
+	inUse []atomic.Int32
+}
+
+func newClaimTracker(t *testing.T, maxGid int) *claimTracker {
+	return &claimTracker{t: t, inUse: make([]atomic.Int32, maxGid+1)}
+}
+
+// body is a region body: every leased worker (slot > 0; masters are the
+// encountering threads, not leases) registers itself for the duration.
+func (c *claimTracker) body(w *Worker) {
+	if w.id == 0 {
+		return
+	}
+	if n := c.inUse[w.gid].Add(1); n != 1 {
+		c.t.Errorf("pool worker %d is in %d team bodies at once (over-lease)", w.gid, n)
+	}
+	for i := 0; i < 100; i++ { // dwell so overlaps are observable
+		_ = i
+	}
+	c.inUse[w.gid].Add(-1)
+}
+
+// TestConcurrentForksDoNotOverLease is the regression test for the
+// lease claim path: many goroutines forking through ONE runtime handle
+// concurrently (the hot cache, the free list and the claim words all
+// contended) must never hand the same pool worker to two teams, and
+// must release every lease exactly once. Run under -race this also
+// checks the claim/park protocol publishes team state safely. The
+// pre-claim runtime kept a single unguarded hot-team slot, so two
+// concurrent forks could both grab it and dispatch the same workers.
+func TestConcurrentForksDoNotOverLease(t *testing.T) {
+	layer := exec.NewRealLayer(8)
+	rt := New(layer, Options{MaxThreads: 8})
+	ct := newClaimTracker(t, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tc := layer.TC()
+			for r := 0; r < 150; r++ {
+				rt.Parallel(tc, 3, ct.body)
+			}
+		}()
+	}
+	wg.Wait()
+	tc := layer.TC()
+	p := rt.pool.Load()
+	if p == nil {
+		t.Fatal("no pool after forks")
+	}
+	if dr := p.doubleReleases.Load(); dr != 0 {
+		t.Errorf("doubleReleases = %d, want 0", dr)
+	}
+	rt.ReleaseCachedTeams()
+	if idle := p.idle(); idle != 7 {
+		t.Errorf("pool has %d free workers after draining caches, want 7 (leases leaked or duplicated)", idle)
+	}
+	rt.Close(tc)
+}
+
+// TestSharedPoolTenantsDoNotOverLease hammers one shared pool from
+// several independent runtime handles (the multi-tenant shape),
+// including nested forks so the per-worker hotChild caches join the
+// contention. No worker may ever serve two teams at once, and after all
+// tenants close, the pool must hold exactly its full worker set.
+func TestSharedPoolTenantsDoNotOverLease(t *testing.T) {
+	layer := exec.NewRealLayer(8)
+	boot := layer.TC()
+	sp := NewSharedPool(boot, layer, PoolOptions{Workers: 6})
+	ct := newClaimTracker(t, 6)
+	const tenants = 3
+	rts := make([]*Runtime, tenants)
+	for i := range rts {
+		rts[i] = New(layer, Options{
+			MaxThreads: 4, MaxActiveLevels: 2,
+			SharedPool: sp, Tenant: int32(i + 1),
+		})
+	}
+	var wg sync.WaitGroup
+	for i := range rts {
+		rt := rts[i]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tc := layer.TC()
+			for r := 0; r < 100; r++ {
+				rt.Parallel(tc, 2, func(w *Worker) {
+					ct.body(w)
+					if w.id == 0 && r%4 == 0 {
+						w.Parallel(2, ct.body) // nested: hotChild caches contend too
+					}
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	for _, rt := range rts {
+		rt.Close(boot)
+	}
+	if dr := sp.DoubleReleases(); dr != 0 {
+		t.Errorf("DoubleReleases() = %d, want 0", dr)
+	}
+	if idle := sp.Idle(); idle != 6 {
+		t.Errorf("shared pool has %d free workers after all tenants closed, want 6", idle)
+	}
+	sp.Shutdown(boot)
+}

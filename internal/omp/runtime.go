@@ -227,6 +227,12 @@ type Options struct {
 	MaxActiveLevels int
 	// NestedPool is the inner-team lease policy (KOMP_NESTED_POOL).
 	NestedPool NestedPoolPolicy
+	// HotTeamsMax bounds each nesting site's hot-team cache
+	// (KOMP_HOT_TEAMS_MAX; default 8): at most this many idle teams —
+	// and their worker leases — stay parked per site, LRU-evicted
+	// beyond it, so team-size churn reaches a steady state instead of
+	// accumulating a lease per size forever.
+	HotTeamsMax int
 	// Schedule and Chunk are the defaults for runtime-scheduled loops
 	// (OMP_SCHEDULE).
 	Schedule Schedule
@@ -318,6 +324,17 @@ type Options struct {
 	// Cancel(CancelParallel). Virtual time on the simulator, wall clock
 	// on the real layer; 0 disables. Requires Cancellation.
 	RegionDeadlineNS int64
+	// SharedPool, if non-nil, makes the runtime lease its workers from
+	// an externally owned pool shared with other runtimes — the
+	// multi-tenant service (internal/tenancy) — instead of creating its
+	// own. Close releases the runtime's cached leases but leaves the
+	// pool running; Pool.Shutdown stops it.
+	SharedPool *Pool
+	// Tenant is the runtime's tenant id on a shared pool, stamped on
+	// every instrumentation event the runtime emits (ompt.Event.Tenant)
+	// so one spine can demultiplex the streams of all tenants. 0 — the
+	// single-owner default — means "not a tenant".
+	Tenant int32
 	// Spine, if non-nil, receives every instrumentation event the
 	// runtime emits (package ompt). Consumers must be registered before
 	// the first Parallel; a nil spine costs one mask test per emit site.
@@ -374,6 +391,13 @@ func (o *Options) Env(lookup func(string) (string, bool)) error {
 			return err
 		}
 		o.NestedPool = p
+	}
+	if v, ok := lookup("KOMP_HOT_TEAMS_MAX"); ok {
+		n, err := strconv.Atoi(strings.TrimSpace(v))
+		if err != nil || n < 1 {
+			return fmt.Errorf("omp: KOMP_HOT_TEAMS_MAX=%q: want a positive integer", v)
+		}
+		o.HotTeamsMax = n
 	}
 	if v, ok := lookup("OMP_SCHEDULE"); ok {
 		kind, chunk, err := ParseSchedule(v)
@@ -494,15 +518,21 @@ type Runtime struct {
 	lib   *pthread.Lib
 	opts  Options
 
-	pool *pool
+	// pool is set once by ensurePool — either a pool this runtime owns
+	// or the tenancy service's shared one — and read lock-free after
+	// that; poolMu serializes concurrent first forks.
+	pool   atomic.Pointer[pool]
+	poolMu sync.Mutex
 
-	// hot and serial are the top-level hot-team caches: the teams the
-	// last non-nested Parallel ran on, reused when the next region is
-	// compatible (nested regions cache theirs on the forking Worker —
+	// hot and serial are the top-level hot-team caches: the teams recent
+	// non-nested Parallels ran on, claimed (removed) for the duration of
+	// each region and parked back at the join, reused when a next region
+	// is compatible (nested regions cache theirs on the forking Worker —
 	// hotChild/serialChild). Reuse keeps the repeated-region fork path
-	// allocation-free.
-	hot    *Team
-	serial *Team
+	// allocation-free; the claim-then-park protocol keeps concurrent
+	// Parallel calls on one runtime from ever sharing a team.
+	hot    *hotCache
+	serial atomic.Pointer[Team]
 
 	spine *ompt.Spine
 
@@ -514,6 +544,10 @@ type Runtime struct {
 	lockSeq  atomic.Uint64
 	taskSeq  atomic.Uint64
 	groupSeq atomic.Uint64
+
+	// teamBuilds counts Team constructions (a test hook: steady-state
+	// forks on a warm cache must not build new teams).
+	teamBuilds atomic.Int64
 
 	// Stats.
 	Regions      atomic.Int64
@@ -554,6 +588,9 @@ func New(layer exec.Layer, opts Options) *Runtime {
 	if opts.ForkFanout < 1 {
 		opts.ForkFanout = 4
 	}
+	if opts.HotTeamsMax < 1 {
+		opts.HotTeamsMax = 8
+	}
 	if opts.Places == nil {
 		p, err := places.Parse(opts.PlacesSpec, places.Flat(layer.NumCPUs()))
 		if err != nil {
@@ -576,6 +613,7 @@ func New(layer exec.Layer, opts Options) *Runtime {
 		layer:    layer,
 		lib:      pthread.New(layer, opts.PthreadImpl),
 		opts:     opts,
+		hot:      newHotCache(opts.HotTeamsMax),
 		spine:    opts.Spine,
 		critical: make(map[string]*critEntry),
 	}
@@ -667,13 +705,43 @@ func (rt *Runtime) DefaultSchedule() (Schedule, int) { return rt.opts.Schedule, 
 
 // Close shuts down the worker pool. It must be called before the layer's
 // Run can return on the simulator (pool workers otherwise sleep forever).
+// On a shared pool (Options.SharedPool) Close only releases this
+// runtime's cached leases; the pool keeps running for the other tenants
+// until Pool.Shutdown.
 func (rt *Runtime) Close(tc exec.TC) {
-	if rt.pool != nil {
-		rt.pool.shutdown(tc)
-		rt.pool = nil
+	rt.ReleaseCachedTeams()
+	if p := rt.pool.Load(); p != nil {
+		if !p.shared {
+			p.shutdown(tc)
+		}
+		rt.pool.Store(nil)
 	}
-	rt.hot, rt.serial = nil, nil
 }
+
+// ReleaseCachedTeams drains every hot and serial team the runtime has
+// parked — top-level caches and, recursively, the per-worker nested
+// caches — returning their worker leases to the pool. The tenancy
+// service calls it on idle tenants (the work-conserving rebalance).
+// It is safe against the tenant's own concurrent Parallel calls: the
+// caches are claim-based, so a team is either in a cache (drained and
+// owned here) or claimed by a running region (invisible to the drain) —
+// never both.
+func (rt *Runtime) ReleaseCachedTeams() {
+	for _, t := range rt.hot.drain() {
+		rt.releaseTeam(t)
+	}
+	if t := rt.serial.Swap(nil); t != nil {
+		rt.releaseTeam(t)
+	}
+}
+
+// CachedTeams returns how many idle teams the top-level hot cache
+// currently parks (a test hook for the eviction bound).
+func (rt *Runtime) CachedTeams() int { return rt.hot.size() }
+
+// TeamBuilds returns how many Team structures the runtime has built so
+// far (a test hook: repeated regions on a warm cache must not grow it).
+func (rt *Runtime) TeamBuilds() int64 { return rt.teamBuilds.Load() }
 
 // OfflineCPU models CPU cpu going away mid-run: every pool worker bound
 // to it is marked doomed and leaves its team at the next safe point (a
@@ -687,11 +755,12 @@ func (rt *Runtime) Close(tc exec.TC) {
 // with it: resilient region bodies should flush per-chunk results into
 // shared state (Atomic, tasks) before each chunk body returns.
 func (rt *Runtime) OfflineCPU(cpu int) int {
-	if rt.pool == nil {
+	p := rt.pool.Load()
+	if p == nil {
 		return 0
 	}
 	n := 0
-	for _, pw := range rt.pool.workers {
+	for _, pw := range p.workers {
 		if pw.cpu == cpu && pw.dead.Load() == 0 && pw.doom.CompareAndSwap(0, 1) {
 			n++
 		}

@@ -2,174 +2,12 @@ package omp
 
 import (
 	"fmt"
-	"sort"
-	"sync"
 	"sync/atomic"
 
 	"github.com/interweaving/komp/internal/exec"
 	"github.com/interweaving/komp/internal/ompt"
 	"github.com/interweaving/komp/internal/places"
-	"github.com/interweaving/komp/internal/pthread"
 )
-
-// pool is the persistent worker pool: workers are created once and sleep
-// on per-worker futex words between parallel regions, the way libomp
-// keeps its team threads parked. Teams do not own the pool — they lease
-// workers from it (lease/release), so several teams of a nesting
-// hierarchy can hold disjoint worker sets at once.
-type pool struct {
-	rt      *Runtime
-	workers []*poolWorker // by creation order; worker i has id i+1
-
-	// free is the lease allocator's free list, kept sorted by id so a
-	// lease hands out the lowest ids first — for a full-size top-level
-	// team this reproduces the historic slot-i ↔ pool-worker-(i-1)
-	// mapping exactly. The mutex is uncontended on the simulator (one
-	// proc runs at a time) and cheap on the real layer (leases happen at
-	// team construction, never per region on the hot path).
-	mu   sync.Mutex
-	free []*poolWorker
-}
-
-type poolWorker struct {
-	id   int
-	slot int       // team slot for the current lease (id when unleased)
-	cpu  int       // bound CPU (-1 when unbound)
-	gate exec.Word // generation gate; master bumps it to dispatch
-	team *Team     // assignment for the new generation
-	stop exec.Word
-	doom exec.Word // CPU taken offline: die at the next safe point
-	dead exec.Word // worker thread has exited for good (offline death)
-	th   *pthread.Thread
-}
-
-func (rt *Runtime) ensurePool(tc exec.TC) *pool {
-	if rt.pool != nil {
-		return rt.pool
-	}
-	p := &pool{rt: rt}
-	// Pool-level placement: under a managed binding the affinity
-	// subsystem assigns each slot a CPU of its place (close over the
-	// default per-core partition reproduces the historic worker-i-on-
-	// CPU-i pinning while the pool fits the machine). Per-region
-	// placement in workerLoop re-pins workers when a region's policy
-	// assignment differs.
-	var cpus []int
-	if bind := rt.procBind(); bind != places.BindDefault && bind != places.BindFalse {
-		cpus = rt.opts.Places.Assign(rt.opts.MaxThreads, bind, tc.CPU())
-	}
-	for i := 1; i < rt.opts.MaxThreads; i++ {
-		pw := &poolWorker{id: i, slot: i, cpu: -1}
-		if cpus != nil {
-			pw.cpu = cpus[i]
-		}
-		pw.th = rt.lib.Create(tc, pthread.Attr{CPU: pw.cpu}, func(wtc exec.TC) {
-			p.workerLoop(wtc, pw)
-		})
-		p.workers = append(p.workers, pw)
-	}
-	p.free = append([]*poolWorker(nil), p.workers...)
-	rt.pool = p
-	return p
-}
-
-// lease takes up to k workers off the free list, lowest ids first. Dead
-// and doomed workers are leased like live ones: dispatchSlot removes
-// them from the team at fork, which is the same per-region re-shrink the
-// flat pool performed. A shortfall returns fewer than k — the caller
-// builds a smaller team.
-func (p *pool) lease(k int) []*poolWorker {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if k > len(p.free) {
-		k = len(p.free)
-	}
-	if k <= 0 {
-		return nil
-	}
-	out := make([]*poolWorker, k)
-	copy(out, p.free)
-	p.free = append(p.free[:0], p.free[k:]...)
-	return out
-}
-
-// release returns leased workers to the free list, restoring the sorted
-// order lease depends on.
-func (p *pool) release(pws []*poolWorker) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for _, pw := range pws {
-		if pw != nil {
-			p.free = append(p.free, pw)
-		}
-	}
-	sort.Slice(p.free, func(i, j int) bool { return p.free[i].id < p.free[j].id })
-}
-
-// offlineSignal unwinds a doomed worker out of the region body back to
-// the worker loop, where it is recovered and the pool thread exits.
-type offlineSignal struct{}
-
-func (p *pool) workerLoop(tc exec.TC, pw *poolWorker) {
-	defer func() {
-		if r := recover(); r != nil {
-			if _, ok := r.(offlineSignal); !ok {
-				panic(r)
-			}
-			pw.dead.Store(1)
-		}
-	}()
-	gen := uint32(0)
-	cpu := pw.cpu // current binding; pw.cpu stays the pool-level one
-	for {
-		for pw.gate.Load() == gen {
-			tc.FutexWait(&pw.gate, gen)
-		}
-		gen = pw.gate.Load()
-		if pw.stop.Load() == 1 {
-			return
-		}
-		team := pw.team
-		w := team.workers[pw.slot]
-		w.tc = tc
-		w.pw = pw
-		w.gid = int32(pw.id)
-		// Region placement: re-pin to this region's assigned CPU (the
-		// binding policy may place a small team differently than the
-		// pool), or migrate deterministically under proc_bind(false).
-		if want, ok := team.slotCPU(pw.slot, gen); ok {
-			if want != cpu {
-				if mv, ok := tc.(exec.Mover); ok {
-					mv.MoveCPU(want)
-				}
-				cpu = want
-			}
-			w.emitBind(cpu)
-		}
-		// Forward the fork tree before anything else — even a doomed
-		// worker must dispatch its subtree, or the descendants would
-		// never wake.
-		w.forkChildren()
-		if pw.doom.Load() == 1 {
-			w.die() // doomed between fork and the first instruction
-		}
-		w.emitPlain(ompt.ImplicitTaskBegin, 0, 0)
-		team.fn(w)
-		w.join() // implicit join barrier of the parallel region
-		w.emitPlain(ompt.ImplicitTaskEnd, 0, 0)
-	}
-}
-
-func (p *pool) shutdown(tc exec.TC) {
-	for _, pw := range p.workers {
-		pw.stop.Store(1)
-		pw.gate.Add(1)
-		tc.FutexWake(&pw.gate, 1)
-	}
-	for _, pw := range p.workers {
-		p.rt.lib.Join(tc, pw.th)
-	}
-}
 
 // Team is the shared state of one parallel region.
 type Team struct {
@@ -337,7 +175,7 @@ func (rt *Runtime) parallel(tc exec.TC, parent *Worker, n int, fn func(*Worker))
 	if sp.Enabled(ompt.ParallelBegin) {
 		sp.Emit(ompt.Event{Kind: ompt.ParallelBegin, CPU: int32(tc.CPU()),
 			TimeNS: tc.Now(), Region: region, Level: int32(level),
-			Obj: parentRegion, Arg0: int64(n)})
+			Tenant: rt.opts.Tenant, Obj: parentRegion, Arg0: int64(n)})
 	}
 	if n == 1 {
 		// Serialized region: no team machinery (but a deadline still
@@ -360,13 +198,19 @@ func (rt *Runtime) parallel(tc exec.TC, parent *Worker, n int, fn func(*Worker))
 		w.emitPlain(ompt.ImplicitTaskEnd, 0, 0)
 		if parent != nil {
 			parent.sub.Store(nil)
+			parent.serialChild = team
+		} else if !rt.serial.CompareAndSwap(nil, team) {
+			// A concurrent serialized region already parked its team;
+			// drop this one (releasing any nested leases its worker
+			// accumulated — a serial team itself holds none).
+			rt.releaseTeam(team)
 		}
 		if stop != nil {
 			stop()
 		}
 	} else {
 		rt.ensurePool(tc)
-		team := rt.hotTeam(parent, n, fn)
+		team, hc := rt.hotTeam(parent, n, fn)
 		n = team.n // a lease shortfall builds a smaller team
 		team.region = region
 		rt.placeTeam(team, tc.CPU())
@@ -383,8 +227,8 @@ func (rt *Runtime) parallel(tc exec.TC, parent *Worker, n int, fn func(*Worker))
 				if team.publishCancel(tc, cancelBitParallel) && sp.Enabled(ompt.Cancel) {
 					sp.Emit(ompt.Event{Kind: ompt.Cancel, Thread: -1,
 						CPU: int32(tc.CPU()), TimeNS: tc.Now(), Region: region,
-						Level: int32(level), Arg0: int64(CancelParallel),
-						Arg1: cancelActivated})
+						Level: int32(level), Tenant: rt.opts.Tenant,
+						Arg0: int64(CancelParallel), Arg1: cancelActivated})
 				}
 			}
 		}
@@ -401,11 +245,18 @@ func (rt *Runtime) parallel(tc exec.TC, parent *Worker, n int, fn func(*Worker))
 		master.emitPlain(ompt.ImplicitTaskEnd, 0, 0)
 		if parent != nil {
 			parent.sub.Store(nil)
-			if rt.opts.NestedPool == NestedPoolReturn {
-				// Lease policy "return": give the workers back at every
-				// join instead of keeping the inner team hot.
-				rt.releaseTeam(team)
-				parent.hotChild = nil
+		}
+		if parent != nil && rt.opts.NestedPool == NestedPoolReturn {
+			// Lease policy "return": give the workers back at every
+			// join instead of keeping the inner team hot.
+			rt.releaseTeam(team)
+		} else {
+			// Park the team back in its site's cache. It was out of the
+			// cache for the whole region, so a concurrent Parallel on
+			// this runtime can never have claimed it; anything the LRU
+			// bound pushes out goes back to the pool.
+			for _, ev := range hc.put(team) {
+				rt.releaseTeam(ev)
 			}
 		}
 		if stop != nil {
@@ -415,36 +266,51 @@ func (rt *Runtime) parallel(tc exec.TC, parent *Worker, n int, fn func(*Worker))
 	if sp.Enabled(ompt.ParallelEnd) {
 		sp.Emit(ompt.Event{Kind: ompt.ParallelEnd, CPU: int32(tc.CPU()),
 			TimeNS: tc.Now(), Region: region, Level: int32(level),
-			Obj: parentRegion, Arg0: int64(n)})
+			Tenant: rt.opts.Tenant, Obj: parentRegion, Arg0: int64(n)})
 	}
 }
 
-// hotTeam returns the cached hot team for (parent, n) — the top-level
-// slot rt.hot when parent is nil, the forking worker's hotChild
-// otherwise — or builds a fresh team over a new lease when the cache
-// misses. A reused team costs nothing to "construct": the non-nested
-// repeated-region path stays allocation-free.
-func (rt *Runtime) hotTeam(parent *Worker, n int, fn func(*Worker)) *Team {
-	var cached *Team
-	if parent == nil {
-		cached = rt.hot
-	} else {
-		cached = parent.hotChild
-	}
-	if cached != nil && rt.reusable(cached, n) {
-		cached.fn = fn
-		cached.resetRegionState()
-		return cached
-	}
-	if cached != nil {
-		rt.releaseTeam(cached)
-		if parent == nil {
-			rt.hot = nil
-		} else {
-			parent.hotChild = nil
+// hotTeam claims a team for the region from the nesting site's hot-team
+// cache — the top-level cache rt.hot when parent is nil, the forking
+// worker's hotChild otherwise — or builds a fresh one over a new lease
+// when no cached team of size n is reusable. The claimed team is out of
+// the cache while the region runs (parallel parks it back at the join),
+// so concurrent regions on one runtime never share a team. A reused
+// team costs nothing to "construct": the repeated-region path stays
+// allocation-free. Returns the cache the join must park the team in.
+func (rt *Runtime) hotTeam(parent *Worker, n int, fn func(*Worker)) (*Team, *hotCache) {
+	hc := rt.hot
+	if parent != nil {
+		if parent.hotChild == nil {
+			parent.hotChild = newHotCache(rt.opts.HotTeamsMax)
 		}
+		hc = parent.hotChild
 	}
-	leased := rt.pool.lease(n - 1)
+	for {
+		cached := hc.take(n)
+		if cached == nil {
+			break
+		}
+		if rt.reusable(cached, n) {
+			cached.fn = fn
+			cached.resetRegionState()
+			return cached, hc
+		}
+		// Stale (shrunk, doomed, cancel residue): return its lease and
+		// try the next entry of this size, if any.
+		rt.releaseTeam(cached)
+	}
+	p := rt.pool.Load()
+	leased := p.lease(n - 1)
+	if len(leased) < n-1 && hc.size() > 0 {
+		// Lease shortfall while idle teams sit in this site's cache:
+		// their parked workers are exactly the capacity the pool lacks.
+		// Evict them all and re-lease before settling for a smaller team.
+		for _, ev := range hc.drain() {
+			rt.releaseTeam(ev)
+		}
+		leased = append(leased, p.lease(n-1-len(leased))...)
+	}
 	n = 1 + len(leased)
 	t := newTeam(rt, parent, n, fn)
 	t.pws = make([]*poolWorker, n)
@@ -452,12 +318,7 @@ func (rt *Runtime) hotTeam(parent *Worker, n int, fn func(*Worker)) *Team {
 		t.pws[i+1] = pw
 		pw.slot = i + 1
 	}
-	if parent == nil {
-		rt.hot = t
-	} else {
-		parent.hotChild = t
-	}
-	return t
+	return t, hc
 }
 
 // resetRegionState restores per-region scheduler state on a reused hot
@@ -534,7 +395,9 @@ func (rt *Runtime) reusable(t *Team, n int) bool {
 func (rt *Runtime) releaseTeam(t *Team) {
 	for _, w := range t.workers {
 		if w.hotChild != nil {
-			rt.releaseTeam(w.hotChild)
+			for _, c := range w.hotChild.drain() {
+				rt.releaseTeam(c)
+			}
 			w.hotChild = nil
 		}
 		if w.serialChild != nil {
@@ -542,22 +405,26 @@ func (rt *Runtime) releaseTeam(t *Team) {
 			w.serialChild = nil
 		}
 	}
-	if len(t.pws) > 1 && rt.pool != nil {
-		rt.pool.release(t.pws[1:])
+	if len(t.pws) > 1 {
+		if p := rt.pool.Load(); p != nil {
+			p.release(t.pws[1:])
+		}
 	}
 	t.pws = nil
 }
 
-// serialTeam returns the cached single-thread team for serialized
-// regions (top-level slot rt.serial, or the forking worker's
+// serialTeam claims the cached single-thread team for a serialized
+// region (the top-level slot rt.serial, or the forking worker's
 // serialChild), rebuilding only when cancellation state could have
-// leaked from a previous region.
+// leaked from a previous region. Like hotTeam, the claim removes the
+// team from its slot — parallel parks it back after the region — so
+// concurrent serialized regions on one runtime never share it.
 func (rt *Runtime) serialTeam(parent *Worker, fn func(*Worker)) *Team {
 	var cached *Team
 	if parent == nil {
-		cached = rt.serial
+		cached = rt.serial.Swap(nil)
 	} else {
-		cached = parent.serialChild
+		cached, parent.serialChild = parent.serialChild, nil
 	}
 	if cached != nil &&
 		(!cached.cancellable ||
@@ -566,16 +433,16 @@ func (rt *Runtime) serialTeam(parent *Worker, fn func(*Worker)) *Team {
 		cached.resetRegionState()
 		return cached
 	}
-	t := newTeam(rt, parent, 1, fn)
-	if parent == nil {
-		rt.serial = t
-	} else {
-		parent.serialChild = t
+	if cached != nil {
+		// Cancel residue: rebuild, returning any nested leases the stale
+		// team's worker accumulated.
+		rt.releaseTeam(cached)
 	}
-	return t
+	return newTeam(rt, parent, 1, fn)
 }
 
 func newTeam(rt *Runtime, parent *Worker, n int, fn func(*Worker)) *Team {
+	rt.teamBuilds.Add(1)
 	t := &Team{
 		rt:        rt,
 		n:         n,
@@ -671,11 +538,12 @@ type Worker struct {
 	// publication descends through it, and teammates waiting at barriers
 	// steal from it.
 	sub atomic.Pointer[Team]
-	// hotChild / serialChild cache this worker's inner team between
-	// nested regions — the per-(parent, size) hot-team cache. The leases
-	// they hold are returned when the enclosing team is released (or at
-	// every inner join under KOMP_NESTED_POOL=return).
-	hotChild    *Team
+	// hotChild / serialChild cache this worker's inner teams between
+	// nested regions — the per-(nesting site, size) hot-team cache,
+	// bounded by KOMP_HOT_TEAMS_MAX. The leases they hold are returned
+	// when the enclosing team is released, when the LRU bound evicts, or
+	// at every inner join under KOMP_NESTED_POOL=return.
+	hotChild    *hotCache
 	serialChild *Team
 
 	// Per-thread construct sequence counters (each thread encounters the

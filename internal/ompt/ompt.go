@@ -218,6 +218,13 @@ type Event struct {
 	// which time the master may have re-forked the team under a new
 	// region id — key on it.
 	Gid int32
+	// Tenant identifies the runtime instance that emitted the event when
+	// several runtimes share one worker pool (the multi-tenant service):
+	// tenant ids are >= 1, and 0 means the emitter is not a tenant (a
+	// single-owner runtime, an execution layer, VIRGIL, CCK). Region ids
+	// are scoped per tenant, so consumers correlating regions across a
+	// shared stream must key on (Tenant, Region).
+	Tenant int32
 	// Obj identifies the construct instance: task id, lock id,
 	// construct sequence number — scoped by Kind.
 	Obj uint64

@@ -30,18 +30,32 @@ type Profile struct {
 	threads map[profKey]*threadProf
 	// regionBegin is ParallelBegin's time per live region, read by
 	// other threads' ImplicitTaskBegin to attribute fork latency.
-	regionBegin map[uint64]int64
+	regionBegin map[regionKey]int64
 	// regionLevel records each live region's nesting level so
 	// ParallelEnd can attribute inner regions to catNested.
-	regionLevel map[uint64]int32
+	regionLevel map[regionKey]int32
 }
 
 // profKey identifies one physical executing worker: Event.Gid when the
 // emitter carries one (all OpenMP runtime events; unique per physical
 // worker, stable across regions and levels), the bare thread id
 // otherwise (gid 0: thread lifecycle, VIRGIL, CCK — emitters with no
-// cross-region spans).
-type profKey struct{ gid, thread int32 }
+// cross-region spans). The tenant id disambiguates workers of distinct
+// runtimes sharing one pool: a pool worker keeps its gid across leases,
+// so without the tenant a worker's spans from two tenants would
+// interleave in one slot.
+type profKey struct {
+	gid, thread int32
+	tenant      int32
+}
+
+// regionKey identifies one live parallel region. Region ids are scoped
+// per runtime instance, so two tenants of a shared pool both have a
+// region 1; the tenant id keeps their fork spans from colliding.
+type regionKey struct {
+	tenant int32
+	region uint64
+}
 
 type threadProf struct {
 	syncAt [8]int64 // SyncAcquire time, by Sync; -1 when closed
@@ -141,7 +155,7 @@ func workCat(w Work) int {
 // NewProfile creates a profiler and registers it on sp.
 func NewProfile(sp *Spine) *Profile {
 	p := &Profile{threads: map[profKey]*threadProf{},
-		regionBegin: map[uint64]int64{}, regionLevel: map[uint64]int32{}}
+		regionBegin: map[regionKey]int64{}, regionLevel: map[regionKey]int32{}}
 	sp.On(p.consume,
 		ThreadBegin, ThreadEnd,
 		ParallelBegin, ParallelEnd,
@@ -173,26 +187,27 @@ func (p *Profile) add(cat int, ns int64) {
 func (p *Profile) consume(ev Event) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	tp := p.thread(profKey{ev.Gid, ev.Thread})
+	tp := p.thread(profKey{ev.Gid, ev.Thread, ev.Tenant})
+	rk := regionKey{ev.Tenant, ev.Region}
 	switch ev.Kind {
 	case ThreadBegin:
 		tp.born = ev.TimeNS
 	case ThreadEnd:
 		p.add(catThread, ev.TimeNS-tp.born)
 	case ParallelBegin:
-		p.regionBegin[ev.Region] = ev.TimeNS
-		p.regionLevel[ev.Region] = ev.Level
+		p.regionBegin[rk] = ev.TimeNS
+		p.regionLevel[rk] = ev.Level
 	case ParallelEnd:
-		if t0, ok := p.regionBegin[ev.Region]; ok {
+		if t0, ok := p.regionBegin[rk]; ok {
 			p.add(catRegion, ev.TimeNS-t0)
-			if p.regionLevel[ev.Region] > 1 {
+			if p.regionLevel[rk] > 1 {
 				p.add(catNested, ev.TimeNS-t0)
 			}
-			delete(p.regionBegin, ev.Region)
-			delete(p.regionLevel, ev.Region)
+			delete(p.regionBegin, rk)
+			delete(p.regionLevel, rk)
 		}
 	case ImplicitTaskBegin:
-		if t0, ok := p.regionBegin[ev.Region]; ok {
+		if t0, ok := p.regionBegin[rk]; ok {
 			p.add(catFork, ev.TimeNS-t0)
 		}
 		tp.implAt = ev.TimeNS

@@ -201,6 +201,36 @@ func Parse(spec string, topo Topology) (*Partition, error) {
 	return p, nil
 }
 
+// Shard returns sub-partition i of n: the partition's places dealt into
+// n contiguous groups (remainder places going to the leading shards, the
+// block split every other oracle here uses). It is the tenancy service's
+// placement tool — tenant i gets shard i%n of a sockets partition, so
+// tenants' teams land on disjoint CPU sets by construction instead of
+// interleaving across the whole machine. Out-of-range arguments or a
+// shard with no places panic: shard counts are configuration, not data.
+func (p *Partition) Shard(i, n int) *Partition {
+	if n < 1 || i < 0 || i >= n {
+		panic(fmt.Sprintf("places: Shard(%d, %d) out of range", i, n))
+	}
+	if n > len(p.places) {
+		panic(fmt.Sprintf("places: Shard(%d, %d): partition %q has only %d places",
+			i, n, p.spec, len(p.places)))
+	}
+	per, rem := len(p.places)/n, len(p.places)%n
+	lo := i*per + min(i, rem)
+	hi := lo + per
+	if i < rem {
+		hi++
+	}
+	sub := &Partition{
+		topo:   p.topo,
+		spec:   fmt.Sprintf("%s[%d/%d]", p.spec, i, n),
+		places: p.places[lo:hi],
+	}
+	sub.index()
+	return sub
+}
+
 // Default returns the default partition over a topology: one place per
 // core (what libomp uses when OMP_PLACES is unset but binding is on).
 func Default(topo Topology) *Partition {

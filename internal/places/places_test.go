@@ -389,3 +389,61 @@ func cpuSeq(lo, n int) []int {
 	}
 	return s
 }
+
+// TestShard: tenants are dealt contiguous, disjoint, covering blocks of
+// the place list — the tenancy service's socket sharding.
+func TestShard(t *testing.T) {
+	topo := ForMachine(machine.XEON8())
+	p, err := Parse("sockets", topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Even split: 8 sockets over 4 shards = 2 places each, in order.
+	seen := map[int]bool{}
+	next := 0
+	for i := 0; i < 4; i++ {
+		sh := p.Shard(i, 4)
+		if sh.NumPlaces() != 2 {
+			t.Fatalf("Shard(%d, 4): %d places, want 2", i, sh.NumPlaces())
+		}
+		for j := 0; j < sh.NumPlaces(); j++ {
+			first := sh.Place(j)[0]
+			if want := next * 24; first != want {
+				t.Errorf("Shard(%d, 4) place %d starts at CPU %d, want %d", i, j, first, want)
+			}
+			if seen[first] {
+				t.Errorf("Shard(%d, 4): place starting at %d dealt twice", i, first)
+			}
+			seen[first] = true
+			next++
+		}
+	}
+	if next != 8 {
+		t.Fatalf("4 shards covered %d places, want all 8", next)
+	}
+	// Uneven split: 8 places over 3 shards = 3, 3, 2.
+	for i, want := range []int{3, 3, 2} {
+		if got := p.Shard(i, 3).NumPlaces(); got != want {
+			t.Errorf("Shard(%d, 3): %d places, want %d", i, got, want)
+		}
+	}
+	// A shard is a real partition: placement APIs work on it.
+	sh := p.Shard(1, 4)
+	if cpu := sh.Place(0)[0]; cpu != 48 {
+		t.Errorf("Shard(1, 4) starts at CPU %d, want 48", cpu)
+	}
+	if got := sh.Assign(2, BindSpread, sh.Place(0)[0]); len(got) != 2 {
+		t.Errorf("Assign on a shard returned %d CPUs, want 2", len(got))
+	}
+	// Out-of-range shards panic (configuration bugs, not runtime states).
+	for _, bad := range [][2]int{{-1, 4}, {4, 4}, {0, 0}, {0, 9}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Shard(%d, %d) did not panic", bad[0], bad[1])
+				}
+			}()
+			p.Shard(bad[0], bad[1])
+		}()
+	}
+}

@@ -1,0 +1,425 @@
+package tenancy
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/interweaving/komp/internal/exec"
+	"github.com/interweaving/komp/internal/omp"
+	"github.com/interweaving/komp/internal/ompt"
+	"github.com/interweaving/komp/internal/places"
+	"github.com/interweaving/komp/internal/sim"
+)
+
+func costs() exec.Costs {
+	return exec.Costs{
+		ThreadSpawnNS: 2000, ThreadJoinNS: 300,
+		FutexWaitEntryNS: 100, FutexWakeEntryNS: 100,
+		FutexWakeLatencyNS: 300, FutexWakeStaggerNS: 30,
+		AtomicRMWNS: 20, CacheLineXferNS: 40, MallocNS: 100,
+	}
+}
+
+func flatPlaces(t *testing.T, n int) *places.Partition {
+	t.Helper()
+	p, err := places.Parse("", places.Flat(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseQueue(t *testing.T) {
+	for _, tc := range []struct {
+		in    string
+		depth int
+		pol   Policy
+	}{
+		{"8", 8, PolicyPark},
+		{"0", 0, PolicyPark},
+		{"16,park", 16, PolicyPark},
+		{"4,reject", 4, PolicyReject},
+		{" 4 , reject ", 4, PolicyReject},
+	} {
+		depth, pol, err := ParseQueue(tc.in)
+		if err != nil {
+			t.Errorf("ParseQueue(%q): %v", tc.in, err)
+			continue
+		}
+		if depth != tc.depth || pol != tc.pol {
+			t.Errorf("ParseQueue(%q) = (%d, %v), want (%d, %v)", tc.in, depth, pol, tc.depth, tc.pol)
+		}
+	}
+	for _, bad := range []string{"", "-1", "x", "4,drop", "4,park,extra"} {
+		if _, _, err := ParseQueue(bad); err == nil {
+			t.Errorf("ParseQueue(%q): want error", bad)
+		}
+	}
+	var c Config
+	env := func(k string) (string, bool) {
+		if k == "KOMP_TENANCY_QUEUE" {
+			return "7,reject", true
+		}
+		return "", false
+	}
+	if err := c.Env(env); err != nil {
+		t.Fatal(err)
+	}
+	if c.QueueDepth != 7 || c.Policy != PolicyReject {
+		t.Errorf("Env: QueueDepth=%d Policy=%v, want 7 reject", c.QueueDepth, c.Policy)
+	}
+}
+
+// TestAdmissionParkAndReject: with one admission slot and a queue depth
+// of one, three deterministic concurrent submitters must resolve as one
+// admitted, one parked-then-admitted, one rejected.
+func TestAdmissionParkAndReject(t *testing.T) {
+	layer := exec.NewSimLayer(sim.New(4, 7), costs())
+	var st Stats
+	if _, err := layer.Run(func(tc exec.TC) {
+		svc := New(tc, layer, Config{Workers: 3, MaxInflight: 1, QueueDepth: 1})
+		a, b, c := svc.Tenant(2), svc.Tenant(2), svc.Tenant(2)
+		long := func(w *omp.Worker) { w.TC().Charge(1_000_000) }
+		var errB, errC error
+		hb := tc.Spawn("tenant-b", 1, func(btc exec.TC) {
+			btc.Sleep(10_000) // A holds the slot: B parks
+			errB = b.Parallel(btc, 2, long)
+		})
+		hc := tc.Spawn("tenant-c", 2, func(ctc exec.TC) {
+			ctc.Sleep(20_000) // slot held AND queue full: C is shed
+			errC = c.Parallel(ctc, 2, long)
+		})
+		if err := a.Parallel(tc, 2, long); err != nil {
+			t.Errorf("first submission: %v, want admitted", err)
+		}
+		hb.Join(tc)
+		hc.Join(tc)
+		if errB != nil {
+			t.Errorf("parked submission: %v, want admitted after the slot freed", errB)
+		}
+		if errC != ErrRejected {
+			t.Errorf("over-queue submission: %v, want ErrRejected", errC)
+		}
+		st = svc.Stats()
+		svc.Shutdown(tc)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := Stats{Admitted: 2, Parked: 1, Rejected: 1}
+	if st != want {
+		t.Errorf("Stats = %+v, want %+v", st, want)
+	}
+}
+
+// TestPolicyReject: under PolicyReject a saturated service sheds
+// immediately — nothing ever parks.
+func TestPolicyReject(t *testing.T) {
+	layer := exec.NewSimLayer(sim.New(4, 7), costs())
+	var st Stats
+	if _, err := layer.Run(func(tc exec.TC) {
+		svc := New(tc, layer, Config{Workers: 3, MaxInflight: 1, QueueDepth: 8, Policy: PolicyReject})
+		a, b := svc.Tenant(2), svc.Tenant(2)
+		var errB error
+		hb := tc.Spawn("tenant-b", 1, func(btc exec.TC) {
+			btc.Sleep(10_000)
+			errB = b.Parallel(btc, 2, func(w *omp.Worker) {})
+		})
+		if err := a.Parallel(tc, 2, func(w *omp.Worker) { w.TC().Charge(1_000_000) }); err != nil {
+			t.Errorf("first submission: %v, want admitted", err)
+		}
+		hb.Join(tc)
+		if errB != ErrRejected {
+			t.Errorf("saturated submission: %v, want ErrRejected", errB)
+		}
+		st = svc.Stats()
+		svc.Shutdown(tc)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if st.Parked != 0 || st.Rejected != 1 {
+		t.Errorf("Stats = %+v, want Parked 0, Rejected 1", st)
+	}
+}
+
+// TestRebalanceWorkConserving: tenant B runs once and goes idle, its hot
+// team parking 3 leased workers. Tenant A then asks for the full
+// machine: the first fork comes up short (B's idle cache starves it),
+// which triggers the rebalance at A's join, and A's second fork must get
+// every worker back. Without the work-conserving rebalance the second
+// width stays shrunken forever — B's idle cache pins capacity no one is
+// using.
+func TestRebalanceWorkConserving(t *testing.T) {
+	layer := exec.NewSimLayer(sim.New(8, 7), costs())
+	var widths []int
+	var st Stats
+	if _, err := layer.Run(func(tc exec.TC) {
+		svc := New(tc, layer, Config{Workers: 7})
+		a, b := svc.Tenant(8), svc.Tenant(4)
+		if err := b.Parallel(tc, 4, func(w *omp.Worker) { w.TC().Charge(10_000) }); err != nil {
+			t.Fatal(err)
+		}
+		wide := func(w *omp.Worker) {
+			w.Master(func() { widths = append(widths, w.NumAlive()) })
+			w.TC().Charge(10_000)
+		}
+		for r := 0; r < 2; r++ {
+			if err := a.Parallel(tc, 8, wide); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st = svc.Stats()
+		svc.Shutdown(tc)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(widths) != 2 || widths[0] >= 8 || widths[1] != 8 {
+		t.Errorf("team widths = %v, want a shrunken first region and a full 8-wide second", widths)
+	}
+	if st.Rebalances == 0 {
+		t.Error("no rebalance ran despite a starved fork")
+	}
+}
+
+// --- the isolation matrix -------------------------------------------
+
+// matrixScenario is one way tenant A can blow up while tenant B must
+// not notice: cancel, panic-in-task, deadline expiry, fault shrink.
+type matrixScenario struct {
+	name string
+	mods func(*omp.Options)
+	// driveA runs tenant A's faulting workload on its own thread.
+	driveA func(t *testing.T, atc exec.TC, svc *Service, a *Tenant)
+	// wantACancel: the scenario must leave at least one Cancel event in
+	// tenant A's OMPT stream (and, always, none in B's).
+	wantACancel bool
+}
+
+// spinUntilCancelled loops at cancellation points until the region's
+// cancel flag is observed (bounded so a broken flag fails, not hangs).
+func spinUntilCancelled(t *testing.T, w *omp.Worker) {
+	for i := 0; ; i++ {
+		if w.CancellationPoint(omp.CancelParallel) {
+			return
+		}
+		w.TC().Charge(10_000)
+		if i%1024 == 1023 {
+			w.TC().Yield()
+		}
+		if i > 10_000_000 {
+			t.Error("cancellation never observed")
+			return
+		}
+	}
+}
+
+func matrixScenarios() []matrixScenario {
+	return []matrixScenario{
+		{
+			name: "cancel",
+			driveA: func(t *testing.T, atc exec.TC, svc *Service, a *Tenant) {
+				err := a.Parallel(atc, 3, func(w *omp.Worker) {
+					if w.ThreadNum() == 0 {
+						w.TC().Charge(50_000)
+						if !w.Cancel(omp.CancelParallel) {
+							t.Error("tenant A Cancel = false with the ICV on")
+						}
+						return
+					}
+					spinUntilCancelled(t, w)
+				})
+				if err != nil {
+					t.Errorf("tenant A: %v", err)
+				}
+			},
+			wantACancel: true,
+		},
+		{
+			name: "panic-in-task",
+			driveA: func(t *testing.T, atc exec.TC, svc *Service, a *Tenant) {
+				caught := false
+				err := a.Parallel(atc, 3, func(w *omp.Worker) {
+					w.Master(func() {
+						defer func() {
+							if r := recover(); r != nil {
+								if r != "tenant A boom" {
+									t.Errorf("re-raised %v, want tenant A boom", r)
+								}
+								caught = true
+							}
+						}()
+						w.Taskgroup(func(gw *omp.Worker) {
+							for i := 0; i < 16; i++ {
+								gw.Task(func(tw *omp.Worker) {
+									tw.TC().Charge(20_000)
+									if i == 1 {
+										panic("tenant A boom")
+									}
+								})
+							}
+						})
+					})
+				})
+				if err != nil {
+					t.Errorf("tenant A: %v", err)
+				}
+				if !caught {
+					t.Error("tenant A's task panic was not re-raised at its taskgroup")
+				}
+			},
+		},
+		{
+			name: "deadline",
+			mods: func(o *omp.Options) { o.RegionDeadlineNS = 300_000 },
+			driveA: func(t *testing.T, atc exec.TC, svc *Service, a *Tenant) {
+				err := a.Parallel(atc, 3, func(w *omp.Worker) {
+					spinUntilCancelled(t, w)
+				})
+				if err != nil {
+					t.Errorf("tenant A: %v", err)
+				}
+			},
+			wantACancel: true,
+		},
+		{
+			name: "fault-shrink",
+			mods: func(o *omp.Options) { o.Resilient = true },
+			driveA: func(t *testing.T, atc exec.TC, svc *Service, a *Tenant) {
+				// CPU 2 belongs to tenant A's shard: dooming whatever is
+				// bound there mid-region shrinks A's team, never B's.
+				stop := atc.(exec.Alarmer).Alarm(400_000, func(exec.TC) {
+					svc.Pool().OfflineCurrent(2)
+				})
+				defer stop()
+				const iters = 120
+				cov := make([]int, iters)
+				err := a.Parallel(atc, 3, func(w *omp.Worker) {
+					w.ForEach(0, iters, omp.ForOpt{Sched: omp.Dynamic, Chunk: 2}, func(i int) {
+						w.TC().Charge(20_000)
+						cov[i]++
+					})
+				})
+				if err != nil {
+					t.Errorf("tenant A: %v", err)
+				}
+				for i, c := range cov {
+					if c != 1 {
+						t.Errorf("tenant A iteration %d ran %d times, want exactly once", i, c)
+					}
+				}
+			},
+		},
+	}
+}
+
+// runIsolation runs one matrix scenario: tenant A misbehaving on shard 0
+// while tenant B steadily works on shard 1. It returns the elapsed time
+// and the shared OMPT stream for the determinism test.
+func runIsolation(t *testing.T, layer exec.Layer, sc matrixScenario) (int64, []ompt.Event) {
+	t.Helper()
+	sp := ompt.NewSpine()
+	rec := ompt.NewRecorder(sp, ompt.ParallelBegin, ompt.ParallelEnd, ompt.Cancel)
+	const regionsB, itersB = 6, 60
+	covB := make([]int, itersB)
+	var bRegions int64
+	elapsed, err := layer.Run(func(tc exec.TC) {
+		svc := New(tc, layer, Config{
+			Workers: 6, Shards: 2, Places: flatPlaces(t, 8),
+			Base: omp.Options{Cancellation: true, Bind: true, Spine: sp},
+		})
+		var a *Tenant
+		if sc.mods != nil {
+			a = svc.Tenant(3, sc.mods)
+		} else {
+			a = svc.Tenant(3)
+		}
+		b := svc.Tenant(3)
+		ha := tc.Spawn("tenant-a", 0, func(atc exec.TC) {
+			sc.driveA(t, atc, svc, a)
+		})
+		hb := tc.Spawn("tenant-b", 4, func(btc exec.TC) {
+			for r := 0; r < regionsB; r++ {
+				if err := b.Parallel(btc, 3, func(w *omp.Worker) {
+					w.ForEach(0, itersB, omp.ForOpt{}, func(i int) {
+						w.TC().Charge(5_000)
+						covB[i]++
+					})
+				}); err != nil {
+					t.Errorf("tenant B region %d: %v", r, err)
+				}
+			}
+		})
+		ha.Join(tc)
+		hb.Join(tc)
+		bRegions = b.Runtime().Regions.Load()
+		if dr := svc.Pool().DoubleReleases(); dr != 0 {
+			t.Errorf("DoubleReleases = %d, want 0", dr)
+		}
+		svc.Shutdown(tc)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Tenant B's work, accounting and OMPT stream must be exactly what a
+	// solo run would produce: every iteration of every region ran once.
+	for i, c := range covB {
+		if c != regionsB {
+			t.Errorf("tenant B iteration %d ran %d times, want %d", i, c, regionsB)
+		}
+	}
+	if bRegions != regionsB {
+		t.Errorf("tenant B accounted %d regions, want %d", bRegions, regionsB)
+	}
+	events := rec.Events()
+	bBegins, bCancels, aCancels := 0, 0, 0
+	for _, ev := range events {
+		switch {
+		case ev.Tenant == 2 && ev.Kind == ompt.ParallelBegin:
+			bBegins++
+		case ev.Tenant == 2 && ev.Kind == ompt.Cancel:
+			bCancels++
+		case ev.Tenant == 1 && ev.Kind == ompt.Cancel:
+			aCancels++
+		}
+	}
+	if bBegins != regionsB {
+		t.Errorf("tenant B's OMPT stream has %d ParallelBegin, want %d", bBegins, regionsB)
+	}
+	if bCancels != 0 {
+		t.Errorf("tenant B's OMPT stream has %d Cancel events, want 0 (leaked from tenant A)", bCancels)
+	}
+	if sc.wantACancel && aCancels == 0 {
+		t.Error("tenant A's OMPT stream has no Cancel event: the scenario did not fire")
+	}
+	return elapsed, events
+}
+
+// TestIsolationMatrix: tenant A's cancel, panic-in-task, deadline expiry
+// and fault-plan shrink must never perturb tenant B — on both execution
+// layers (run with -race on the real layer).
+func TestIsolationMatrix(t *testing.T) {
+	for _, sc := range matrixScenarios() {
+		t.Run("sim/"+sc.name, func(t *testing.T) {
+			runIsolation(t, exec.NewSimLayer(sim.New(8, 11), costs()), sc)
+		})
+		t.Run("real/"+sc.name, func(t *testing.T) {
+			runIsolation(t, exec.NewRealLayer(8), sc)
+		})
+	}
+}
+
+// TestIsolationTraceDeterministic: the same seeded simulation of a full
+// isolation scenario must produce byte-identical traces and identical
+// virtual elapsed time across runs.
+func TestIsolationTraceDeterministic(t *testing.T) {
+	sc := matrixScenarios()[0]
+	e1, ev1 := runIsolation(t, exec.NewSimLayer(sim.New(8, 11), costs()), sc)
+	e2, ev2 := runIsolation(t, exec.NewSimLayer(sim.New(8, 11), costs()), sc)
+	if e1 != e2 {
+		t.Errorf("elapsed differs across same-seed runs: %d vs %d", e1, e2)
+	}
+	s1, s2 := fmt.Sprintf("%v", ev1), fmt.Sprintf("%v", ev2)
+	if s1 != s2 {
+		t.Error("OMPT traces differ across same-seed runs")
+	}
+}

@@ -21,6 +21,7 @@ package komp
 import (
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"time"
 
@@ -31,6 +32,7 @@ import (
 	"github.com/interweaving/komp/internal/nas"
 	"github.com/interweaving/komp/internal/omp"
 	"github.com/interweaving/komp/internal/places"
+	"github.com/interweaving/komp/internal/tenancy"
 )
 
 // --- The real-execution OpenMP API ---
@@ -108,28 +110,38 @@ const (
 	CancelTaskgroup = omp.CancelTaskgroup
 )
 
-// OMP is an OpenMP-style runtime running on real goroutines.
+// OMP is an OpenMP-style runtime running on real goroutines — either a
+// standalone one owning its worker pool (New), or one tenant's handle on
+// a shared multi-tenant Service (New with WithTenant).
 type OMP struct {
 	layer *exec.RealLayer
 	rt    *omp.Runtime
 	tc    exec.TC
+	tn    *tenancy.Tenant // non-nil for tenant handles
+}
+
+// config is what Options apply to: the runtime's ICVs plus the komp-
+// level choices (which service to join) that have no omp.Options field.
+type config struct {
+	omp.Options
+	svc *Service
 }
 
 // Option configures New.
-type Option func(*omp.Options)
+type Option func(*config)
 
 // WithPlaces sets the OMP_PLACES-style place partition the binding
 // policy resolves against: an abstract name (threads, cores, sockets)
 // with an optional (n) count, or an explicit interval list such as
 // "{0:4},{4:4}". New panics on a spec the pool's CPUs cannot satisfy.
 func WithPlaces(spec string) Option {
-	return func(o *omp.Options) { o.PlacesSpec = spec }
+	return func(o *config) { o.PlacesSpec = spec }
 }
 
 // WithProcBind sets the OMP_PROC_BIND policy used to place each team's
 // workers over the place partition.
 func WithProcBind(policy ProcBind) Option {
-	return func(o *omp.Options) {
+	return func(o *config) {
 		o.ProcBind = policy
 		if policy != places.BindFalse {
 			o.Bind = true
@@ -144,14 +156,14 @@ func WithProcBind(policy ProcBind) Option {
 // Worker.Level, Worker.AncestorThreadNum and Worker.TeamSize expose the
 // resulting hierarchy.
 func WithMaxActiveLevels(n int) Option {
-	return func(o *omp.Options) { o.MaxActiveLevels = n }
+	return func(o *config) { o.MaxActiveLevels = n }
 }
 
 // WithNumThreadsList sets per-nesting-level team sizes, the comma-list
 // form of OMP_NUM_THREADS ("8,4"): entry i sizes regions at nesting
 // level i+1, the last entry covering all deeper levels.
 func WithNumThreadsList(sizes ...int) Option {
-	return func(o *omp.Options) {
+	return func(o *config) {
 		if len(sizes) > 0 {
 			o.DefaultThreads = sizes[0]
 			o.NumThreadsList = append([]int(nil), sizes...)
@@ -165,7 +177,7 @@ func WithNumThreadsList(sizes ...int) Option {
 // checks for an active cancellation. Off by default; when off, Cancel
 // returns false and the runtime's fast paths are unchanged.
 func WithCancellation() Option {
-	return func(o *omp.Options) { o.Cancellation = true }
+	return func(o *config) { o.Cancellation = true }
 }
 
 // WithDeadline arms a deadline on every parallel region
@@ -174,44 +186,170 @@ func WithCancellation() Option {
 // region joins with a partial result instead of running (or hanging)
 // on. Implies WithCancellation.
 func WithDeadline(d time.Duration) Option {
-	return func(o *omp.Options) {
+	return func(o *config) {
 		o.Cancellation = true
 		o.RegionDeadlineNS = int64(d)
 	}
 }
 
 // New creates a runtime with the given pool size (0 means GOMAXPROCS).
-// Close it when done.
+// Close it when done. With WithTenant the handle joins a Service
+// instead: threads caps this tenant's team sizes, workers are leased
+// from the shared pool, and submissions pass admission control.
 func New(threads int, opts ...Option) *OMP {
 	if threads <= 0 {
 		threads = runtime.GOMAXPROCS(0)
 	}
-	layer := exec.NewRealLayer(threads)
-	oo := omp.Options{MaxThreads: threads, Bind: true}
+	var c config
+	c.Options = omp.Options{MaxThreads: threads, Bind: true}
 	for _, apply := range opts {
-		apply(&oo)
+		apply(&c)
 	}
-	rt := omp.New(layer, oo)
+	if c.svc != nil {
+		// Tenant handle: the service assigns the pool, shard and tenant
+		// id, then the user's options are re-applied on top.
+		tn := c.svc.svc.Tenant(threads, func(o *omp.Options) {
+			var tc config
+			tc.Options = *o
+			for _, apply := range opts {
+				apply(&tc)
+			}
+			tc.Tenant = o.Tenant // the tenant id is not user-overridable
+			tc.SharedPool = o.SharedPool
+			*o = tc.Options
+		})
+		return &OMP{layer: c.svc.layer, rt: tn.Runtime(), tc: c.svc.layer.TC(), tn: tn}
+	}
+	layer := exec.NewRealLayer(threads)
+	rt := omp.New(layer, c.Options)
 	return &OMP{layer: layer, rt: rt, tc: layer.TC()}
 }
 
 // Parallel runs fn on a team of n threads (0 = all). It returns after
-// the implicit join barrier.
-func (o *OMP) Parallel(n int, fn func(*Worker)) { o.rt.Parallel(o.tc, n, fn) }
+// the implicit join barrier. On a tenant handle the submission passes
+// admission control first — it may park behind the service's queue, and
+// a shed submission panics; use Submit to handle rejection.
+func (o *OMP) Parallel(n int, fn func(*Worker)) {
+	if err := o.Submit(n, fn); err != nil {
+		panic(fmt.Sprintf("komp: %v (use Submit to handle backpressure)", err))
+	}
+}
+
+// Submit runs fn like Parallel but surfaces admission control: on a
+// tenant handle of a saturated Service it returns ErrRejected without
+// running fn. On a standalone runtime it never fails.
+func (o *OMP) Submit(n int, fn func(*Worker)) error {
+	if o.tn != nil {
+		return o.tn.Parallel(o.tc, n, fn)
+	}
+	o.rt.Parallel(o.tc, n, fn)
+	return nil
+}
 
 // ParallelFor runs a worksharing loop over [lo, hi) on a team of n
 // threads (0 = all).
 func (o *OMP) ParallelFor(n, lo, hi int, opt ForOpt, body func(i int)) {
-	o.rt.Parallel(o.tc, n, func(w *Worker) {
+	o.Parallel(n, func(w *Worker) {
 		w.ForEach(lo, hi, opt, body)
 	})
 }
 
-// Threads returns the pool size.
+// Threads returns the pool size (for a tenant handle: its team cap).
 func (o *OMP) Threads() int { return o.rt.MaxThreads() }
 
-// Close shuts the worker pool down.
-func (o *OMP) Close() { o.rt.Close(o.tc) }
+// Close shuts the worker pool down. A tenant handle's Close only
+// releases the tenant's cached leases; the Service owns the pool.
+func (o *OMP) Close() {
+	if o.tn != nil {
+		o.tn.Close(o.tc)
+		return
+	}
+	o.rt.Close(o.tc)
+}
+
+// --- The multi-tenant service API ---
+
+// ErrRejected is returned by OMP.Submit when the Service's admission
+// control sheds the submission (KOMP_TENANCY_QUEUE full).
+var ErrRejected = tenancy.ErrRejected
+
+// Service is a multi-tenant runtime service: one shared worker pool
+// that many independent OMP handles (New with WithTenant) lease teams
+// from, with admission control, optional place sharding, and
+// work-conserving rebalance between tenants. Close it after every
+// tenant handle has Closed.
+type Service struct {
+	layer *exec.RealLayer
+	boot  exec.TC
+	svc   *tenancy.Service
+}
+
+// ServiceConfig configures NewService.
+type ServiceConfig struct {
+	// Workers is the shared pool size (0 means GOMAXPROCS-1).
+	Workers int
+	// MaxInflight caps concurrently running regions across all tenants
+	// (0 disables admission control).
+	MaxInflight int
+	// QueueDepth and Reject are the admission queue bound and saturation
+	// policy; both are overridden by KOMP_TENANCY_QUEUE when set.
+	QueueDepth int
+	Reject     bool
+	// Shards deals tenants onto disjoint blocks of the machine's places
+	// round-robin (0 or 1: all tenants share the full machine).
+	Shards int
+}
+
+// NewService creates a multi-tenant service and its shared worker pool.
+func NewService(cfg ServiceConfig) (*Service, error) {
+	ncpu := runtime.GOMAXPROCS(0)
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = ncpu - 1
+		if workers < 1 {
+			workers = 1
+		}
+	}
+	tcfg := tenancy.Config{
+		Workers:     workers,
+		MaxInflight: cfg.MaxInflight,
+		QueueDepth:  cfg.QueueDepth,
+		Shards:      cfg.Shards,
+		Base:        omp.Options{Bind: true},
+	}
+	if cfg.Reject {
+		tcfg.Policy = tenancy.PolicyReject
+	}
+	if err := tcfg.Env(os.LookupEnv); err != nil {
+		return nil, err
+	}
+	layer := exec.NewRealLayer(ncpu)
+	if tcfg.Shards > 1 {
+		part, err := places.Parse("", places.Flat(ncpu))
+		if err != nil {
+			return nil, err
+		}
+		tcfg.Places = part
+	}
+	boot := layer.TC()
+	return &Service{layer: layer, boot: boot, svc: tenancy.New(boot, layer, tcfg)}, nil
+}
+
+// WithTenant makes New join svc as a new tenant instead of creating a
+// standalone runtime: the handle's regions lease workers from the
+// service's shared pool and pass its admission control.
+func WithTenant(svc *Service) Option {
+	return func(o *config) { o.svc = svc }
+}
+
+// ServiceStats is a snapshot of a Service's admission counters.
+type ServiceStats = tenancy.Stats
+
+// Stats returns a snapshot of the service's admission counters.
+func (s *Service) Stats() ServiceStats { return s.svc.Stats() }
+
+// Close shuts down every tenant runtime and the shared pool.
+func (s *Service) Close() { s.svc.Shutdown(s.boot) }
 
 // --- The simulation API ---
 

@@ -2,6 +2,7 @@ package komp
 
 import (
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -123,4 +124,42 @@ func TestFigureAPI(t *testing.T) {
 	if err := RunFigure("fig99", &b, FigureOptions{}); err == nil {
 		t.Fatal("unknown figure must error")
 	}
+}
+
+// TestServiceAPI: the public multi-tenant surface — NewService,
+// WithTenant handles leasing from one shared pool, Submit backpressure
+// stats, and per-tenant Close leaving the service usable.
+func TestServiceAPI(t *testing.T) {
+	svc, err := NewService(ServiceConfig{Workers: 4, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := New(2, WithTenant(svc))
+	b := New(2, WithTenant(svc), WithCancellation())
+	var sum [2]int
+	var wg sync.WaitGroup
+	for i, h := range []*OMP{a, b} {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < 20; r++ {
+				h.ParallelFor(2, 0, 100, ForOpt{}, func(int) {})
+				if err := h.Submit(2, func(w *Worker) {
+					w.Atomic(func() { sum[i]++ })
+				}); err != nil {
+					t.Errorf("tenant %d Submit: %v", i, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if sum[0] != 40 || sum[1] != 40 {
+		t.Fatalf("per-tenant sums = %v, want 40 each", sum)
+	}
+	if st := svc.Stats(); st.Admitted != 80 || st.Rejected != 0 {
+		t.Fatalf("Stats = %+v, want 80 admitted, 0 rejected", st)
+	}
+	a.Close()
+	b.Close()
+	svc.Close()
 }
