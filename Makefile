@@ -1,6 +1,6 @@
 # Tier-1 verification recipe (see ROADMAP.md). The -race pass covers the
 # packages that run real goroutines under the real execution layer.
-RACE_PKGS = ./internal/omp/ ./internal/exec/ ./internal/mpi/ ./internal/tenancy/
+RACE_PKGS = ./internal/omp/ ./internal/exec/ ./internal/mpi/ ./internal/tenancy/ ./internal/device/
 
 .PHONY: verify build test vet staticcheck race figures bench-smoke trace-smoke
 
@@ -49,6 +49,7 @@ bench-smoke:
 		  go run ./cmd/kompbench -quick -ablation simcore && \
 		  go run ./cmd/kompbench -quick -ablation nested && \
 		  go run ./cmd/kompbench -quick -ablation tenancy && \
+		  go run ./cmd/kompbench -quick -ablation offload && \
 		  go run ./cmd/kompbench -quick -profile ) \
 		  > /tmp/komp-bench-smoke/run$$run.txt 2>/dev/null || exit 1; \
 	done

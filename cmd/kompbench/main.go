@@ -22,7 +22,7 @@ import (
 
 func main() {
 	figure := flag.String("figure", "", "figure id (fig6..fig15); empty = all")
-	ablation := flag.String("ablation", "", "ablation id (ab-firsttouch, ab-pthread, ab-chunk, ab-privatization, ab-boot, barrier, tasking, affinity, faults, cancel, simcore, nested, tenancy); 'all' runs every ablation")
+	ablation := flag.String("ablation", "", "ablation id (ab-firsttouch, ab-pthread, ab-chunk, ab-privatization, ab-boot, barrier, tasking, affinity, faults, cancel, simcore, nested, tenancy, offload); 'all' runs every ablation")
 	quick := flag.Bool("quick", false, "reduced scales and repetitions")
 	profile := flag.Bool("profile", false, "per-construct profile of every environment (instead of figures)")
 	seed := flag.Int64("seed", 42, "simulator seed")

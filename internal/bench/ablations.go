@@ -34,6 +34,7 @@ func Ablations() []Figure {
 		{"simcore", "Ablation: DES event-queue algorithm (heap vs timer wheel) — events/sec and trace equality up to 1024 cores", AblationSimcore},
 		{"nested", "Ablation: nested parallelism — inner fork/join cost x lease policy, and a two-level plane sweep vs the serialized baseline", AblationNested},
 		{"tenancy", "Ablation: multi-tenant service — open-loop latency under placement sharding, admission backpressure, and work-conserving rebalance", AblationTenancy},
+		{"offload", "Ablation: device offload — target teams distribute on the simulated accelerator vs host worksharing, with map-traffic hoisting", AblationOffload},
 	}
 }
 

@@ -215,6 +215,28 @@ func Fig11(w io.Writer, opt Options) error {
 			}
 			fmt.Fprintln(w)
 		}
+		if s.Name == "EP" {
+			// The fourth environment: the AutoMP pipeline retargeted at the
+			// simulated accelerator (device offload). EP is embarrassingly
+			// parallel — the best case for a wide SIMT league — so it is
+			// the one benchmark the device point is plotted for.
+			const devCUs, devLanes = 32, 64
+			env := core.New(core.Config{
+				Machine: machine.WithDevice(machine.PHI(), devCUs, devLanes),
+				Kind:    core.CCK, Seed: opt.seed(), Threads: 1,
+				BootImageBytes: s.WorkingSetBytes})
+			res, err := nas.RunOffloadModel(env, s, 0)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%-14s %10.2f   (%dx%d device, single point)\n",
+				"nk-automp+dev", res.Seconds, devCUs, devLanes)
+			st := env.Device().Stats()
+			opt.Recorder.Add(Record{Figure: "fig11", Construct: s.Name + "-" + s.Class,
+				Env: "nk-automp+dev", Cores: devCUs * devLanes, Seconds: res.Seconds,
+				DeviceCUs: devCUs, DeviceLanes: devLanes,
+				BytesH2D: st.BytesH2D, BytesD2H: st.BytesD2H})
+		}
 	}
 	return nil
 }

@@ -84,6 +84,13 @@ type Record struct {
 	// machine-dependent, so excluded from determinism diffs).
 	EQAlgo       string  `json:"eq_algo,omitempty"`
 	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	// DeviceCUs and DeviceLanes identify an offload-ablation cell's
+	// accelerator geometry; BytesH2D and BytesD2H are the run's
+	// host-to-device and device-to-host map traffic.
+	DeviceCUs   int   `json:"device_cus,omitempty"`
+	DeviceLanes int   `json:"device_lanes,omitempty"`
+	BytesH2D    int64 `json:"bytes_h2d,omitempty"`
+	BytesD2H    int64 `json:"bytes_d2h,omitempty"`
 }
 
 // Recorder accumulates Records alongside a figure run. All methods are

@@ -1,0 +1,290 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/interweaving/komp/internal/core"
+	"github.com/interweaving/komp/internal/device"
+	"github.com/interweaving/komp/internal/exec"
+	"github.com/interweaving/komp/internal/machine"
+	"github.com/interweaving/komp/internal/omp"
+)
+
+// Offload-ablation workload parameters: a saxpy-like DOALL loop whose
+// host per-iteration cost is offloadIterNS; a device SIMT lane runs one
+// iteration offloadSlowdown times slower (simple in-order lanes), and
+// every iteration streams one float64 operand.
+const (
+	offloadIterNS   = 1200
+	offloadSlowdown = 4
+	offloadLanes    = 64
+)
+
+// offloadHost runs the DOALL loop on the RTK host environment with n
+// workers (n == 1: serial on the encountering thread, the
+// initial-device fallback's schedule) and returns virtual elapsed ns.
+func offloadHost(opt Options, n, iters int) (int64, error) {
+	m := machine.XEON8()
+	env := core.New(core.Config{Machine: m, Kind: core.RTK, Seed: opt.seed(), Threads: n})
+	rt := env.OMPRuntime()
+	return env.Layer.Run(func(tc exec.TC) {
+		if n == 1 {
+			tc.Charge(int64(iters) * offloadIterNS)
+		} else {
+			rt.Parallel(tc, n, func(w *omp.Worker) {
+				w.For(0, iters, omp.ForOpt{}, func(lo, hi int) {
+					w.TC().Charge(int64(hi-lo) * offloadIterNS)
+				})
+			})
+		}
+		rt.Close(tc)
+	})
+}
+
+type offloadDevRes struct {
+	elapsedNS int64
+	stats     device.Stats
+	sum       float64
+}
+
+// offloadDevice runs `kernels` back-to-back target regions over one
+// mapped operand on a cus x offloadLanes accelerator attached to the
+// 8XEON. hoist brackets the launches in a single `target data` region;
+// otherwise every region maps tofrom on its own — the traffic the
+// hoisting section measures. The kernel computes a league sum for real
+// (integer-valued, so exact under any combine order), which the caller
+// checks against the serial value.
+func offloadDevice(opt Options, cus, iters, kernels int, hoist bool) (offloadDevRes, error) {
+	m := machine.WithDevice(machine.XEON8(), cus, offloadLanes)
+	env := core.New(core.Config{Machine: m, Kind: core.RTK, Seed: opt.seed(), Threads: 1})
+	rt := env.OMPRuntime()
+	d := env.Device()
+	a := make([]float64, iters)
+	for i := range a {
+		a[i] = float64(i%7 + 1)
+	}
+	k := device.Kernel{
+		Name:         "doall",
+		N:            iters,
+		IterNS:       offloadIterNS * offloadSlowdown,
+		BytesPerIter: 8,
+		Uses:         []any{a},
+		Body: func(b device.Block) float64 {
+			da := d.Ptr(a).([]float64)
+			var s float64
+			for i := b.Lo; i < b.Hi; i++ {
+				s += da[i]
+			}
+			return s
+		},
+		Reduce: func(x, y float64) float64 { return x + y },
+	}
+	var res offloadDevRes
+	var runErr error
+	elapsed, err := env.Layer.Run(func(tc exec.TC) {
+		maps := []device.Map{device.MapTofrom(a)}
+		run := func() {
+			for j := 0; j < kernels; j++ {
+				r, kerr := rt.Target(tc, maps, k)
+				if kerr != nil {
+					runErr = kerr
+					return
+				}
+				res.sum = r.Reduced
+			}
+		}
+		if hoist {
+			rt.TargetData(tc, maps, run)
+		} else {
+			run()
+		}
+		rt.Close(tc)
+	})
+	if err != nil {
+		return res, err
+	}
+	if runErr != nil {
+		return res, runErr
+	}
+	res.elapsedNS = elapsed
+	res.stats = d.Stats()
+	return res, nil
+}
+
+// offloadExpectedSum is the exact serial reduction value of the
+// workload's integer-valued operand.
+func offloadExpectedSum(iters int) float64 {
+	var s float64
+	for i := 0; i < iters; i++ {
+		s += float64(i%7 + 1)
+	}
+	return s
+}
+
+// AblationOffload is the device-offload study (`kompbench -ablation
+// offload`): `target teams distribute` on the simulated accelerator
+// against host worksharing on the 192-core 8XEON.
+//
+// Two sections:
+//
+//  1. DOALL sweep: the same loop on host teams of {24,96,192} cores and
+//     on accelerators of {8,16,32} CUs x 64 lanes (each lane 4x slower
+//     than a host core), map(tofrom) traffic included. The acceptance
+//     gate requires the largest device to beat host-serial at the
+//     largest size — offload must pay for its transfers.
+//
+//  2. Map-traffic hoisting: several kernels over one operand, mapped
+//     tofrom per region vs hoisted into one enclosing `target data`.
+//     The present-table refcount makes the hoisted runs move the
+//     operand exactly once each way; the gate requires strictly less
+//     traffic and no more time than the per-region rows.
+//
+// Every kernel also computes its league reduction for real and the run
+// fails on a wrong value, so the timing rows double as a correctness
+// check of the map/translate/execute path. Everything runs on the
+// simulator: stdout is a pure function of the seed; the acceptance
+// summary goes to stderr and a violated gate is the error return CI
+// fails on.
+func AblationOffload(w io.Writer, opt Options) error {
+	sizes := []int{1 << 16, 1 << 18, 1 << 20}
+	if opt.Quick {
+		sizes = []int{1 << 16, 1 << 18}
+	}
+	hostCores := []int{24, 96, 192}
+	devCUs := []int{8, 16, 32}
+
+	fmt.Fprintln(w, "Ablation: device offload — target teams distribute vs host worksharing (8XEON + accelerator)")
+	fmt.Fprintf(w, "DOALL sweep: %dns/iter on a host core, %dx lane slowdown, %d lanes/CU, map(tofrom) operand\n",
+		offloadIterNS, offloadSlowdown, offloadLanes)
+	fmt.Fprintf(w, "%-12s", "config")
+	for _, n := range sizes {
+		fmt.Fprintf(w, " %12d", n)
+	}
+	fmt.Fprintf(w, " %14s\n", "h2d+d2h bytes")
+
+	elapsed := map[string]map[int]int64{} // config -> size -> ns
+	row := func(label string) map[int]int64 {
+		r := map[int]int64{}
+		elapsed[label] = r
+		return r
+	}
+
+	serial := row("host-serial")
+	fmt.Fprintf(w, "%-12s", "host-serial")
+	for _, n := range sizes {
+		ns, err := offloadHost(opt, 1, n)
+		if err != nil {
+			return err
+		}
+		serial[n] = ns
+		fmt.Fprintf(w, " %12.3f", float64(ns)/1e6)
+		opt.Recorder.Add(Record{Figure: "offload", Construct: "DOALL", Env: core.RTK.String(),
+			Cores: 1, Seconds: float64(ns) / 1e9})
+	}
+	fmt.Fprintf(w, " %14s\n", "-")
+
+	for _, c := range hostCores {
+		label := fmt.Sprintf("host-%d", c)
+		r := row(label)
+		fmt.Fprintf(w, "%-12s", label)
+		for _, n := range sizes {
+			ns, err := offloadHost(opt, c, n)
+			if err != nil {
+				return err
+			}
+			r[n] = ns
+			fmt.Fprintf(w, " %12.3f", float64(ns)/1e6)
+			opt.Recorder.Add(Record{Figure: "offload", Construct: "DOALL", Env: core.RTK.String(),
+				Cores: c, Seconds: float64(ns) / 1e9})
+		}
+		fmt.Fprintf(w, " %14s\n", "-")
+	}
+
+	for _, cus := range devCUs {
+		label := fmt.Sprintf("dev-%dx%d", cus, offloadLanes)
+		r := row(label)
+		fmt.Fprintf(w, "%-12s", label)
+		var traffic int64
+		for _, n := range sizes {
+			res, err := offloadDevice(opt, cus, n, 1, false)
+			if err != nil {
+				return err
+			}
+			if want := offloadExpectedSum(n); res.sum != want {
+				return fmt.Errorf("offload acceptance: device reduction %v, want %v (cus=%d n=%d)",
+					res.sum, want, cus, n)
+			}
+			r[n] = res.elapsedNS
+			traffic = res.stats.BytesH2D + res.stats.BytesD2H
+			fmt.Fprintf(w, " %12.3f", float64(res.elapsedNS)/1e6)
+			opt.Recorder.Add(Record{Figure: "offload", Construct: "DOALL", Env: "device",
+				Cores: cus * offloadLanes, DeviceCUs: cus, DeviceLanes: offloadLanes,
+				BytesH2D: res.stats.BytesH2D, BytesD2H: res.stats.BytesD2H,
+				Seconds: float64(res.elapsedNS) / 1e9})
+		}
+		fmt.Fprintf(w, " %14d\n", traffic)
+	}
+	fmt.Fprintln(w, "(ms per run; device columns include kernel launch and DMA transfer time)")
+
+	// --- Section 2: per-region tofrom vs target-data hoisting ---
+	const trafficCUs, trafficKernels = 16, 8
+	trafficIters := 1 << 18
+	if opt.Quick {
+		trafficIters = 1 << 16
+	}
+	fmt.Fprintf(w, "\nMap traffic: %d kernels over one %d KiB operand, %dx%d device\n",
+		trafficKernels, trafficIters*8/1024, trafficCUs, offloadLanes)
+	fmt.Fprintf(w, "%-20s %10s %14s %14s\n", "strategy", "ms", "bytes h2d", "bytes d2h")
+	type trafficRow struct {
+		res offloadDevRes
+	}
+	rows := map[bool]trafficRow{}
+	for _, hoist := range []bool{false, true} {
+		res, err := offloadDevice(opt, trafficCUs, trafficIters, trafficKernels, hoist)
+		if err != nil {
+			return err
+		}
+		if want := offloadExpectedSum(trafficIters); res.sum != want {
+			return fmt.Errorf("offload acceptance: device reduction %v, want %v (hoist=%v)",
+				res.sum, want, hoist)
+		}
+		rows[hoist] = trafficRow{res}
+		label, construct := "per-region tofrom", "MAP-TRAFFIC-TOFROM"
+		if hoist {
+			label, construct = "target-data hoist", "MAP-TRAFFIC-HOIST"
+		}
+		fmt.Fprintf(w, "%-20s %10.3f %14d %14d\n", label,
+			float64(res.elapsedNS)/1e6, res.stats.BytesH2D, res.stats.BytesD2H)
+		opt.Recorder.Add(Record{Figure: "offload", Construct: construct, Env: "device",
+			Cores: trafficCUs * offloadLanes, DeviceCUs: trafficCUs, DeviceLanes: offloadLanes,
+			BytesH2D: res.stats.BytesH2D, BytesD2H: res.stats.BytesD2H,
+			Seconds: float64(res.elapsedNS) / 1e9})
+	}
+	fmt.Fprintln(w, "\n(a mapping already present only gains a reference — the enclosing")
+	fmt.Fprintln(w, " target data region moves the operand once each way, however many")
+	fmt.Fprintln(w, " kernels run inside; per-region tofrom pays the DMA round trip every time)")
+
+	// --- Acceptance gates (stderr + error return: the CI hooks) ---
+	top := sizes[len(sizes)-1]
+	bigDev := elapsed[fmt.Sprintf("dev-%dx%d", devCUs[len(devCUs)-1], offloadLanes)][top]
+	perRegion, hoisted := rows[false].res, rows[true].res
+	fmt.Fprintf(os.Stderr, "offload: dev-%dx%d %.3fms vs host-serial %.3fms at n=%d; traffic %d vs hoisted %d bytes\n",
+		devCUs[len(devCUs)-1], offloadLanes, float64(bigDev)/1e6, float64(serial[top])/1e6, top,
+		perRegion.stats.BytesH2D+perRegion.stats.BytesD2H,
+		hoisted.stats.BytesH2D+hoisted.stats.BytesD2H)
+	if bigDev >= serial[top] {
+		return fmt.Errorf("offload acceptance: largest device %.3fms did not beat host-serial %.3fms at n=%d",
+			float64(bigDev)/1e6, float64(serial[top])/1e6, top)
+	}
+	if ht, pt := hoisted.stats.BytesH2D+hoisted.stats.BytesD2H,
+		perRegion.stats.BytesH2D+perRegion.stats.BytesD2H; ht >= pt {
+		return fmt.Errorf("offload acceptance: hoisted traffic %d bytes is not below per-region tofrom %d bytes", ht, pt)
+	}
+	if hoisted.elapsedNS > perRegion.elapsedNS {
+		return fmt.Errorf("offload acceptance: hoisted run %.3fms is slower than per-region tofrom %.3fms",
+			float64(hoisted.elapsedNS)/1e6, float64(perRegion.elapsedNS)/1e6)
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+package cck
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/interweaving/komp/internal/device"
+	"github.com/interweaving/komp/internal/exec"
+	"github.com/interweaving/komp/internal/machine"
+	"github.com/interweaving/komp/internal/sim"
+)
+
+// offloadProgram is a three-region function exercising every lowering
+// path: a DOALL loop (device kernel), a reduction loop (device kernel
+// with a league combine) and a carried-dependence loop that must stay on
+// the host.
+func offloadProgram(n int, cov []int, acc *float64, seqRan *bool) *Program {
+	return &Program{Name: "offload-test", Funcs: []*Function{{Name: "main", Body: []Node{
+		&Loop{Name: "doall", N: n, CostNS: 300,
+			Effects: []Effect{{Obj: "a", Mode: Write, Pattern: Disjoint}},
+			Mem:     MemProfile{Footprint: int64(n) * 8},
+			Body:    func(i int) { cov[i]++ }},
+		&Loop{Name: "reduce", N: n, CostNS: 200,
+			Effects: []Effect{{Obj: "s", Mode: ReadWrite, Pattern: ReductionAcc}},
+			Mem:     MemProfile{Footprint: int64(n) * 8},
+			Body:    func(i int) { *acc += float64(i%7 + 1) }},
+		&Seq{Name: "tail", CostNS: 5000, Run: func() { *seqRan = true }},
+	}}}}
+}
+
+func compileOffload(t *testing.T, p *Program) *Compiled {
+	t.Helper()
+	c, err := Compile(p, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func offloadRun(t *testing.T, d *device.Dev, c *Compiled, opt OffloadOpt) (int64, error) {
+	t.Helper()
+	l := exec.NewSimLayer(sim.New(4, 1), exec.Costs{ThreadSpawnNS: 1000})
+	var runErr error
+	elapsed, err := l.Run(func(tc exec.TC) {
+		runErr = c.RunOffload(tc, d, nil, opt)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return elapsed, runErr
+}
+
+// TestRunOffloadLowersDOALL: DOALL and reduction regions become device
+// kernels (exactly-once iteration coverage, exact accumulator) while the
+// sequential tail runs on the host; the device sees exactly the two
+// offloadable kernels.
+func TestRunOffloadLowersDOALL(t *testing.T) {
+	const n = 2048
+	cov := make([]int, n)
+	var acc float64
+	var seqRan bool
+	c := compileOffload(t, offloadProgram(n, cov, &acc, &seqRan))
+
+	if got := []Strategy{c.Fns[0].Regions[0].Strategy, c.Fns[0].Regions[1].Strategy, c.Fns[0].Regions[2].Strategy}; got[0] != StratTasks || got[1] != StratTasksReduction || got[2] != StratSequential {
+		t.Fatalf("strategies = %v, want [tasks tasks-reduction sequential]", got)
+	}
+
+	d := device.New(machine.DefaultDevice(4, 8), 0, nil)
+	if _, err := offloadRun(t, d, c, OffloadOpt{}); err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range cov {
+		if got != 1 {
+			t.Fatalf("iteration %d ran %d times, want exactly once", i, got)
+		}
+	}
+	var want float64
+	for i := 0; i < n; i++ {
+		want += float64(i%7 + 1)
+	}
+	if acc != want {
+		t.Errorf("reduction accumulator %v, want %v", acc, want)
+	}
+	if !seqRan {
+		t.Error("sequential tail did not run on the host")
+	}
+	if st := d.Stats(); st.Kernels != 2 {
+		t.Errorf("device ran %d kernels, want 2 (the two DOALL regions)", st.Kernels)
+	}
+}
+
+// TestRunOffloadHoistCutsStagingLatency: hoisting stages the combined
+// footprint in one transfer each way instead of one pair per region —
+// same bytes, fewer DMA round trips, strictly less virtual time.
+func TestRunOffloadHoistCutsStagingLatency(t *testing.T) {
+	run := func(hoist bool) (int64, device.Stats) {
+		const n = 1024
+		cov := make([]int, n)
+		var acc float64
+		var seqRan bool
+		c := compileOffload(t, offloadProgram(n, cov, &acc, &seqRan))
+		d := device.New(machine.DefaultDevice(4, 8), 0, nil)
+		elapsed, err := offloadRun(t, d, c, OffloadOpt{Hoist: hoist})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return elapsed, d.Stats()
+	}
+	perRegion, prStats := run(false)
+	hoisted, hStats := run(true)
+	if hStats.BytesH2D != prStats.BytesH2D || hStats.BytesD2H != prStats.BytesD2H {
+		t.Errorf("hoist changed staged bytes: %+v vs %+v", hStats, prStats)
+	}
+	if hoisted >= perRegion {
+		t.Errorf("hoisted run %dns is not faster than per-region staging %dns", hoisted, perRegion)
+	}
+}
+
+// TestRunOffloadDeterminism: two fresh simulators, identical elapsed and
+// counters.
+func TestRunOffloadDeterminism(t *testing.T) {
+	once := func() (int64, device.Stats) {
+		const n = 4096
+		cov := make([]int, n)
+		var acc float64
+		var seqRan bool
+		c := compileOffload(t, offloadProgram(n, cov, &acc, &seqRan))
+		d := device.New(machine.DefaultDevice(4, 8), 0, nil)
+		elapsed, err := offloadRun(t, d, c, OffloadOpt{Hoist: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return elapsed, d.Stats()
+	}
+	e1, s1 := once()
+	e2, s2 := once()
+	if e1 != e2 || s1 != s2 {
+		t.Errorf("two identical runs diverged: %d/%+v vs %d/%+v", e1, s1, e2, s2)
+	}
+}
+
+// TestRunOffloadDeviceLost: a dead device surfaces ErrDeviceLost from
+// the first kernel instead of hanging the lowered program.
+func TestRunOffloadDeviceLost(t *testing.T) {
+	const n = 256
+	cov := make([]int, n)
+	var acc float64
+	var seqRan bool
+	c := compileOffload(t, offloadProgram(n, cov, &acc, &seqRan))
+	d := device.New(machine.DefaultDevice(2, 8), 0, nil)
+	d.OfflineCU(0)
+	d.OfflineCU(1)
+	_, err := offloadRun(t, d, c, OffloadOpt{})
+	if !errors.Is(err, device.ErrDeviceLost) {
+		t.Errorf("RunOffload = %v, want ErrDeviceLost", err)
+	}
+}

@@ -14,8 +14,10 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/interweaving/komp/internal/cck"
+	"github.com/interweaving/komp/internal/device"
 	"github.com/interweaving/komp/internal/exec"
 	"github.com/interweaving/komp/internal/linuxsim"
 	"github.com/interweaving/komp/internal/machine"
@@ -173,11 +175,31 @@ type Env struct {
 	procBindList   []places.Bind
 	nestedPool     omp.NestedPoolPolicy
 	spine          *ompt.Spine
+
+	devMu sync.Mutex
+	dev   *device.Dev
 }
 
 // Spine returns the environment's instrumentation spine (nil when
 // disabled).
 func (e *Env) Spine() *ompt.Spine { return e.spine }
+
+// Device returns the environment's accelerator, built lazily over the
+// machine's attached device topology (machine.WithDevice), or nil for a
+// host-only machine. All runtimes constructed from this environment
+// share the one instance, so its map table and CU busy state persist
+// across regions the way a real device's do.
+func (e *Env) Device() *device.Dev {
+	if e.Machine.Dev == nil {
+		return nil
+	}
+	e.devMu.Lock()
+	defer e.devMu.Unlock()
+	if e.dev == nil {
+		e.dev = device.New(e.Machine.Dev, 0, e.spine)
+	}
+	return e.dev
+}
 
 // New constructs an environment.
 func New(cfg Config) *Env {
@@ -291,6 +313,7 @@ func (e *Env) OMPRuntime() *omp.Runtime {
 		ProcBindList:     e.procBindList,
 		NestedPool:       e.nestedPool,
 		Spine:            e.spine,
+		Device:           e.Device(),
 	}
 	return omp.New(e.Layer, opts)
 }

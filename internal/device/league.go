@@ -1,0 +1,309 @@
+package device
+
+import (
+	"errors"
+	"math/bits"
+
+	"github.com/interweaving/komp/internal/exec"
+	"github.com/interweaving/komp/internal/ompt"
+)
+
+// Kernel is one `target teams distribute` region: a loop of N
+// iterations dealt in blocks across a league of teams, each team
+// executing its blocks with lane-level worksharing on one compute unit.
+type Kernel struct {
+	Name string
+	// Teams requests the league size (num_teams); 0 means one team per
+	// live compute unit.
+	Teams int
+	// N is the distribute loop's trip count.
+	N int
+	// Chunk is the distribute block size (dist_schedule(static, Chunk));
+	// 0 picks ceil(N / 4·teams) so every team sees several blocks — the
+	// granularity fault re-dealing and load balance work at.
+	Chunk int
+	// IterNS is the modeled cost of one iteration on one SIMT lane; a
+	// block of k iterations takes ceil(k/lanes) lane-steps.
+	IterNS int64
+	// BytesPerIter is the device-memory traffic one iteration streams;
+	// a block's memory time is latency + bytes/per-CU-bandwidth, and the
+	// block costs max(compute, memory) — the roofline.
+	BytesPerIter int64
+	// Uses lists the mapped host objects the body dereferences (via
+	// Ptr); Launch validates them up front so a kernel touching an
+	// unmapped object fails loudly before any block runs.
+	Uses []any
+	// Body executes one block for real on the launching host thread
+	// (nil for pure-model kernels). Its return value feeds the league
+	// reduction when Reduce is set, and is discarded otherwise.
+	Body func(b Block) float64
+	// Reduce, when set, combines block partials: per-team in block
+	// execution order first, then across teams in team order — the
+	// two-phase combine tree. Init is the identity value.
+	Reduce func(a, b float64) float64
+	Init   float64
+}
+
+// Block is one distribute block as the body sees it.
+type Block struct {
+	Team, CU, Lo, Hi int
+}
+
+// Result is a completed kernel launch.
+type Result struct {
+	// ElapsedNS is the modeled device time from launch to league
+	// completion, including the launch overhead and reduction tree.
+	ElapsedNS int64
+	// Blocks is the number of distribute blocks executed; Redealt how
+	// many of them were re-dealt off compute units that died mid-kernel.
+	Blocks  int
+	Redealt int
+	// Reduced is the league reduction value (Init when Reduce is nil).
+	Reduced float64
+}
+
+// ErrDeviceLost reports that every compute unit went offline before the
+// kernel could finish; the caller degrades (falls back or reports)
+// instead of hanging.
+var ErrDeviceLost = errors.New("device: all compute units offline")
+
+// team is one league member's context in the engine: the state-machine
+// node of the device-side runtime. A team lives on one CU; its queued
+// blocks execute in deal order; its partial accumulates block returns.
+type team struct {
+	id      int
+	cu      int
+	queue   []Block
+	next    int // queue cursor: blocks before it are done
+	partial float64
+	dead    bool
+}
+
+// Launch runs a kernel to completion and returns its result. The engine
+// advances per-CU virtual timelines block by block and charges the host
+// thread only to block start times and the final completion, so the
+// modeled elapsed is the max over concurrent CU timelines, kernels
+// launched back-to-back queue on the persistent CU busy state, and a
+// CU-offline fault firing mid-kernel (between blocks, on the DES clock)
+// re-deals the dead CU's remaining blocks to surviving teams.
+func (d *Dev) Launch(tc exec.TC, k Kernel) (Result, error) {
+	d.Init(tc)
+	for _, obj := range k.Uses {
+		d.Ptr(obj) // fails loudly on a dangling device pointer
+	}
+	region := d.targetSeq.Add(1)
+	if d.sp.Enabled(ompt.TargetBegin) {
+		d.sp.Emit(ompt.Event{Kind: ompt.TargetBegin, Thread: -1, CPU: int32(tc.CPU()),
+			TimeNS: tc.Now(), Region: region, Obj: uint64(d.id)})
+	}
+	t0 := tc.Now()
+	tc.Charge(d.topo.KernelLaunchNS)
+
+	res, err := d.runLeague(tc, k)
+
+	res.ElapsedNS = tc.Now() - t0
+	d.kernels.Add(1)
+	if d.sp.Enabled(ompt.TargetEnd) {
+		d.sp.Emit(ompt.Event{Kind: ompt.TargetEnd, Thread: -1, CPU: int32(tc.CPU()),
+			TimeNS: tc.Now(), Region: region, Obj: uint64(d.id),
+			Arg0: res.ElapsedNS, Arg1: int64(res.Blocks)})
+	}
+	return res, err
+}
+
+// runLeague is the engine proper: build the league, deal blocks, then
+// advance the per-CU timelines in global time order.
+func (d *Dev) runLeague(tc exec.TC, k Kernel) (Result, error) {
+	var res Result
+	res.Reduced = k.Init
+	cus := d.onlineList()
+	if len(cus) == 0 {
+		return res, ErrDeviceLost
+	}
+	nteams := k.Teams
+	if nteams <= 0 {
+		nteams = len(cus)
+	}
+	chunk := k.Chunk
+	if chunk <= 0 {
+		chunk = (k.N + 4*nteams - 1) / (4 * nteams)
+		if chunk < 1 {
+			chunk = 1
+		}
+	}
+
+	// Fork the league: team i on live CU i%len(cus), blocks dealt
+	// round-robin in distribute order.
+	teams := make([]*team, nteams)
+	for i := range teams {
+		teams[i] = &team{id: i, cu: cus[i%len(cus)]}
+	}
+	for lo, j := 0, 0; lo < k.N; lo, j = lo+chunk, j+1 {
+		hi := lo + chunk
+		if hi > k.N {
+			hi = k.N
+		}
+		t := teams[j%nteams]
+		t.queue = append(t.queue, Block{Team: t.id, CU: t.cu, Lo: lo, Hi: hi})
+	}
+
+	// The engine loop. cuTime is this kernel's view of each CU: the
+	// persistent busy state now, growing as blocks are placed. The host
+	// cursor (tc.Now()) advances to each block's start, so a fault
+	// scheduled on the DES clock lands between blocks.
+	cuTime := map[int]int64{}
+	d.mu.Lock()
+	for _, cu := range cus {
+		t := tc.Now()
+		if d.cuFree[cu] > t {
+			t = d.cuFree[cu]
+		}
+		cuTime[cu] = t
+	}
+	d.mu.Unlock()
+
+	pending := func(t *team) bool { return !t.dead && t.next < len(t.queue) }
+	remaining := 0
+	for _, t := range teams {
+		remaining += len(t.queue)
+	}
+	for remaining > 0 {
+		// Pick the earliest-free CU that still has a pending team; ties
+		// break on CU id, then team id — total order, so the schedule is
+		// a pure function of the inputs.
+		var pick *team
+		for _, t := range teams {
+			if !pending(t) {
+				continue
+			}
+			if pick == nil || cuTime[t.cu] < cuTime[pick.cu] ||
+				(cuTime[t.cu] == cuTime[pick.cu] && t.id < pick.id) {
+				pick = t
+			}
+		}
+		if pick == nil {
+			return res, ErrDeviceLost
+		}
+		start := cuTime[pick.cu]
+		if now := tc.Now(); start > now {
+			tc.Charge(start - now) // faults scheduled before start fire here
+		}
+		if dead, lost := d.sweepOffline(teams, cuTime, &res); lost {
+			return res, ErrDeviceLost
+		} else if dead {
+			remaining = 0
+			for _, t := range teams {
+				if !t.dead {
+					remaining += len(t.queue) - t.next
+				}
+			}
+			continue
+		}
+		b := pick.queue[pick.next]
+		pick.next++
+		remaining--
+		if k.Body != nil {
+			p := k.Body(b)
+			if k.Reduce != nil {
+				pick.partial = k.Reduce(pick.partial, p)
+			}
+		}
+		cuTime[pick.cu] = start + d.blockNS(k, b.Hi-b.Lo)
+		res.Blocks++
+	}
+
+	// League completion: the kernel ends when the slowest CU drains.
+	end := tc.Now()
+	for _, t := range cuTime {
+		if t > end {
+			end = t
+		}
+	}
+	if k.Reduce != nil {
+		for _, t := range teams {
+			res.Reduced = k.Reduce(res.Reduced, t.partial)
+		}
+		end += d.reduceNS(nteams)
+	}
+	if now := tc.Now(); end > now {
+		tc.Charge(end - now)
+	}
+	d.mu.Lock()
+	for cu, t := range cuTime {
+		if t > d.cuFree[cu] {
+			d.cuFree[cu] = t
+		}
+	}
+	d.mu.Unlock()
+	return res, nil
+}
+
+// sweepOffline migrates work off CUs that died since the last check:
+// every dead team's remaining blocks are re-dealt round-robin to
+// surviving teams (the distribute re-deal). Partials already combined
+// on a dead team are kept — its completed blocks happened. Reports
+// whether any team died, and whether no live team is left.
+func (d *Dev) sweepOffline(teams []*team, cuTime map[int]int64, res *Result) (dead, lost bool) {
+	d.mu.Lock()
+	var died []*team
+	for _, t := range teams {
+		if !t.dead && d.offline[t.cu] {
+			t.dead = true
+			died = append(died, t)
+		}
+	}
+	d.mu.Unlock()
+	if len(died) == 0 {
+		return false, false
+	}
+	var alive []*team
+	for _, t := range teams {
+		if !t.dead {
+			alive = append(alive, t)
+		}
+	}
+	for _, t := range died {
+		delete(cuTime, t.cu)
+		if len(alive) == 0 {
+			continue
+		}
+		for i, b := range t.queue[t.next:] {
+			to := alive[i%len(alive)]
+			b.Team, b.CU = to.id, to.cu
+			to.queue = append(to.queue, b)
+			res.Redealt++
+			d.redeals.Add(1)
+		}
+		t.next = len(t.queue)
+	}
+	return true, len(alive) == 0
+}
+
+// blockNS models one block on one CU: the device-side deal cost, then
+// the larger of the SIMT compute time (lockstep lane-steps) and the
+// device-memory streaming time — compute and memory overlap.
+func (d *Dev) blockNS(k Kernel, iters int) int64 {
+	lanes := d.topo.LanesPerCU
+	steps := int64((iters + lanes - 1) / lanes)
+	compute := steps * k.IterNS
+	var mem int64
+	if k.BytesPerIter > 0 {
+		mem = d.topo.MemLatencyNS + int64(float64(k.BytesPerIter*int64(iters))/d.topo.MemBWperCU)
+	}
+	if mem > compute {
+		compute = mem
+	}
+	return d.topo.BlockSchedNS + compute
+}
+
+// reduceNS is the two-phase league reduction: a log2(lanes) in-team
+// lane tree, then a fanout-4 cross-team tree, one device-memory
+// round-trip per level.
+func (d *Dev) reduceNS(nteams int) int64 {
+	laneLevels := bits.Len(uint(d.topo.LanesPerCU - 1))
+	teamLevels := 0
+	for n := nteams; n > 1; n = (n + 3) / 4 {
+		teamLevels++
+	}
+	return int64(laneLevels+teamLevels) * d.topo.MemLatencyNS
+}

@@ -40,6 +40,10 @@ const (
 	// IRQStorm floods a CPU with interrupts for a duration (Arg: CPU,
 	// Dur: storm length).
 	IRQStorm
+	// CUOffline takes an accelerator compute unit out of service at a
+	// virtual time (Arg: CU). The device league re-deals the dead CU's
+	// queued blocks to surviving teams.
+	CUOffline
 
 	// FrameDrop drops a NIC frame (rate-driven).
 	FrameDrop
@@ -59,6 +63,8 @@ func (k Kind) String() string {
 		return "crash"
 	case IRQStorm:
 		return "irq-storm"
+	case CUOffline:
+		return "cu-offline"
 	case FrameDrop:
 		return "drop"
 	case FrameCorrupt:
@@ -236,8 +242,10 @@ func parseEvent(term string) (Event, error) {
 		kind = CompartmentCrash
 	case "irq-storm":
 		kind = IRQStorm
+	case "cu-offline":
+		kind = CUOffline
 	default:
-		return Event{}, fmt.Errorf("unknown scheduled fault %q (want cpu-offline, crash or irq-storm)", kindStr)
+		return Event{}, fmt.Errorf("unknown scheduled fault %q (want cpu-offline, cu-offline, crash or irq-storm)", kindStr)
 	}
 	timeStr, argStr, ok := strings.Cut(rest, ":")
 	if !ok {
@@ -290,6 +298,7 @@ func parseDur(s string) (sim.Time, error) {
 // is ignored (counted but with no effect).
 type Handlers struct {
 	CPUOffline       func(cpu int)
+	CUOffline        func(cu int)
 	CompartmentCrash func(id int)
 	// IRQStorm is optional; when nil the engine applies its built-in
 	// storm, stealing CPU time directly from the simulated timeline.
@@ -336,6 +345,10 @@ func (e *Engine) Arm(h Handlers) {
 			case CPUOffline:
 				if h.CPUOffline != nil {
 					h.CPUOffline(ev.Arg)
+				}
+			case CUOffline:
+				if h.CUOffline != nil {
+					h.CUOffline(ev.Arg)
 				}
 			case CompartmentCrash:
 				if h.CompartmentCrash != nil {
@@ -412,7 +425,7 @@ func (e *Engine) InjectedTotal() int64 {
 // Summary renders delivered-fault counts in a fixed kind order (for
 // deterministic report output).
 func (e *Engine) Summary() string {
-	kinds := []Kind{CPUOffline, CompartmentCrash, IRQStorm, FrameDrop, FrameCorrupt, LostWake, AllocFail}
+	kinds := []Kind{CPUOffline, CUOffline, CompartmentCrash, IRQStorm, FrameDrop, FrameCorrupt, LostWake, AllocFail}
 	var parts []string
 	for _, k := range kinds {
 		if n := e.Injected[k]; n > 0 {

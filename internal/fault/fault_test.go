@@ -65,7 +65,7 @@ func TestParseErrorsNameTokenAndPosition(t *testing.T) {
 		{"drop=1.5", []string{`term 1`, `"drop=1.5"`, `offset 0`, `"1.5"`, `[0,1]`}},
 		{"drop=0.1;bogus=0.2", []string{`term 2`, `"bogus=0.2"`, `offset 9`, `"bogus"`, `allocfail`}},
 		{"drop=0.1; cpu-offline@2ms", []string{`term 2`, `"cpu-offline@2ms"`, `offset 10`, `missing :arg`}},
-		{"frob@1ms:0", []string{`term 1`, `"frob"`, `cpu-offline, crash or irq-storm`}},
+		{"frob@1ms:0", []string{`term 1`, `"frob"`, `cpu-offline, cu-offline, crash or irq-storm`}},
 		{"cpu-offline@2xs:3", []string{`term 1`, `duration "2xs"`, `ns/us/ms/s`}},
 		{"cpu-offline@2ms:zz", []string{`term 1`, `arg "zz"`, `integer`}},
 		{"seed=abc", []string{`term 1`, `seed value "abc"`, `integer`}},
@@ -194,5 +194,43 @@ func TestSummaryDeterministicOrder(t *testing.T) {
 	}
 	if e.InjectedTotal() != 3 {
 		t.Fatalf("total = %d", e.InjectedTotal())
+	}
+}
+
+// TestCUOfflineParseArmSummary: the accelerator fault directive parses,
+// round-trips through String, dispatches to the CUOffline handler at its
+// scheduled time, and shows up in the summary — the hook the device
+// league's re-deal composes with.
+func TestCUOfflineParseArmSummary(t *testing.T) {
+	p, err := Parse("cu-offline@2ms:1;cu-offline@3ms:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Events) != 2 || p.Events[0].Kind != CUOffline || p.Events[0].Arg != 1 ||
+		p.Events[0].At != 2*sim.Millisecond {
+		t.Fatalf("events = %+v", p.Events)
+	}
+	if got := p.String(); got != "cu-offline@2ms:1;cu-offline@3ms:0" {
+		t.Fatalf("String() = %q", got)
+	}
+
+	s := sim.New(2, 1)
+	e := New(s, p)
+	var dead []int
+	var at []sim.Time
+	e.Arm(Handlers{CUOffline: func(cu int) { dead = append(dead, cu); at = append(at, s.Now()) }})
+	s.Go("w", 0, 0, func(pr *sim.Proc) { pr.Compute(4 * sim.Millisecond) })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(dead) != 2 || dead[0] != 1 || dead[1] != 0 ||
+		at[0] != 2*sim.Millisecond || at[1] != 3*sim.Millisecond {
+		t.Fatalf("delivered %v at %v", dead, at)
+	}
+	if e.Injected[CUOffline] != 2 {
+		t.Fatalf("injected = %v", e.Injected)
+	}
+	if got := e.Summary(); !strings.Contains(got, "cu-offline=2") {
+		t.Fatalf("Summary() = %q, want cu-offline=2", got)
 	}
 }

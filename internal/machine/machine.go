@@ -69,6 +69,10 @@ type Machine struct {
 
 	// Scales is the CPU-count sweep the paper uses on this machine.
 	Scales []int
+
+	// Dev is an attached accelerator, or nil for a host-only node. See
+	// WithDevice.
+	Dev *Device
 }
 
 // SMT returns the effective SMT width (ThreadsPerCore, never below 1).

@@ -203,6 +203,41 @@ func RunModel(env *core.Env, s *Spec, threads int) (RunResult, error) {
 	return res, nil
 }
 
+// RunOffloadModel executes the benchmark model in the device
+// environment — the fourth configuration next to Linux, Linux+AutoMP
+// and NK+AutoMP: the AutoMP pipeline with every DOALL region lowered to
+// `teams distribute` kernels on the environment's accelerator
+// (machine.WithDevice), operands hoisted around the run target-data
+// style. teams sizes the league the chunker targets (0: one team per
+// compute unit).
+func RunOffloadModel(env *core.Env, s *Spec, teams int) (RunResult, error) {
+	d := env.Device()
+	if d == nil {
+		return RunResult{}, fmt.Errorf("nas: environment machine has no device (use machine.WithDevice)")
+	}
+	if teams <= 0 {
+		teams = d.Topo().CUs
+	}
+	prog := s.Program(env.Machine, teams, PipeAutoMP)
+	res := RunResult{Spec: s, Env: env.Kind, Machine: env.Machine.Name, Threads: teams, Pipeline: PipeAutoMP}
+	compiled, err := cck.Compile(prog, cck.Options{Workers: teams, Fuse: true})
+	if err != nil {
+		return res, err
+	}
+	var runErr error
+	elapsed, err := runTimed(env, func(tc exec.TC) {
+		runErr = compiled.RunOffload(tc, d, env.Scale(0), cck.OffloadOpt{Hoist: true})
+	})
+	if err != nil {
+		return res, err
+	}
+	if runErr != nil {
+		return res, runErr
+	}
+	res.Seconds = float64(elapsed) / 1e9
+	return res, nil
+}
+
 func runTimed(env *core.Env, fn func(exec.TC)) (int64, error) {
 	return env.Layer.Run(fn)
 }

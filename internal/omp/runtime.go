@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/interweaving/komp/internal/device"
 	"github.com/interweaving/komp/internal/exec"
 	"github.com/interweaving/komp/internal/ompt"
 	"github.com/interweaving/komp/internal/places"
@@ -335,6 +336,21 @@ type Options struct {
 	// so one spine can demultiplex the streams of all tenants. 0 — the
 	// single-owner default — means "not a tenant".
 	Tenant int32
+	// DefaultDevice is the OMP_DEFAULT_DEVICE ICV: the device number
+	// target constructs offload to. The runtime models one device
+	// (number 0, the default); a negative value selects the host
+	// fallback — target regions execute on the encountering thread.
+	DefaultDevice int
+	// DeviceCUs and DeviceLanes set the accelerator geometry when the
+	// runtime builds its own device (KOMP_DEVICE=cus,lanes; default
+	// 8 CUs × 32 lanes), and DeviceMemBytes its memory capacity
+	// (KOMP_DEVICE_MEM). Ignored when Device injects an instance.
+	DeviceCUs, DeviceLanes int
+	DeviceMemBytes         int64
+	// Device, if non-nil, is the accelerator instance target constructs
+	// offload to — the simulated environments build one per machine
+	// model so the OpenMP and CCK pipelines share a map table.
+	Device *device.Dev
 	// Spine, if non-nil, receives every instrumentation event the
 	// runtime emits (package ompt). Consumers must be registered before
 	// the first Parallel; a nil spine costs one mask test per emit site.
@@ -491,6 +507,34 @@ func (o *Options) Env(lookup func(string) (string, bool)) error {
 		}
 		o.CancelProp = cp
 	}
+	if v, ok := lookup("KOMP_RESILIENT"); ok {
+		b, err := strconv.ParseBool(strings.TrimSpace(strings.ToLower(v)))
+		if err != nil {
+			return fmt.Errorf("omp: KOMP_RESILIENT=%q: want true or false", v)
+		}
+		o.Resilient = b
+	}
+	if v, ok := lookup("OMP_DEFAULT_DEVICE"); ok {
+		n, err := strconv.Atoi(strings.TrimSpace(v))
+		if err != nil {
+			return fmt.Errorf("omp: OMP_DEFAULT_DEVICE=%q: want an integer (negative for host fallback)", v)
+		}
+		o.DefaultDevice = n
+	}
+	if v, ok := lookup("KOMP_DEVICE"); ok {
+		cus, lanes, err := parseDeviceGeometry(v)
+		if err != nil {
+			return err
+		}
+		o.DeviceCUs, o.DeviceLanes = cus, lanes
+	}
+	if v, ok := lookup("KOMP_DEVICE_MEM"); ok {
+		b, err := parseBytes(v)
+		if err != nil {
+			return fmt.Errorf("omp: KOMP_DEVICE_MEM=%q: want bytes with an optional k/m/g suffix", v)
+		}
+		o.DeviceMemBytes = b
+	}
 	if v, ok := lookup("KOMP_REGION_DEADLINE"); ok {
 		d, err := time.ParseDuration(strings.TrimSpace(v))
 		if err != nil || d < 0 {
@@ -535,6 +579,11 @@ type Runtime struct {
 	serial atomic.Pointer[Team]
 
 	spine *ompt.Spine
+
+	// dev is the lazily initialized accelerator (see Device); devMu
+	// serializes the first construction.
+	dev   atomic.Pointer[device.Dev]
+	devMu sync.Mutex
 
 	critMu   sync.Mutex
 	critical map[string]*critEntry

@@ -101,6 +101,23 @@ const (
 	// thread that executed the cancel — Thread -1 when a region deadline
 	// fired) from a discarded task body (1, Obj is the task id).
 	Cancel
+	// DeviceInit: a device was initialized on first use
+	// (ompt_callback_device_initialize). Obj is the device number, Arg0
+	// the compute-unit count, Arg1 the SIMT lanes per compute unit.
+	DeviceInit
+	// TargetBegin / TargetEnd: a target region — a kernel offloaded to a
+	// device — starts and finishes from the host's point of view
+	// (ompt_callback_target). Obj is the device number, Region the
+	// target-region id; on TargetEnd Arg0 is the kernel's device elapsed
+	// nanoseconds and Arg1 the distribute block count executed.
+	TargetBegin
+	TargetEnd
+	// DataOp: one host↔device data operation — alloc, transfer, delete —
+	// on the device's DMA engine (ompt_callback_target_data_op). Obj is
+	// the device number, Arg0 the byte count, and Arg1 the operation:
+	// 0 alloc, 1 host-to-device transfer, 2 device-to-host transfer,
+	// 3 delete.
+	DataOp
 
 	// KindCount is the number of event kinds.
 	KindCount
@@ -116,6 +133,7 @@ var kindNames = [KindCount]string{
 	"team-shrink",
 	"task-dependence", "taskgroup-begin", "taskgroup-end",
 	"thread-bind", "cancel",
+	"device-init", "target-begin", "target-end", "data-op",
 }
 
 func (k Kind) String() string {

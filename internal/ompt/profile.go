@@ -98,6 +98,11 @@ const (
 	// in catRegion); the row only appears once a run actually nests, so
 	// non-nested reports are unchanged.
 	catNested
+	// Device offload categories; the rows only appear when a run
+	// offloads, so host-only reports are unchanged.
+	catDeviceInit
+	catTarget
+	catDataOp
 	catCount
 )
 
@@ -109,6 +114,7 @@ var catNames = [catCount]string{
 	"task-dependence", "taskgroup-wait",
 	"thread", "team-shrink",
 	"nested-region",
+	"device-init", "target-region", "data-op",
 }
 
 type catAcc struct {
@@ -163,7 +169,8 @@ func NewProfile(sp *Spine) *Profile {
 		TaskCreate, TaskSchedule, TaskComplete, TaskSteal, TaskDependence,
 		WorkBegin, WorkEnd, DispatchChunk,
 		SyncAcquire, SyncAcquired,
-		ShrinkTeam)
+		ShrinkTeam,
+		DeviceInit, TargetEnd, DataOp)
 	return p
 }
 
@@ -254,6 +261,14 @@ func (p *Profile) consume(ev Event) {
 		}
 	case ShrinkTeam:
 		p.add(catShrink, 0)
+	case DeviceInit:
+		p.add(catDeviceInit, 0)
+	case TargetEnd:
+		// TargetEnd carries the kernel's device elapsed time in Arg0, so
+		// no begin-pairing state is needed.
+		p.add(catTarget, ev.Arg0)
+	case DataOp:
+		p.add(catDataOp, 0)
 	}
 }
 

@@ -15,6 +15,7 @@ func Attach(t *Tracer, sp *ompt.Spine) {
 	c := &consumer{
 		t:       t,
 		regions: map[uint64]regionOpen{},
+		targets: map[uint64]int64{},
 		threads: map[int32]*laneState{},
 	}
 	sp.On(c.consume,
@@ -23,7 +24,8 @@ func Attach(t *Tracer, sp *ompt.Spine) {
 		ompt.WorkBegin, ompt.WorkEnd,
 		ompt.SyncAcquire, ompt.SyncAcquired,
 		ompt.TaskCreate, ompt.TaskSchedule, ompt.TaskComplete,
-		ompt.ShrinkTeam)
+		ompt.ShrinkTeam,
+		ompt.DeviceInit, ompt.TargetBegin, ompt.TargetEnd, ompt.DataOp)
 }
 
 type regionOpen struct {
@@ -47,9 +49,11 @@ type consumer struct {
 	t  *Tracer
 	mu sync.Mutex
 
-	regions map[uint64]regionOpen
-	threads map[int32]*laneState
-	pending int64 // tasks created and not yet completed
+	regions  map[uint64]regionOpen
+	targets  map[uint64]int64 // open target regions: id -> begin time
+	threads  map[int32]*laneState
+	pending  int64 // tasks created and not yet completed
+	devBytes int64 // cumulative host<->device transfer bytes
 }
 
 func (c *consumer) lane(id int32) *laneState {
@@ -143,5 +147,27 @@ func (c *consumer) consume(ev ompt.Event) {
 		c.t.Counter("tasks-pending", tid, ev.TimeNS, c.pending)
 	case ompt.ShrinkTeam:
 		c.t.Span("team-shrink", "fault", tid, ev.TimeNS, 0, nil)
+	case ompt.DeviceInit:
+		c.t.Span(fmt.Sprintf("device-init#%d", ev.Obj), "device", deviceLane(ev.Obj),
+			ev.TimeNS, 0, map[string]string{
+				"cus": fmt.Sprint(ev.Arg0), "lanes": fmt.Sprint(ev.Arg1)})
+	case ompt.TargetBegin:
+		c.targets[ev.Region] = ev.TimeNS
+	case ompt.TargetEnd:
+		if at, ok := c.targets[ev.Region]; ok {
+			delete(c.targets, ev.Region)
+			c.t.Span(fmt.Sprintf("target#%d", ev.Region), "device", deviceLane(ev.Obj),
+				at, ev.TimeNS-at, map[string]string{"blocks": fmt.Sprint(ev.Arg1)})
+		}
+	case ompt.DataOp:
+		// Only the transfers move the counter; alloc/delete are marks.
+		if ev.Arg1 == 1 || ev.Arg1 == 2 {
+			c.devBytes += ev.Arg0
+			c.t.Counter("device-bytes", deviceLane(ev.Obj), ev.TimeNS, c.devBytes)
+		}
 	}
 }
+
+// deviceLane maps a device id onto its own trace row, away from the
+// host thread lanes.
+func deviceLane(dev uint64) int { return 1_000_000 + int(dev) }

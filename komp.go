@@ -27,6 +27,7 @@ import (
 
 	"github.com/interweaving/komp/internal/bench"
 	"github.com/interweaving/komp/internal/core"
+	"github.com/interweaving/komp/internal/device"
 	"github.com/interweaving/komp/internal/exec"
 	"github.com/interweaving/komp/internal/machine"
 	"github.com/interweaving/komp/internal/nas"
@@ -266,6 +267,70 @@ func (o *OMP) Close() {
 	}
 	o.rt.Close(o.tc)
 }
+
+// --- The device offload API ---
+
+// Map is one map clause entry of a target construct: a host object (a
+// slice, or a pointer to a scalar/struct) and its map-type.
+type Map = device.Map
+
+// Kernel is a `target teams distribute` region: a loop of N iterations
+// dealt in blocks over a league of teams on the device's compute units.
+type Kernel = device.Kernel
+
+// Block is one distribute block as a kernel body sees it.
+type Block = device.Block
+
+// TargetResult is a completed kernel launch: modeled device time, block
+// and re-deal counts, and the league reduction value.
+type TargetResult = device.Result
+
+// ErrDeviceLost reports that every compute unit went offline before a
+// kernel could finish.
+var ErrDeviceLost = device.ErrDeviceLost
+
+// MapTo, MapFrom, MapTofrom and MapAlloc build map clause entries
+// (map(to: x), map(from: x), map(tofrom: x), map(alloc: x)).
+func MapTo(obj any) Map     { return device.MapTo(obj) }
+func MapFrom(obj any) Map   { return device.MapFrom(obj) }
+func MapTofrom(obj any) Map { return device.MapTofrom(obj) }
+func MapAlloc(obj any) Map  { return device.MapAlloc(obj) }
+
+// WithDevice sets the accelerator geometry target constructs offload to
+// (the KOMP_DEVICE ICV): cus compute units of lanes SIMT lanes each.
+// Without it the runtime models a default 8×32 device on first use.
+func WithDevice(cus, lanes int) Option {
+	return func(o *config) { o.DeviceCUs, o.DeviceLanes = cus, lanes }
+}
+
+// WithDefaultDevice sets the OMP_DEFAULT_DEVICE ICV: the device number
+// target constructs offload to. A negative value selects the host
+// fallback — target regions run serially on the encountering thread.
+func WithDefaultDevice(n int) Option {
+	return func(o *config) { o.DefaultDevice = n }
+}
+
+// Target executes a kernel on the default device (#pragma omp target
+// teams distribute map(...)): the map clauses are entered, the league
+// launched, and the maps released in reverse — mappings an enclosing
+// TargetData holds move no data.
+func (o *OMP) Target(maps []Map, k Kernel) (TargetResult, error) {
+	return o.rt.Target(o.tc, maps, k)
+}
+
+// TargetData brackets body with a structured device mapping (#pragma
+// omp target data): Target calls inside find the data present and
+// transfer nothing — the hoisting pattern that pays off when several
+// kernels share operands.
+func (o *OMP) TargetData(maps []Map, body func()) {
+	o.rt.TargetData(o.tc, maps, body)
+}
+
+// TargetEnterData / TargetExitData are the unstructured mapping
+// lifetime (#pragma omp target enter/exit data): mappings created here
+// persist until the matching exit drops the last reference.
+func (o *OMP) TargetEnterData(maps ...Map) { o.rt.TargetEnterData(o.tc, maps...) }
+func (o *OMP) TargetExitData(maps ...Map)  { o.rt.TargetExitData(o.tc, maps...) }
 
 // --- The multi-tenant service API ---
 
